@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments cover fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every table and figure from the paper (DESIGN.md E1-E10).
+experiments:
+	$(GO) run ./cmd/softbench -experiment all
+
+# Paper-scale stress table (E2-E4).
+stress-paper:
+	$(GO) run ./cmd/softbench -experiment stress -allocs 977000 -extra 500000
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+cover:
+	$(GO) test -cover ./internal/...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

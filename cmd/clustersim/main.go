@@ -1,0 +1,41 @@
+// Command clustersim runs the datacenter scheduler simulation (E6): the
+// same synthetic job trace through a kill-based baseline scheduler and
+// the soft-memory-aware scheduler, reporting evictions, wasted CPU, and
+// slowdowns — the paper's §2 motivation, quantified.
+//
+// Usage:
+//
+//	clustersim
+//	clustersim -jobs 1000 -machines 8 -pages 2000 -seed 11
+package main
+
+import (
+	"flag"
+	"os"
+	"time"
+
+	"softmem/internal/experiments"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 7, "trace seed")
+		jobs     = flag.Int("jobs", 400, "jobs in the trace")
+		machines = flag.Int("machines", 4, "machines in the cluster")
+		pagesPer = flag.Int("pages", 1200, "pages per machine")
+		horizon  = flag.Duration("horizon", 2*time.Hour, "arrival window")
+		runtime  = flag.Duration("runtime", 10*time.Minute, "mean job runtime")
+		mem      = flag.Int("mem", 300, "mean job memory in pages")
+	)
+	flag.Parse()
+
+	experiments.Cluster(experiments.ClusterConfig{
+		Seed:            *seed,
+		Jobs:            *jobs,
+		Machines:        *machines,
+		PagesPerMachine: *pagesPer,
+		Horizon:         *horizon,
+		MeanRuntime:     *runtime,
+		MeanMemPages:    *mem,
+	}).Fprint(os.Stdout)
+}

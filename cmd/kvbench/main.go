@@ -1,0 +1,46 @@
+// Command kvbench drives a YCSB-style workload against a softkv server
+// and reports throughput, hit rate, and latency percentiles — the
+// client-visible view of soft memory reclamation (GETs of reclaimed
+// entries miss; the cache refills from the "database").
+//
+// Usage:
+//
+//	kvbench -addr 127.0.0.1:6380 -requests 100000 -conns 8 -read 0.9
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"softmem/internal/kvstore"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:6380", "softkv server address")
+		conns = flag.Int("conns", 4, "concurrent connections")
+		reqs  = flag.Int("requests", 100000, "total operations")
+		read  = flag.Float64("read", 0.9, "GET fraction (rest are SETs)")
+		keys  = flag.Uint64("keys", 10000, "keyspace size")
+		skew  = flag.Float64("skew", 1.2, "Zipf skew (>1)")
+		value = flag.Int("value", 256, "value size in bytes")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	res, err := kvstore.RunLoad(kvstore.LoadGenConfig{
+		Addr:         *addr,
+		Conns:        *conns,
+		Requests:     *reqs,
+		ReadFraction: *read,
+		Keys:         *keys,
+		Skew:         *skew,
+		ValueBytes:   *value,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatalf("kvbench: %v", err)
+	}
+	res.Fprint(os.Stdout)
+}

@@ -1,0 +1,111 @@
+// Command smd runs the Soft Memory Daemon: the machine-wide arbiter of
+// soft memory budgets (§3.3). Processes connect over TCP or a Unix
+// socket, request budget, and receive reclamation demands.
+//
+// Usage:
+//
+//	smd -listen 127.0.0.1:7070 -mib 20
+//	smd -network unix -listen /tmp/smd.sock -mib 256 -targets 3 -factor 1.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"softmem/internal/ipc"
+	"softmem/internal/pages"
+	"softmem/internal/smd"
+	"softmem/internal/statusz"
+)
+
+func main() {
+	var (
+		network  = flag.String("network", "tcp", "listen network: tcp or unix")
+		listen   = flag.String("listen", "127.0.0.1:7070", "listen address")
+		mib      = flag.Int("mib", 20, "machine soft memory partition in MiB (paper: 20)")
+		targets  = flag.Int("targets", 3, "max processes disturbed per request")
+		factor   = flag.Float64("factor", 1.25, "over-reclamation factor")
+		policy   = flag.String("policy", "proportional", "weight policy: proportional, footprint, softshare")
+		self     = flag.Bool("self-reclaim", false, "allow a requester to reclaim from itself")
+		statsSec = flag.Int("stats", 10, "seconds between stats lines (0 = quiet)")
+		httpAddr = flag.String("http", "", "serve JSON status at this address (empty = off)")
+		audit    = flag.Bool("audit", false, "log every grant/denial/demand decision")
+	)
+	flag.Parse()
+
+	var pol smd.WeightPolicy
+	switch *policy {
+	case "proportional":
+		pol = smd.ProportionalWeight{}
+	case "footprint":
+		pol = smd.FootprintWeight{}
+	case "softshare":
+		pol = smd.SoftShareWeight{}
+	default:
+		log.Fatalf("smd: unknown policy %q", *policy)
+	}
+
+	cfg := smd.Config{
+		TotalPages:       *mib << 20 / pages.Size,
+		TargetCap:        *targets,
+		ReclaimFactor:    *factor,
+		Policy:           pol,
+		AllowSelfReclaim: *self,
+	}
+	if *audit {
+		cfg.OnEvent = func(ev smd.Event) {
+			log.Printf("smd: audit %s proc=%d(%s) pages=%d released=%d trigger=%d",
+				ev.Kind, ev.Proc, ev.Name, ev.Pages, ev.Released, ev.Trigger)
+		}
+	}
+	daemon := smd.NewDaemon(cfg)
+	if *httpAddr != "" {
+		stSrv, stAddr, err := statusz.Serve(*httpAddr, func() any {
+			return map[string]any{
+				"stats": daemon.Stats(),
+				"procs": daemon.Snapshot(),
+			}
+		})
+		if err != nil {
+			log.Fatalf("smd: %v", err)
+		}
+		defer stSrv.Close()
+		log.Printf("smd: status at http://%s/statusz", stAddr)
+	}
+	srv := ipc.NewServer(daemon, log.Printf)
+	addr, err := srv.Listen(*network, *listen)
+	if err != nil {
+		log.Fatalf("smd: %v", err)
+	}
+	log.Printf("smd: arbitrating %d MiB (%d pages) of soft memory on %s", *mib, daemon.TotalPages(), addr)
+
+	if *statsSec > 0 {
+		go func() {
+			for range time.Tick(time.Duration(*statsSec) * time.Second) {
+				st := daemon.Stats()
+				log.Printf("smd: procs=%d budgeted=%d free=%d requests=%d denied=%d reclaimed=%d",
+					st.Procs, st.BudgetPages, st.FreePages, st.Requests, st.Denied, st.ReclaimedPages)
+				for _, p := range daemon.Snapshot() {
+					log.Printf("smd:   %-16s budget=%-6d used=%-6d trad=%-10d weight=%.1f",
+						p.Name, p.BudgetPages, p.Usage.UsedPages, p.Usage.TraditionalBytes, p.Weight)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "smd: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("smd: %v", err)
+	}
+}

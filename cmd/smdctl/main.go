@@ -1,0 +1,86 @@
+// Command smdctl is the operator's view of a running Soft Memory
+// Daemon: it fetches the daemon's JSON status endpoint and renders the
+// machine's soft memory ledger.
+//
+// Usage:
+//
+//	smd -http 127.0.0.1:7071 ...     # daemon exposes status
+//	smdctl -http 127.0.0.1:7071
+//	smdctl -http 127.0.0.1:7071 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+// status mirrors the daemon's statusz payload.
+type status struct {
+	Stats struct {
+		Requests       int64 `json:"Requests"`
+		Granted        int64 `json:"Granted"`
+		Denied         int64 `json:"Denied"`
+		ReclaimEvents  int64 `json:"ReclaimEvents"`
+		SlackPages     int64 `json:"SlackPages"`
+		DemandedPages  int64 `json:"DemandedPages"`
+		ReclaimedPages int64 `json:"ReclaimedPages"`
+		BudgetPages    int   `json:"BudgetPages"`
+		FreePages      int   `json:"FreePages"`
+		Procs          int   `json:"Procs"`
+	} `json:"stats"`
+	Procs []struct {
+		ID          int    `json:"ID"`
+		Name        string `json:"Name"`
+		BudgetPages int    `json:"BudgetPages"`
+		Usage       struct {
+			UsedPages        int   `json:"UsedPages"`
+			TraditionalBytes int64 `json:"TraditionalBytes"`
+		} `json:"Usage"`
+		Weight float64 `json:"Weight"`
+	} `json:"procs"`
+}
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:7071", "daemon status address")
+		raw      = flag.Bool("json", false, "print the raw JSON instead of the table")
+		timeout  = flag.Duration("timeout", 5*time.Second, "request timeout")
+	)
+	flag.Parse()
+
+	cli := &http.Client{Timeout: *timeout}
+	resp, err := cli.Get("http://" + *httpAddr + "/statusz")
+	if err != nil {
+		log.Fatalf("smdctl: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("smdctl: read: %v", err)
+	}
+	if *raw {
+		os.Stdout.Write(body)
+		return
+	}
+	var st status
+	if err := json.Unmarshal(body, &st); err != nil {
+		log.Fatalf("smdctl: decode: %v", err)
+	}
+	fmt.Printf("soft memory: %d pages budgeted, %d free (%d procs)\n",
+		st.Stats.BudgetPages, st.Stats.FreePages, st.Stats.Procs)
+	fmt.Printf("requests: %d granted, %d denied, %d needed reclamation\n",
+		st.Stats.Granted, st.Stats.Denied, st.Stats.ReclaimEvents)
+	fmt.Printf("reclaimed: %d pages demanded, %d released, %d slack harvested\n\n",
+		st.Stats.DemandedPages, st.Stats.ReclaimedPages, st.Stats.SlackPages)
+	fmt.Printf("%-6s %-20s %10s %10s %14s %10s\n", "proc", "name", "budget", "used", "traditional", "weight")
+	for _, p := range st.Procs {
+		fmt.Printf("%-6d %-20s %10d %10d %14d %10.1f\n",
+			p.ID, p.Name, p.BudgetPages, p.Usage.UsedPages, p.Usage.TraditionalBytes, p.Weight)
+	}
+}

@@ -1,0 +1,124 @@
+// Command softkv runs the Redis-like key-value store with its cache in
+// soft memory (the paper's §5 prototype integration). It optionally
+// connects to a Soft Memory Daemon, making its memory revocable under
+// machine-wide pressure.
+//
+// Usage:
+//
+//	softkv -listen 127.0.0.1:6380 -smd 127.0.0.1:7070 -name redis-like
+//	softkv -listen 127.0.0.1:6380                      # standalone
+//
+// Speak to it with the RESP subset: SET/GET/DEL/EXISTS/DBSIZE/INFO/PING.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/ipc"
+	"softmem/internal/kvstore"
+	"softmem/internal/pages"
+	"softmem/internal/sds"
+	"softmem/internal/statusz"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:6380", "RESP listen address")
+		smdAddr    = flag.String("smd", "", "soft memory daemon address (empty = standalone)")
+		smdNetwork = flag.String("smd-network", "tcp", "daemon network: tcp or unix")
+		name       = flag.String("name", "softkv", "process name registered with the daemon")
+		localMiB   = flag.Int("local-mib", 0, "standalone local soft cap in MiB (0 = unlimited)")
+		lru        = flag.Bool("lru", false, "evict least-recently-used entries under reclamation (default: oldest)")
+		cleanup    = flag.Int("cleanup-work", 0, "synthetic per-entry cleanup iterations on reclamation")
+		httpAddr   = flag.String("http", "", "serve JSON status at this address (empty = off)")
+		sweepSec   = flag.Int("sweep", 10, "seconds between TTL expiry sweeps (0 = lazy only)")
+	)
+	flag.Parse()
+
+	pool := pages.NewPool(*localMiB << 20 / pages.Size)
+	sma := core.New(core.Config{Machine: pool})
+
+	policy := sds.EvictOldest
+	if *lru {
+		policy = sds.EvictLRU
+	}
+	store := kvstore.New(kvstore.Config{
+		SMA:         sma,
+		Policy:      policy,
+		CleanupWork: *cleanup,
+		OnReclaim:   func(string) {},
+	})
+
+	if *smdAddr != "" {
+		// The resilient client survives daemon restarts: it re-registers
+		// and resyncs the budget ledger automatically.
+		cli, err := ipc.DialResilient(ipc.ResilientConfig{
+			Network: *smdNetwork, Addr: *smdAddr, Name: *name,
+		}, sma)
+		if err != nil {
+			log.Fatalf("softkv: daemon: %v", err)
+		}
+		sma.AttachDaemon(cli)
+		log.Printf("softkv: registered with daemon at %s as %q", *smdAddr, *name)
+	} else {
+		log.Printf("softkv: standalone (no daemon); soft memory bounded only by -local-mib")
+	}
+
+	// Log every squeeze — the explicit pressure signal the paper
+	// contrasts with transparent swapping.
+	sma.OnPressure(func(ev core.PressureEvent) {
+		log.Printf("softkv: pressure: released %d/%d pages (%d entries revoked), %d pages held",
+			ev.ReleasedPages, ev.DemandedPages, ev.AllocsReclaimed, ev.UsedPages)
+	})
+
+	if *httpAddr != "" {
+		stSrv, stAddr, err := statusz.Serve(*httpAddr, func() any {
+			return map[string]any{
+				"store":    store.Stats(),
+				"entries":  store.Len(),
+				"sma":      sma.Stats(),
+				"contexts": sma.Contexts(),
+			}
+		})
+		if err != nil {
+			log.Fatalf("softkv: %v", err)
+		}
+		defer stSrv.Close()
+		log.Printf("softkv: status at http://%s/statusz", stAddr)
+	}
+
+	if *sweepSec > 0 {
+		go func() {
+			for range time.Tick(time.Duration(*sweepSec) * time.Second) {
+				if n := store.SweepExpired(); n > 0 {
+					log.Printf("softkv: expired %d entries", n)
+				}
+			}
+		}()
+	}
+
+	srv := kvstore.NewServer(store, log.Printf)
+	addr, err := srv.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("softkv: %v", err)
+	}
+	log.Printf("softkv: serving RESP on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("softkv: shutting down")
+		srv.Close()
+		os.Exit(0)
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("softkv: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+// Command softml runs the ML training-cache workload (§2) as a real
+// process against a Soft Memory Daemon: epochs stream while the cache
+// grows into whatever soft memory the machine can spare, shrinks when
+// the daemon reclaims, and recovers afterwards.
+//
+// Usage:
+//
+//	softml -smd 127.0.0.1:7070 -samples 4000 -epochs 10
+//	softml -epochs 5                 # standalone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"softmem/internal/core"
+	"softmem/internal/ipc"
+	"softmem/internal/mlcache"
+	"softmem/internal/pages"
+)
+
+func main() {
+	var (
+		smdAddr    = flag.String("smd", "", "soft memory daemon address (empty = standalone)")
+		smdNetwork = flag.String("smd-network", "tcp", "daemon network: tcp or unix")
+		name       = flag.String("name", "softml", "process name registered with the daemon")
+		samples    = flag.Int("samples", 4000, "dataset size")
+		sampleKiB  = flag.Int("sample-kib", 2, "sample size in KiB")
+		epochs     = flag.Int("epochs", 10, "epochs to run")
+		seed       = flag.Int64("seed", 7, "epoch shuffle seed")
+		localMiB   = flag.Int("local-mib", 0, "standalone local soft cap in MiB (0 = unlimited)")
+	)
+	flag.Parse()
+
+	pool := pages.NewPool(*localMiB << 20 / pages.Size)
+	sma := core.New(core.Config{Machine: pool})
+	if *smdAddr != "" {
+		cli, err := ipc.DialResilient(ipc.ResilientConfig{
+			Network: *smdNetwork, Addr: *smdAddr, Name: *name,
+		}, sma)
+		if err != nil {
+			log.Fatalf("softml: daemon: %v", err)
+		}
+		sma.AttachDaemon(cli)
+		log.Printf("softml: registered with daemon at %s as %q", *smdAddr, *name)
+	}
+	sma.OnPressure(func(ev core.PressureEvent) {
+		log.Printf("softml: cache squeezed: released %d pages (%d samples revoked)",
+			ev.ReleasedPages, ev.AllocsReclaimed)
+	})
+
+	trainer := mlcache.New(mlcache.Config{
+		SMA:         sma,
+		Samples:     *samples,
+		SampleBytes: *sampleKiB << 10,
+		Seed:        *seed,
+	})
+	defer trainer.Close()
+
+	for e := 1; e <= *epochs; e++ {
+		st, err := trainer.RunEpoch()
+		if err != nil {
+			log.Fatalf("softml: epoch %d: %v", e, err)
+		}
+		fmt.Println(st)
+	}
+}

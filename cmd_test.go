@@ -1,0 +1,207 @@
+package softmem
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesSmoke runs each experiment binary at reduced scale and
+// checks its output carries the expected artifacts. This keeps the
+// README's commands honest.
+func TestBinariesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips process-spawning smoke tests")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "softbench-fig2",
+			args: []string{"run", "./cmd/softbench", "-experiment", "fig2"},
+			want: []string{"Figure 2", "reclamation finishes", "paper: 3.75s"},
+		},
+		{
+			name: "softbench-stress",
+			args: []string{"run", "./cmd/softbench", "-experiment", "stress", "-allocs", "20000", "-extra", "8000"},
+			want: []string{"ample budget", "budget grown via SMD", "reclaim under pressure"},
+		},
+		{
+			name: "softbench-restart",
+			args: []string{"run", "./cmd/softbench", "-experiment", "restart"},
+			want: []string{"reclaim vs. kill", "advantage"},
+		},
+		{
+			name: "softbench-ablate-heap",
+			args: []string{"run", "./cmd/softbench", "-experiment", "ablate-heap"},
+			want: []string{"per-SDS heaps", "shared heap, arbitrary", "page per allocation"},
+		},
+		{
+			name: "softbench-ablate-policy",
+			args: []string{"run", "./cmd/softbench", "-experiment", "ablate-policy"},
+			want: []string{"proportional", "footprint", "softshare"},
+		},
+		{
+			name: "softbench-mlcache",
+			args: []string{"run", "./cmd/softbench", "-experiment", "mlcache"},
+			want: []string{"E9", "pages reclaimed after this epoch"},
+		},
+		{
+			name: "softbench-swap",
+			args: []string{"run", "./cmd/softbench", "-experiment", "swap"},
+			want: []string{"E10", "drop", "swap"},
+		},
+		{
+			name: "clustersim",
+			args: []string{"run", "./cmd/clustersim", "-jobs", "120", "-horizon", "1h"},
+			want: []string{"baseline", "soft", "evictions"},
+		},
+		{
+			name: "softbench-latency",
+			args: []string{"run", "./cmd/softbench", "-experiment", "latency"},
+			want: []string{"E11", "per-page", "per-entry"},
+		},
+		{
+			name: "softml",
+			args: []string{"run", "./cmd/softml", "-epochs", "2", "-samples", "200"},
+			want: []string{"epoch=1", "epoch=2", "hitrate"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", tc.args...)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v: %v\n%s", tc.args, err, out)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(string(out), w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
+// TestKVBenchSmoke boots a standalone softkv and drives kvbench at it.
+func TestKVBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips process-spawning smoke tests")
+	}
+	bin := t.TempDir()
+	buildBin := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	kvBin := buildBin("softkv")
+	benchBin := buildBin("kvbench")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	kv := exec.Command(kvBin, "-listen", addr)
+	kv.Stderr = os.Stderr
+	if err := kv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		kv.Process.Kill()
+		kv.Wait()
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	out, err := exec.Command(benchBin,
+		"-addr", addr, "-requests", "5000", "-conns", "2", "-keys", "500").CombinedOutput()
+	if err != nil {
+		t.Fatalf("kvbench: %v\n%s", err, out)
+	}
+	for _, want := range []string{"throughput", "hitrate", "GET p50", "SET p50"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("kvbench output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSMDCtlSmoke boots the daemon with its status endpoint and reads it
+// back through smdctl.
+func TestSMDCtlSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips process-spawning smoke tests")
+	}
+	bin := t.TempDir()
+	buildBin := func(name string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, msg)
+		}
+		return out
+	}
+	smdBin := buildBin("smd")
+	ctlBin := buildBin("smdctl")
+
+	free := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		return ln.Addr().String()
+	}
+	listen, httpAddr := free(), free()
+	daemon := exec.Command(smdBin, "-listen", listen, "-mib", "8", "-stats", "0", "-http", httpAddr)
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", httpAddr); err == nil {
+			c.Close()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	out, err := exec.Command(ctlBin, "-http", httpAddr).CombinedOutput()
+	if err != nil {
+		t.Fatalf("smdctl: %v\n%s", err, out)
+	}
+	for _, want := range []string{"soft memory:", "free", "requests:"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("smdctl output missing %q:\n%s", want, out)
+		}
+	}
+	// Raw JSON mode decodes.
+	out, err = exec.Command(ctlBin, "-http", httpAddr, "-json").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "\"stats\"") {
+		t.Fatalf("smdctl -json: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,126 @@
+// kvcache: the paper's key-value cache scenario over real sockets.
+//
+// A Redis-like server keeps its entries in soft memory and registers
+// with a Soft Memory Daemon over TCP. A web workload (Zipf-skewed GETs
+// with database fallback) runs against it. Mid-run, a batch process
+// claims soft memory, the daemon squeezes the cache, the hit rate dips —
+// and recovers as misses repopulate the cache, exactly the cache
+// behaviour §2 describes.
+//
+//	go run ./examples/kvcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softmem/internal/core"
+	"softmem/internal/ipc"
+	"softmem/internal/kvstore"
+	"softmem/internal/pages"
+	"softmem/internal/sds"
+	"softmem/internal/smd"
+	"softmem/internal/trace"
+)
+
+const (
+	machineMiB = 8
+	keyspace   = 20000
+	valueBytes = 1024
+)
+
+func main() {
+	// Machine-wide soft memory arbitration behind a real TCP socket.
+	totalPages := machineMiB << 20 / pages.Size
+	daemon := smd.NewDaemon(smd.Config{TotalPages: totalPages})
+	dsrv := ipc.NewServer(daemon, func(string, ...any) {})
+	daddr, err := dsrv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go dsrv.Serve()
+	defer dsrv.Close()
+
+	// The cache server process.
+	machine := pages.NewPool(0) // daemon budgets are authoritative
+	sma := core.New(core.Config{Machine: machine})
+	store := kvstore.New(kvstore.Config{SMA: sma, Policy: sds.EvictLRU})
+	dcli, err := ipc.Dial("tcp", daddr.String(), "kv-cache", sma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sma.AttachDaemon(dcli)
+	ksrv := kvstore.NewServer(store, func(string, ...any) {})
+	kaddr, err := ksrv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go ksrv.Serve()
+	defer ksrv.Close()
+
+	// The web service: GET from cache, fall back to the "database" and
+	// SET on miss.
+	cli, err := kvstore.DialClient("tcp", kaddr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+	database := func(id uint64) string {
+		buf := make([]byte, valueBytes)
+		for i := range buf {
+			buf[i] = byte(id) ^ byte(i)
+		}
+		return string(buf)
+	}
+	keys := trace.NewZipfKeys(42, keyspace, 1.2)
+	phase := func(name string, requests int) {
+		hits, misses := 0, 0
+		for i := 0; i < requests; i++ {
+			id := keys.Next()
+			key := trace.Key(id)
+			if _, ok, err := cli.Get(key); err != nil {
+				log.Fatalf("GET: %v", err)
+			} else if ok {
+				hits++
+				continue
+			}
+			misses++
+			if err := cli.Set(key, database(id)); err != nil {
+				log.Fatalf("SET: %v", err)
+			}
+		}
+		entries, _ := cli.DBSize()
+		fmt.Printf("%-22s requests=%-6d hitrate=%5.1f%% cache=%d entries (%.1f MiB soft)\n",
+			name, requests, 100*float64(hits)/float64(requests), entries,
+			float64(sma.FootprintBytes())/(1<<20))
+	}
+
+	phase("warmup", 30000)
+	phase("steady state", 20000)
+
+	// Nightly batch job: claims 5 MiB of the 8 MiB machine; the daemon
+	// squeezes the cache's LRU tail.
+	batchSMA := core.New(core.Config{Machine: machine})
+	batch := sds.NewSoftQueue(batchSMA, "batch", sds.BytesCodec{}, nil)
+	bcli, err := ipc.Dial("tcp", daddr.String(), "batch", batchSMA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchSMA.AttachDaemon(bcli)
+	block := make([]byte, 4096)
+	for i := 0; i < 5<<20/4096; i++ {
+		if err := batch.Push(block); err != nil {
+			log.Fatalf("batch: %v", err)
+		}
+	}
+	fmt.Printf("%-22s reclaimed=%d entries; cache shrank to %.1f MiB\n",
+		"batch pressure", store.Stats().Reclaimed, float64(sma.FootprintBytes())/(1<<20))
+
+	phase("under pressure", 20000)
+
+	// The batch job finishes; its memory frees and the cache regrows on
+	// demand.
+	batch.Close()
+	bcli.Close()
+	phase("after batch exits", 30000)
+}

@@ -1,0 +1,73 @@
+// logshipper: an in-memory log/trace ring in soft memory.
+//
+// Services keep recent request traces "just in case" — valuable when
+// debugging, worthless to correctness. A SoftBuffer holds the stream:
+// the shipper drains what it has confirmed durable (Discard), and when
+// the machine needs memory the daemon takes the oldest unshipped chunks
+// first, with the service told exactly how many bytes it lost.
+//
+//	go run ./examples/logshipper
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/sds"
+	"softmem/internal/smd"
+)
+
+func main() {
+	machine := pages.NewPool(2048) // 8 MiB machine
+	daemon := smd.NewDaemon(smd.Config{TotalPages: 2048})
+
+	svc := core.New(core.Config{Machine: machine})
+	var lost int64
+	traces := sds.NewSoftBuffer(svc, "traces", sds.BufferConfig{
+		ChunkBytes: 64 << 10,
+		OnReclaim:  func(n int64) { lost += n },
+	})
+	svc.AttachDaemon(daemon.Register("service", svc))
+
+	// The service streams ~6 MiB of trace records.
+	record := []byte(`{"ts":1234567,"span":"checkout","latency_us":5321}` + "\n")
+	for traces.Size() < 6<<20 {
+		if _, err := traces.Write(record); err != nil {
+			log.Fatalf("trace write: %v", err)
+		}
+	}
+	fmt.Printf("service: %.1f MiB of traces buffered\n", float64(traces.Retained())/(1<<20))
+
+	// The shipper confirms the first 2 MiB as durably uploaded.
+	if err := traces.Discard(2 << 20); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipper: confirmed %.1f MiB; %.1f MiB still buffered\n",
+		float64(traces.Start())/(1<<20), float64(traces.Retained())/(1<<20))
+
+	// A neighbour claims 6 MiB: the daemon takes the oldest *unshipped*
+	// chunks — data loss is explicit, counted, and survivable.
+	hog := core.New(core.Config{Machine: machine})
+	scratch := sds.NewSoftQueue(hog, "scratch", sds.BytesCodec{}, nil)
+	hog.AttachDaemon(daemon.Register("batch", hog))
+	block := make([]byte, 4096)
+	for i := 0; i < 6<<20/4096; i++ {
+		if err := scratch.Push(block); err != nil {
+			log.Fatalf("batch: %v", err)
+		}
+	}
+
+	fmt.Printf("pressure: lost %.1f MiB of unshipped traces (reported via callback)\n",
+		float64(lost)/(1<<20))
+	fmt.Printf("retained: %.1f MiB, still readable from offset %d\n",
+		float64(traces.Retained())/(1<<20), traces.Start())
+
+	// The newest traces remain intact for the next debugging session.
+	tail := make([]byte, len(record))
+	if _, err := traces.ReadAt(tail, traces.Size()-int64(len(record))); err != nil {
+		log.Fatalf("tail read: %v", err)
+	}
+	fmt.Printf("newest record intact: %q...\n", tail[:24])
+}

@@ -1,0 +1,72 @@
+// mltraining: the paper's §2 ML training-cache use case.
+//
+// A training job keeps its input cache in soft memory. Epochs warm the
+// cache; mid-training, a latency-critical service claims the memory and
+// the daemon shrinks the cache; training slows but continues, and
+// recovers once the service releases the memory.
+//
+//	go run ./examples/mltraining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softmem/internal/core"
+	"softmem/internal/mlcache"
+	"softmem/internal/pages"
+	"softmem/internal/sds"
+	"softmem/internal/smd"
+)
+
+func main() {
+	// 12 MiB machine: the ~8 MiB dataset cache and the service's 6 MiB
+	// cannot both fit, so the service's arrival must squeeze the cache.
+	const machinePages = 3072
+	machine := pages.NewPool(machinePages)
+	daemon := smd.NewDaemon(smd.Config{TotalPages: machinePages})
+
+	// The training process.
+	trainSMA := core.New(core.Config{Machine: machine})
+	trainer := mlcache.New(mlcache.Config{
+		SMA:         trainSMA,
+		Samples:     4000,
+		SampleBytes: 2048, // ~8 MiB dataset
+		Seed:        7,
+	})
+	trainSMA.AttachDaemon(daemon.Register("trainer", trainSMA))
+
+	fmt.Println("ML training with a soft-memory input cache")
+	fmt.Println()
+	runEpochs := func(n int, note string) {
+		for i := 0; i < n; i++ {
+			st, err := trainer.RunEpoch()
+			if err != nil {
+				log.Fatalf("epoch: %v", err)
+			}
+			fmt.Printf("%v   %s\n", st, note)
+			note = ""
+		}
+	}
+
+	runEpochs(3, "(warming)")
+
+	// A latency-critical service spins up and claims 6 MiB.
+	serviceSMA := core.New(core.Config{Machine: machine})
+	service := sds.NewSoftQueue(serviceSMA, "service", sds.BytesCodec{}, nil)
+	serviceSMA.AttachDaemon(daemon.Register("service", serviceSMA))
+	block := make([]byte, 4096)
+	for i := 0; i < 6<<20/4096; i++ {
+		if err := service.Push(block); err != nil {
+			log.Fatalf("service: %v", err)
+		}
+	}
+	fmt.Printf("-- service claimed 6 MiB; cache squeezed to %d entries --\n", trainer.CacheLen())
+
+	runEpochs(3, "(squeezed: slower, still training)")
+
+	// The service scales back down; the cache refills via misses.
+	service.Close()
+	fmt.Println("-- service released its memory --")
+	runEpochs(3, "(recovering)")
+}

@@ -1,0 +1,80 @@
+// requestqueue: the paper's "temporary request queues" use case —
+// graceful load shedding through soft memory.
+//
+// A service buffers incoming work items in a SoftQueue. When a
+// higher-priority process claims the machine's memory, the daemon
+// reclaims from the queue: the OLDEST queued requests are dropped (they
+// are the most likely to have timed out anyway), each one surfacing
+// through the reclaim callback so the service can answer "503, retry"
+// instead of silently losing work. The service itself never crashes and
+// never blocks.
+//
+//	go run ./examples/requestqueue
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/sds"
+	"softmem/internal/smd"
+)
+
+type request struct {
+	ID   int    `json:"id"`
+	Body string `json:"body"`
+}
+
+func main() {
+	machine := pages.NewPool(2048) // 8 MiB machine
+	daemon := smd.NewDaemon(smd.Config{TotalPages: 2048})
+
+	// The service: a backlog of pending requests in soft memory.
+	svcSMA := core.New(core.Config{Machine: machine})
+	shed := 0
+	backlog := sds.NewSoftQueue[request](svcSMA, "backlog", sds.JSONCodec[request]{},
+		func(r request) {
+			// Last-chance callback: tell the client to retry.
+			shed++
+		})
+	svcSMA.AttachDaemon(daemon.Register("service", svcSMA))
+	svcSMA.OnPressure(func(ev core.PressureEvent) {
+		fmt.Printf("service: squeezed %d pages; shed %d requests so far\n",
+			ev.ReleasedPages, shed)
+	})
+
+	// A burst of traffic fills the backlog (~6 MiB of 4 KiB requests).
+	body := strings.Repeat("x", 4000)
+	for i := 0; i < 1536; i++ {
+		if err := backlog.Push(request{ID: i, Body: body}); err != nil {
+			log.Fatalf("enqueue: %v", err)
+		}
+	}
+	fmt.Printf("service: backlog %d requests (%.1f MiB soft)\n",
+		backlog.Len(), float64(svcSMA.FootprintBytes())/(1<<20))
+
+	// A latency-critical neighbour claims 4 MiB.
+	dbSMA := core.New(core.Config{Machine: machine})
+	dbCache := sds.NewSoftQueue(dbSMA, "db-cache", sds.BytesCodec{}, nil)
+	dbSMA.AttachDaemon(daemon.Register("database", dbSMA))
+	block := make([]byte, 4096)
+	for i := 0; i < 1024; i++ {
+		if err := dbCache.Push(block); err != nil {
+			log.Fatalf("db cache: %v", err)
+		}
+	}
+
+	fmt.Printf("service: backlog now %d requests; %d oldest requests shed with 503s\n",
+		backlog.Len(), shed)
+
+	// The freshest work is intact and processed in order.
+	first, ok, err := backlog.Pop()
+	if err != nil || !ok {
+		log.Fatalf("pop: %v %v", ok, err)
+	}
+	fmt.Printf("service: resumed processing at request #%d (requests 0..%d were shed)\n",
+		first.ID, first.ID-1)
+}

@@ -1,0 +1,3 @@
+module softmem
+
+go 1.22

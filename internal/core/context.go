@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+
+	"softmem/internal/alloc"
+	"softmem/internal/pages"
+)
+
+// Context is a Soft Data Structure's handle on its isolated heap: the
+// paper's "SDS context in charge of tracking the SDS's heap and a
+// user-defined priority" (§3.1). All methods are safe for concurrent use;
+// they serialize on the owning SMA's lock.
+type Context struct {
+	sma       *SMA
+	heap      *alloc.Heap
+	name      string
+	priority  int
+	reclaimer Reclaimer
+	closed    bool
+	// pins counts active Pins per allocation; pinned allocations cannot
+	// be freed or reclaimed.
+	pins map[alloc.Ref]int
+	// demandDrain marks that heap page releases are on the demand path
+	// and must flow to the machine, not the process free pool;
+	// drainReleased counts them for the demand's accounting.
+	demandDrain   bool
+	drainReleased int
+}
+
+// Name returns the context's diagnostic name.
+func (c *Context) Name() string { return c.name }
+
+// Priority returns the context's reclamation priority; lower values are
+// reclaimed first.
+func (c *Context) Priority() int {
+	c.sma.mu.Lock()
+	defer c.sma.mu.Unlock()
+	return c.priority
+}
+
+// SetPriority changes the context's reclamation priority.
+func (c *Context) SetPriority(p int) {
+	c.sma.mu.Lock()
+	c.priority = p
+	c.sma.sortContextsLocked()
+	c.sma.mu.Unlock()
+}
+
+// pagesNeeded is the worst-case page cost of an allocation, used to size
+// budget requests.
+func pagesNeeded(size int) int {
+	if size <= alloc.MaxSlotSize {
+		return 1
+	}
+	return pages.BytesToPages(size)
+}
+
+// Alloc reserves size bytes of soft memory, growing the process's budget
+// through the daemon as needed. It returns ErrExhausted when machine-wide
+// pressure cannot be relieved.
+func (c *Context) Alloc(size int) (alloc.Ref, error) {
+	const maxRetries = 10
+	for attempt := 0; ; attempt++ {
+		c.sma.mu.Lock()
+		if c.closed {
+			c.sma.mu.Unlock()
+			return alloc.Ref{}, ErrClosed
+		}
+		ref, err := c.heap.Alloc(size)
+		c.sma.mu.Unlock()
+		if err == nil {
+			return ref, nil
+		}
+		if err != errNeedBudget && err != errNeedPages {
+			return alloc.Ref{}, err
+		}
+		if attempt >= maxRetries {
+			return alloc.Ref{}, fmt.Errorf("%w: contention after %d retries", ErrExhausted, attempt)
+		}
+		if err == errNeedPages {
+			// Machine empty despite budget: force a daemon round so it
+			// reclaims physical pages (its slack view was stale).
+			if err := c.sma.forcePressureRound(pagesNeeded(size)); err != nil {
+				return alloc.Ref{}, err
+			}
+			continue
+		}
+		if err := c.sma.ensureBudget(pagesNeeded(size)); err != nil {
+			return alloc.Ref{}, err
+		}
+	}
+}
+
+// AllocData reserves len(data) bytes and copies data into them.
+func (c *Context) AllocData(data []byte) (alloc.Ref, error) {
+	ref, err := c.Alloc(len(data))
+	if err != nil {
+		return alloc.Ref{}, err
+	}
+	if err := c.Write(ref, data, 0); err != nil {
+		// The write can only fail if the ref was reclaimed between the
+		// two calls; surface that as exhaustion-level failure.
+		return alloc.Ref{}, err
+	}
+	return ref, nil
+}
+
+// Free releases the allocation. Fully-freed pages above the retention
+// threshold flow back to the process free pool, and pool overflow returns
+// budget to the daemon. Freeing a pinned allocation fails with
+// ErrPinned.
+func (c *Context) Free(ref alloc.Ref) error {
+	c.sma.mu.Lock()
+	if c.pinnedLocked(ref) {
+		c.sma.mu.Unlock()
+		return ErrPinned
+	}
+	err := c.heap.Free(ref)
+	c.trimHeapLocked()
+	c.sma.mu.Unlock()
+	c.sma.flushTrim()
+	return err
+}
+
+// trimHeapLocked transfers free pages beyond the retention threshold from
+// the heap to the process free pool ("periodically transfers free pages
+// back to the global free pool", §4).
+func (c *Context) trimHeapLocked() {
+	if over := c.heap.FreePages() - c.sma.cfg.HeapFreeMax; over > 0 {
+		c.heap.ReleaseFreePages(over)
+	}
+}
+
+// Write copies data into the allocation at offset off.
+func (c *Context) Write(ref alloc.Ref, data []byte, off int) error {
+	c.sma.mu.Lock()
+	defer c.sma.mu.Unlock()
+	return c.heap.WriteAt(ref, data, off)
+}
+
+// Read copies from the allocation at offset off into buf.
+func (c *Context) Read(ref alloc.Ref, buf []byte, off int) error {
+	c.sma.mu.Lock()
+	defer c.sma.mu.Unlock()
+	return c.heap.ReadAt(ref, buf, off)
+}
+
+// ReadAll returns a copy of the allocation's contents.
+func (c *Context) ReadAll(ref alloc.Ref) ([]byte, error) {
+	c.sma.mu.Lock()
+	defer c.sma.mu.Unlock()
+	size, err := c.heap.Size(ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	if err := c.heap.ReadAt(ref, out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Size returns the allocation's size in bytes.
+func (c *Context) Size(ref alloc.Ref) (int, error) {
+	c.sma.mu.Lock()
+	defer c.sma.mu.Unlock()
+	return c.heap.Size(ref)
+}
+
+// Live reports whether ref names a live allocation (false after free or
+// reclamation).
+func (c *Context) Live(ref alloc.Ref) bool {
+	c.sma.mu.Lock()
+	defer c.sma.mu.Unlock()
+	return c.heap.Live(ref)
+}
+
+// Do runs fn under the SMA lock with a Tx for allocation access. SDSs use
+// it to mutate their in-memory index atomically with respect to
+// reclamation: the Reclaim callback runs under the same lock, so an index
+// observed inside Do is never half-reclaimed. fn must not call the
+// Context's public methods (deadlock) nor block.
+func (c *Context) Do(fn func(tx *Tx) error) error {
+	c.sma.mu.Lock()
+	if c.closed {
+		c.sma.mu.Unlock()
+		return ErrClosed
+	}
+	tx := &Tx{ctx: c}
+	err := fn(tx)
+	c.trimHeapLocked()
+	c.sma.mu.Unlock()
+	c.sma.flushTrim()
+	return err
+}
+
+// Close frees every allocation in the context and removes it from the
+// SMA. Further operations return ErrClosed. Outstanding Pins keep their
+// captured bytes readable (Go memory safety) but the data is no longer
+// soft-memory-backed.
+func (c *Context) Close() {
+	c.sma.mu.Lock()
+	if !c.closed {
+		c.heap.Reset()
+		c.closed = true
+		c.pins = nil
+		c.sma.removeContextLocked(c)
+	}
+	c.sma.mu.Unlock()
+	c.sma.flushTrim()
+}
+
+// HeapStats returns the context's heap accounting.
+func (c *Context) HeapStats() alloc.Stats {
+	c.sma.mu.Lock()
+	defer c.sma.mu.Unlock()
+	return c.heap.Stats()
+}
+
+// Pin is a held reference that blocks reclamation of one allocation —
+// this repository's answer to the paper's §7 concurrency question, in
+// the spirit of AIFM's dereference scopes: while a thread holds a Pin,
+// the allocation cannot be revoked, so its bytes may be read outside the
+// SMA lock without racing a demand. Pins should be short-lived; a pinned
+// allocation is invisible to reclamation and long pins erode the
+// process's ability to satisfy demands.
+type Pin struct {
+	ctx  *Context
+	ref  alloc.Ref
+	data []byte
+	done bool
+}
+
+// Bytes returns the pinned allocation's backing bytes, valid until
+// Unpin. Concurrent writers (via Context.Write under the lock) are the
+// caller's responsibility to coordinate; reclamation is not — a pinned
+// allocation cannot be revoked.
+func (p *Pin) Bytes() []byte { return p.data }
+
+// Unpin releases the pin, making the allocation reclaimable again.
+// Idempotent.
+func (p *Pin) Unpin() {
+	if p.done {
+		return
+	}
+	p.done = true
+	c := p.ctx
+	c.sma.mu.Lock()
+	if c.pins != nil {
+		if n := c.pins[p.ref]; n > 1 {
+			c.pins[p.ref] = n - 1
+		} else {
+			delete(c.pins, p.ref)
+		}
+	}
+	c.sma.mu.Unlock()
+	p.data = nil
+}
+
+// Pin pins a live allocation against reclamation and returns zero-copy
+// access to its bytes. Multi-page allocations cannot be pinned for
+// zero-copy access (use Read); they return an error.
+func (c *Context) Pin(ref alloc.Ref) (*Pin, error) {
+	c.sma.mu.Lock()
+	defer c.sma.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	b, err := c.heap.Bytes(ref)
+	if err != nil {
+		return nil, err
+	}
+	if c.pins == nil {
+		c.pins = make(map[alloc.Ref]int)
+	}
+	c.pins[ref]++
+	return &Pin{ctx: c, ref: ref, data: b}, nil
+}
+
+// pinnedLocked reports whether ref is pinned. Caller holds the SMA lock.
+func (c *Context) pinnedLocked(ref alloc.Ref) bool {
+	return c.pins != nil && c.pins[ref] > 0
+}
+
+// Tx exposes allocation operations inside a locked section: within
+// Context.Do and within a Reclaimer's Reclaim. A Tx must not escape the
+// function it was passed to.
+type Tx struct {
+	ctx   *Context
+	frees int // allocations freed, for SMA reclaim accounting
+}
+
+// Free releases the allocation. Freeing a pinned allocation fails with
+// ErrPinned; reclaim policies skip such elements and revisit them after
+// the pin is released.
+func (tx *Tx) Free(ref alloc.Ref) error {
+	if tx.ctx.pinnedLocked(ref) {
+		return ErrPinned
+	}
+	err := tx.ctx.heap.Free(ref)
+	if err == nil {
+		tx.frees++
+	}
+	return err
+}
+
+// Pinned reports whether ref is currently pinned against reclamation.
+func (tx *Tx) Pinned(ref alloc.Ref) bool { return tx.ctx.pinnedLocked(ref) }
+
+// Pin pins the allocation from inside a locked section. The returned Pin
+// is designed to outlive the section: SDSs use this to hand zero-copy
+// reads to their callers.
+func (tx *Tx) Pin(ref alloc.Ref) (*Pin, error) {
+	c := tx.ctx
+	if c.closed {
+		return nil, ErrClosed
+	}
+	b, err := c.heap.Bytes(ref)
+	if err != nil {
+		return nil, err
+	}
+	if c.pins == nil {
+		c.pins = make(map[alloc.Ref]int)
+	}
+	c.pins[ref]++
+	return &Pin{ctx: c, ref: ref, data: b}, nil
+}
+
+// Bytes returns the allocation's backing bytes without copying. The slice
+// is valid only inside the current locked section.
+func (tx *Tx) Bytes(ref alloc.Ref) ([]byte, error) { return tx.ctx.heap.Bytes(ref) }
+
+// Read copies from the allocation at offset off into buf.
+func (tx *Tx) Read(ref alloc.Ref, buf []byte, off int) error {
+	return tx.ctx.heap.ReadAt(ref, buf, off)
+}
+
+// Write copies data into the allocation at offset off.
+func (tx *Tx) Write(ref alloc.Ref, data []byte, off int) error {
+	return tx.ctx.heap.WriteAt(ref, data, off)
+}
+
+// Size returns the allocation's size in bytes.
+func (tx *Tx) Size(ref alloc.Ref) (int, error) { return tx.ctx.heap.Size(ref) }
+
+// SlotSize returns the bytes the allocation actually occupies (its size
+// class, or whole pages for spans). Reclaim implementations count freed
+// slot bytes against their quota, since slot bytes are what become free
+// pages.
+func (tx *Tx) SlotSize(ref alloc.Ref) (int, error) { return tx.ctx.heap.SlotSize(ref) }
+
+// Live reports whether ref names a live allocation.
+func (tx *Tx) Live(ref alloc.Ref) bool { return tx.ctx.heap.Live(ref) }

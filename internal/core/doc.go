@@ -1,0 +1,29 @@
+// Package core implements the Soft Memory Allocator (SMA), the paper's
+// primary contribution (§3.1, §4).
+//
+// An SMA manages one process's soft memory. Each Soft Data Structure
+// registers a Context, which owns an isolated heap (a set of pages) and a
+// user-defined priority. The SMA keeps a process-local free pool of pages
+// and a soft budget granted by the Soft Memory Daemon (SMD): acquiring
+// pages consumes budget, and budget is requested from the daemon in chunks
+// so daemon round-trips amortize over many allocations (the paper's case
+// (2) shows this costs ~nothing).
+//
+// Reclamation is two-tiered, exactly as in the paper: on a demand from the
+// daemon the SMA first surrenders pages that cost nothing (its free pool),
+// then walks SDS contexts in ascending priority asking each to reclaim;
+// the SDS chooses which allocations die and runs the developer callback
+// before each free. Pages released under a demand are tracked as unbacked
+// virtual pages and re-backed before the heap grows again (§4).
+//
+// # Concurrency
+//
+// The paper leaves safe concurrent reclamation as an open question (§7).
+// This implementation takes the coarse, sound position: a single mutex per
+// SMA serializes every allocation, free, data access, and reclamation in
+// the process (the paper's Redis is single-threaded, so this also matches
+// the prototype's effective behaviour). The mutex is never held across a
+// daemon call — budget requests drop the lock and retry — which prevents
+// deadlock between two processes' allocations and the demands they
+// trigger in each other.
+package core

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"fmt"
+
+	"softmem/internal/alloc"
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/smd"
+)
+
+// bag is the smallest useful Reclaimer: a pool of allocations
+// surrendered oldest-first under demands.
+type bag struct {
+	ctx  *core.Context
+	refs []alloc.Ref
+}
+
+func (b *bag) add(size int) error {
+	r, err := b.ctx.Alloc(size)
+	if err != nil {
+		return err
+	}
+	return b.ctx.Do(func(*core.Tx) error {
+		b.refs = append(b.refs, r)
+		return nil
+	})
+}
+
+// Reclaim implements core.Reclaimer.
+func (b *bag) Reclaim(tx *core.Tx, quota int) int {
+	freed := 0
+	for len(b.refs) > 0 && freed < quota {
+		r := b.refs[0]
+		b.refs = b.refs[1:]
+		size, err := tx.SlotSize(r)
+		if err != nil {
+			continue
+		}
+		if err := tx.Free(r); err == nil {
+			freed += size
+		}
+	}
+	return freed
+}
+
+// The full lifecycle: machine → daemon → SMA → context → allocation →
+// cross-process pressure → reclamation.
+func ExampleSMA() {
+	machine := pages.NewPool(256) // 1 MiB machine
+	daemon := smd.NewDaemon(smd.Config{TotalPages: 256, ReclaimFactor: 1.0})
+
+	// Process A allocates most of the machine into a reclaimable SDS.
+	smaA := core.New(core.Config{Machine: machine, BudgetChunk: 16})
+	victim := &bag{}
+	victim.ctx = smaA.Register("cache", 0, victim)
+	smaA.AttachDaemon(daemon.Register("A", smaA))
+	for i := 0; i < 200; i++ {
+		if err := victim.add(4096); err != nil {
+			panic(err)
+		}
+	}
+
+	// Process B's allocation cannot fit without taking pages from A.
+	smaB := core.New(core.Config{Machine: machine, BudgetChunk: 16})
+	ctxB := smaB.Register("batch", 0, nil)
+	smaB.AttachDaemon(daemon.Register("B", smaB))
+	if _, err := ctxB.Alloc(100 * 4096); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("B holds pages:", smaB.Stats().UsedPages >= 100)
+	fmt.Println("A served demands:", smaA.Stats().DemandsServed > 0)
+	fmt.Println("machine conserved:", machine.InUse() <= 256)
+	// Output:
+	// B holds pages: true
+	// A served demands: true
+	// machine conserved: true
+}

@@ -1,0 +1,657 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"softmem/internal/alloc"
+	"softmem/internal/pages"
+)
+
+// Soft allocation errors.
+var (
+	// ErrExhausted reports that a soft allocation could not be satisfied:
+	// the daemon denied a budget request (machine-wide pressure that
+	// reclamation could not relieve) or the machine pool is empty.
+	ErrExhausted = errors.New("core: soft memory exhausted")
+	// ErrClosed reports use of a closed Context.
+	ErrClosed = errors.New("core: context closed")
+	// ErrPinned reports an attempt to free or reclaim an allocation that
+	// a Pin is holding against revocation.
+	ErrPinned = errors.New("core: allocation is pinned")
+
+	// errNeedBudget is the internal signal that an allocation needs more
+	// budget; the allocation loop catches it, drops the SMA lock, talks
+	// to the daemon, and retries.
+	errNeedBudget = errors.New("core: budget required")
+
+	// errNeedPages signals that the machine pool is empty even though the
+	// process has budget: the daemon granted budget against stale usage
+	// reports (its view of other processes lags by up to a budget chunk).
+	// The allocation loop forces a fresh daemon round-trip, which reclaims
+	// physical pages from other processes, and retries.
+	errNeedPages = errors.New("core: machine pages required")
+)
+
+// Usage is the process self-report piggybacked on every daemon
+// interaction so the daemon's reclamation-weight inputs stay fresh.
+type Usage struct {
+	// UsedPages is the number of soft pages the process currently holds
+	// (heaps plus its local free pool).
+	UsedPages int
+	// TraditionalBytes is the process's self-reported traditional (hard)
+	// memory footprint, used by the daemon's weight policy.
+	TraditionalBytes int64
+}
+
+// DaemonClient is the SMA's view of the Soft Memory Daemon. The in-process
+// daemon and the socket client both satisfy it. Implementations must be
+// safe for concurrent use; the SMA never holds its own lock while calling.
+type DaemonClient interface {
+	// RequestBudget asks the daemon to grow this process's soft budget by
+	// pages. The daemon grants all-or-nothing; granted is pages or 0.
+	RequestBudget(pages int, u Usage) (granted int, err error)
+	// ReleaseBudget returns budget the process no longer needs.
+	ReleaseBudget(pages int, u Usage) error
+}
+
+// Reclaimer is implemented by every Soft Data Structure: given a byte
+// quota, free allocations (oldest/lowest-value first per the SDS's
+// policy), invoking the application callback before each free, and return
+// the number of bytes actually freed. Reclaim is called with the SMA lock
+// held; it must use only the Tx passed to it, never the Context's public
+// methods.
+type Reclaimer interface {
+	Reclaim(tx *Tx, bytes int) int
+}
+
+// Config parameterizes an SMA.
+type Config struct {
+	// Machine is the machine's soft page pool (physical frames). Required.
+	Machine *pages.Pool
+	// Daemon is the SMD client. Nil runs the SMA standalone with an
+	// unlimited budget (bounded only by Machine), used by baselines.
+	Daemon DaemonClient
+	// BudgetChunk is the number of pages requested from the daemon at a
+	// time, amortizing round-trips. Default 64 (256 KiB).
+	BudgetChunk int
+	// FreePoolMax caps the process-local free pool; beyond it pages are
+	// returned to the machine and budget to the daemon. Default 64.
+	FreePoolMax int
+	// HeapFreeMax caps fully-free pages retained inside each SDS heap
+	// before they are transferred to the process free pool ("periodically
+	// transfers free pages back to the global free pool", §4). Default 8.
+	HeapFreeMax int
+}
+
+func (c *Config) setDefaults() {
+	if c.BudgetChunk <= 0 {
+		c.BudgetChunk = 64
+	}
+	if c.FreePoolMax <= 0 {
+		c.FreePoolMax = 64
+	}
+	if c.HeapFreeMax <= 0 {
+		c.HeapFreeMax = 8
+	}
+}
+
+// Stats is a snapshot of an SMA's accounting.
+type Stats struct {
+	BudgetPages     int   // budget currently granted by the daemon
+	UsedPages       int   // pages held (heaps + free pool)
+	FreePoolPages   int   // pages in the process-local free pool
+	Contexts        int   // registered SDS contexts
+	BudgetRequests  int64 // daemon budget round-trips
+	BudgetDenied    int64 // denied budget requests
+	DemandsServed   int64 // reclamation demands handled
+	PagesReclaimed  int64 // pages released to the machine under demands
+	AllocsReclaimed int64 // allocations freed by SDS reclaim
+	ReleasedVirtual int64 // cumulative unbacked virtual pages (released under demand)
+	RebackedPages   int64 // previously released pages re-backed on growth
+}
+
+// SMA is a process's Soft Memory Allocator.
+type SMA struct {
+	mu       sync.Mutex
+	cfg      Config
+	machine  *pages.Pool
+	daemon   DaemonClient
+	budget   int
+	used     int
+	freePool []*pages.Page
+	contexts []*Context
+	// unbackedVirtual counts pages released to the machine under demands
+	// whose virtual range the prototype would re-back before growing.
+	unbackedVirtual int
+	// pendingTrim accumulates pages trimmed to the machine whose budget
+	// must be returned to the daemon once the lock is dropped.
+	pendingTrim int
+	// traditional is atomic so SDS reclaim callbacks (which run with the
+	// SMA mutex held) can adjust traditional-memory accounting directly.
+	traditional atomic.Int64
+	pressureFns []func(PressureEvent)
+	stats       Stats
+}
+
+// New returns an SMA drawing pages from cfg.Machine under cfg.Daemon's
+// budget arbitration.
+func New(cfg Config) *SMA {
+	if cfg.Machine == nil {
+		panic("core: Config.Machine is required")
+	}
+	cfg.setDefaults()
+	return &SMA{cfg: cfg, machine: cfg.Machine, daemon: cfg.Daemon}
+}
+
+// AttachDaemon wires the SMA to its daemon client after construction.
+// Registration is circular — the daemon needs the SMA as a reclamation
+// target, and the SMA needs the daemon's client — so the usual sequence
+// is: build the SMA without a daemon, register it with the daemon to get
+// the client, then attach. Must be called before the first allocation.
+func (s *SMA) AttachDaemon(d DaemonClient) {
+	s.mu.Lock()
+	s.daemon = d
+	s.mu.Unlock()
+}
+
+// SetTraditionalBytes records the process's traditional-memory footprint,
+// reported to the daemon for reclamation-weight computation. Applications
+// update it as their hard state grows and shrinks. Safe to call from SDS
+// reclaim callbacks.
+func (s *SMA) SetTraditionalBytes(n int64) {
+	s.traditional.Store(n)
+}
+
+// AddTraditionalBytes adjusts the reported traditional footprint by
+// delta. Safe to call from SDS reclaim callbacks.
+func (s *SMA) AddTraditionalBytes(delta int64) {
+	if s.traditional.Add(delta) < 0 {
+		s.traditional.Store(0)
+	}
+}
+
+// TraditionalBytes returns the reported traditional-memory footprint.
+func (s *SMA) TraditionalBytes() int64 {
+	return s.traditional.Load()
+}
+
+// Register creates a Context (an SDS's isolated heap) with the given
+// priority; lower priorities are reclaimed first. The reclaimer is the
+// SDS's reclamation protocol; it may be nil for contexts that never hold
+// reclaimable state (they are skipped during demands).
+func (s *SMA) Register(name string, priority int, r Reclaimer) *Context {
+	ctx := &Context{sma: s, name: name, priority: priority, reclaimer: r}
+	ctx.heap = alloc.New(ctxSource{ctx})
+	s.mu.Lock()
+	s.contexts = append(s.contexts, ctx)
+	s.sortContextsLocked()
+	s.mu.Unlock()
+	return ctx
+}
+
+// sortContextsLocked keeps contexts in ascending priority (reclaim order),
+// stable in registration order among equals.
+func (s *SMA) sortContextsLocked() {
+	sort.SliceStable(s.contexts, func(i, j int) bool {
+		return s.contexts[i].priority < s.contexts[j].priority
+	})
+}
+
+// removeContextLocked drops a closed context so long-lived processes
+// that churn SDSs do not accumulate dead entries.
+func (s *SMA) removeContextLocked(ctx *Context) {
+	for i, c := range s.contexts {
+		if c == ctx {
+			s.contexts = append(s.contexts[:i], s.contexts[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close tears the SMA down: every context is closed (freeing its heap),
+// the free pool returns to the machine, and all budget is released to
+// the daemon. The SMA must not be used afterwards.
+func (s *SMA) Close() {
+	s.mu.Lock()
+	ctxs := append([]*Context(nil), s.contexts...)
+	s.mu.Unlock()
+	for _, c := range ctxs {
+		c.Close()
+	}
+	s.mu.Lock()
+	if n := len(s.freePool); n > 0 {
+		s.machine.Release(s.freePool...)
+		s.freePool = s.freePool[:0]
+		s.used -= n
+	}
+	budget := s.budget
+	s.budget = 0
+	u := s.usageLocked()
+	daemon := s.daemon
+	s.mu.Unlock()
+	if daemon != nil && budget > 0 {
+		_ = daemon.ReleaseBudget(budget, u)
+	}
+}
+
+// usageLocked snapshots the self-report sent with daemon interactions.
+func (s *SMA) usageLocked() Usage {
+	return Usage{UsedPages: s.used, TraditionalBytes: s.traditional.Load()}
+}
+
+// Usage returns the current self-report.
+func (s *SMA) Usage() Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usageLocked()
+}
+
+// BudgetPages returns the soft budget the SMA currently believes it
+// holds.
+func (s *SMA) BudgetPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
+
+// ResetBudget overwrites the SMA's view of its budget. Transports use it
+// to resync after a daemon restart: the new daemon re-grants what it can
+// and the SMA must adopt that number, even if it is less than what it
+// held before (subsequent allocations renegotiate; the daemon may demand
+// the difference back).
+func (s *SMA) ResetBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	s.budget = n
+	s.mu.Unlock()
+}
+
+// VerifyIntegrity checks the SMA's internal accounting invariants and
+// returns a descriptive error on the first violation. Tests and soak
+// harnesses call it after churn; it is cheap enough to call in
+// production health checks.
+func (s *SMA) VerifyIntegrity() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	heapPages := 0
+	for _, c := range s.contexts {
+		heapPages += c.heap.PagesHeld()
+	}
+	if got := heapPages + len(s.freePool); got != s.used {
+		return fmt.Errorf("core: used=%d but heaps+pool hold %d pages", s.used, got)
+	}
+	if s.daemon != nil && s.budget < 0 {
+		return fmt.Errorf("core: negative budget %d", s.budget)
+	}
+	if len(s.freePool) > s.cfg.FreePoolMax {
+		return fmt.Errorf("core: free pool %d exceeds cap %d", len(s.freePool), s.cfg.FreePoolMax)
+	}
+	for _, pg := range s.freePool {
+		if !pg.Held() {
+			return fmt.Errorf("core: free pool contains released page %d", pg.ID())
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the SMA's accounting.
+func (s *SMA) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.BudgetPages = s.budget
+	st.UsedPages = s.used
+	st.FreePoolPages = len(s.freePool)
+	st.Contexts = len(s.contexts)
+	return st
+}
+
+// FootprintBytes returns the process's current soft-memory footprint in
+// bytes (pages held times page size) — the quantity plotted in Figure 2.
+func (s *SMA) FootprintBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.used) * pages.Size
+}
+
+// ContextInfo describes one registered SDS context for observability.
+type ContextInfo struct {
+	Name     string
+	Priority int
+	Closed   bool
+	Heap     alloc.Stats
+}
+
+// Contexts lists the SMA's registered contexts in reclamation order
+// (ascending priority).
+func (s *SMA) Contexts() []ContextInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ContextInfo, 0, len(s.contexts))
+	for _, c := range s.contexts {
+		out = append(out, ContextInfo{
+			Name:     c.name,
+			Priority: c.priority,
+			Closed:   c.closed,
+			Heap:     c.heap.Stats(),
+		})
+	}
+	return out
+}
+
+// acquireLocked hands n pages to a heap, preferring the free pool, then
+// the machine within budget. It returns errNeedBudget when the daemon
+// must be consulted; the caller drops the lock and retries.
+func (s *SMA) acquireLocked(n int) ([]*pages.Page, error) {
+	if len(s.freePool) >= n {
+		out := make([]*pages.Page, n)
+		copy(out, s.freePool[len(s.freePool)-n:])
+		for i := len(s.freePool) - n; i < len(s.freePool); i++ {
+			s.freePool[i] = nil
+		}
+		s.freePool = s.freePool[:len(s.freePool)-n]
+		return out, nil
+	}
+	if s.daemon != nil && s.used+n > s.budget {
+		return nil, errNeedBudget
+	}
+	pgs, err := s.machine.Acquire(n)
+	if err != nil {
+		if s.daemon != nil {
+			return nil, errNeedPages
+		}
+		return nil, fmt.Errorf("%w: machine pool: %v", ErrExhausted, err)
+	}
+	if s.unbackedVirtual > 0 {
+		// Re-back previously released virtual pages before growing (§4).
+		reback := n
+		if reback > s.unbackedVirtual {
+			reback = s.unbackedVirtual
+		}
+		s.unbackedVirtual -= reback
+		s.stats.RebackedPages += int64(reback)
+	}
+	s.used += n
+	return pgs, nil
+}
+
+// releaseLocked accepts pages back from a heap into the free pool,
+// trimming overflow to the machine (and the matching budget to the
+// daemon, outside the lock, via the returned trim count).
+func (s *SMA) releaseLocked(pgs []*pages.Page) (trim int) {
+	s.freePool = append(s.freePool, pgs...)
+	if over := len(s.freePool) - s.cfg.FreePoolMax; over > 0 {
+		cut := s.freePool[len(s.freePool)-over:]
+		s.machine.Release(cut...)
+		for i := range cut {
+			cut[i] = nil
+		}
+		s.freePool = s.freePool[:len(s.freePool)-over]
+		s.used -= over
+		return over
+	}
+	return 0
+}
+
+// ensureBudget grows the budget by at least need pages via the daemon.
+// Called WITHOUT the SMA lock.
+func (s *SMA) ensureBudget(need int) error {
+	s.mu.Lock()
+	if s.daemon == nil || s.used+need <= s.budget {
+		s.mu.Unlock()
+		return nil
+	}
+	ask := s.cfg.BudgetChunk
+	if need > ask {
+		ask = need
+	}
+	u := s.usageLocked()
+	daemon := s.daemon
+	s.stats.BudgetRequests++
+	s.mu.Unlock()
+
+	granted, err := daemon.RequestBudget(ask, u)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrExhausted, err)
+	}
+	if granted == 0 && ask > need {
+		// The chunk was denied under pressure; retry with the exact need
+		// before giving up, to avoid spurious failures near the limit.
+		s.mu.Lock()
+		s.stats.BudgetRequests++
+		s.mu.Unlock()
+		granted, err = daemon.RequestBudget(need, u)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrExhausted, err)
+		}
+	}
+	if granted == 0 {
+		s.mu.Lock()
+		s.stats.BudgetDenied++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: daemon denied budget request", ErrExhausted)
+	}
+	s.mu.Lock()
+	s.budget += granted
+	s.mu.Unlock()
+	return nil
+}
+
+// forcePressureRound performs an unconditional daemon round-trip when the
+// machine pool is empty despite available budget. The fresh request makes
+// the daemon reclaim physical pages from other processes (its slack view
+// of them was stale). Called WITHOUT the SMA lock.
+func (s *SMA) forcePressureRound(need int) error {
+	s.mu.Lock()
+	daemon := s.daemon
+	u := s.usageLocked()
+	// Ask for a whole chunk: the daemon over-reclaims proportionally, so
+	// one round frees enough physical pages to amortize many allocations
+	// (the paper's "fixed memory percentage" amortization, §4).
+	if need < s.cfg.BudgetChunk {
+		need = s.cfg.BudgetChunk
+	}
+	s.stats.BudgetRequests++
+	s.mu.Unlock()
+	if daemon == nil {
+		return fmt.Errorf("%w: machine pool empty", ErrExhausted)
+	}
+	granted, err := daemon.RequestBudget(need, u)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrExhausted, err)
+	}
+	if granted == 0 {
+		s.mu.Lock()
+		s.stats.BudgetDenied++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: daemon denied pressure request", ErrExhausted)
+	}
+	s.mu.Lock()
+	s.budget += granted
+	s.mu.Unlock()
+	return nil
+}
+
+// returnBudget gives back budget for pages trimmed to the machine.
+// Called WITHOUT the SMA lock.
+func (s *SMA) returnBudget(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.daemon == nil {
+		s.mu.Unlock()
+		return
+	}
+	s.budget -= n
+	if s.budget < 0 {
+		s.budget = 0
+	}
+	u := s.usageLocked()
+	daemon := s.daemon
+	s.mu.Unlock()
+	// Best-effort: a failed release only strands budget at the daemon.
+	_ = daemon.ReleaseBudget(n, u)
+}
+
+// PressureEvent describes one served reclamation demand, delivered to
+// pressure listeners after the demand completes.
+type PressureEvent struct {
+	// DemandedPages is what the daemon asked for; ReleasedPages is what
+	// the process actually gave back.
+	DemandedPages int
+	ReleasedPages int
+	// AllocsReclaimed counts SDS allocations freed by this demand (0 when
+	// the free pool covered it).
+	AllocsReclaimed int64
+	// UsedPages is the process's soft footprint after the demand.
+	UsedPages int
+}
+
+// OnPressure registers a listener invoked after every served reclamation
+// demand, outside the SMA lock. This is the explicitness the paper
+// contrasts with swapping (§1): the application *knows* it was squeezed
+// and can follow a less aggressive caching strategy, shed load, or log
+// the event. Listeners must not block for long; they run on the
+// demanding goroutine.
+func (s *SMA) OnPressure(fn func(PressureEvent)) {
+	s.mu.Lock()
+	s.pressureFns = append(s.pressureFns, fn)
+	s.mu.Unlock()
+}
+
+// HandleDemand serves a reclamation demand from the daemon: release up to
+// demandPages pages back to the machine, first from the free pool, then by
+// walking SDS contexts in ascending priority. It returns the number of
+// pages actually released; the daemon shrinks the process budget by the
+// same amount. Safe to call from any goroutine.
+func (s *SMA) HandleDemand(demandPages int) int {
+	if demandPages <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	released := 0
+	allocsBefore := s.stats.AllocsReclaimed
+
+	// Tier 0: the free pool — zero-disturbance pages (§3.1).
+	if n := len(s.freePool); n > 0 {
+		take := n
+		if take > demandPages {
+			take = demandPages
+		}
+		cut := s.freePool[len(s.freePool)-take:]
+		s.machine.Release(cut...)
+		for i := range cut {
+			cut[i] = nil
+		}
+		s.freePool = s.freePool[:len(s.freePool)-take]
+		released += take
+	}
+
+	// Tier 1: SDS contexts, lowest priority first. Each SDS frees
+	// allocations until its heap has surrendered enough whole pages.
+	for _, ctx := range s.contexts {
+		if released >= demandPages {
+			break
+		}
+		if ctx.reclaimer == nil || ctx.closed {
+			continue
+		}
+		released += s.reclaimFromContextLocked(ctx, demandPages-released)
+	}
+
+	s.used -= released
+	s.budget -= released
+	if s.budget < 0 {
+		s.budget = 0
+	}
+	s.unbackedVirtual += released
+	s.stats.DemandsServed++
+	s.stats.PagesReclaimed += int64(released)
+	s.stats.ReleasedVirtual += int64(released)
+	ev := PressureEvent{
+		DemandedPages:   demandPages,
+		ReleasedPages:   released,
+		AllocsReclaimed: s.stats.AllocsReclaimed - allocsBefore,
+		UsedPages:       s.used,
+	}
+	listeners := s.pressureFns
+	s.mu.Unlock()
+	for _, fn := range listeners {
+		fn(ev)
+	}
+	return released
+}
+
+// reclaimFromContextLocked asks one SDS to free allocations until quota
+// pages have flowed from its heap to the machine, or the SDS runs dry.
+// While it runs, every page the heap releases — emptied slot pages and
+// freed multi-page spans alike — goes straight to the machine and is
+// counted via ctx.drainReleased.
+func (s *SMA) reclaimFromContextLocked(ctx *Context, quotaPages int) int {
+	tx := &Tx{ctx: ctx}
+	ctx.demandDrain = true
+	ctx.drainReleased = 0
+	// Bounded rounds guard against a misbehaving Reclaimer that reports
+	// progress without ever emptying pages.
+	for round := 0; round < 64; round++ {
+		// Surrender already-free heap pages before disturbing live data.
+		if rem := quotaPages - ctx.drainReleased; rem > 0 {
+			ctx.heap.ReleaseFreePages(rem)
+		}
+		if ctx.drainReleased >= quotaPages {
+			break
+		}
+		wantBytes := (quotaPages - ctx.drainReleased) * pages.Size
+		freed := ctx.reclaimer.Reclaim(tx, wantBytes)
+		s.stats.AllocsReclaimed += int64(tx.frees)
+		tx.frees = 0
+		if freed <= 0 {
+			// SDS cannot free more; take whatever pages emptied out.
+			if rem := quotaPages - ctx.drainReleased; rem > 0 {
+				ctx.heap.ReleaseFreePages(rem)
+			}
+			break
+		}
+	}
+	ctx.demandDrain = false
+	return ctx.drainReleased
+}
+
+// ctxSource is the alloc.PageSource wired into each context's heap. All
+// its methods run with the SMA lock held (heap operations only happen
+// under the lock).
+type ctxSource struct{ ctx *Context }
+
+// AcquirePages leases pages for the heap from the free pool or machine.
+func (cs ctxSource) AcquirePages(n int) ([]*pages.Page, error) {
+	return cs.ctx.sma.acquireLocked(n)
+}
+
+// ReleasePages accepts pages back from the heap. On the demand path they
+// go straight to the machine; otherwise to the process free pool.
+func (cs ctxSource) ReleasePages(pgs []*pages.Page) {
+	s := cs.ctx.sma
+	if cs.ctx.demandDrain {
+		s.machine.Release(pgs...)
+		cs.ctx.drainReleased += len(pgs)
+		return
+	}
+	s.pendingTrim += s.releaseLocked(pgs)
+}
+
+// flushTrim returns budget for trimmed pages to the daemon. Called
+// WITHOUT the SMA lock, after every public operation that may trim.
+func (s *SMA) flushTrim() {
+	s.mu.Lock()
+	n := s.pendingTrim
+	s.pendingTrim = 0
+	s.mu.Unlock()
+	s.returnBudget(n)
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"softmem/internal/alloc"
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/smd"
+)
+
+// HeapPolicyRow is one row of the E7 ablation: how many allocation frees
+// a reclamation policy needs per page actually released, and what it
+// costs in space (§3.1's efficacy trade-off).
+type HeapPolicyRow struct {
+	Policy        string
+	ElemBytes     int
+	Elements      int
+	DemandPages   int
+	PagesReleased int
+	AllocsFreed   int64
+	FreesPerPage  float64
+	SpaceOverhead float64 // occupied bytes / useful bytes
+	SDSsDisturbed int
+}
+
+// FprintHeapHeader renders the E7 table header.
+func FprintHeapHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %6s %8s %7s %9s %7s %11s %9s %10s\n",
+		"policy", "elem", "elements", "demand", "released", "freed", "frees/page", "space", "disturbed")
+}
+
+// Fprint renders the row.
+func (r HeapPolicyRow) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %6d %8d %7d %9d %7d %11.1f %8.2fx %10d\n",
+		r.Policy, r.ElemBytes, r.Elements, r.DemandPages, r.PagesReleased,
+		r.AllocsFreed, r.FreesPerPage, r.SpaceOverhead, r.SDSsDisturbed)
+}
+
+// shuffledSDS reclaims its allocations in a pre-shuffled (arbitrary)
+// order — the paper's strawman "allocations are freed arbitrarily from
+// the heap until enough entire pages are free".
+type shuffledSDS struct {
+	ctx   *core.Context
+	refs  []alloc.Ref
+	order []int
+	next  int
+	freed int64
+}
+
+func (s *shuffledSDS) Reclaim(tx *core.Tx, quota int) int {
+	freed := 0
+	for s.next < len(s.order) && freed < quota {
+		ref := s.refs[s.order[s.next]]
+		s.next++
+		size, err := tx.SlotSize(ref)
+		if err != nil {
+			continue
+		}
+		if err := tx.Free(ref); err == nil {
+			freed += size
+			s.freed++
+		}
+	}
+	return freed
+}
+
+// AblateHeapPolicy runs E7 with three reclamation organizations over the
+// same population: elements of elemBytes spread across k data
+// structures, then a demandPages reclamation.
+//
+//   - "per-SDS heaps" (the paper's design): each structure has its own
+//     heap; reclamation walks structures in priority order, so frees are
+//     localized and pages empty quickly.
+//   - "shared heap, arbitrary" (strawman 1): all structures share one
+//     heap and frees happen in arbitrary order, so emptying a page takes
+//     many scattered frees.
+//   - "page per allocation" (strawman 2): every element gets a dedicated
+//     page; one free releases one page but space is wasted by
+//     pageSize/elemBytes.
+func AblateHeapPolicy(k, elemsPerSDS, elemBytes, demandPages int) []HeapPolicyRow {
+	total := k * elemsPerSDS
+	var rows []HeapPolicyRow
+
+	// Policy 1: per-SDS heaps (this repository's design).
+	{
+		sma := core.New(core.Config{Machine: pages.NewPool(0)})
+		blobs := make([]*blobSDS, k)
+		for i := range blobs {
+			blobs[i] = newBlobSDS(sma, fmt.Sprintf("sds-%d", i), i)
+		}
+		for e := 0; e < elemsPerSDS; e++ {
+			for _, b := range blobs {
+				if err := b.alloc(elemBytes); err != nil {
+					panic(err)
+				}
+			}
+		}
+		stats := sma.Stats()
+		before := stats.AllocsReclaimed
+		released := sma.HandleDemand(demandPages)
+		after := sma.Stats()
+		disturbed := 0
+		for _, b := range blobs {
+			if b.live() < elemsPerSDS {
+				disturbed++
+			}
+		}
+		rows = append(rows, heapRow("per-SDS heaps", elemBytes, total, demandPages,
+			released, after.AllocsReclaimed-before, disturbed, float64(alloc.ClassSize(elemBytes))/float64(elemBytes)))
+	}
+
+	// Policy 2: one shared heap, arbitrary free order.
+	{
+		sma := core.New(core.Config{Machine: pages.NewPool(0)})
+		s := &shuffledSDS{}
+		s.ctx = sma.Register("shared", 0, s)
+		for i := 0; i < total; i++ {
+			ref, err := s.ctx.Alloc(elemBytes)
+			if err != nil {
+				panic(err)
+			}
+			s.refs = append(s.refs, ref)
+		}
+		rng := rand.New(rand.NewSource(1))
+		s.order = rng.Perm(total)
+		released := sma.HandleDemand(demandPages)
+		rows = append(rows, heapRow("shared heap, arbitrary", elemBytes, total, demandPages,
+			released, s.freed, 1, float64(alloc.ClassSize(elemBytes))/float64(elemBytes)))
+	}
+
+	// Policy 3: page per allocation.
+	{
+		sma := core.New(core.Config{Machine: pages.NewPool(0)})
+		b := newBlobSDS(sma, "page-per-alloc", 0)
+		for i := 0; i < total; i++ {
+			if err := b.alloc(pages.Size); err != nil { // a whole page each
+				panic(err)
+			}
+		}
+		stats := sma.Stats()
+		before := stats.AllocsReclaimed
+		released := sma.HandleDemand(demandPages)
+		after := sma.Stats()
+		rows = append(rows, heapRow("page per allocation", elemBytes, total, demandPages,
+			released, after.AllocsReclaimed-before, 1, float64(pages.Size)/float64(elemBytes)))
+	}
+	return rows
+}
+
+func heapRow(policy string, elemBytes, elements, demand, released int, freed int64, disturbed int, overhead float64) HeapPolicyRow {
+	fpp := 0.0
+	if released > 0 {
+		fpp = float64(freed) / float64(released)
+	}
+	return HeapPolicyRow{
+		Policy:        policy,
+		ElemBytes:     elemBytes,
+		Elements:      elements,
+		DemandPages:   demand,
+		PagesReleased: released,
+		AllocsFreed:   freed,
+		FreesPerPage:  fpp,
+		SpaceOverhead: overhead,
+		SDSsDisturbed: disturbed,
+	}
+}
+
+// PolicyRow is one row of the E8 ablation: how a weight policy and
+// target cap shape who gets disturbed (§3.3 and §7's fairness question).
+type PolicyRow struct {
+	Policy        string
+	TargetCap     int
+	Requests      int
+	Denied        int64
+	Disturbed     int   // processes that received any demand
+	GoodCitizenPg int64 // pages taken from the high-soft-ratio process
+	OthersPg      int64 // pages taken from everyone else
+	// Fairness is Jain's index over per-process pages released: 1.0 when
+	// the burden is spread evenly, 1/n when one process bears it all.
+	Fairness float64
+}
+
+// FprintPolicyHeader renders the E8 table header.
+func FprintPolicyHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %5s %9s %7s %10s %13s %9s %9s\n",
+		"policy", "cap", "requests", "denied", "disturbed", "goodcitizen", "others", "fairness")
+}
+
+// Fprint renders the row.
+func (r PolicyRow) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %5d %9d %7d %10d %13d %9d %9.3f\n",
+		r.Policy, r.TargetCap, r.Requests, r.Denied, r.Disturbed, r.GoodCitizenPg, r.OthersPg, r.Fairness)
+}
+
+// countingTarget is an smd.Target with a finite reserve.
+type countingTarget struct {
+	avail    int
+	released int64
+}
+
+func (t *countingTarget) HandleDemand(n int) int {
+	take := n
+	if take > t.avail {
+		take = t.avail
+	}
+	t.avail -= take
+	t.released += int64(take)
+	return take
+}
+
+// AblatePolicy runs E8: six processes with varied soft/traditional mixes
+// under each weight policy and target cap; a needy process issues
+// `requests` budget requests of `reqPages` each. The "good citizen" is
+// the process that put the most of its footprint into soft memory — the
+// paper argues it should be disturbed least.
+func AblatePolicy(requests, reqPages int) []PolicyRow {
+	policies := []smd.WeightPolicy{smd.ProportionalWeight{}, smd.FootprintWeight{}, smd.SoftShareWeight{}}
+	caps := []int{1, 3, 8}
+	var rows []PolicyRow
+	for _, pol := range policies {
+		for _, cap := range caps {
+			rows = append(rows, runPolicy(pol, cap, requests, reqPages))
+		}
+	}
+	return rows
+}
+
+func runPolicy(pol smd.WeightPolicy, targetCap, requests, reqPages int) PolicyRow {
+	// Six processes: the good citizen has 90% of its footprint soft;
+	// the rest mix heavier traditional usage.
+	type spec struct {
+		name       string
+		soft, trad int // pages
+	}
+	specs := []spec{
+		{"goodcitizen", 900, 100},
+		{"balanced-1", 500, 500},
+		{"balanced-2", 400, 600},
+		{"hog-1", 300, 1700},
+		{"hog-2", 250, 1750},
+		{"tiny", 50, 50},
+	}
+	totalSoft := 0
+	for _, s := range specs {
+		totalSoft += s.soft
+	}
+	d := smd.NewDaemon(smd.Config{
+		TotalPages:    totalSoft, // fully budgeted: every request reclaims
+		TargetCap:     targetCap,
+		ReclaimFactor: 1.0,
+		Policy:        pol,
+	})
+	targets := map[string]*countingTarget{}
+	for _, s := range specs {
+		tg := &countingTarget{avail: s.soft}
+		targets[s.name] = tg
+		p := d.Register(s.name, tg)
+		if g, _ := p.RequestBudget(s.soft, core.Usage{UsedPages: s.soft, TraditionalBytes: int64(s.trad) * pages.Size}); g != s.soft {
+			panic("ablate policy: setup grant failed")
+		}
+	}
+	needy := d.Register("needy", nil)
+	for i := 0; i < requests; i++ {
+		// The needy process accumulates budget, so every request beyond
+		// the first must reclaim from the victims; once they are drained,
+		// requests start being denied.
+		needy.RequestBudget(reqPages, core.Usage{})
+	}
+	st := d.Stats()
+	row := PolicyRow{Policy: pol.Name(), TargetCap: targetCap, Requests: requests, Denied: st.Denied}
+	var released []float64
+	for name, tg := range targets {
+		released = append(released, float64(tg.released))
+		if tg.released > 0 {
+			row.Disturbed++
+		}
+		if name == "goodcitizen" {
+			row.GoodCitizenPg = tg.released
+		} else {
+			row.OthersPg += tg.released
+		}
+	}
+	row.Fairness = jainIndex(released)
+	return row
+}
+
+// jainIndex computes Jain's fairness index: (Σx)² / (n·Σx²), 1.0 for a
+// perfectly even burden, 1/n when one process bears everything.
+func jainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1.0 // nobody disturbed: vacuously fair
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

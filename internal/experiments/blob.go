@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"softmem/internal/alloc"
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+// blobSDS is the minimal reclaimable SDS used by the stress and timeline
+// experiments: it allocates raw blocks without writing them (so page
+// buffers never materialize and gigabyte-scale stress runs stay cheap)
+// and reclaims oldest-first, like the paper's test processes.
+type blobSDS struct {
+	ctx  *core.Context
+	refs []alloc.Ref
+	head int
+}
+
+func newBlobSDS(sma *core.SMA, name string, priority int) *blobSDS {
+	b := &blobSDS{}
+	b.ctx = sma.Register(name, priority, b)
+	return b
+}
+
+// alloc makes one allocation of size bytes.
+func (b *blobSDS) alloc(size int) error {
+	ref, err := b.ctx.Alloc(size)
+	if err != nil {
+		return err
+	}
+	return b.ctx.Do(func(*core.Tx) error {
+		b.refs = append(b.refs, ref)
+		return nil
+	})
+}
+
+// allocPages grabs n whole pages as page-sized allocations.
+func (b *blobSDS) allocPages(n int) error {
+	for i := 0; i < n; i++ {
+		if err := b.alloc(pages.Size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocMany makes n raw soft allocations and registers them for
+// reclamation in one locked batch at the end. This is the faithful
+// analogue of the paper's stress loops, which time bare soft_malloc
+// calls — the per-allocation cost is one SMA lock acquisition, not a
+// second index round-trip.
+func (b *blobSDS) allocMany(n, size int) error {
+	local := make([]alloc.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		ref, err := b.ctx.Alloc(size)
+		if err != nil {
+			return err
+		}
+		local = append(local, ref)
+	}
+	return b.ctx.Do(func(*core.Tx) error {
+		b.refs = append(b.refs, local...)
+		return nil
+	})
+}
+
+// live returns the number of live allocations.
+func (b *blobSDS) live() int {
+	n := 0
+	_ = b.ctx.Do(func(*core.Tx) error {
+		n = len(b.refs) - b.head
+		return nil
+	})
+	return n
+}
+
+// pagesHeld returns the pages the SDS's heap currently holds.
+func (b *blobSDS) pagesHeld() int {
+	return b.ctx.HeapStats().PagesHeld
+}
+
+// Reclaim implements core.Reclaimer, freeing oldest allocations first.
+func (b *blobSDS) Reclaim(tx *core.Tx, quota int) int {
+	freed := 0
+	for b.head < len(b.refs) && freed < quota {
+		ref := b.refs[b.head]
+		b.head++
+		size, err := tx.SlotSize(ref)
+		if err != nil {
+			continue
+		}
+		if err := tx.Free(ref); err == nil {
+			freed += size
+		}
+		if b.head > len(b.refs)/2 && b.head > 1024 {
+			b.refs = append(b.refs[:0], b.refs[b.head:]...)
+			b.head = 0
+		}
+	}
+	return freed
+}

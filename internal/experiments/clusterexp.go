@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"softmem/internal/cluster"
+	"softmem/internal/trace"
+)
+
+// ClusterConfig parameterizes E6, the scheduler comparison quantifying
+// the paper's §2 motivation.
+type ClusterConfig struct {
+	Seed            int64
+	Jobs            int
+	Machines        int
+	PagesPerMachine int
+	Horizon         time.Duration
+	MeanRuntime     time.Duration
+	MeanMemPages    int
+	// Adoptions lists the soft-memory adoption fractions to sweep.
+	Adoptions []float64
+}
+
+func (c *ClusterConfig) setDefaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 400
+	}
+	if c.Machines <= 0 {
+		c.Machines = 4
+	}
+	if c.PagesPerMachine <= 0 {
+		c.PagesPerMachine = 1200
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 3 * time.Hour
+	}
+	if c.MeanRuntime <= 0 {
+		c.MeanRuntime = 8 * time.Minute
+	}
+	if c.MeanMemPages <= 0 {
+		c.MeanMemPages = 250
+	}
+	if len(c.Adoptions) == 0 {
+		c.Adoptions = []float64{0, 0.25, 0.5, 0.75, 1.0}
+	}
+}
+
+// ClusterRow pairs a scheduler run with its adoption setting.
+type ClusterRow struct {
+	Adoption float64
+	Result   cluster.Result
+}
+
+// ClusterResult is the E6 sweep.
+type ClusterResult struct {
+	Baseline cluster.Result
+	Rows     []ClusterRow
+}
+
+// Fprint renders E6 as one baseline row plus the soft-adoption sweep.
+func (r ClusterResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "E6 — cluster scheduler: kill-based vs. soft memory (identical trace)\n\n")
+	fmt.Fprintf(w, "%-10s %-9s %10s %10s %12s %10s %10s %8s\n",
+		"scheduler", "adoption", "completed", "evictions", "wastedCPU", "slowdown", "p95queue", "util")
+	p := func(name string, adoption string, res cluster.Result) {
+		fmt.Fprintf(w, "%-10s %-9s %10d %10d %12s %10.3f %10s %7.1f%%\n",
+			name, adoption, res.Completed, res.Evictions, res.WastedCPU.Round(time.Second),
+			res.MeanSlowdown, res.P95QueueDelay.Round(time.Second), res.MeanUtilPct)
+	}
+	p("baseline", "-", r.Baseline)
+	for _, row := range r.Rows {
+		p("soft", fmt.Sprintf("%.0f%%", row.Adoption*100), row.Result)
+	}
+	// The §2 incentive, visible at mixed adoption: opted-in jobs place
+	// sooner than holdouts in the same run.
+	for _, row := range r.Rows {
+		if row.Adoption > 0 && row.Adoption < 1 {
+			fmt.Fprintf(w, "\nincentive at %.0f%% adoption: p95 placement delay %v (soft jobs) vs %v (non-adopters)\n",
+				row.Adoption*100,
+				row.Result.P95QueueSoft.Round(time.Second),
+				row.Result.P95QueueHard.Round(time.Second))
+			break
+		}
+	}
+}
+
+// Cluster runs E6: the same contended trace through the kill-based
+// baseline and the soft scheduler at several adoption levels.
+func Cluster(cfg ClusterConfig) ClusterResult {
+	cfg.setDefaults()
+	mkTrace := func(adoption float64) []trace.Job {
+		return trace.GenerateJobs(trace.TraceConfig{
+			Seed: cfg.Seed, Jobs: cfg.Jobs, Horizon: cfg.Horizon,
+			MeanRuntime: cfg.MeanRuntime, MeanMemPages: cfg.MeanMemPages,
+			BatchFraction: 0.6, SoftFrac: 0.5, SoftAdoption: adoption,
+		})
+	}
+	res := ClusterResult{}
+	res.Baseline = cluster.New(cluster.Config{
+		Kind: cluster.Baseline, Machines: cfg.Machines, PagesPerMachine: cfg.PagesPerMachine,
+	}, mkTrace(0.9)).Run()
+	for _, adoption := range cfg.Adoptions {
+		r := cluster.New(cluster.Config{
+			Kind: cluster.Soft, Machines: cfg.Machines, PagesPerMachine: cfg.PagesPerMachine,
+		}, mkTrace(adoption)).Run()
+		res.Rows = append(res.Rows, ClusterRow{Adoption: adoption, Result: r})
+	}
+	return res
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/kvstore"
+	"softmem/internal/pages"
+	"softmem/internal/trace"
+)
+
+// LatencyConfig parameterizes E11, the reclamation-latency
+// characterization. The paper notes reclamation must happen on short
+// timescales (§7); this experiment measures how demand latency scales
+// with demand size and with the per-entry cleanup work applications hang
+// off the callback.
+type LatencyConfig struct {
+	// Entries preloaded into the store (64-byte values). Default 131072
+	// (~8 MiB, the paper's scale).
+	Entries int
+	// Demands lists the demand sizes (pages) to sweep.
+	Demands []int
+	// CleanupWorks lists per-entry callback workloads to sweep (0 =
+	// free-only).
+	CleanupWorks []int
+	// Trials per point. Default 5.
+	Trials int
+}
+
+func (c *LatencyConfig) setDefaults() {
+	if c.Entries <= 0 {
+		c.Entries = 131072
+	}
+	if len(c.Demands) == 0 {
+		c.Demands = []int{1, 16, 64, 256, 1024}
+	}
+	if len(c.CleanupWorks) == 0 {
+		c.CleanupWorks = []int{0, 1000}
+	}
+	if c.Trials <= 0 {
+		c.Trials = 5
+	}
+}
+
+// LatencyRow is one point of the E11 sweep.
+type LatencyRow struct {
+	DemandPages int
+	CleanupWork int
+	Mean        time.Duration
+	PerPage     time.Duration
+	PerEntry    time.Duration
+	Entries     int64 // entries reclaimed per trial
+}
+
+// LatencyResult is the E11 sweep.
+type LatencyResult struct {
+	Rows []LatencyRow
+}
+
+// Fprint renders E11.
+func (r LatencyResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "E11 — reclamation demand latency (store of 64B entries)\n\n")
+	fmt.Fprintf(w, "%8s %9s %14s %12s %12s %9s\n", "demand", "cleanup", "latency", "per-page", "per-entry", "entries")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d %9d %14s %12s %12s %9d\n",
+			row.DemandPages, row.CleanupWork,
+			row.Mean.Round(time.Microsecond), row.PerPage.Round(time.Nanosecond),
+			row.PerEntry.Round(time.Nanosecond), row.Entries)
+	}
+}
+
+// ReclaimLatency runs E11: for each (demand size, cleanup work) point,
+// preload a fresh store and time HandleDemand.
+func ReclaimLatency(cfg LatencyConfig) LatencyResult {
+	cfg.setDefaults()
+	var res LatencyResult
+	value := make([]byte, 64)
+	for _, work := range cfg.CleanupWorks {
+		for _, demand := range cfg.Demands {
+			var total time.Duration
+			var entries int64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				sma := core.New(core.Config{Machine: pages.NewPool(0)})
+				store := kvstore.New(kvstore.Config{SMA: sma, CleanupWork: work})
+				keys := trace.NewSequentialKeys(uint64(cfg.Entries))
+				for i := 0; i < cfg.Entries; i++ {
+					if err := store.Set(trace.Key(keys.Next()), value); err != nil {
+						panic(fmt.Sprintf("latency: preload: %v", err))
+					}
+				}
+				start := time.Now()
+				released := sma.HandleDemand(demand)
+				total += time.Since(start)
+				if released < demand {
+					panic(fmt.Sprintf("latency: released %d of %d", released, demand))
+				}
+				entries += store.Stats().Reclaimed
+				store.Close()
+			}
+			mean := total / time.Duration(cfg.Trials)
+			perTrialEntries := entries / int64(cfg.Trials)
+			row := LatencyRow{
+				DemandPages: demand,
+				CleanupWork: work,
+				Mean:        mean,
+				PerPage:     mean / time.Duration(demand),
+				Entries:     perTrialEntries,
+			}
+			if perTrialEntries > 0 {
+				row.PerEntry = mean / time.Duration(perTrialEntries)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}

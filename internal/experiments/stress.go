@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"softmem/internal/alloc"
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/smd"
+)
+
+// StressAllocSize is the paper's stress-test allocation size (1 KiB).
+const StressAllocSize = 1024
+
+// stressSlotsPerPage is how many 1 KiB allocations fit a page.
+const stressSlotsPerPage = pages.Size / StressAllocSize
+
+// pagesForAllocs converts an allocation count to the pages they occupy.
+func pagesForAllocs(n int) int {
+	return (n + stressSlotsPerPage - 1) / stressSlotsPerPage
+}
+
+// StressResult compares the SMA against the system (textbook) allocator
+// for one of the paper's §5 stress settings.
+type StressResult struct {
+	Case           string
+	Allocs         int
+	SMA            time.Duration
+	Baseline       time.Duration
+	Ratio          float64 // SMA / Baseline
+	PaperRatio     float64
+	BudgetRequests int64
+	PagesReclaimed int64
+}
+
+// Fprint renders one table row (call FprintStressHeader first).
+func (r StressResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %9d %12s %12s %8.2fx %8.2fx %8d %10d\n",
+		r.Case, r.Allocs, r.SMA.Round(time.Microsecond), r.Baseline.Round(time.Microsecond),
+		r.Ratio, r.PaperRatio, r.BudgetRequests, r.PagesReclaimed)
+}
+
+// FprintStressHeader renders the table header for stress rows.
+func FprintStressHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %9s %12s %12s %9s %9s %8s %10s\n",
+		"case", "allocs", "sma", "baseline", "ratio", "paper", "budreqs", "reclaimed")
+}
+
+// baselineAllocs times n size-byte allocations through the bare textbook
+// allocator (no soft machinery) — the experiment's "system allocator".
+// It runs a GC first so the measurement is not charged for garbage left
+// by earlier phases.
+func baselineAllocs(n, size int) time.Duration {
+	runtime.GC()
+	heap := alloc.New(alloc.PoolSource{Pool: pages.NewPool(0)})
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := heap.Alloc(size); err != nil {
+			panic(fmt.Sprintf("stress baseline: %v", err))
+		}
+	}
+	return time.Since(start)
+}
+
+// Stress1 is the paper's case (1): n 1 KiB soft allocations with
+// sufficient budget granted up front (one daemon round-trip). Paper
+// ratio: 1.22×.
+func Stress1(n int) StressResult {
+	need := pagesForAllocs(n) + 16
+	machine := pages.NewPool(0)
+	daemon := smd.NewDaemon(smd.Config{TotalPages: need * 2})
+	sma := core.New(core.Config{Machine: machine, BudgetChunk: need})
+	blob := newBlobSDS(sma, "stress1", 0)
+	sma.AttachDaemon(daemon.Register("stress1", sma))
+
+	base := baselineAllocs(n, StressAllocSize)
+	runtime.GC()
+	start := time.Now()
+	if err := blob.allocMany(n, StressAllocSize); err != nil {
+		panic(fmt.Sprintf("stress1: %v", err))
+	}
+	elapsed := time.Since(start)
+	return StressResult{
+		Case:           "(1) ample budget",
+		Allocs:         n,
+		SMA:            elapsed,
+		Baseline:       base,
+		Ratio:          float64(elapsed) / float64(base),
+		PaperRatio:     1.22,
+		BudgetRequests: sma.Stats().BudgetRequests,
+	}
+}
+
+// Stress2 is the paper's case (2): the same allocations, but the budget
+// grows incrementally through daemon round-trips (default chunk). Paper
+// ratio: 1.23× — the communication amortizes to nothing.
+func Stress2(n int) StressResult {
+	machine := pages.NewPool(0)
+	daemon := smd.NewDaemon(smd.Config{TotalPages: pagesForAllocs(n)*2 + 64})
+	sma := core.New(core.Config{Machine: machine}) // default 64-page chunk
+	blob := newBlobSDS(sma, "stress2", 0)
+	sma.AttachDaemon(daemon.Register("stress2", sma))
+
+	base := baselineAllocs(n, StressAllocSize)
+	runtime.GC()
+	start := time.Now()
+	if err := blob.allocMany(n, StressAllocSize); err != nil {
+		panic(fmt.Sprintf("stress2: %v", err))
+	}
+	elapsed := time.Since(start)
+	return StressResult{
+		Case:           "(2) budget grown via SMD",
+		Allocs:         n,
+		SMA:            elapsed,
+		Baseline:       base,
+		Ratio:          float64(elapsed) / float64(base),
+		PaperRatio:     1.23,
+		BudgetRequests: sma.Stats().BudgetRequests,
+	}
+}
+
+// Stress3 is the paper's case (3): two processes each fill half the
+// machine with `fill` allocations, then one makes `extra` more, which
+// requires reclaiming and moving soft memory from the other process. The
+// baseline is the same `extra` allocations without memory pressure.
+// Paper ratio: 1.44×.
+func Stress3(fill, extra int) StressResult {
+	fillPages := pagesForAllocs(fill)
+	total := 2 * fillPages // machine exactly full after both fills
+	machine := pages.NewPool(total)
+	daemon := smd.NewDaemon(smd.Config{TotalPages: total, ReclaimFactor: 1.25})
+
+	smaA := core.New(core.Config{Machine: machine})
+	blobA := newBlobSDS(smaA, "victim", 0)
+	smaA.AttachDaemon(daemon.Register("A", smaA))
+	smaB := core.New(core.Config{Machine: machine})
+	blobB := newBlobSDS(smaB, "aggressor", 0)
+	smaB.AttachDaemon(daemon.Register("B", smaB))
+
+	if err := blobA.allocMany(fill, StressAllocSize); err != nil {
+		panic(fmt.Sprintf("stress3 fill A: %v", err))
+	}
+	if err := blobB.allocMany(fill, StressAllocSize); err != nil {
+		panic(fmt.Sprintf("stress3 fill B: %v", err))
+	}
+
+	// Pressure phase: B's extra allocations force reclamation from A.
+	runtime.GC()
+	start := time.Now()
+	if err := blobB.allocMany(extra, StressAllocSize); err != nil {
+		panic(fmt.Sprintf("stress3 pressure allocs: %v", err))
+	}
+	elapsed := time.Since(start)
+
+	// Baseline: the same extra allocations with no pressure at all.
+	freshMachine := pages.NewPool(0)
+	freshDaemon := smd.NewDaemon(smd.Config{TotalPages: pagesForAllocs(extra)*2 + 64})
+	freshSMA := core.New(core.Config{Machine: freshMachine})
+	freshBlob := newBlobSDS(freshSMA, "baseline", 0)
+	freshSMA.AttachDaemon(freshDaemon.Register("fresh", freshSMA))
+	runtime.GC()
+	baseStart := time.Now()
+	if err := freshBlob.allocMany(extra, StressAllocSize); err != nil {
+		panic(fmt.Sprintf("stress3 baseline: %v", err))
+	}
+	base := time.Since(baseStart)
+
+	return StressResult{
+		Case:           "(3) reclaim under pressure",
+		Allocs:         extra,
+		SMA:            elapsed,
+		Baseline:       base,
+		Ratio:          float64(elapsed) / float64(base),
+		PaperRatio:     1.44,
+		BudgetRequests: smaB.Stats().BudgetRequests,
+		PagesReclaimed: smaA.Stats().PagesReclaimed,
+	}
+}

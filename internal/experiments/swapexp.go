@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"softmem/internal/alloc"
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/sds"
+	"softmem/internal/swap"
+)
+
+// SwapConfig parameterizes E10, the drop-vs-swap comparison behind the
+// paper's §6 positioning: "soft memory differs from swapping by actually
+// revoking and dropping memory contents ... this makes sense when the
+// data stored loses its utility once no longer in memory".
+type SwapConfig struct {
+	// Entries in the cache; values are ValueBytes each. Defaults 2048 /
+	// 4096.
+	Entries    int
+	ValueBytes int
+	// ReclaimFrac of the cache is reclaimed by the pressure event.
+	// Default 0.5.
+	ReclaimFrac float64
+	// Accesses after the pressure event. Default = Entries.
+	Accesses int
+	// RefetchCost models recomputing/re-fetching a dropped entry (the
+	// paper's caching setup). Default 100µs — a cheap recomputation;
+	// higher values (a remote database) shift the crossover toward
+	// swapping, which is exactly the paper's "when the data stored loses
+	// its utility" condition.
+	RefetchCost time.Duration
+	// DeviceLatency and DevicePerByte model the far-memory tier.
+	// Defaults 20µs + 1ns/B.
+	DeviceLatency time.Duration
+	DevicePerByte time.Duration
+	// Rerefs lists the re-reference probabilities to sweep: with
+	// probability p an access targets a reclaimed entry, else a resident
+	// one.
+	Rerefs []float64
+	Seed   int64
+}
+
+func (c *SwapConfig) setDefaults() {
+	if c.Entries <= 0 {
+		c.Entries = 2048
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 4096
+	}
+	if c.ReclaimFrac <= 0 {
+		c.ReclaimFrac = 0.5
+	}
+	if c.Accesses <= 0 {
+		c.Accesses = c.Entries
+	}
+	if c.RefetchCost <= 0 {
+		c.RefetchCost = 100 * time.Microsecond
+	}
+	if c.DeviceLatency <= 0 {
+		c.DeviceLatency = 20 * time.Microsecond
+	}
+	if c.DevicePerByte <= 0 {
+		c.DevicePerByte = time.Nanosecond
+	}
+	if len(c.Rerefs) == 0 {
+		c.Rerefs = []float64{0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0}
+	}
+}
+
+// SwapRow is one point of the E10 sweep.
+type SwapRow struct {
+	Reref    float64
+	DropCost time.Duration // refetches for dropped entries
+	SwapCost time.Duration // spills at reclaim + faults on access
+	Winner   string
+}
+
+// SwapResult is the E10 sweep.
+type SwapResult struct {
+	Rows []SwapRow
+}
+
+// Fprint renders E10.
+func (r SwapResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "E10 — drop (soft memory) vs. spill (far memory/swap) under reclamation\n\n")
+	fmt.Fprintf(w, "%8s %14s %14s %8s\n", "reref", "drop-cost", "swap-cost", "winner")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%7.0f%% %14s %14s %8s\n",
+			row.Reref*100, row.DropCost.Round(time.Microsecond), row.SwapCost.Round(time.Microsecond), row.Winner)
+	}
+}
+
+// SwapCompare runs E10: the same cache, pressure event, and access
+// stream under two reclamation strategies — dropping (the paper's soft
+// memory; misses refetch from the database) and spilling (AIFM/zswap
+// style; reclaimed data moves to a modelled far tier and faults back).
+func SwapCompare(cfg SwapConfig) SwapResult {
+	cfg.setDefaults()
+	var res SwapResult
+	for _, p := range cfg.Rerefs {
+		res.Rows = append(res.Rows, swapPoint(cfg, p))
+	}
+	return res
+}
+
+func swapPoint(cfg SwapConfig, reref float64) SwapRow {
+	value := make([]byte, cfg.ValueBytes)
+	key := func(i int) string { return fmt.Sprintf("k%06d", i) }
+	reclaimPages := int(cfg.ReclaimFrac * float64(cfg.Entries*alloc.ClassSize(cfg.ValueBytes)) / pages.Size)
+
+	// Strategy 1: drop (plain soft hash table, oldest-first eviction).
+	var dropCost time.Duration
+	{
+		sma := core.New(core.Config{Machine: pages.NewPool(0)})
+		var dropped []string
+		ht := sds.NewSoftHashTable[string](sma, "drop", sds.HashTableConfig[string]{
+			OnReclaim: func(k string, _ []byte) { dropped = append(dropped, k) },
+		})
+		for i := 0; i < cfg.Entries; i++ {
+			if err := ht.Put(key(i), value); err != nil {
+				panic(err)
+			}
+		}
+		sma.HandleDemand(reclaimPages)
+		droppedSet := map[string]bool{}
+		for _, k := range dropped {
+			droppedSet[k] = true
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for a := 0; a < cfg.Accesses; a++ {
+			k := pickKey(rng, reref, dropped, cfg.Entries, droppedSet, key)
+			_, ok, err := ht.Get(k)
+			if err != nil {
+				panic(err)
+			}
+			if !ok {
+				// Refetch from the database and repopulate.
+				dropCost += cfg.RefetchCost
+				if err := ht.Put(k, value); err == nil {
+					delete(droppedSet, k)
+				}
+			}
+		}
+		ht.Close()
+	}
+
+	// Strategy 2: spill to a far-memory device.
+	var swapCost time.Duration
+	{
+		sma := core.New(core.Config{Machine: pages.NewPool(0)})
+		dev := swap.NewDevice(cfg.DeviceLatency, cfg.DevicePerByte)
+		var spilled []string
+		tab := swap.NewTable(sma, "swap", dev, 0)
+		// Track spill order via the device itself: record keys spilled.
+		// (Device has no order; reuse the drop run's key space by
+		// spilling deterministically: the table evicts LRU=insertion
+		// order here since nothing was touched.)
+		for i := 0; i < cfg.Entries; i++ {
+			if err := tab.Put(key(i), value); err != nil {
+				panic(err)
+			}
+		}
+		sma.HandleDemand(reclaimPages)
+		// The spilled set is whatever is on the device.
+		st := dev.Stats()
+		for i := 0; i < cfg.Entries && len(spilled) < int(st.Spills); i++ {
+			spilled = append(spilled, key(i)) // LRU = insertion order
+		}
+		spilledSet := map[string]bool{}
+		for _, k := range spilled {
+			spilledSet[k] = true
+		}
+		swapCost += tab.SpillCost() // paying the spill is part of the strategy
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for a := 0; a < cfg.Accesses; a++ {
+			k := pickKey(rng, reref, spilled, cfg.Entries, spilledSet, key)
+			_, cost, ok, err := tab.Get(k)
+			if err != nil {
+				panic(err)
+			}
+			swapCost += cost
+			if ok {
+				delete(spilledSet, k)
+			}
+		}
+		tab.Close()
+	}
+
+	row := SwapRow{Reref: reref, DropCost: dropCost, SwapCost: swapCost, Winner: "drop"}
+	if swapCost < dropCost {
+		row.Winner = "swap"
+	}
+	return row
+}
+
+// pickKey draws a reclaimed key with probability reref, else a resident
+// one.
+func pickKey(rng *rand.Rand, reref float64, reclaimed []string, entries int, reclaimedSet map[string]bool, key func(int) string) string {
+	if len(reclaimed) > 0 && rng.Float64() < reref {
+		return reclaimed[rng.Intn(len(reclaimed))]
+	}
+	// Resident: rejection-sample outside the reclaimed set.
+	for tries := 0; tries < 64; tries++ {
+		k := key(rng.Intn(entries))
+		if !reclaimedSet[k] {
+			return k
+		}
+	}
+	return key(rng.Intn(entries))
+}

@@ -1,0 +1,93 @@
+package ipc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"softmem/internal/core"
+)
+
+// Client connects a process's SMA to a remote Soft Memory Daemon. It
+// implements core.DaemonClient for outbound budget traffic and serves the
+// daemon's inbound reclamation demands against the attached SMA.
+//
+// Wiring sequence (same circularity as in-process registration):
+//
+//	sma := core.New(core.Config{Machine: pool})
+//	cli, err := ipc.Dial("tcp", addr, "myproc", sma)
+//	sma.AttachDaemon(cli)
+type Client struct {
+	conn   *Conn
+	procID int
+}
+
+// DemandTarget receives reclamation demands; *core.SMA satisfies it.
+type DemandTarget interface {
+	HandleDemand(pages int) int
+}
+
+// Dial connects to the daemon at network/addr, registers under name, and
+// routes reclamation demands to target. The returned Client is ready to
+// pass to SMA.AttachDaemon.
+func Dial(network, addr, name string, target DemandTarget) (*Client, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: dial %s %s: %w", network, addr, err)
+	}
+	c := &Client{}
+	c.conn = NewConn(nc, func(kind string, body json.RawMessage) (any, error) {
+		switch kind {
+		case KindDemand:
+			var req DemandReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			if target == nil {
+				return DemandResp{Released: 0}, nil
+			}
+			return DemandResp{Released: target.HandleDemand(req.Pages)}, nil
+		default:
+			return nil, fmt.Errorf("ipc: unknown request %q", kind)
+		}
+	})
+	go func() { _ = c.conn.Serve() }()
+
+	var resp RegisterResp
+	if err := c.conn.Call(KindRegister, RegisterReq{Name: name}, &resp); err != nil {
+		_ = c.conn.Close()
+		return nil, fmt.Errorf("ipc: register: %w", err)
+	}
+	c.procID = resp.ProcID
+	return c, nil
+}
+
+// ProcID returns the daemon-assigned process identifier.
+func (c *Client) ProcID() int { return c.procID }
+
+// RequestBudget implements core.DaemonClient.
+func (c *Client) RequestBudget(pages int, u core.Usage) (int, error) {
+	var resp BudgetResp
+	if err := c.conn.Call(KindRequestBudget, BudgetReq{Pages: pages, Usage: u}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Granted, nil
+}
+
+// ReleaseBudget implements core.DaemonClient.
+func (c *Client) ReleaseBudget(pages int, u core.Usage) error {
+	return c.conn.Call(KindReleaseBudget, BudgetReq{Pages: pages, Usage: u}, nil)
+}
+
+// ReportUsage refreshes the daemon's view outside budget traffic.
+func (c *Client) ReportUsage(u core.Usage) error {
+	return c.conn.Call(KindReportUsage, UsageReq{Usage: u}, nil)
+}
+
+// Close tears down the connection; the daemon unregisters the process.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Done is closed when the connection has terminated.
+func (c *Client) Done() <-chan struct{} { return c.conn.Done() }
+
+var _ core.DaemonClient = (*Client)(nil)

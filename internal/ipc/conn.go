@@ -1,0 +1,242 @@
+// Package ipc carries the soft memory protocol between processes and the
+// Soft Memory Daemon over a socket (TCP or Unix).
+//
+// The protocol is a symmetric RPC: either side sends request frames and
+// receives response frames, matched by sequence number, so the daemon can
+// push reclamation demands to a process over the same connection that the
+// process uses for budget requests. Frames are length-prefixed JSON —
+// simple, debuggable, and fast enough: budget traffic is amortized over
+// thousands of allocations (the paper's case (2) measures this cost as
+// negligible).
+package ipc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed reports an operation on a closed connection.
+var ErrClosed = errors.New("ipc: connection closed")
+
+// MaxFrame bounds frame payloads; anything larger indicates a corrupt or
+// hostile peer.
+const MaxFrame = 1 << 20
+
+// frame is the wire unit.
+type frame struct {
+	Seq  uint64          `json:"seq"`
+	Resp bool            `json:"resp,omitempty"`
+	Kind string          `json:"kind,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+	Err  string          `json:"err,omitempty"`
+}
+
+// Handler serves an incoming request and returns the response body.
+type Handler func(kind string, body json.RawMessage) (any, error)
+
+// Conn is a bidirectional RPC endpoint. Handlers run on their own
+// goroutines, so a handler may block (e.g. a reclamation demand walking
+// SDS heaps) without stalling response delivery.
+type Conn struct {
+	nc      net.Conn
+	handler Handler
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextSeq uint64
+	pending map[uint64]chan frame
+	closed  bool
+	done    chan struct{}
+}
+
+// NewConn wraps nc. handler serves the peer's requests (nil rejects
+// them). The caller owns starting the read loop via Serve, usually as
+// `go c.Serve()`.
+func NewConn(nc net.Conn, handler Handler) *Conn {
+	return &Conn{
+		nc:      nc,
+		handler: handler,
+		pending: make(map[uint64]chan frame),
+		done:    make(chan struct{}),
+	}
+}
+
+// Serve runs the read loop until the connection fails or is closed,
+// returning the terminal error (io.EOF for orderly shutdown).
+func (c *Conn) Serve() error {
+	for {
+		f, err := c.readFrame()
+		if err != nil {
+			c.teardown()
+			return err
+		}
+		if f.Resp {
+			c.mu.Lock()
+			ch, ok := c.pending[f.Seq]
+			if ok {
+				delete(c.pending, f.Seq)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+			continue
+		}
+		go c.dispatch(f)
+	}
+}
+
+// dispatch runs the handler for one request and writes its response.
+func (c *Conn) dispatch(f frame) {
+	resp := frame{Seq: f.Seq, Resp: true}
+	if c.handler == nil {
+		resp.Err = fmt.Sprintf("ipc: no handler for %q", f.Kind)
+	} else if out, err := c.handler(f.Kind, f.Body); err != nil {
+		resp.Err = err.Error()
+	} else if out != nil {
+		body, err := json.Marshal(out)
+		if err != nil {
+			resp.Err = fmt.Sprintf("ipc: marshal response: %v", err)
+		} else {
+			resp.Body = body
+		}
+	}
+	// A write failure here means the peer is gone; Serve will notice.
+	_ = c.writeFrame(resp)
+}
+
+// Call sends a request and decodes the peer's response into out (which
+// may be nil). It blocks until the response arrives or the connection
+// dies.
+func (c *Conn) Call(kind string, body any, out any) error {
+	return c.CallTimeout(kind, body, out, 0)
+}
+
+// ErrTimeout reports a call that exceeded its deadline. The connection
+// stays usable; a late response is discarded.
+var ErrTimeout = errors.New("ipc: call timed out")
+
+// CallTimeout is Call with a deadline (0 = wait forever). The daemon uses
+// it for reclamation demands so one hung process cannot stall the
+// machine's budget arbitration.
+func (c *Conn) CallTimeout(kind string, body any, out any, timeout time.Duration) error {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("ipc: marshal %q: %w", kind, err)
+		}
+		raw = b
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextSeq++
+	seq := c.nextSeq
+	ch := make(chan frame, 1)
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	if err := c.writeFrame(frame{Seq: seq, Kind: kind, Body: raw}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return err
+	}
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case f := <-ch:
+		if f.Err != "" {
+			return errors.New(f.Err)
+		}
+		if out != nil && len(f.Body) > 0 {
+			return json.Unmarshal(f.Body, out)
+		}
+		return nil
+	case <-expired:
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %s after %v", ErrTimeout, kind, timeout)
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+// Close shuts the connection down; pending calls fail with ErrClosed.
+func (c *Conn) Close() error {
+	c.teardown()
+	return nil
+}
+
+// teardown marks the conn closed and releases waiters, once.
+func (c *Conn) teardown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.done)
+	c.pending = map[uint64]chan frame{}
+	c.mu.Unlock()
+	_ = c.nc.Close()
+}
+
+// Done is closed when the connection has terminated.
+func (c *Conn) Done() <-chan struct{} { return c.done }
+
+func (c *Conn) writeFrame(f frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("ipc: marshal frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("ipc: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ipc: write header: %w", err)
+	}
+	if _, err := c.nc.Write(payload); err != nil {
+		return fmt.Errorf("ipc: write payload: %w", err)
+	}
+	return nil
+}
+
+func (c *Conn) readFrame() (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return frame{}, fmt.Errorf("ipc: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.nc, payload); err != nil {
+		return frame{}, err
+	}
+	var f frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return frame{}, fmt.Errorf("ipc: decode frame: %w", err)
+	}
+	return f, nil
+}

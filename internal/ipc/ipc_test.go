@@ -1,0 +1,319 @@
+package ipc
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/sds"
+	"softmem/internal/smd"
+)
+
+// startServer runs a daemon server on an ephemeral TCP port.
+func startServer(t *testing.T, cfg smd.Config) (*smd.Daemon, string) {
+	t.Helper()
+	daemon := smd.NewDaemon(cfg)
+	srv := NewServer(daemon, func(string, ...any) {})
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(srv.Close)
+	return daemon, addr.String()
+}
+
+func TestClientRegisterAndBudget(t *testing.T) {
+	daemon, addr := startServer(t, smd.Config{TotalPages: 100})
+	cli, err := Dial("tcp", addr, "proc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.ProcID() == 0 {
+		t.Fatal("no proc ID assigned")
+	}
+	granted, err := cli.RequestBudget(40, core.Usage{})
+	if err != nil || granted != 40 {
+		t.Fatalf("RequestBudget = %d, %v", granted, err)
+	}
+	if st := daemon.Stats(); st.BudgetPages != 40 {
+		t.Fatalf("daemon sees %d budget pages", st.BudgetPages)
+	}
+	if err := cli.ReleaseBudget(10, core.Usage{UsedPages: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if st := daemon.Stats(); st.BudgetPages != 30 {
+		t.Fatalf("daemon sees %d budget pages after release", st.BudgetPages)
+	}
+}
+
+func TestClientReportUsage(t *testing.T) {
+	daemon, addr := startServer(t, smd.Config{TotalPages: 100})
+	cli, err := Dial("tcp", addr, "proc1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.ReportUsage(core.Usage{UsedPages: 7, TraditionalBytes: 99}); err != nil {
+		t.Fatal(err)
+	}
+	snap := daemon.Snapshot()
+	if len(snap) != 1 || snap[0].Usage.UsedPages != 7 || snap[0].Usage.TraditionalBytes != 99 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// demandRecorder is a DemandTarget that frees from a fake reserve.
+type demandRecorder struct {
+	mu      sync.Mutex
+	avail   int
+	demands []int
+}
+
+func (d *demandRecorder) HandleDemand(pages int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.demands = append(d.demands, pages)
+	take := pages
+	if take > d.avail {
+		take = d.avail
+	}
+	d.avail -= take
+	return take
+}
+
+func TestDemandFlowsToClient(t *testing.T) {
+	_, addr := startServer(t, smd.Config{TotalPages: 100, ReclaimFactor: 1.0})
+	victim := &demandRecorder{avail: 80}
+	vcli, err := Dial("tcp", addr, "victim", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vcli.Close()
+	if g, err := vcli.RequestBudget(80, core.Usage{UsedPages: 80}); err != nil || g != 80 {
+		t.Fatalf("victim setup: %d, %v", g, err)
+	}
+
+	needy, err := Dial("tcp", addr, "needy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer needy.Close()
+	granted, err := needy.RequestBudget(50, core.Usage{})
+	if err != nil || granted != 50 {
+		t.Fatalf("needy RequestBudget = %d, %v", granted, err)
+	}
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	if len(victim.demands) == 0 {
+		t.Fatal("no demand reached the victim over the wire")
+	}
+	if victim.avail != 50 {
+		t.Fatalf("victim avail = %d, want 50 (released 30)", victim.avail)
+	}
+}
+
+func TestDisconnectUnregisters(t *testing.T) {
+	daemon, addr := startServer(t, smd.Config{TotalPages: 100})
+	cli, err := Dial("tcp", addr, "ephemeral", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.RequestBudget(60, core.Usage{})
+	cli.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := daemon.Stats(); st.Procs == 0 && st.FreePages == 100 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon state after disconnect: %+v", daemon.Stats())
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	_, addr := startServer(t, smd.Config{TotalPages: 10})
+	cli, err := Dial("tcp", addr, "x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if _, err := cli.RequestBudget(1, core.Usage{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	select {
+	case <-cli.Done():
+	default:
+		t.Fatal("Done not closed after Close")
+	}
+}
+
+func TestServerRejectsUnknownKindAndDoubleRegister(t *testing.T) {
+	_, addr := startServer(t, smd.Config{TotalPages: 10})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(nc, nil)
+	go func() { _ = conn.Serve() }()
+	defer conn.Close()
+
+	if err := conn.Call("bogus", nil, nil); err == nil || !strings.Contains(err.Error(), "unknown request") {
+		t.Fatalf("bogus call err = %v", err)
+	}
+	// Budget before registering is rejected.
+	if err := conn.Call(KindRequestBudget, BudgetReq{Pages: 1}, nil); err == nil {
+		t.Fatal("unregistered budget request accepted")
+	}
+	if err := conn.Call(KindRegister, RegisterReq{Name: "a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Call(KindRegister, RegisterReq{Name: "b"}, nil); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestConnRejectsOversizeFrame(t *testing.T) {
+	a, b := net.Pipe()
+	conn := NewConn(a, nil)
+	go func() { _ = conn.Serve() }()
+	defer conn.Close()
+	// Send a header claiming a 2 MiB frame.
+	go b.Write([]byte{0x00, 0x20, 0x00, 0x00})
+	select {
+	case <-conn.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("oversize frame did not terminate the connection")
+	}
+}
+
+// TestTwoSMAsOverSockets is the full Figure-2 wiring across the socket
+// transport: two SMAs with real heaps in one test process, a daemon
+// behind TCP, and a demand path that crosses the wire both ways.
+func TestTwoSMAsOverSockets(t *testing.T) {
+	const totalPages = 1280 // 5 MiB soft partition
+	daemon, addr := startServer(t, smd.Config{TotalPages: totalPages, ReclaimFactor: 1.0})
+	machine := pages.NewPool(0) // per-process pools; daemon budgets are authoritative
+
+	newProc := func(name string) (*core.SMA, *sds.SoftLinkedList[[]byte], *Client) {
+		sma := core.New(core.Config{Machine: machine})
+		list := sds.NewSoftLinkedList(sma, name+"-list", sds.BytesCodec{}, nil)
+		cli, err := Dial("tcp", addr, name, sma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sma.AttachDaemon(cli)
+		return sma, list, cli
+	}
+
+	smaA, listA, cliA := newProc("A")
+	defer cliA.Close()
+	payload := make([]byte, 4096)
+	for i := 0; i < 1024; i++ { // 4 MiB
+		if err := listA.PushBack(payload); err != nil {
+			t.Fatalf("A push %d: %v", i, err)
+		}
+	}
+
+	smaB, listB, cliB := newProc("B")
+	defer cliB.Close()
+	for i := 0; i < 640; i++ { // 2.5 MiB: must trigger reclamation from A
+		if err := listB.PushBack(payload); err != nil {
+			t.Fatalf("B push %d: %v", i, err)
+		}
+	}
+
+	if smaA.Stats().DemandsServed == 0 {
+		t.Fatal("A never served a demand over the socket")
+	}
+	if listA.Reclaimed() == 0 {
+		t.Fatal("A's list lost no elements despite pressure")
+	}
+	if got := smaB.Stats().UsedPages; got < 640 {
+		t.Fatalf("B used %d pages, want >= 640", got)
+	}
+	if st := daemon.Stats(); st.BudgetPages > totalPages {
+		t.Fatalf("daemon over-committed: %+v", st)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	// Peer that reads frames but never answers: a hung process.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	conn := NewConn(a, nil)
+	go func() { _ = conn.Serve() }()
+	defer conn.Close()
+	start := time.Now()
+	err := conn.CallTimeout("ping", nil, nil, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestHungDemandDoesNotStallDaemon(t *testing.T) {
+	daemon := smd.NewDaemon(smd.Config{TotalPages: 100, ReclaimFactor: 1.0})
+	srv := NewServer(daemon, func(string, ...any) {})
+	srv.SetDemandTimeout(100 * time.Millisecond)
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(srv.Close)
+
+	// A victim whose demand handler never returns.
+	hung := make(chan struct{})
+	t.Cleanup(func() { close(hung) })
+	victim, err := Dial("tcp", addr.String(), "hung", demandTargetFunc(func(int) int {
+		<-hung
+		return 0
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	victim.RequestBudget(100, core.Usage{UsedPages: 100})
+
+	needy, err := Dial("tcp", addr.String(), "needy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer needy.Close()
+	done := make(chan struct{})
+	var granted int
+	go func() {
+		granted, _ = needy.RequestBudget(10, core.Usage{})
+		close(done)
+	}()
+	select {
+	case <-done:
+		if granted != 0 {
+			t.Fatalf("granted = %d from a hung victim, want 0 (denied)", granted)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon stalled behind a hung reclamation target")
+	}
+}
+
+// demandTargetFunc adapts a function to DemandTarget.
+type demandTargetFunc func(int) int
+
+func (f demandTargetFunc) HandleDemand(n int) int { return f(n) }

@@ -1,0 +1,49 @@
+package ipc
+
+import "softmem/internal/core"
+
+// Message kinds on the wire.
+const (
+	KindRegister      = "register"
+	KindRequestBudget = "request_budget"
+	KindReleaseBudget = "release_budget"
+	KindReportUsage   = "report_usage"
+	KindDemand        = "demand" // daemon -> process
+)
+
+// RegisterReq announces a process to the daemon; it must be the first
+// request on a connection.
+type RegisterReq struct {
+	Name string `json:"name"`
+}
+
+// RegisterResp acknowledges registration.
+type RegisterResp struct {
+	ProcID int `json:"proc_id"`
+}
+
+// BudgetReq asks for or returns budget.
+type BudgetReq struct {
+	Pages int        `json:"pages"`
+	Usage core.Usage `json:"usage"`
+}
+
+// BudgetResp carries the grant (0 = denied).
+type BudgetResp struct {
+	Granted int `json:"granted"`
+}
+
+// UsageReq refreshes the daemon's view of a process.
+type UsageReq struct {
+	Usage core.Usage `json:"usage"`
+}
+
+// DemandReq asks a process to release pages.
+type DemandReq struct {
+	Pages int `json:"pages"`
+}
+
+// DemandResp reports pages actually released.
+type DemandResp struct {
+	Released int `json:"released"`
+}

@@ -1,0 +1,222 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"softmem/internal/core"
+)
+
+// ErrReconnecting reports a budget call attempted while the connection
+// to the daemon is down; the SMA surfaces it as soft memory exhaustion
+// and the application degrades gracefully until the link returns.
+var ErrReconnecting = errors.New("ipc: reconnecting to daemon")
+
+// Process is the local process state a Resilient client needs: demand
+// handling plus enough introspection to resync budgets after a daemon
+// restart. *core.SMA satisfies it.
+type Process interface {
+	HandleDemand(pages int) int
+	Usage() core.Usage
+	BudgetPages() int
+	ResetBudget(n int)
+}
+
+// ResilientConfig configures DialResilient.
+type ResilientConfig struct {
+	Network string
+	Addr    string
+	Name    string
+	// Backoff is the initial reconnect delay (default 100ms), doubling
+	// to MaxBackoff (default 5s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Logf (nil = log.Printf) receives connection lifecycle messages.
+	Logf func(string, ...any)
+}
+
+func (c *ResilientConfig) setDefaults() {
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Resilient is a daemon client that survives daemon restarts: when the
+// connection drops it redials with backoff, re-registers, and resyncs
+// the process's budget with the (possibly fresh) daemon. Budget calls
+// made while the link is down fail fast with ErrReconnecting — the SMA
+// treats that as exhaustion, so the process degrades instead of
+// blocking.
+//
+// It implements core.DaemonClient.
+type Resilient struct {
+	cfg  ResilientConfig
+	proc Process
+
+	mu     sync.Mutex
+	cli    *Client
+	closed bool
+
+	reconnects int
+}
+
+// DialResilient connects to the daemon and starts the reconnect watcher.
+// The initial dial must succeed; later failures are retried forever
+// (until Close).
+func DialResilient(cfg ResilientConfig, proc Process) (*Resilient, error) {
+	cfg.setDefaults()
+	if proc == nil {
+		return nil, errors.New("ipc: DialResilient needs a Process")
+	}
+	r := &Resilient{cfg: cfg, proc: proc}
+	cli, err := Dial(cfg.Network, cfg.Addr, cfg.Name, proc)
+	if err != nil {
+		return nil, err
+	}
+	r.cli = cli
+	go r.watch(cli)
+	return r, nil
+}
+
+// watch waits for the connection to die and then reconnects.
+func (r *Resilient) watch(cli *Client) {
+	<-cli.Done()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.cli = nil // fail calls fast while down
+	r.mu.Unlock()
+	r.cfg.Logf("ipc: lost daemon connection; reconnecting")
+
+	delay := r.cfg.Backoff
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Unlock()
+
+		next, err := Dial(r.cfg.Network, r.cfg.Addr, r.cfg.Name, r.proc)
+		if err == nil {
+			r.resync(next)
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				next.Close()
+				return
+			}
+			r.cli = next
+			r.reconnects++
+			r.mu.Unlock()
+			r.cfg.Logf("ipc: reconnected to daemon as proc %d", next.ProcID())
+			go r.watch(next)
+			return
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > r.cfg.MaxBackoff {
+			delay = r.cfg.MaxBackoff
+		}
+	}
+}
+
+// resync re-reserves the process's held soft memory with the daemon. A
+// restarted daemon has an empty ledger: without this step it would
+// over-grant the machine to others.
+func (r *Resilient) resync(cli *Client) {
+	u := r.proc.Usage()
+	want := r.proc.BudgetPages()
+	if want < u.UsedPages {
+		want = u.UsedPages
+	}
+	if want == 0 {
+		_ = cli.ReportUsage(u)
+		return
+	}
+	granted, err := cli.RequestBudget(want, u)
+	if err != nil {
+		r.cfg.Logf("ipc: budget resync failed: %v", err)
+		r.proc.ResetBudget(0)
+		return
+	}
+	r.proc.ResetBudget(granted)
+	if granted < want {
+		r.cfg.Logf("ipc: daemon re-granted %d of %d pages after restart", granted, want)
+	}
+}
+
+// current returns the live client or ErrReconnecting.
+func (r *Resilient) current() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.cli == nil {
+		return nil, ErrReconnecting
+	}
+	return r.cli, nil
+}
+
+// RequestBudget implements core.DaemonClient.
+func (r *Resilient) RequestBudget(pages int, u core.Usage) (int, error) {
+	cli, err := r.current()
+	if err != nil {
+		return 0, err
+	}
+	return cli.RequestBudget(pages, u)
+}
+
+// ReleaseBudget implements core.DaemonClient.
+func (r *Resilient) ReleaseBudget(pages int, u core.Usage) error {
+	cli, err := r.current()
+	if err != nil {
+		return err
+	}
+	return cli.ReleaseBudget(pages, u)
+}
+
+// Reconnects reports how many times the link has been re-established.
+func (r *Resilient) Reconnects() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reconnects
+}
+
+// Connected reports whether a live daemon connection exists right now.
+func (r *Resilient) Connected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cli != nil
+}
+
+// Close tears the client down permanently.
+func (r *Resilient) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	cli := r.cli
+	r.cli = nil
+	r.mu.Unlock()
+	if cli != nil {
+		return cli.Close()
+	}
+	return nil
+}
+
+var _ core.DaemonClient = (*Resilient)(nil)
+
+// String describes the client for diagnostics.
+func (r *Resilient) String() string {
+	return fmt.Sprintf("resilient(%s %s, %d reconnects)", r.cfg.Network, r.cfg.Addr, r.Reconnects())
+}

@@ -1,0 +1,193 @@
+package ipc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"softmem/internal/smd"
+)
+
+// Server exposes a smd.Daemon to remote processes. Each accepted
+// connection registers one process; when the connection drops, the
+// process is unregistered and its budget returns to the free pool —
+// process death is how soft memory ultimately comes back in the paper's
+// job-eviction world, too.
+type Server struct {
+	daemon *smd.Daemon
+	ln     net.Listener
+	logf   func(format string, args ...any)
+	// demandTimeout bounds how long one process's reclamation demand may
+	// stall the daemon. Default 30s; see SetDemandTimeout.
+	demandTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[*Conn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+}
+
+// NewServer wraps daemon; logf (nil = log.Printf) receives connection
+// lifecycle diagnostics.
+func NewServer(daemon *smd.Daemon, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{daemon: daemon, logf: logf, conns: make(map[*Conn]struct{}), demandTimeout: 30 * time.Second}
+}
+
+// SetDemandTimeout bounds reclamation demands to hung processes (0 =
+// wait forever). Call before Serve.
+func (s *Server) SetDemandTimeout(d time.Duration) { s.demandTimeout = d }
+
+// Listen binds the given network/address ("tcp", "127.0.0.1:7070" or
+// "unix", "/tmp/smd.sock") and returns the bound address.
+func (s *Server) Listen(network, addr string) (net.Addr, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipc: listen %s %s: %w", network, addr, err)
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Close. It returns nil after an orderly
+// shutdown.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("ipc: Serve before Listen")
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.done
+			s.mu.Unlock()
+			if done {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(nc)
+		}()
+	}
+}
+
+// Close stops accepting and tears down live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	conns := make([]*Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+// connTarget adapts a connection to smd.Target: a reclamation demand
+// becomes an RPC to the process.
+type connTarget struct {
+	conn    *Conn
+	timeout time.Duration
+}
+
+// HandleDemand implements smd.Target over the wire. A dead or hung peer
+// releases nothing; its unregistration returns the budget anyway.
+func (t *connTarget) HandleDemand(pages int) int {
+	var resp DemandResp
+	if err := t.conn.CallTimeout(KindDemand, DemandReq{Pages: pages}, &resp, t.timeout); err != nil {
+		return 0
+	}
+	return resp.Released
+}
+
+// serveConn drives one process's session.
+func (s *Server) serveConn(nc net.Conn) {
+	var (
+		proc *smd.Proc
+		name string
+	)
+	target := &connTarget{timeout: s.demandTimeout}
+	conn := NewConn(nc, func(kind string, body json.RawMessage) (any, error) {
+		switch kind {
+		case KindRegister:
+			var req RegisterReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			if proc != nil {
+				return nil, errors.New("ipc: duplicate registration")
+			}
+			name = req.Name
+			proc = s.daemon.Register(req.Name, target)
+			return RegisterResp{ProcID: int(proc.ID())}, nil
+		case KindRequestBudget:
+			if proc == nil {
+				return nil, errors.New("ipc: not registered")
+			}
+			var req BudgetReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			granted, err := proc.RequestBudget(req.Pages, req.Usage)
+			if err != nil {
+				return nil, err
+			}
+			return BudgetResp{Granted: granted}, nil
+		case KindReleaseBudget:
+			if proc == nil {
+				return nil, errors.New("ipc: not registered")
+			}
+			var req BudgetReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			return nil, proc.ReleaseBudget(req.Pages, req.Usage)
+		case KindReportUsage:
+			if proc == nil {
+				return nil, errors.New("ipc: not registered")
+			}
+			var req UsageReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, err
+			}
+			return nil, proc.ReportUsage(req.Usage)
+		default:
+			return nil, fmt.Errorf("ipc: unknown request %q", kind)
+		}
+	})
+	target.conn = conn
+
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+
+	err := conn.Serve()
+	if proc != nil {
+		s.daemon.Unregister(proc)
+		s.logf("ipc: process %q disconnected: %v", name, err)
+	}
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}

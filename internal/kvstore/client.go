@@ -1,0 +1,197 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Client is a minimal RESP client for the Server, used by the examples
+// and integration tests. It pipelines nothing: one request, one reply.
+// Safe for concurrent use (calls serialize).
+type Client struct {
+	mu sync.Mutex
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+}
+
+// DialClient connects to a kvstore server.
+func DialClient(network, addr string) (*Client, error) {
+	nc, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial: %w", err)
+	}
+	return &Client{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}, nil
+}
+
+// do sends one command as a RESP array and reads the reply.
+func (c *Client) do(args ...string) ([]byte, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.WriteString("*" + strconv.Itoa(len(args)) + "\r\n"); err != nil {
+		return nil, false, err
+	}
+	for _, a := range args {
+		if _, err := c.w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n" + a + "\r\n"); err != nil {
+			return nil, false, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, false, err
+	}
+	return readReply(c.r)
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	v, _, err := c.do("PING")
+	if err != nil {
+		return err
+	}
+	if string(v) != "PONG" {
+		return fmt.Errorf("kvstore: unexpected ping reply %q", v)
+	}
+	return nil
+}
+
+// Set stores value under key.
+func (c *Client) Set(key, value string) error {
+	_, _, err := c.do("SET", key, value)
+	return err
+}
+
+// Get fetches key; ok is false on miss (including reclaimed entries).
+func (c *Client) Get(key string) (string, bool, error) {
+	v, ok, err := c.do("GET", key)
+	return string(v), ok, err
+}
+
+// Value is one MGET result: OK reports presence.
+type Value struct {
+	S  string
+	OK bool
+}
+
+// MSet stores alternating key/value pairs.
+func (c *Client) MSet(pairs ...string) error {
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		return fmt.Errorf("kvstore: MSet needs key/value pairs, got %d args", len(pairs))
+	}
+	_, _, err := c.do(append([]string{"MSET"}, pairs...)...)
+	return err
+}
+
+// MGet fetches several keys in one round-trip; absent (or reclaimed)
+// keys come back with OK=false.
+func (c *Client) MGet(keys ...string) ([]Value, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	args := append([]string{"MGET"}, keys...)
+	if _, err := c.w.WriteString("*" + strconv.Itoa(len(args)) + "\r\n"); err != nil {
+		return nil, err
+	}
+	for _, a := range args {
+		if _, err := c.w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n" + a + "\r\n"); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	hdr, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	hdr = strings.TrimRight(hdr, "\r\n")
+	if len(hdr) == 0 || hdr[0] != '*' {
+		return nil, fmt.Errorf("kvstore: expected array reply, got %q", hdr)
+	}
+	n, err := strconv.Atoi(hdr[1:])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("kvstore: bad array header %q", hdr)
+	}
+	out := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		v, ok, err := readReply(c.r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Value{S: string(v), OK: ok})
+	}
+	return out, nil
+}
+
+// Incr adjusts the integer at key by delta and returns the new value.
+func (c *Client) Incr(key string, delta int64) (int64, error) {
+	v, _, err := c.do("INCRBY", key, strconv.FormatInt(delta, 10))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(string(v), 10, 64)
+}
+
+// Append appends data to key's value and returns the new length.
+func (c *Client) Append(key, data string) (int, error) {
+	v, _, err := c.do("APPEND", key, data)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(string(v))
+}
+
+// StrLen returns the length of key's value (0 if absent).
+func (c *Client) StrLen(key string) (int, error) {
+	v, _, err := c.do("STRLEN", key)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(string(v))
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int, error) {
+	args := append([]string{"DEL"}, keys...)
+	v, _, err := c.do(args...)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(string(v))
+}
+
+// DBSize returns the number of live entries.
+func (c *Client) DBSize() (int, error) {
+	v, _, err := c.do("DBSIZE")
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(string(v))
+}
+
+// Info returns the server's INFO text.
+func (c *Client) Info() (string, error) {
+	v, _, err := c.do("INFO")
+	return string(v), err
+}
+
+// FlushAll clears the store.
+func (c *Client) FlushAll() error {
+	_, _, err := c.do("FLUSHALL")
+	return err
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.WriteString("*1\r\n$4\r\nQUIT\r\n"); err == nil {
+		c.w.Flush()
+	}
+	return c.nc.Close()
+}

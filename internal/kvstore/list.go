@@ -1,0 +1,226 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"softmem/internal/sds"
+)
+
+// listElem addresses one element of one Redis-style list by its
+// monotonically assigned sequence number.
+type listElem struct {
+	key string
+	seq int64
+}
+
+// listStore implements LPUSH/RPUSH-style lists as a composed SDS —
+// exactly the shape of the paper's prototype, where Redis's "per-bucket
+// soft linked lists ... store their list elements in soft memory" while
+// structure metadata stays traditional. Elements live in a soft hash
+// table keyed by (key, seq); the per-key seq deque is traditional memory
+// cleaned up by the reclaim callback.
+//
+// Under pressure the table evicts in insertion order, so a list loses
+// its OLDEST elements first; the seq index tolerates holes.
+//
+// Lock ordering matches hashStore: SMA lock (inside sds calls) before
+// listStore.mu.
+type listStore struct {
+	ht *sds.SoftHashTable[listElem]
+
+	mu    sync.Mutex
+	seqs  map[string][]int64 // per key, ascending; holes appear on reclaim
+	next  int64
+	holes int64
+}
+
+func newListStore(table *sds.SoftHashTable[listElem]) *listStore {
+	return &listStore{ht: table, seqs: make(map[string][]int64)}
+}
+
+// dropElem removes a reclaimed element from the traditional index
+// (callback path; runs under the SMA lock, then takes mu).
+func (l *listStore) dropElem(e listElem) {
+	l.mu.Lock()
+	seqs := l.seqs[e.key]
+	// Binary search: seqs are ascending.
+	lo, hi := 0, len(seqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if seqs[mid] < e.seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(seqs) && seqs[lo] == e.seq {
+		l.seqs[e.key] = append(seqs[:lo], seqs[lo+1:]...)
+		if len(l.seqs[e.key]) == 0 {
+			delete(l.seqs, e.key)
+		}
+		l.holes++
+	}
+	l.mu.Unlock()
+}
+
+// push appends (right) or prepends (left) a value.
+func (l *listStore) push(key string, value []byte, left bool) (int, error) {
+	l.mu.Lock()
+	l.next++
+	seq := l.next
+	if left {
+		// Left pushes get sequence numbers below the current minimum;
+		// encode as negative of the counter to keep ordering stable.
+		seq = -l.next
+	}
+	l.mu.Unlock()
+
+	if err := l.ht.Put(listElem{key: key, seq: seq}, value); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	// Insert in sorted position: concurrent pushes may reach this point
+	// out of sequence order, and the index must stay ascending for
+	// dropElem's binary search.
+	seqs := l.seqs[key]
+	lo, hi := 0, len(seqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if seqs[mid] < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	seqs = append(seqs, 0)
+	copy(seqs[lo+1:], seqs[lo:])
+	seqs[lo] = seq
+	l.seqs[key] = seqs
+	n := len(seqs)
+	l.mu.Unlock()
+	return n, nil
+}
+
+// pop removes and returns the leftmost or rightmost live element.
+func (l *listStore) pop(key string, left bool) (value []byte, ok bool, err error) {
+	for {
+		l.mu.Lock()
+		seqs := l.seqs[key]
+		if len(seqs) == 0 {
+			l.mu.Unlock()
+			return nil, false, nil
+		}
+		var seq int64
+		if left {
+			seq = seqs[0]
+			l.seqs[key] = seqs[1:]
+		} else {
+			seq = seqs[len(seqs)-1]
+			l.seqs[key] = seqs[:len(seqs)-1]
+		}
+		if len(l.seqs[key]) == 0 {
+			delete(l.seqs, key)
+		}
+		l.mu.Unlock()
+
+		v, present, err := l.ht.Get(listElem{key: key, seq: seq})
+		if err != nil {
+			return nil, false, err
+		}
+		if !present {
+			continue // reclaimed between index read and fetch: skip the hole
+		}
+		if _, err := l.ht.Delete(listElem{key: key, seq: seq}); err != nil {
+			return nil, false, err
+		}
+		return v, true, nil
+	}
+}
+
+// rangeList returns live elements in positions [start, stop] with Redis
+// semantics (negative indices count from the end; stop is inclusive).
+func (l *listStore) rangeList(key string, start, stop int) ([][]byte, error) {
+	l.mu.Lock()
+	seqs := append([]int64(nil), l.seqs[key]...)
+	l.mu.Unlock()
+	n := len(seqs)
+	if n == 0 {
+		return nil, nil
+	}
+	if start < 0 {
+		start += n
+	}
+	if stop < 0 {
+		stop += n
+	}
+	if start < 0 {
+		start = 0
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	if start > stop {
+		return nil, nil
+	}
+	out := make([][]byte, 0, stop-start+1)
+	for _, seq := range seqs[start : stop+1] {
+		v, ok, err := l.ht.Get(listElem{key: key, seq: seq})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// seqKeyBytes approximates a list element's traditional index cost.
+func seqKeyBytes(e listElem) int { return len(e.key) + binary.Size(e.seq) + keyOverheadBytes }
+
+// LPush prepends values to key's list, returning its new length.
+func (s *Store) LPush(key string, values ...[]byte) (int, error) {
+	n := 0
+	for _, v := range values {
+		var err error
+		n, err = s.lists.push(key, v, true)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// RPush appends values to key's list, returning its new length.
+func (s *Store) RPush(key string, values ...[]byte) (int, error) {
+	n := 0
+	for _, v := range values {
+		var err error
+		n, err = s.lists.push(key, v, false)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// LPop removes and returns the head of key's list.
+func (s *Store) LPop(key string) ([]byte, bool, error) { return s.lists.pop(key, true) }
+
+// RPop removes and returns the tail of key's list.
+func (s *Store) RPop(key string) ([]byte, bool, error) { return s.lists.pop(key, false) }
+
+// LLen returns the number of indexed elements in key's list.
+func (s *Store) LLen(key string) int {
+	s.lists.mu.Lock()
+	defer s.lists.mu.Unlock()
+	return len(s.lists.seqs[key])
+}
+
+// LRange returns the live elements at positions [start, stop], Redis
+// semantics. Elements reclaimed under pressure are absent — the oldest
+// go first, like the paper's soft linked list.
+func (s *Store) LRange(key string, start, stop int) ([][]byte, error) {
+	return s.lists.rangeList(key, start, stop)
+}

@@ -1,0 +1,179 @@
+package kvstore
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"softmem/internal/metrics"
+	"softmem/internal/trace"
+)
+
+// LoadGenConfig parameterizes a YCSB-style workload against a kvstore
+// server.
+type LoadGenConfig struct {
+	// Addr is the server's RESP address.
+	Addr string
+	// Conns is the number of concurrent client connections. Default 4.
+	Conns int
+	// Requests is the total operation count. Default 10000.
+	Requests int
+	// ReadFraction is the GET share; the rest are SETs. Default 0.9.
+	ReadFraction float64
+	// Keys is the keyspace size; keys are Zipf-distributed. Default
+	// 10000.
+	Keys uint64
+	// Skew is the Zipf parameter (>1). Default 1.2.
+	Skew float64
+	// ValueBytes is the SET payload size. Default 256.
+	ValueBytes int
+	// RefillOnMiss re-SETs a key after a GET miss, modelling a cache in
+	// front of a database. Default true (set NoRefill to disable).
+	NoRefill bool
+	// Seed drives the key streams.
+	Seed int64
+}
+
+func (c *LoadGenConfig) setDefaults() {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 10000
+	}
+	if c.ReadFraction <= 0 {
+		c.ReadFraction = 0.9
+	}
+	if c.Keys == 0 {
+		c.Keys = 10000
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.2
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 256
+	}
+}
+
+// LoadGenResult summarizes a workload run.
+type LoadGenResult struct {
+	Requests   int
+	Elapsed    time.Duration
+	Throughput float64 // ops/sec
+	Gets       int64
+	Sets       int64
+	Hits       int64
+	Misses     int64
+	// GetLatency and SetLatency are in nanoseconds.
+	GetLatency *metrics.Histogram
+	SetLatency *metrics.Histogram
+}
+
+// HitRate returns the GET hit fraction.
+func (r LoadGenResult) HitRate() float64 {
+	if r.Gets == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Gets)
+}
+
+// Fprint renders the result.
+func (r LoadGenResult) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "requests=%d elapsed=%v throughput=%.0f ops/s hitrate=%.1f%%\n",
+		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, 100*r.HitRate())
+	fmt.Fprintf(w, "  GET p50=%s p95=%s p99=%s max=%s\n",
+		nsDur(r.GetLatency.Quantile(0.5)), nsDur(r.GetLatency.Quantile(0.95)),
+		nsDur(r.GetLatency.Quantile(0.99)), nsDur(r.GetLatency.Max()))
+	fmt.Fprintf(w, "  SET p50=%s p95=%s p99=%s max=%s\n",
+		nsDur(r.SetLatency.Quantile(0.5)), nsDur(r.SetLatency.Quantile(0.95)),
+		nsDur(r.SetLatency.Quantile(0.99)), nsDur(r.SetLatency.Max()))
+}
+
+func nsDur(ns float64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
+
+// RunLoad drives the configured workload and reports latency and hit
+// statistics. It is the measurement harness behind cmd/kvbench.
+func RunLoad(cfg LoadGenConfig) (LoadGenResult, error) {
+	cfg.setDefaults()
+	res := LoadGenResult{
+		Requests:   cfg.Requests,
+		GetLatency: metrics.NewHistogram(1.1),
+		SetLatency: metrics.NewHistogram(1.1),
+	}
+	var gets, sets, hits, misses int64
+	var mu sync.Mutex
+
+	perConn := cfg.Requests / cfg.Conns
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Conns)
+	start := time.Now()
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cli, err := DialClient("tcp", cfg.Addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			keys := trace.NewZipfKeys(cfg.Seed+int64(id), cfg.Keys, cfg.Skew)
+			opPick := trace.NewUniformKeys(cfg.Seed+1000+int64(id), 1000)
+			value := string(make([]byte, cfg.ValueBytes))
+			var g, s, h, m int64
+			for i := 0; i < perConn; i++ {
+				key := trace.Key(keys.Next())
+				if float64(opPick.Next()) < cfg.ReadFraction*1000 {
+					g++
+					t0 := time.Now()
+					_, ok, err := cli.Get(key)
+					res.GetLatency.ObserveDuration(time.Since(t0))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if ok {
+						h++
+						continue
+					}
+					m++
+					if !cfg.NoRefill {
+						s++
+						t0 = time.Now()
+						if err := cli.Set(key, value); err != nil {
+							errs <- err
+							return
+						}
+						res.SetLatency.ObserveDuration(time.Since(t0))
+					}
+				} else {
+					s++
+					t0 := time.Now()
+					if err := cli.Set(key, value); err != nil {
+						errs <- err
+						return
+					}
+					res.SetLatency.ObserveDuration(time.Since(t0))
+				}
+			}
+			mu.Lock()
+			gets += g
+			sets += s
+			hits += h
+			misses += m
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Gets, res.Sets, res.Hits, res.Misses = gets, sets, hits, misses
+	if res.Elapsed > 0 {
+		res.Throughput = float64(gets+sets) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The store speaks a subset of RESP (the Redis serialization protocol):
+// array-of-bulk-strings requests plus inline commands, and simple-string,
+// error, integer, bulk, and nil replies. Enough for redis-cli-style
+// interaction and for the experiments.
+
+// ErrProtocol reports malformed RESP input.
+var ErrProtocol = errors.New("kvstore: protocol error")
+
+// maxBulk bounds a single argument; larger input indicates a broken or
+// hostile client.
+const maxBulk = 8 << 20
+
+// readCommand parses one request: either a RESP array of bulk strings or
+// an inline whitespace-separated line. io.EOF means orderly end of
+// stream.
+func readCommand(r *bufio.Reader) ([]string, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, nil // empty line: ignore
+	}
+	if line[0] != '*' {
+		return strings.Fields(line), nil // inline command
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 || n > 1024 {
+		return nil, fmt.Errorf("%w: bad array header %q", ErrProtocol, line)
+	}
+	args := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		hdr, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, fmt.Errorf("%w: expected bulk header, got %q", ErrProtocol, hdr)
+		}
+		ln, err := strconv.Atoi(hdr[1:])
+		if err != nil || ln < 0 || ln > maxBulk {
+			return nil, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, hdr)
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if buf[ln] != '\r' || buf[ln+1] != '\n' {
+			return nil, fmt.Errorf("%w: bulk not CRLF-terminated", ErrProtocol)
+		}
+		args = append(args, string(buf[:ln]))
+	}
+	return args, nil
+}
+
+// readLine reads a CRLF- (or bare LF-) terminated line without the
+// terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+// Reply writers.
+
+func writeSimple(w *bufio.Writer, s string) error {
+	_, err := fmt.Fprintf(w, "+%s\r\n", s)
+	return err
+}
+
+func writeError(w *bufio.Writer, msg string) error {
+	_, err := fmt.Fprintf(w, "-ERR %s\r\n", msg)
+	return err
+}
+
+func writeInt(w *bufio.Writer, n int64) error {
+	_, err := fmt.Fprintf(w, ":%d\r\n", n)
+	return err
+}
+
+func writeBulk(w *bufio.Writer, b []byte) error {
+	if _, err := fmt.Fprintf(w, "$%d\r\n", len(b)); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.WriteString("\r\n")
+	return err
+}
+
+func writeNil(w *bufio.Writer) error {
+	_, err := w.WriteString("$-1\r\n")
+	return err
+}
+
+func writeArrayHeader(w *bufio.Writer, n int) error {
+	_, err := fmt.Fprintf(w, "*%d\r\n", n)
+	return err
+}
+
+// Reply reading (client side).
+
+// readReply parses one server reply. A nil bulk returns (nil, false,
+// nil).
+func readReply(r *bufio.Reader) (value []byte, ok bool, err error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(line) == 0 {
+		return nil, false, fmt.Errorf("%w: empty reply", ErrProtocol)
+	}
+	switch line[0] {
+	case '+':
+		return []byte(line[1:]), true, nil
+	case ':':
+		return []byte(line[1:]), true, nil
+	case '-':
+		return nil, false, errors.New(strings.TrimPrefix(line[1:], "ERR "))
+	case '$':
+		n, convErr := strconv.Atoi(line[1:])
+		if convErr != nil || n > maxBulk {
+			return nil, false, fmt.Errorf("%w: bad bulk length %q", ErrProtocol, line)
+		}
+		if n < 0 {
+			return nil, false, nil // nil reply
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, false, err
+		}
+		return buf[:n], true, nil
+	default:
+		return nil, false, fmt.Errorf("%w: unknown reply type %q", ErrProtocol, line)
+	}
+}

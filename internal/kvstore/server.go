@@ -1,0 +1,487 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"softmem/internal/pages"
+)
+
+// Server exposes a Store over the RESP protocol. Mutations serialize
+// inside the Store (the paper's Redis is single-threaded); the server
+// accepts many connections.
+type Server struct {
+	store *Store
+	logf  func(string, ...any)
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+}
+
+// NewServer wraps store; logf (nil = log.Printf) receives connection
+// diagnostics.
+func NewServer(store *Store, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{store: store, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds network/addr and returns the bound address.
+func (s *Server) Listen(network, addr string) (net.Addr, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Close.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("kvstore: Serve before Listen")
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.done
+			s.mu.Unlock()
+			if done {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(nc)
+			s.mu.Lock()
+			delete(s.conns, nc)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the server and closes live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer nc.Close()
+	r := bufio.NewReader(nc)
+	w := bufio.NewWriter(nc)
+	for {
+		args, err := readCommand(r)
+		if err != nil {
+			return // EOF or protocol failure: drop the connection
+		}
+		if len(args) == 0 {
+			continue
+		}
+		quit := s.execute(w, args)
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// execute runs one command, writing its reply. It reports whether the
+// connection should close.
+func (s *Server) execute(w *bufio.Writer, args []string) (quit bool) {
+	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "PING":
+		writeSimple(w, "PONG")
+	case "QUIT":
+		writeSimple(w, "OK")
+		return true
+	case "SET":
+		if len(args) != 3 {
+			writeError(w, "wrong number of arguments for 'set'")
+			return false
+		}
+		if err := s.store.Set(args[1], []byte(args[2])); err != nil {
+			writeError(w, "soft memory exhausted: "+err.Error())
+			return false
+		}
+		writeSimple(w, "OK")
+	case "GET":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'get'")
+			return false
+		}
+		v, ok, err := s.store.Get(args[1])
+		switch {
+		case err != nil:
+			writeError(w, err.Error())
+		case !ok:
+			writeNil(w)
+		default:
+			writeBulk(w, v)
+		}
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			writeError(w, "wrong number of arguments for 'mset'")
+			return false
+		}
+		for i := 1; i < len(args); i += 2 {
+			if err := s.store.Set(args[i], []byte(args[i+1])); err != nil {
+				writeError(w, "soft memory exhausted: "+err.Error())
+				return false
+			}
+		}
+		writeSimple(w, "OK")
+	case "MGET":
+		if len(args) < 2 {
+			writeError(w, "wrong number of arguments for 'mget'")
+			return false
+		}
+		writeArrayHeader(w, len(args)-1)
+		for _, k := range args[1:] {
+			v, ok, err := s.store.Get(k)
+			if err != nil || !ok {
+				writeNil(w)
+				continue
+			}
+			writeBulk(w, v)
+		}
+	case "INCR", "DECR", "INCRBY", "DECRBY":
+		delta := int64(1)
+		switch {
+		case cmd == "INCR" || cmd == "DECR":
+			if len(args) != 2 {
+				writeError(w, "wrong number of arguments")
+				return false
+			}
+		default:
+			if len(args) != 3 {
+				writeError(w, "wrong number of arguments")
+				return false
+			}
+			n, err := strconv.ParseInt(args[2], 10, 64)
+			if err != nil {
+				writeError(w, "value is not an integer or out of range")
+				return false
+			}
+			delta = n
+		}
+		if cmd == "DECR" || cmd == "DECRBY" {
+			delta = -delta
+		}
+		n, err := s.store.Incr(args[1], delta)
+		if err != nil {
+			writeError(w, err.Error())
+			return false
+		}
+		writeInt(w, n)
+	case "APPEND":
+		if len(args) != 3 {
+			writeError(w, "wrong number of arguments for 'append'")
+			return false
+		}
+		n, err := s.store.Append(args[1], []byte(args[2]))
+		if err != nil {
+			writeError(w, err.Error())
+			return false
+		}
+		writeInt(w, int64(n))
+	case "EXPIRE":
+		if len(args) != 3 {
+			writeError(w, "wrong number of arguments for 'expire'")
+			return false
+		}
+		secs, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil || secs < 0 {
+			writeError(w, "invalid expire time")
+			return false
+		}
+		if s.store.Expire(args[1], time.Duration(secs)*time.Second) {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "TTL":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'ttl'")
+			return false
+		}
+		d, exists, hasTTL := s.store.TTL(args[1])
+		switch {
+		case !exists:
+			writeInt(w, -2)
+		case !hasTTL:
+			writeInt(w, -1)
+		default:
+			// Round up, as Redis does: a fresh EXPIRE k 100 reports 100.
+			writeInt(w, int64((d+time.Second-1)/time.Second))
+		}
+	case "PERSIST":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'persist'")
+			return false
+		}
+		if s.store.Persist(args[1]) {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "STRLEN":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'strlen'")
+			return false
+		}
+		writeInt(w, int64(s.store.StrLen(args[1])))
+	case "LPUSH", "RPUSH":
+		if len(args) < 3 {
+			writeError(w, "wrong number of arguments")
+			return false
+		}
+		values := make([][]byte, 0, len(args)-2)
+		for _, v := range args[2:] {
+			values = append(values, []byte(v))
+		}
+		var n int
+		var err error
+		if cmd == "LPUSH" {
+			n, err = s.store.LPush(args[1], values...)
+		} else {
+			n, err = s.store.RPush(args[1], values...)
+		}
+		if err != nil {
+			writeError(w, "soft memory exhausted: "+err.Error())
+			return false
+		}
+		writeInt(w, int64(n))
+	case "LPOP", "RPOP":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments")
+			return false
+		}
+		var v []byte
+		var ok bool
+		var err error
+		if cmd == "LPOP" {
+			v, ok, err = s.store.LPop(args[1])
+		} else {
+			v, ok, err = s.store.RPop(args[1])
+		}
+		switch {
+		case err != nil:
+			writeError(w, err.Error())
+		case !ok:
+			writeNil(w)
+		default:
+			writeBulk(w, v)
+		}
+	case "LLEN":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'llen'")
+			return false
+		}
+		writeInt(w, int64(s.store.LLen(args[1])))
+	case "LRANGE":
+		if len(args) != 4 {
+			writeError(w, "wrong number of arguments for 'lrange'")
+			return false
+		}
+		start, err1 := strconv.Atoi(args[2])
+		stop, err2 := strconv.Atoi(args[3])
+		if err1 != nil || err2 != nil {
+			writeError(w, "value is not an integer or out of range")
+			return false
+		}
+		vals, err := s.store.LRange(args[1], start, stop)
+		if err != nil {
+			writeError(w, err.Error())
+			return false
+		}
+		writeArrayHeader(w, len(vals))
+		for _, v := range vals {
+			writeBulk(w, v)
+		}
+	case "HSET":
+		if len(args) != 4 {
+			writeError(w, "wrong number of arguments for 'hset'")
+			return false
+		}
+		created, err := s.store.HSet(args[1], args[2], []byte(args[3]))
+		if err != nil {
+			writeError(w, "soft memory exhausted: "+err.Error())
+			return false
+		}
+		if created {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "HGET":
+		if len(args) != 3 {
+			writeError(w, "wrong number of arguments for 'hget'")
+			return false
+		}
+		v, ok, err := s.store.HGet(args[1], args[2])
+		switch {
+		case err != nil:
+			writeError(w, err.Error())
+		case !ok:
+			writeNil(w)
+		default:
+			writeBulk(w, v)
+		}
+	case "HDEL":
+		if len(args) < 3 {
+			writeError(w, "wrong number of arguments for 'hdel'")
+			return false
+		}
+		n, err := s.store.HDel(args[1], args[2:]...)
+		if err != nil {
+			writeError(w, err.Error())
+			return false
+		}
+		writeInt(w, int64(n))
+	case "HLEN":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'hlen'")
+			return false
+		}
+		writeInt(w, int64(s.store.HLen(args[1])))
+	case "HEXISTS":
+		if len(args) != 3 {
+			writeError(w, "wrong number of arguments for 'hexists'")
+			return false
+		}
+		if s.store.HExists(args[1], args[2]) {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "HGETALL":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'hgetall'")
+			return false
+		}
+		all, err := s.store.HGetAll(args[1])
+		if err != nil {
+			writeError(w, err.Error())
+			return false
+		}
+		fields := make([]string, 0, len(all))
+		for f := range all {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		writeArrayHeader(w, 2*len(fields))
+		for _, f := range fields {
+			writeBulk(w, []byte(f))
+			writeBulk(w, all[f])
+		}
+	case "DEL":
+		if len(args) < 2 {
+			writeError(w, "wrong number of arguments for 'del'")
+			return false
+		}
+		n := int64(0)
+		for _, k := range args[1:] {
+			removed, err := s.store.Del(k)
+			if err != nil {
+				writeError(w, err.Error())
+				return false
+			}
+			if removed {
+				n++
+			}
+		}
+		writeInt(w, n)
+	case "EXISTS":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'exists'")
+			return false
+		}
+		if s.store.Exists(args[1]) {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "KEYS":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'keys'")
+			return false
+		}
+		keys, err := s.store.Keys(args[1])
+		if err != nil {
+			writeError(w, err.Error())
+			return false
+		}
+		writeArrayHeader(w, len(keys))
+		for _, k := range keys {
+			writeBulk(w, []byte(k))
+		}
+	case "DBSIZE":
+		writeInt(w, int64(s.store.Len()))
+	case "FLUSHALL":
+		if err := s.store.FlushAll(); err != nil {
+			writeError(w, err.Error())
+			return false
+		}
+		writeSimple(w, "OK")
+	case "INFO":
+		st := s.store.Stats()
+		hs := s.store.Context().HeapStats()
+		info := fmt.Sprintf(
+			"entries:%d\r\nsets:%d\r\ngets:%d\r\nhits:%d\r\nmisses:%d\r\nreclaimed:%d\r\nsoft_bytes:%d\r\nsoft_slot_bytes:%d\r\nsoft_pages:%d\r\nsoft_free_pages:%d\r\ntotal_allocs:%d\r\ntotal_frees:%d\r\n",
+			s.store.Len(), st.Sets, st.Gets, st.Hits, st.Misses, st.Reclaimed,
+			hs.LiveBytes, hs.SlotBytes, hs.PagesHeld, hs.FreePages, hs.TotalAllocs, hs.TotalFrees)
+		writeBulk(w, []byte(info))
+	default:
+		writeError(w, fmt.Sprintf("unknown command '%s'", args[0]))
+	}
+	return false
+}
+
+// PageSize re-exports the page size for INFO consumers.
+const PageSize = pages.Size

@@ -1,0 +1,291 @@
+// Package kvstore implements a small Redis-like in-memory key-value store
+// whose values live in soft memory — the paper's §5 integration, rebuilt
+// as a Go substrate.
+//
+// Like the paper's modified Redis, the store keeps its index and keys in
+// traditional memory and stores entry payloads in a soft hash table (one
+// SDS with its own heap). When the machine comes under memory pressure
+// and the daemon reclaims from the store, entries disappear oldest-first
+// and subsequent GETs return "not found"; a caching client re-fetches
+// from its database. The reclaim callback is where associated traditional
+// memory is cleaned up — the paper measures that cleanup as the dominant
+// reclamation cost.
+package kvstore
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/sds"
+)
+
+// keyOverheadBytes approximates the traditional-memory cost of one index
+// entry (map bucket share, entry struct, eviction links) on 64-bit
+// platforms.
+const keyOverheadBytes = 64
+
+// Config parameterizes a Store.
+type Config struct {
+	// SMA is the owning process's soft memory allocator (required).
+	SMA *core.SMA
+	// Name labels the store's SDS context. Default "kvstore".
+	Name string
+	// Policy selects the eviction order under reclamation. Default
+	// EvictOldest (insertion order, like the paper's bucket lists).
+	Policy sds.EvictPolicy
+	// Priority is the store's SDS reclamation priority.
+	Priority int
+	// OnReclaim runs for every entry revoked under memory pressure, after
+	// the store's own cleanup. Optional.
+	OnReclaim func(key string)
+	// CleanupWork, if > 0, performs that many iterations of synthetic
+	// traditional-memory cleanup per reclaimed entry, modelling the Redis
+	// callback work that dominated the paper's 3.75 s reclamation.
+	CleanupWork int
+	// Clock supplies the time for TTL expiry. Nil means time.Now;
+	// experiments inject virtual clocks.
+	Clock func() time.Time
+}
+
+// Stats counts store operations.
+type Stats struct {
+	Sets      int64
+	Gets      int64
+	Hits      int64
+	Misses    int64
+	Dels      int64
+	Reclaimed int64 // entries revoked under memory pressure
+}
+
+// Store is an embeddable soft-memory key-value store. All methods are
+// safe for concurrent use.
+type Store struct {
+	ht          *sds.SoftHashTable[string]
+	hashes      *hashStore
+	lists       *listStore
+	ttl         *ttlTable
+	expired     atomic.Int64
+	sets        atomic.Int64
+	gets        atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	dels        atomic.Int64
+	reclaimed   atomic.Int64
+	cleanupSink atomic.Int64
+}
+
+// New creates a store backed by one soft hash table in cfg.SMA.
+func New(cfg Config) *Store {
+	if cfg.SMA == nil {
+		panic("kvstore: Config.SMA is required")
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "kvstore"
+	}
+	s := &Store{ttl: newTTLTable(cfg.Clock)}
+	s.ht = sds.NewSoftHashTable[string](cfg.SMA, name, sds.HashTableConfig[string]{
+		Policy:   cfg.Policy,
+		Priority: cfg.Priority,
+		KeyBytes: func(k string) int { return len(k) + keyOverheadBytes },
+		OnReclaim: func(key string, _ []byte) {
+			s.reclaimed.Add(1)
+			s.ttl.clear(key)
+			// Synthetic traditional-memory cleanup, per the paper's
+			// observation that reclamation time "is spent almost
+			// exclusively in Redis code, invoked via the callback, that
+			// cleans up associated traditional memory".
+			sink := int64(0)
+			for i := 0; i < cfg.CleanupWork; i++ {
+				sink += int64(i ^ len(key))
+			}
+			s.cleanupSink.Add(sink)
+			if cfg.OnReclaim != nil {
+				cfg.OnReclaim(key)
+			}
+		},
+	})
+	hashTable := sds.NewSoftHashTable[hashField](cfg.SMA, name+"-hashes", sds.HashTableConfig[hashField]{
+		Policy:   cfg.Policy,
+		Priority: cfg.Priority,
+		KeyBytes: func(f hashField) int { return len(f.key) + len(f.field) + keyOverheadBytes },
+		OnReclaim: func(f hashField, _ []byte) {
+			s.reclaimed.Add(1)
+			s.hashes.dropField(f)
+		},
+	})
+	s.hashes = newHashStore(hashTable)
+	listTable := sds.NewSoftHashTable[listElem](cfg.SMA, name+"-lists", sds.HashTableConfig[listElem]{
+		Policy:   cfg.Policy,
+		Priority: cfg.Priority,
+		KeyBytes: seqKeyBytes,
+		OnReclaim: func(e listElem, _ []byte) {
+			s.reclaimed.Add(1)
+			s.lists.dropElem(e)
+		},
+	})
+	s.lists = newListStore(listTable)
+	return s
+}
+
+// Set stores value under key, replacing any existing value. It returns
+// core.ErrExhausted when soft memory cannot be obtained even after
+// machine-wide reclamation.
+func (s *Store) Set(key string, value []byte) error {
+	s.sets.Add(1)
+	return s.ht.Put(key, value)
+}
+
+// Get returns a copy of the value under key; ok is false on miss —
+// including entries revoked under memory pressure.
+func (s *Store) Get(key string) (value []byte, ok bool, err error) {
+	s.expireIfDue(key)
+	s.gets.Add(1)
+	value, ok, err = s.ht.Get(key)
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return value, ok, err
+}
+
+// Del removes key, reporting whether it existed.
+func (s *Store) Del(key string) (bool, error) {
+	s.dels.Add(1)
+	s.ttl.clear(key)
+	return s.ht.Delete(key)
+}
+
+// Exists reports whether key is present.
+func (s *Store) Exists(key string) bool {
+	s.expireIfDue(key)
+	return s.ht.Contains(key)
+}
+
+// Incr adjusts the integer stored at key by delta, creating it at delta
+// if absent, and returns the new value. It fails if the current value is
+// not an integer.
+func (s *Store) Incr(key string, delta int64) (int64, error) {
+	s.expireIfDue(key)
+	s.gets.Add(1)
+	cur, ok, err := s.ht.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	n := int64(0)
+	if ok {
+		s.hits.Add(1)
+		n, err = strconv.ParseInt(string(cur), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("kvstore: value at %q is not an integer", key)
+		}
+	} else {
+		s.misses.Add(1)
+	}
+	n += delta
+	s.sets.Add(1)
+	if err := s.ht.Put(key, []byte(strconv.FormatInt(n, 10))); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Append appends data to the value at key (creating it if absent) and
+// returns the new length.
+func (s *Store) Append(key string, data []byte) (int, error) {
+	s.expireIfDue(key)
+	s.gets.Add(1)
+	cur, ok, err := s.ht.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	next := append(cur, data...)
+	s.sets.Add(1)
+	if err := s.ht.Put(key, next); err != nil {
+		return 0, err
+	}
+	return len(next), nil
+}
+
+// StrLen returns the length of the value at key (0 if absent).
+func (s *Store) StrLen(key string) int {
+	s.expireIfDue(key)
+	v, ok, err := s.ht.Get(key)
+	if err != nil || !ok {
+		return 0
+	}
+	return len(v)
+}
+
+// Keys returns the keys matching a glob pattern (path.Match syntax,
+// which covers Redis's * and ? globs), sorted. An O(n) scan — use
+// sparingly, like Redis KEYS.
+func (s *Store) Keys(pattern string) ([]string, error) {
+	if _, err := path.Match(pattern, ""); err != nil {
+		return nil, fmt.Errorf("kvstore: bad pattern %q: %w", pattern, err)
+	}
+	var out []string
+	if err := s.ht.Range(func(k string, _ []byte) bool {
+		if ok, _ := path.Match(pattern, k); ok {
+			out = append(out, k)
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int { return s.ht.Len() }
+
+// FlushAll removes every entry.
+func (s *Store) FlushAll() error {
+	var keys []string
+	if err := s.ht.Range(func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := s.ht.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Sets:      s.sets.Load(),
+		Gets:      s.gets.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Dels:      s.dels.Load(),
+		Reclaimed: s.reclaimed.Load(),
+	}
+}
+
+// Context exposes the store's SDS context (for stats and priority).
+func (s *Store) Context() *core.Context { return s.ht.Context() }
+
+// Close frees the store's soft memory.
+func (s *Store) Close() {
+	s.ht.Close()
+	s.hashes.ht.Close()
+	s.lists.ht.Close()
+}

@@ -1,0 +1,132 @@
+package kvstore
+
+import (
+	"sync"
+	"time"
+)
+
+// ttlTable tracks per-key expiry deadlines in traditional memory.
+// Expiration is lazy (checked on access) plus sweepable: expired entries
+// free their soft memory voluntarily, which is cheaper than waiting for
+// a reclamation demand to take them.
+type ttlTable struct {
+	mu  sync.Mutex
+	m   map[string]time.Time
+	now func() time.Time
+}
+
+func newTTLTable(now func() time.Time) *ttlTable {
+	if now == nil {
+		now = time.Now
+	}
+	return &ttlTable{m: make(map[string]time.Time), now: now}
+}
+
+// set records a deadline for key.
+func (t *ttlTable) set(key string, deadline time.Time) {
+	t.mu.Lock()
+	t.m[key] = deadline
+	t.mu.Unlock()
+}
+
+// clear removes key's deadline, reporting whether one existed.
+func (t *ttlTable) clear(key string) bool {
+	t.mu.Lock()
+	_, ok := t.m[key]
+	delete(t.m, key)
+	t.mu.Unlock()
+	return ok
+}
+
+// due reports whether key has an expired deadline.
+func (t *ttlTable) due(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dl, ok := t.m[key]
+	return ok && !t.now().Before(dl)
+}
+
+// remaining returns the time left (hasTTL=false when none set).
+func (t *ttlTable) remaining(key string) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dl, ok := t.m[key]
+	if !ok {
+		return 0, false
+	}
+	d := dl.Sub(t.now())
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// expired returns all keys whose deadline has passed.
+func (t *ttlTable) expired() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	var out []string
+	for k, dl := range t.m {
+		if !now.Before(dl) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Expire sets key's time-to-live, reporting whether the key exists.
+func (s *Store) Expire(key string, d time.Duration) bool {
+	if !s.ht.Contains(key) {
+		return false
+	}
+	s.ttl.set(key, s.ttl.now().Add(d))
+	return true
+}
+
+// TTL reports key's remaining time-to-live. exists is false for missing
+// keys; hasTTL is false for keys without a deadline.
+func (s *Store) TTL(key string) (d time.Duration, exists, hasTTL bool) {
+	s.expireIfDue(key)
+	if !s.ht.Contains(key) {
+		return 0, false, false
+	}
+	d, hasTTL = s.ttl.remaining(key)
+	return d, true, hasTTL
+}
+
+// Persist removes key's time-to-live, reporting whether one was removed.
+func (s *Store) Persist(key string) bool {
+	if !s.ht.Contains(key) {
+		return false
+	}
+	return s.ttl.clear(key)
+}
+
+// expireIfDue lazily removes an expired key, freeing its soft memory.
+func (s *Store) expireIfDue(key string) {
+	if s.ttl.due(key) {
+		s.ttl.clear(key)
+		if removed, _ := s.ht.Delete(key); removed {
+			s.expired.Add(1)
+		}
+	}
+}
+
+// SweepExpired removes every expired key, returning how many were
+// collected. Servers call it periodically so idle expired entries do not
+// linger in soft memory.
+func (s *Store) SweepExpired() int {
+	n := 0
+	for _, key := range s.ttl.expired() {
+		s.ttl.clear(key)
+		if removed, _ := s.ht.Delete(key); removed {
+			s.expired.Add(1)
+			n++
+		}
+	}
+	return n
+}
+
+// Expired returns the number of entries collected by TTL expiry.
+func (s *Store) Expired() int64 { return s.expired.Load() }

@@ -1,0 +1,294 @@
+// Package metrics provides the small measurement toolkit used by the
+// experiment harness: counters, time series (for the Figure 2 timeline),
+// and log-bucketed histograms with percentile summaries (for latency
+// distributions in the KV store and cluster simulator).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increases the counter by delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Gauge is a settable instantaneous value safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge's value by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Point is one sample in a time series.
+type Point struct {
+	T time.Duration // time offset from the experiment's epoch
+	V float64
+}
+
+// TimeSeries records (time, value) samples in append order. It is safe for
+// concurrent use.
+type TimeSeries struct {
+	mu     sync.Mutex
+	name   string
+	points []Point
+}
+
+// NewTimeSeries returns an empty series with the given display name.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{name: name}
+}
+
+// Name returns the series' display name.
+func (ts *TimeSeries) Name() string { return ts.name }
+
+// Record appends a sample.
+func (ts *TimeSeries) Record(t time.Duration, v float64) {
+	ts.mu.Lock()
+	ts.points = append(ts.points, Point{T: t, V: v})
+	ts.mu.Unlock()
+}
+
+// Points returns a copy of the recorded samples.
+func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Point, len(ts.points))
+	copy(out, ts.points)
+	return out
+}
+
+// Len returns the number of recorded samples.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.points)
+}
+
+// Last returns the most recent sample and whether one exists.
+func (ts *TimeSeries) Last() (Point, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.points) == 0 {
+		return Point{}, false
+	}
+	return ts.points[len(ts.points)-1], true
+}
+
+// At returns the value in effect at time t: the value of the latest sample
+// with T <= t, or 0 if t precedes all samples (step interpolation).
+func (ts *TimeSeries) At(t time.Duration) float64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	i := sort.Search(len(ts.points), func(i int) bool { return ts.points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return ts.points[i-1].V
+}
+
+// Table renders one or more series sharing a time axis as an aligned text
+// table, sampling each series at every recorded timestamp (step
+// interpolation). This is how the harness prints Figure 2.
+func Table(series ...*TimeSeries) string {
+	stamps := map[time.Duration]struct{}{}
+	for _, s := range series {
+		for _, p := range s.Points() {
+			stamps[p.T] = struct{}{}
+		}
+	}
+	times := make([]time.Duration, 0, len(stamps))
+	for t := range stamps {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s", "time(s)")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %20s", s.Name())
+	}
+	b.WriteByte('\n')
+	for _, t := range times {
+		fmt.Fprintf(&b, "%12.2f", t.Seconds())
+		for _, s := range series {
+			fmt.Fprintf(&b, " %20.3f", s.At(t))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Histogram is a log-bucketed histogram of non-negative values (typically
+// nanosecond latencies). Buckets grow geometrically by growth per bucket
+// starting at 1.0, giving bounded relative error on percentile estimates.
+// It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	growth  float64
+	logG    float64
+	buckets []int64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram returns a histogram with the given per-bucket growth factor.
+// A growth of 1.1 gives at most ~5% relative error on reported quantiles.
+func NewHistogram(growth float64) *Histogram {
+	if growth <= 1 {
+		panic("metrics: histogram growth must be > 1")
+	}
+	return &Histogram{growth: growth, logG: math.Log(growth), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records a single non-negative value.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	idx := 0
+	if v >= 1 {
+		idx = 1 + int(math.Log(v)/h.logG)
+	}
+	h.mu.Lock()
+	for len(h.buckets) <= idx {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all observations, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-th quantile (0 <= q <= 1). The
+// estimate is the upper bound of the bucket containing the target rank, so
+// it overestimates by at most the bucket's growth factor.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			if i == 0 {
+				return 1
+			}
+			upper := math.Pow(h.growth, float64(i))
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Summary renders count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}

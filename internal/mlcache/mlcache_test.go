@@ -1,0 +1,159 @@
+package mlcache
+
+import (
+	"testing"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+func newTrainer(t *testing.T, machinePages, samples, sampleBytes int) (*Trainer, *core.SMA) {
+	t.Helper()
+	sma := core.New(core.Config{Machine: pages.NewPool(machinePages)})
+	tr := New(Config{SMA: sma, Samples: samples, SampleBytes: sampleBytes, Seed: 1})
+	t.Cleanup(tr.Close)
+	return tr, sma
+}
+
+func TestFirstEpochAllMisses(t *testing.T) {
+	tr, _ := newTrainer(t, 0, 100, 1024)
+	st, err := tr.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses != 100 || st.Hits != 0 {
+		t.Fatalf("cold epoch: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if st.CacheLen != 100 {
+		t.Fatalf("cache holds %d after cold epoch", st.CacheLen)
+	}
+}
+
+func TestSecondEpochAllHits(t *testing.T) {
+	tr, _ := newTrainer(t, 0, 100, 1024)
+	if _, err := tr.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 100 || st.Misses != 0 {
+		t.Fatalf("warm epoch: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if st.HitRate() != 1.0 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+	// Warm epoch is much faster than cold.
+	cold := 100 * time.Millisecond // 100 misses × 1ms default
+	if st.Time >= cold/10 {
+		t.Fatalf("warm epoch time %v not much faster than cold %v", st.Time, cold)
+	}
+}
+
+func TestEpochVisitsEachSampleOnce(t *testing.T) {
+	tr, _ := newTrainer(t, 0, 64, 128)
+	st, err := tr.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits+st.Misses != 64 {
+		t.Fatalf("epoch touched %d samples, want 64", st.Hits+st.Misses)
+	}
+}
+
+func TestReclamationSlowsNextEpochThenRecovers(t *testing.T) {
+	tr, sma := newTrainer(t, 0, 200, 2048)
+	if _, err := tr.RunEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	warm, _ := tr.RunEpoch()
+	if warm.HitRate() != 1.0 {
+		t.Fatalf("warm hit rate %v", warm.HitRate())
+	}
+	// Reclaim half the cache (200 × 2 KiB = 100 pages).
+	released := sma.HandleDemand(50)
+	if released != 50 {
+		t.Fatalf("released %d pages", released)
+	}
+	squeezed, err := tr.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if squeezed.Misses == 0 {
+		t.Fatal("no misses after reclamation")
+	}
+	if squeezed.Time <= warm.Time {
+		t.Fatalf("squeezed epoch %v not slower than warm %v", squeezed.Time, warm.Time)
+	}
+	// The misses repopulated the cache; next epoch is warm again.
+	recovered, _ := tr.RunEpoch()
+	if recovered.HitRate() != 1.0 {
+		t.Fatalf("recovered hit rate %v, want 1.0", recovered.HitRate())
+	}
+	if recovered.Time >= squeezed.Time {
+		t.Fatalf("recovered epoch %v not faster than squeezed %v", recovered.Time, squeezed.Time)
+	}
+}
+
+func TestBoundedSoftMemoryDegradesGracefully(t *testing.T) {
+	// Machine pool holds only 32 pages but dataset needs 100: training
+	// proceeds uncached for the overflow instead of failing.
+	tr, _ := newTrainer(t, 32, 100, 4096)
+	for i := 0; i < 3; i++ {
+		st, err := tr.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Hits+st.Misses != 100 {
+			t.Fatalf("epoch %d incomplete", i)
+		}
+	}
+	if tr.CacheLen() > 32 {
+		t.Fatalf("cache exceeds machine capacity: %d entries", tr.CacheLen())
+	}
+}
+
+func TestDeterministicEpochs(t *testing.T) {
+	a, _ := newTrainer(t, 0, 50, 256)
+	b, _ := newTrainer(t, 0, 50, 256)
+	for i := 0; i < 3; i++ {
+		sa, errA := a.RunEpoch()
+		sb, errB := b.RunEpoch()
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if sa != sb {
+			t.Fatalf("epoch %d diverged: %+v vs %+v", i, sa, sb)
+		}
+	}
+}
+
+func TestEpochStatsString(t *testing.T) {
+	s := EpochStats{Epoch: 1, Time: time.Second, Hits: 1, Misses: 1}
+	if s.String() == "" || s.HitRate() != 0.5 {
+		t.Fatal("stats rendering wrong")
+	}
+	if (EpochStats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	for _, cfg := range []Config{
+		{},
+		{SMA: sma, Samples: 0, SampleBytes: 10},
+		{SMA: sma, Samples: 10, SampleBytes: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -1,0 +1,206 @@
+// Package pages simulates the machine's physical page frames.
+//
+// The paper's prototype hands 4 KiB pages between process heaps, a global
+// free pool, and the operating system, and tracks released virtual pages so
+// they can be re-backed with physical frames before a heap grows again. In
+// Go we cannot revoke real OS pages, so this package provides the
+// equivalent substrate: a Pool with a fixed physical capacity that hands
+// out Page objects. A released Page drops its backing buffer (the analogue
+// of returning the frame to the OS) and a page's buffer is materialized
+// lazily on first touch (the analogue of demand paging), so experiments
+// that never write payload bytes stay cheap.
+package pages
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Size is the page size in bytes, matching the 4 KiB pages in the paper's
+// prototype and on x86-64.
+const Size = 4096
+
+// ErrExhausted is returned by Pool.Acquire when the pool's physical
+// capacity would be exceeded. It models a machine out of (soft) memory.
+var ErrExhausted = errors.New("pages: pool exhausted")
+
+// ID identifies a page for the lifetime of its pool. IDs are never reused,
+// which makes use-after-release bugs detectable.
+type ID uint64
+
+// Page is one 4 KiB frame leased from a Pool. A Page is valid from
+// Acquire until Release; using it afterwards panics.
+type Page struct {
+	id   ID
+	pool *Pool
+	buf  []byte
+	held bool
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() ID { return p.id }
+
+// Bytes returns the page's 4 KiB backing buffer, materializing it on first
+// touch. It panics if the page has been released: touching a reclaimed
+// page is precisely the use-after-free soft memory must prevent, so it is
+// a hard programming error here.
+func (p *Page) Bytes() []byte {
+	if !p.held {
+		panic(fmt.Sprintf("pages: access to released page %d", p.id))
+	}
+	if p.buf == nil {
+		p.buf = make([]byte, Size)
+	}
+	return p.buf
+}
+
+// Held reports whether the page is currently leased from its pool.
+func (p *Page) Held() bool { return p.held }
+
+// Stats is a snapshot of a pool's accounting.
+type Stats struct {
+	Capacity  int // physical frames available, 0 = unlimited
+	InUse     int // frames currently leased
+	HighWater int // maximum simultaneous leases observed
+	Acquires  int64
+	Releases  int64
+}
+
+// Free returns the number of frames available to lease, or -1 when the
+// pool is unlimited.
+func (s Stats) Free() int {
+	if s.Capacity == 0 {
+		return -1
+	}
+	return s.Capacity - s.InUse
+}
+
+// Pool is the machine-wide physical frame allocator. It is safe for
+// concurrent use.
+type Pool struct {
+	mu        sync.Mutex
+	capacity  int
+	inUse     int
+	highWater int
+	acquires  int64
+	releases  int64
+	nextID    ID
+}
+
+// NewPool returns a pool with the given physical capacity in pages. A
+// capacity of zero or less means unlimited, used by baselines that model
+// an unconstrained machine.
+func NewPool(capacityPages int) *Pool {
+	if capacityPages < 0 {
+		capacityPages = 0
+	}
+	return &Pool{capacity: capacityPages}
+}
+
+// Acquire leases n pages, all-or-nothing. It returns ErrExhausted without
+// side effects if fewer than n frames are free.
+func (p *Pool) Acquire(n int) ([]*Page, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("pages: Acquire(%d): negative count", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity > 0 && p.inUse+n > p.capacity {
+		return nil, fmt.Errorf("%w: want %d, free %d", ErrExhausted, n, p.capacity-p.inUse)
+	}
+	out := make([]*Page, n)
+	for i := range out {
+		p.nextID++
+		out[i] = &Page{id: p.nextID, pool: p, held: true}
+	}
+	p.inUse += n
+	p.acquires += int64(n)
+	if p.inUse > p.highWater {
+		p.highWater = p.inUse
+	}
+	return out, nil
+}
+
+// AcquireOne leases a single page.
+func (p *Pool) AcquireOne() (*Page, error) {
+	pgs, err := p.Acquire(1)
+	if err != nil {
+		return nil, err
+	}
+	return pgs[0], nil
+}
+
+// Release returns pages to the pool, dropping their backing buffers (the
+// analogue of the prototype releasing pages back to the operating system
+// upon a reclamation demand). Releasing a page twice or releasing a page
+// from another pool panics: both are accounting bugs that would silently
+// corrupt every experiment.
+func (p *Pool) Release(pgs ...*Page) {
+	if len(pgs) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pg := range pgs {
+		if pg.pool != p {
+			panic(fmt.Sprintf("pages: page %d released to wrong pool", pg.id))
+		}
+		if !pg.held {
+			panic(fmt.Sprintf("pages: double release of page %d", pg.id))
+		}
+		pg.held = false
+		pg.buf = nil
+	}
+	p.inUse -= len(pgs)
+	p.releases += int64(len(pgs))
+}
+
+// Capacity returns the pool's physical capacity (0 = unlimited).
+func (p *Pool) Capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
+}
+
+// InUse returns the number of frames currently leased.
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
+
+// Free returns the number of leasable frames, or -1 when unlimited.
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity == 0 {
+		return -1
+	}
+	return p.capacity - p.inUse
+}
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Capacity:  p.capacity,
+		InUse:     p.inUse,
+		HighWater: p.highWater,
+		Acquires:  p.acquires,
+		Releases:  p.releases,
+	}
+}
+
+// BytesToPages converts a byte count to the number of pages needed to hold
+// it, rounding up.
+func BytesToPages(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + Size - 1) / Size
+}

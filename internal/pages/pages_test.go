@@ -1,0 +1,233 @@
+package pages
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	p := NewPool(10)
+	pgs, err := p.Acquire(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pgs) != 4 {
+		t.Fatalf("got %d pages, want 4", len(pgs))
+	}
+	if p.InUse() != 4 || p.Free() != 6 {
+		t.Fatalf("InUse=%d Free=%d, want 4/6", p.InUse(), p.Free())
+	}
+	p.Release(pgs...)
+	if p.InUse() != 0 || p.Free() != 10 {
+		t.Fatalf("after release InUse=%d Free=%d", p.InUse(), p.Free())
+	}
+}
+
+func TestAcquireExhausted(t *testing.T) {
+	p := NewPool(3)
+	if _, err := p.Acquire(4); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	// All-or-nothing: failed acquire must not leak partial leases.
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d after failed acquire, want 0", p.InUse())
+	}
+	pgs, err := p.Acquire(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AcquireOne(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted when full", err)
+	}
+	p.Release(pgs...)
+}
+
+func TestUnlimitedPool(t *testing.T) {
+	p := NewPool(0)
+	pgs, err := p.Acquire(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != -1 {
+		t.Fatalf("Free() = %d for unlimited pool, want -1", p.Free())
+	}
+	p.Release(pgs...)
+}
+
+func TestPageBytesLazyAndSized(t *testing.T) {
+	p := NewPool(1)
+	pg, err := p.AcquireOne()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pg.Bytes()
+	if len(b) != Size {
+		t.Fatalf("len(Bytes()) = %d, want %d", len(b), Size)
+	}
+	b[0] = 0xAB
+	if pg.Bytes()[0] != 0xAB {
+		t.Fatal("page buffer not stable across Bytes() calls")
+	}
+	p.Release(pg)
+}
+
+func TestReleasedPageAccessPanics(t *testing.T) {
+	p := NewPool(1)
+	pg, _ := p.AcquireOne()
+	p.Release(pg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes() on released page did not panic")
+		}
+	}()
+	pg.Bytes()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool(1)
+	pg, _ := p.AcquireOne()
+	p.Release(pg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p.Release(pg)
+}
+
+func TestCrossPoolReleasePanics(t *testing.T) {
+	a := NewPool(1)
+	b := NewPool(1)
+	pg, _ := a.AcquireOne()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-pool release did not panic")
+		}
+		a.Release(pg)
+	}()
+	b.Release(pg)
+}
+
+func TestReleaseDropsBacking(t *testing.T) {
+	p := NewPool(2)
+	pg, _ := p.AcquireOne()
+	pg.Bytes()[7] = 0x77
+	p.Release(pg)
+	if pg.buf != nil {
+		t.Fatal("release did not drop backing buffer")
+	}
+}
+
+func TestIDsNeverReused(t *testing.T) {
+	p := NewPool(1)
+	seen := map[ID]bool{}
+	for i := 0; i < 100; i++ {
+		pg, err := p.AcquireOne()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[pg.ID()] {
+			t.Fatalf("page ID %d reused", pg.ID())
+		}
+		seen[pg.ID()] = true
+		p.Release(pg)
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := NewPool(8)
+	pgs, _ := p.Acquire(5)
+	p.Release(pgs[0], pgs[1])
+	st := p.Stats()
+	if st.Capacity != 8 || st.InUse != 3 || st.HighWater != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Acquires != 5 || st.Releases != 2 {
+		t.Fatalf("acquires/releases = %d/%d", st.Acquires, st.Releases)
+	}
+	if st.Free() != 5 {
+		t.Fatalf("Free() = %d, want 5", st.Free())
+	}
+	p.Release(pgs[2], pgs[3], pgs[4])
+}
+
+func TestAcquireZeroAndNegative(t *testing.T) {
+	p := NewPool(1)
+	pgs, err := p.Acquire(0)
+	if err != nil || pgs != nil {
+		t.Fatalf("Acquire(0) = %v, %v", pgs, err)
+	}
+	if _, err := p.Acquire(-1); err == nil {
+		t.Fatal("Acquire(-1) did not error")
+	}
+}
+
+func TestConcurrentAcquireReleaseConserves(t *testing.T) {
+	p := NewPool(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pgs, err := p.Acquire(4)
+				if err != nil {
+					continue // pool momentarily full; fine
+				}
+				p.Release(pgs...)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d after all releases, want 0", p.InUse())
+	}
+}
+
+func TestBytesToPages(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {Size, 1}, {Size + 1, 2}, {10 << 20, 2560},
+	}
+	for _, c := range cases {
+		if got := BytesToPages(c.in); got != c.want {
+			t.Errorf("BytesToPages(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: for any sequence of acquires and releases, InUse equals
+// acquired minus released and never exceeds capacity.
+func TestPoolConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const capacity = 32
+		p := NewPool(capacity)
+		var held []*Page
+		acquired, released := 0, 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				n := int(op%5) + 1
+				pgs, err := p.Acquire(n)
+				if err == nil {
+					held = append(held, pgs...)
+					acquired += n
+				}
+			} else if len(held) > 0 {
+				p.Release(held[len(held)-1])
+				held = held[:len(held)-1]
+				released++
+			}
+			if p.InUse() != acquired-released {
+				return false
+			}
+			if p.InUse() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package sds
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+var _ io.Writer = (*SoftBuffer)(nil)
+
+func newBuffer(sma *core.SMA, chunk int) *SoftBuffer {
+	return NewSoftBuffer(sma, "buf", BufferConfig{ChunkBytes: chunk})
+}
+
+func TestBufferWriteRead(t *testing.T) {
+	b := newBuffer(newSMA(), 4096)
+	defer b.Close()
+	data := []byte("hello, soft world")
+	n, err := b.Write(data)
+	if err != nil || n != len(data) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if b.Size() != int64(len(data)) || b.Start() != 0 {
+		t.Fatalf("Size/Start = %d/%d", b.Size(), b.Start())
+	}
+	got := make([]byte, len(data))
+	if _, err := b.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q", got)
+	}
+	// Partial read at offset.
+	part := make([]byte, 4)
+	if _, err := b.ReadAt(part, 7); err != nil {
+		t.Fatal(err)
+	}
+	if string(part) != "soft" {
+		t.Fatalf("offset read %q", part)
+	}
+}
+
+func TestBufferSpansChunks(t *testing.T) {
+	b := newBuffer(newSMA(), 1024)
+	defer b.Close()
+	data := make([]byte, 5000) // crosses 4 chunk boundaries
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if _, err := b.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := b.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-chunk data mismatch")
+	}
+	// A read crossing a chunk boundary.
+	span := make([]byte, 100)
+	if _, err := b.ReadAt(span, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(span, data[1000:1100]) {
+		t.Fatal("boundary-crossing read mismatch")
+	}
+}
+
+func TestBufferReadPastEnd(t *testing.T) {
+	b := newBuffer(newSMA(), 1024)
+	defer b.Close()
+	b.Write([]byte("abc"))
+	buf := make([]byte, 10)
+	if _, err := b.ReadAt(buf, 0); err == nil {
+		t.Fatal("read past end did not error")
+	}
+}
+
+func TestBufferReclaimDropsOldestChunks(t *testing.T) {
+	sma := newSMA()
+	var lost int64
+	b := NewSoftBuffer(sma, "buf", BufferConfig{
+		ChunkBytes: 4096,
+		OnReclaim:  func(n int64) { lost += n },
+	})
+	defer b.Close()
+	data := make([]byte, 4096)
+	for i := 0; i < 8; i++ {
+		data[0] = byte(i)
+		if _, err := b.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if released := sma.HandleDemand(3); released != 3 {
+		t.Fatalf("released %d", released)
+	}
+	if b.Start() != 3*4096 {
+		t.Fatalf("Start = %d, want %d", b.Start(), 3*4096)
+	}
+	if lost != 3*4096 || b.ReclaimedBytes() != 3*4096 {
+		t.Fatalf("lost = %d, ReclaimedBytes = %d", lost, b.ReclaimedBytes())
+	}
+	// Reads below Start fail with ErrReclaimed.
+	buf := make([]byte, 1)
+	if _, err := b.ReadAt(buf, 0); !errors.Is(err, ErrReclaimed) {
+		t.Fatalf("read of reclaimed range = %v", err)
+	}
+	// Surviving range is intact: chunk 3 starts with byte(3).
+	if _, err := b.ReadAt(buf, 3*4096); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 3 {
+		t.Fatalf("surviving byte = %d, want 3", buf[0])
+	}
+}
+
+func TestBufferDiscard(t *testing.T) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	b := newBuffer(sma, 4096)
+	defer b.Close()
+	data := make([]byte, 4096)
+	for i := 0; i < 4; i++ {
+		b.Write(data)
+	}
+	if err := b.Discard(2 * 4096); err != nil {
+		t.Fatal(err)
+	}
+	if b.Start() != 2*4096 {
+		t.Fatalf("Start = %d after Discard", b.Start())
+	}
+	if b.Retained() != 2*4096 {
+		t.Fatalf("Retained = %d", b.Retained())
+	}
+	// Discard never drops the partial tail.
+	b.Write([]byte("tail"))
+	if err := b.Discard(b.Size()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := b.ReadAt(buf, b.Size()-4); err != nil {
+		t.Fatalf("partial tail dropped: %v", err)
+	}
+	if string(buf) != "tail" {
+		t.Fatalf("tail = %q", buf)
+	}
+}
+
+func TestBufferPartialTailReclaimedLast(t *testing.T) {
+	sma := newSMA()
+	b := newBuffer(sma, 4096)
+	defer b.Close()
+	full := make([]byte, 4096)
+	b.Write(full)
+	b.Write([]byte("partial"))
+	// One-page demand should take the full oldest chunk, not the tail.
+	if released := sma.HandleDemand(1); released != 1 {
+		t.Fatalf("released %d", released)
+	}
+	buf := make([]byte, 7)
+	if _, err := b.ReadAt(buf, 4096); err != nil {
+		t.Fatalf("tail unreadable after reclaim: %v", err)
+	}
+	if string(buf) != "partial" {
+		t.Fatalf("tail = %q", buf)
+	}
+}
+
+func TestBufferDefaultChunk(t *testing.T) {
+	b := NewSoftBuffer(newSMA(), "buf", BufferConfig{})
+	defer b.Close()
+	if b.chunkSize != 64<<10 {
+		t.Fatalf("default chunk = %d", b.chunkSize)
+	}
+}
+
+func TestBufferExhaustionShortWrite(t *testing.T) {
+	sma := core.New(core.Config{Machine: pages.NewPool(2)}) // 8 KiB
+	b := newBuffer(sma, 4096)
+	defer b.Close()
+	data := make([]byte, 3*4096)
+	n, err := b.Write(data)
+	if err == nil {
+		t.Fatal("write beyond capacity succeeded")
+	}
+	if n != 2*4096 {
+		t.Fatalf("short write = %d, want %d", n, 2*4096)
+	}
+}
+
+// Property: after any sequence of writes and reclamations, every byte in
+// the retained range [Start, Size) reads back exactly as written.
+func TestBufferRetainedRangeIntactProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		sma := newSMA()
+		b := NewSoftBuffer(sma, "buf", BufferConfig{ChunkBytes: 512})
+		defer b.Close()
+		var reference []byte
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			if op%5 == 4 {
+				sma.HandleDemand(int(op%3) + 1)
+				continue
+			}
+			n := int(op%700) + 1
+			chunk := make([]byte, n)
+			rng.Read(chunk)
+			if _, err := b.Write(chunk); err != nil {
+				return false
+			}
+			reference = append(reference, chunk...)
+		}
+		if b.Size() != int64(len(reference)) {
+			return false
+		}
+		start := b.Start()
+		if start < 0 || start > b.Size() {
+			return false
+		}
+		if retained := b.Size() - start; retained > 0 {
+			got := make([]byte, retained)
+			if _, err := b.ReadAt(got, start); err != nil {
+				return false
+			}
+			if !bytes.Equal(got, reference[start:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

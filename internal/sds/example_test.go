@@ -1,0 +1,89 @@
+package sds_test
+
+import (
+	"fmt"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/sds"
+	"softmem/internal/smd"
+)
+
+// A cache in soft memory shrinks under machine pressure instead of
+// anyone being killed.
+func ExampleSoftHashTable() {
+	machine := pages.NewPool(4) // a tiny 16 KiB machine
+	sma := core.New(core.Config{Machine: machine})
+	cache := sds.NewSoftHashTable[string](sma, "cache", sds.HashTableConfig[string]{
+		OnReclaim: func(key string, _ []byte) {
+			fmt.Printf("revoked %s\n", key)
+		},
+	})
+	defer cache.Close()
+
+	cache.Put("a", make([]byte, 4096))
+	cache.Put("b", make([]byte, 4096))
+
+	// Memory pressure: the machine needs a page back.
+	sma.HandleDemand(1)
+
+	_, ok, _ := cache.Get("a")
+	fmt.Println("a present:", ok)
+	_, ok, _ = cache.Get("b")
+	fmt.Println("b present:", ok)
+	// Output:
+	// revoked a
+	// a present: false
+	// b present: true
+}
+
+// The soft linked list reclaims oldest-first, as in the paper's Listing 1.
+func ExampleSoftLinkedList() {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	list := sds.NewSoftLinkedList(sma, "list", sds.StringCodec{}, func(v string) {
+		fmt.Println("lost:", v)
+	})
+	defer list.Close()
+
+	list.PushBack("oldest")
+	list.PushBack("middle")
+	list.PushBack("newest")
+
+	sma.HandleDemand(1) // a page holds all three tiny strings
+
+	fmt.Println("len:", list.Len())
+	// Output:
+	// lost: oldest
+	// lost: middle
+	// lost: newest
+	// len: 0
+}
+
+// Two processes share one machine through the daemon; allocating in one
+// squeezes the other.
+func ExampleSoftQueue() {
+	machine := pages.NewPool(8) // 32 KiB machine
+	// Page-exact budgets keep this tiny example deterministic; real
+	// deployments use the default chunking and over-reclamation.
+	daemon := smd.NewDaemon(smd.Config{TotalPages: 8, ReclaimFactor: 1.0})
+
+	smaA := core.New(core.Config{Machine: machine, BudgetChunk: 1})
+	qA := sds.NewSoftQueue(smaA, "queueA", sds.BytesCodec{}, nil)
+	smaA.AttachDaemon(daemon.Register("A", smaA))
+
+	block := make([]byte, 4096)
+	for i := 0; i < 6; i++ {
+		qA.Push(block)
+	}
+
+	smaB := core.New(core.Config{Machine: machine, BudgetChunk: 1})
+	qB := sds.NewSoftQueue(smaB, "queueB", sds.BytesCodec{}, nil)
+	smaB.AttachDaemon(daemon.Register("B", smaB))
+	for i := 0; i < 4; i++ {
+		qB.Push(block)
+	}
+
+	fmt.Println("A:", qA.Len(), "B:", qB.Len())
+	// Output:
+	// A: 4 B: 4
+}

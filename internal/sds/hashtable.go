@@ -1,0 +1,329 @@
+package sds
+
+import (
+	"softmem/internal/alloc"
+	"softmem/internal/core"
+)
+
+// EvictPolicy selects which entries a SoftHashTable gives up first under
+// a reclamation demand.
+type EvictPolicy int
+
+// Eviction policies.
+const (
+	// EvictOldest frees entries in insertion order, like the paper's
+	// linked-list buckets (oldest first).
+	EvictOldest EvictPolicy = iota
+	// EvictLRU frees least-recently-used entries first — the
+	// "infrequently-accessed elements" policy the paper suggests an SDS
+	// engineer might choose (§3.2).
+	EvictLRU
+)
+
+// String returns the policy's name.
+func (p EvictPolicy) String() string {
+	switch p {
+	case EvictOldest:
+		return "oldest"
+	case EvictLRU:
+		return "lru"
+	default:
+		return "unknown"
+	}
+}
+
+// SoftHashTable maps comparable keys to byte values stored in soft
+// memory. It is the SDS behind the paper's Redis integration: values live
+// in revocable soft memory while keys (and the index) are traditional
+// memory, cleaned up via the reclaim callback when an entry is revoked —
+// the composition pattern §7 describes.
+//
+// A Get on a reclaimed key misses, exactly like the paper's "not found"
+// responses after reclamation; caching clients re-fetch from their
+// backing store.
+//
+// All methods are safe for concurrent use.
+type SoftHashTable[K comparable] struct {
+	ctx       *core.Context
+	sma       *core.SMA
+	policy    EvictPolicy
+	onReclaim func(key K, value []byte)
+	keyBytes  func(K) int
+
+	// Guarded by the context's locked sections.
+	entries    map[K]*htEntry[K]
+	head, tail *htEntry[K] // eviction order: head evicted first
+	reclaimed  int64
+}
+
+type htEntry[K comparable] struct {
+	key        K
+	ref        alloc.Ref
+	prev, next *htEntry[K]
+}
+
+// HashTableConfig configures a SoftHashTable beyond basic Options.
+type HashTableConfig[K comparable] struct {
+	// Policy selects the eviction order. Default EvictOldest.
+	Policy EvictPolicy
+	// OnReclaim runs for each entry revoked under memory pressure, with
+	// the key and value — the last chance to persist or tag the data. It
+	// also runs where the paper's Redis callback "cleans up associated
+	// traditional memory".
+	OnReclaim func(key K, value []byte)
+	// KeyBytes reports a key's traditional-memory footprint, fed into the
+	// SMA's self-report so the daemon's weights see the index cost. Nil
+	// disables key accounting.
+	KeyBytes func(K) int
+	// Priority is the SDS reclamation priority (lower reclaimed first).
+	Priority int
+}
+
+// NewSoftHashTable creates a hash table with its own isolated heap in
+// sma.
+func NewSoftHashTable[K comparable](sma *core.SMA, name string, cfg HashTableConfig[K]) *SoftHashTable[K] {
+	t := &SoftHashTable[K]{
+		sma:       sma,
+		policy:    cfg.Policy,
+		onReclaim: cfg.OnReclaim,
+		keyBytes:  cfg.KeyBytes,
+		entries:   make(map[K]*htEntry[K]),
+	}
+	t.ctx = sma.Register(name, cfg.Priority, reclaimerFunc(t.reclaim))
+	return t
+}
+
+// Put stores value under key, replacing any previous value.
+func (t *SoftHashTable[K]) Put(key K, value []byte) error {
+	ref, err := t.ctx.AllocData(value)
+	if err != nil {
+		return err
+	}
+	var replacedRef alloc.Ref
+	var isNew bool
+	err = t.ctx.Do(func(tx *core.Tx) error {
+		if e, ok := t.entries[key]; ok {
+			replacedRef = e.ref
+			e.ref = ref
+			t.touch(e)
+			return tx.Free(replacedRef)
+		}
+		e := &htEntry[K]{key: key, ref: ref}
+		t.entries[key] = e
+		t.linkTail(e)
+		isNew = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if isNew && t.keyBytes != nil {
+		t.sma.AddTraditionalBytes(int64(t.keyBytes(key)))
+	}
+	return nil
+}
+
+// Get returns a copy of the value under key. ok is false if the key is
+// absent — including when its value was reclaimed under memory pressure.
+func (t *SoftHashTable[K]) Get(key K) (value []byte, ok bool, err error) {
+	err = t.ctx.Do(func(tx *core.Tx) error {
+		e, present := t.entries[key]
+		if !present {
+			return nil
+		}
+		b, err := tx.Bytes(e.ref)
+		if err != nil {
+			return err
+		}
+		value = make([]byte, len(b))
+		copy(value, b)
+		ok = true
+		if t.policy == EvictLRU {
+			t.touch(e)
+		}
+		return nil
+	})
+	return value, ok, err
+}
+
+// GetPinned returns zero-copy access to the value under key, pinned
+// against reclamation until the caller's Unpin. Use for large values on
+// hot read paths; prefer Get (which copies) elsewhere — pinned entries
+// cannot be reclaimed, so pins must be short-lived.
+func (t *SoftHashTable[K]) GetPinned(key K) (pin *core.Pin, ok bool, err error) {
+	err = t.ctx.Do(func(tx *core.Tx) error {
+		e, present := t.entries[key]
+		if !present {
+			return nil
+		}
+		p, err := tx.Pin(e.ref)
+		if err != nil {
+			return err
+		}
+		pin = p
+		ok = true
+		if t.policy == EvictLRU {
+			t.touch(e)
+		}
+		return nil
+	})
+	return pin, ok, err
+}
+
+// Contains reports whether key is present without touching recency.
+func (t *SoftHashTable[K]) Contains(key K) bool {
+	found := false
+	_ = t.ctx.Do(func(*core.Tx) error {
+		_, found = t.entries[key]
+		return nil
+	})
+	return found
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *SoftHashTable[K]) Delete(key K) (bool, error) {
+	removed := false
+	err := t.ctx.Do(func(tx *core.Tx) error {
+		e, ok := t.entries[key]
+		if !ok {
+			return nil
+		}
+		t.unlink(e)
+		delete(t.entries, key)
+		removed = true
+		return tx.Free(e.ref)
+	})
+	if err != nil {
+		return false, err
+	}
+	if removed && t.keyBytes != nil {
+		t.sma.AddTraditionalBytes(-int64(t.keyBytes(key)))
+	}
+	return removed, nil
+}
+
+// Len returns the number of entries.
+func (t *SoftHashTable[K]) Len() int {
+	n := 0
+	_ = t.ctx.Do(func(*core.Tx) error {
+		n = len(t.entries)
+		return nil
+	})
+	return n
+}
+
+// Range calls fn for each entry (copy of the value) until fn returns
+// false. Iteration order is the eviction order. fn must not call back
+// into the table.
+func (t *SoftHashTable[K]) Range(fn func(key K, value []byte) bool) error {
+	return t.ctx.Do(func(tx *core.Tx) error {
+		for e := t.head; e != nil; e = e.next {
+			b, err := tx.Bytes(e.ref)
+			if err != nil {
+				return err
+			}
+			v := make([]byte, len(b))
+			copy(v, b)
+			if !fn(e.key, v) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// Reclaimed returns the number of entries revoked under memory pressure.
+func (t *SoftHashTable[K]) Reclaimed() int64 {
+	var n int64
+	_ = t.ctx.Do(func(*core.Tx) error {
+		n = t.reclaimed
+		return nil
+	})
+	return n
+}
+
+// Context exposes the table's SDS context.
+func (t *SoftHashTable[K]) Context() *core.Context { return t.ctx }
+
+// Close frees the table's heap; the table must not be used afterwards.
+func (t *SoftHashTable[K]) Close() { t.ctx.Close() }
+
+// linkTail appends e at the tail (most recent / newest position).
+func (t *SoftHashTable[K]) linkTail(e *htEntry[K]) {
+	e.prev = t.tail
+	e.next = nil
+	if t.tail != nil {
+		t.tail.next = e
+	} else {
+		t.head = e
+	}
+	t.tail = e
+}
+
+// unlink removes e from the eviction order.
+func (t *SoftHashTable[K]) unlink(e *htEntry[K]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// touch moves e to the tail (most recent).
+func (t *SoftHashTable[K]) touch(e *htEntry[K]) {
+	if t.tail == e {
+		return
+	}
+	t.unlink(e)
+	t.linkTail(e)
+}
+
+// reclaim evicts entries from the head of the eviction order until quota
+// bytes are freed, invoking the callback and cleaning the traditional
+// index for each. Pinned entries are skipped and survive. Runs under
+// the SMA lock.
+func (t *SoftHashTable[K]) reclaim(tx *core.Tx, quota int) int {
+	freed := 0
+	var keyBytesFreed int64
+	for e := t.head; e != nil && freed < quota; {
+		next := e.next
+		if tx.Pinned(e.ref) {
+			e = next
+			continue
+		}
+		size, err := tx.SlotSize(e.ref)
+		if err != nil {
+			t.unlink(e)
+			delete(t.entries, e.key)
+			e = next
+			continue
+		}
+		if t.onReclaim != nil {
+			if b, err := tx.Bytes(e.ref); err == nil {
+				v := make([]byte, len(b))
+				copy(v, b)
+				t.onReclaim(e.key, v)
+			}
+		}
+		if err := tx.Free(e.ref); err == nil {
+			freed += size
+		}
+		t.unlink(e)
+		delete(t.entries, e.key)
+		if t.keyBytes != nil {
+			keyBytesFreed += int64(t.keyBytes(e.key))
+		}
+		t.reclaimed++
+		e = next
+	}
+	if keyBytesFreed > 0 {
+		t.sma.AddTraditionalBytes(-keyBytesFreed)
+	}
+	return freed
+}

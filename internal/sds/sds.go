@@ -1,0 +1,115 @@
+// Package sds provides Soft Data Structures (§3.2): containers with
+// familiar APIs whose element storage lives in soft memory and can be
+// revoked under memory pressure.
+//
+// Every SDS registers its own core.Context — its isolated heap and
+// user-defined priority — and implements the reclamation protocol the SMA
+// drives during a demand. Reclamation policies follow the paper:
+//
+//   - SoftArray surrenders its entire (contiguous) allocation at once.
+//   - SoftLinkedList and SoftQueue free elements oldest-first.
+//   - SoftHashTable evicts entries in insertion or least-recently-used
+//     order, cleaning up associated traditional memory via the callback —
+//     exactly how the paper's Redis integration frees keys and values.
+//
+// Before an element is given up, the SDS invokes the application's
+// reclaim callback with the element — the "last chance for the developer
+// to interact with the memory" (§3.1).
+package sds
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// ErrReclaimed reports access to data that was revoked under memory
+// pressure. Callers in caching setups treat it like a miss and re-fetch
+// or recompute.
+var ErrReclaimed = errors.New("sds: data reclaimed under memory pressure")
+
+// Codec converts elements to and from the byte representation stored in
+// soft memory.
+type Codec[T any] interface {
+	Encode(T) ([]byte, error)
+	Decode([]byte) (T, error)
+}
+
+// BytesCodec stores byte slices as-is. Decode copies, so returned slices
+// never alias revocable memory.
+type BytesCodec struct{}
+
+// Encode implements Codec.
+func (BytesCodec) Encode(b []byte) ([]byte, error) { return b, nil }
+
+// Decode implements Codec.
+func (BytesCodec) Decode(b []byte) ([]byte, error) {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// StringCodec stores strings as their UTF-8 bytes.
+type StringCodec struct{}
+
+// Encode implements Codec.
+func (StringCodec) Encode(s string) ([]byte, error) { return []byte(s), nil }
+
+// Decode implements Codec.
+func (StringCodec) Decode(b []byte) (string, error) { return string(b), nil }
+
+// Uint64Codec stores uint64s as 8 big-endian bytes.
+type Uint64Codec struct{}
+
+// Encode implements Codec.
+func (Uint64Codec) Encode(v uint64) ([]byte, error) {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, v)
+	return out, nil
+}
+
+// Decode implements Codec.
+func (Uint64Codec) Decode(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("sds: uint64 codec: %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// JSONCodec stores any JSON-marshalable type. Convenient, not fast; hot
+// paths should provide a purpose-built Codec.
+type JSONCodec[T any] struct{}
+
+// Encode implements Codec.
+func (JSONCodec[T]) Encode(v T) ([]byte, error) { return json.Marshal(v) }
+
+// Decode implements Codec.
+func (JSONCodec[T]) Decode(b []byte) (T, error) {
+	var v T
+	err := json.Unmarshal(b, &v)
+	return v, err
+}
+
+// Options configure an SDS at construction.
+type Options struct {
+	// Priority is the SDS's reclamation priority within its process;
+	// lower values are reclaimed first. Default 0.
+	Priority int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithPriority sets the SDS's reclamation priority.
+func WithPriority(p int) Option {
+	return func(o *Options) { o.Priority = p }
+}
+
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}

@@ -1,0 +1,281 @@
+package sds
+
+import (
+	"cmp"
+	"math/rand"
+
+	"softmem/internal/alloc"
+	"softmem/internal/core"
+)
+
+// SoftSortedMap is an ordered map (skiplist index in traditional memory,
+// values in soft memory) supporting range scans. Under a reclamation
+// demand it frees entries from the LOW end of the key space first — the
+// natural policy for time-indexed data, where the smallest keys are the
+// oldest samples (a time-series store or leaderboard history in soft
+// memory).
+//
+// All methods are safe for concurrent use.
+type SoftSortedMap[K cmp.Ordered] struct {
+	ctx       *core.Context
+	onReclaim func(K, []byte)
+	rng       *rand.Rand
+
+	// Guarded by the context's locked sections.
+	head      *smNode[K] // sentinel with max height
+	size      int
+	reclaimed int64
+}
+
+const smMaxLevel = 24
+
+type smNode[K cmp.Ordered] struct {
+	key  K
+	ref  alloc.Ref
+	next []*smNode[K]
+}
+
+// SortedMapConfig configures a SoftSortedMap.
+type SortedMapConfig[K cmp.Ordered] struct {
+	// OnReclaim runs for each entry revoked under memory pressure.
+	OnReclaim func(key K, value []byte)
+	// Priority is the SDS reclamation priority (lower reclaimed first).
+	Priority int
+	// Seed drives skiplist level selection; maps with equal seeds and
+	// operation histories are structurally identical (deterministic
+	// experiments).
+	Seed int64
+}
+
+// NewSoftSortedMap creates a sorted map with its own isolated heap in
+// sma.
+func NewSoftSortedMap[K cmp.Ordered](sma *core.SMA, name string, cfg SortedMapConfig[K]) *SoftSortedMap[K] {
+	m := &SoftSortedMap[K]{
+		onReclaim: cfg.OnReclaim,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		head:      &smNode[K]{next: make([]*smNode[K], smMaxLevel)},
+	}
+	m.ctx = sma.Register(name, cfg.Priority, reclaimerFunc(m.reclaim))
+	return m
+}
+
+// randomLevel picks a node height with p = 1/4 per extra level.
+func (m *SoftSortedMap[K]) randomLevel() int {
+	lvl := 1
+	for lvl < smMaxLevel && m.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills prev with the rightmost node < key at each
+// level. Caller holds the locked section.
+func (m *SoftSortedMap[K]) findPredecessors(key K, prev *[smMaxLevel]*smNode[K]) {
+	n := m.head
+	for lvl := smMaxLevel - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && n.next[lvl].key < key {
+			n = n.next[lvl]
+		}
+		prev[lvl] = n
+	}
+}
+
+// Put stores value under key, replacing any previous value.
+func (m *SoftSortedMap[K]) Put(key K, value []byte) error {
+	ref, err := m.ctx.AllocData(value)
+	if err != nil {
+		return err
+	}
+	return m.ctx.Do(func(tx *core.Tx) error {
+		var prev [smMaxLevel]*smNode[K]
+		m.findPredecessors(key, &prev)
+		if n := prev[0].next[0]; n != nil && n.key == key {
+			old := n.ref
+			n.ref = ref
+			return tx.Free(old)
+		}
+		lvl := m.randomLevel()
+		node := &smNode[K]{key: key, ref: ref, next: make([]*smNode[K], lvl)}
+		for i := 0; i < lvl; i++ {
+			node.next[i] = prev[i].next[i]
+			prev[i].next[i] = node
+		}
+		m.size++
+		return nil
+	})
+}
+
+// Get returns a copy of the value under key.
+func (m *SoftSortedMap[K]) Get(key K) (value []byte, ok bool, err error) {
+	err = m.ctx.Do(func(tx *core.Tx) error {
+		var prev [smMaxLevel]*smNode[K]
+		m.findPredecessors(key, &prev)
+		n := prev[0].next[0]
+		if n == nil || n.key != key {
+			return nil
+		}
+		b, err := tx.Bytes(n.ref)
+		if err != nil {
+			return err
+		}
+		value = make([]byte, len(b))
+		copy(value, b)
+		ok = true
+		return nil
+	})
+	return value, ok, err
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *SoftSortedMap[K]) Delete(key K) (bool, error) {
+	removed := false
+	err := m.ctx.Do(func(tx *core.Tx) error {
+		var prev [smMaxLevel]*smNode[K]
+		m.findPredecessors(key, &prev)
+		n := prev[0].next[0]
+		if n == nil || n.key != key {
+			return nil
+		}
+		m.unlink(n, &prev)
+		removed = true
+		return tx.Free(n.ref)
+	})
+	return removed, err
+}
+
+// unlink removes n given its predecessors. Caller holds the locked
+// section.
+func (m *SoftSortedMap[K]) unlink(n *smNode[K], prev *[smMaxLevel]*smNode[K]) {
+	for i := 0; i < len(n.next); i++ {
+		if prev[i].next[i] == n {
+			prev[i].next[i] = n.next[i]
+		}
+	}
+	m.size--
+}
+
+// Min returns the smallest key and a copy of its value.
+func (m *SoftSortedMap[K]) Min() (key K, value []byte, ok bool, err error) {
+	err = m.ctx.Do(func(tx *core.Tx) error {
+		n := m.head.next[0]
+		if n == nil {
+			return nil
+		}
+		b, err := tx.Bytes(n.ref)
+		if err != nil {
+			return err
+		}
+		key = n.key
+		value = append([]byte(nil), b...)
+		ok = true
+		return nil
+	})
+	return key, value, ok, err
+}
+
+// Max returns the largest key and a copy of its value.
+func (m *SoftSortedMap[K]) Max() (key K, value []byte, ok bool, err error) {
+	err = m.ctx.Do(func(tx *core.Tx) error {
+		n := m.head
+		for lvl := smMaxLevel - 1; lvl >= 0; lvl-- {
+			for n.next[lvl] != nil {
+				n = n.next[lvl]
+			}
+		}
+		if n == m.head {
+			return nil
+		}
+		b, err := tx.Bytes(n.ref)
+		if err != nil {
+			return err
+		}
+		key = n.key
+		value = append([]byte(nil), b...)
+		ok = true
+		return nil
+	})
+	return key, value, ok, err
+}
+
+// Range calls fn for each entry with from <= key < to, ascending, until
+// fn returns false. Values are copies; fn must not call back into the
+// map.
+func (m *SoftSortedMap[K]) Range(from, to K, fn func(K, []byte) bool) error {
+	return m.ctx.Do(func(tx *core.Tx) error {
+		var prev [smMaxLevel]*smNode[K]
+		m.findPredecessors(from, &prev)
+		for n := prev[0].next[0]; n != nil && n.key < to; n = n.next[0] {
+			b, err := tx.Bytes(n.ref)
+			if err != nil {
+				return err
+			}
+			v := append([]byte(nil), b...)
+			if !fn(n.key, v) {
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// Len returns the number of entries.
+func (m *SoftSortedMap[K]) Len() int {
+	n := 0
+	_ = m.ctx.Do(func(*core.Tx) error {
+		n = m.size
+		return nil
+	})
+	return n
+}
+
+// Reclaimed returns the number of entries revoked under memory pressure.
+func (m *SoftSortedMap[K]) Reclaimed() int64 {
+	var n int64
+	_ = m.ctx.Do(func(*core.Tx) error {
+		n = m.reclaimed
+		return nil
+	})
+	return n
+}
+
+// Context exposes the map's SDS context.
+func (m *SoftSortedMap[K]) Context() *core.Context { return m.ctx }
+
+// Close frees the map's heap; the map must not be used afterwards.
+func (m *SoftSortedMap[K]) Close() { m.ctx.Close() }
+
+// reclaim frees entries from the low end until quota bytes are freed.
+// Runs under the SMA lock.
+func (m *SoftSortedMap[K]) reclaim(tx *core.Tx, quota int) int {
+	freed := 0
+	for freed < quota {
+		n := m.head.next[0]
+		if n == nil {
+			break
+		}
+		if tx.Pinned(n.ref) {
+			break // low-end reclamation halts at a pinned minimum
+		}
+		size, err := tx.SlotSize(n.ref)
+		if err == nil {
+			if m.onReclaim != nil {
+				if b, err := tx.Bytes(n.ref); err == nil {
+					v := append([]byte(nil), b...)
+					m.onReclaim(n.key, v)
+				}
+			}
+			if err := tx.Free(n.ref); err == nil {
+				freed += size
+			}
+		}
+		// Unlink the minimum: its predecessors are all head.
+		for i := 0; i < len(n.next); i++ {
+			if m.head.next[i] == n {
+				m.head.next[i] = n.next[i]
+			}
+		}
+		m.size--
+		m.reclaimed++
+	}
+	return freed
+}

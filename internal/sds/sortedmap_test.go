@@ -1,0 +1,244 @@
+package sds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortedMapPutGetDelete(t *testing.T) {
+	m := NewSoftSortedMap[int](newSMA(), "sm", SortedMapConfig[int]{Seed: 1})
+	defer m.Close()
+	if err := m.Put(5, []byte("five")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(3, []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(7, []byte("seven")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := m.Get(5)
+	if err != nil || !ok || string(v) != "five" {
+		t.Fatalf("Get(5) = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := m.Get(4); ok {
+		t.Fatal("absent key found")
+	}
+	// Replace.
+	if err := m.Put(5, []byte("FIVE")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = m.Get(5)
+	if string(v) != "FIVE" {
+		t.Fatalf("after replace: %q", v)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	removed, err := m.Delete(5)
+	if err != nil || !removed {
+		t.Fatalf("Delete = %v, %v", removed, err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d after delete", m.Len())
+	}
+	if removed, _ := m.Delete(5); removed {
+		t.Fatal("double delete reported removal")
+	}
+}
+
+func TestSortedMapMinMaxRange(t *testing.T) {
+	m := NewSoftSortedMap[int](newSMA(), "sm", SortedMapConfig[int]{Seed: 2})
+	defer m.Close()
+	for _, k := range []int{50, 10, 30, 20, 40} {
+		if err := m.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k, v, ok, err := m.Min()
+	if err != nil || !ok || k != 10 || v[0] != 10 {
+		t.Fatalf("Min = %d, %v, %v, %v", k, v, ok, err)
+	}
+	k, v, ok, err = m.Max()
+	if err != nil || !ok || k != 50 || v[0] != 50 {
+		t.Fatalf("Max = %d, %v, %v, %v", k, v, ok, err)
+	}
+	var got []int
+	if err := m.Range(15, 45, func(k int, v []byte) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 20 || got[1] != 30 || got[2] != 40 {
+		t.Fatalf("Range = %v, want [20 30 40]", got)
+	}
+	// Early stop.
+	n := 0
+	m.Range(0, 100, func(int, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range after false continued: %d", n)
+	}
+}
+
+func TestSortedMapEmpty(t *testing.T) {
+	m := NewSoftSortedMap[string](newSMA(), "sm", SortedMapConfig[string]{})
+	defer m.Close()
+	if _, _, ok, err := m.Min(); ok || err != nil {
+		t.Fatal("Min on empty misbehaved")
+	}
+	if _, _, ok, err := m.Max(); ok || err != nil {
+		t.Fatal("Max on empty misbehaved")
+	}
+	if m.Len() != 0 {
+		t.Fatal("Len != 0")
+	}
+}
+
+func TestSortedMapReclaimLowEndFirst(t *testing.T) {
+	sma := newSMA()
+	var evicted []uint64
+	m := NewSoftSortedMap[uint64](sma, "sm", SortedMapConfig[uint64]{
+		Seed:      3,
+		OnReclaim: func(k uint64, _ []byte) { evicted = append(evicted, k) },
+	})
+	defer m.Close()
+	val := make([]byte, 2048) // two entries per page
+	// Keys inserted in key order (a time series): key order == slot
+	// locality, so reclaiming the low end empties whole pages promptly.
+	for k := uint64(1); k <= 8; k++ {
+		if err := m.Put(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if released := sma.HandleDemand(2); released != 2 {
+		t.Fatalf("released %d", released)
+	}
+	if len(evicted) != 4 {
+		t.Fatalf("evicted %d entries, want 4", len(evicted))
+	}
+	want := []uint64{1, 2, 3, 4}
+	for i, k := range evicted {
+		if k != want[i] {
+			t.Fatalf("evicted %v, want %v", evicted, want)
+		}
+	}
+	// Survivors: min is now 5, and ordering intact.
+	k, _, ok, _ := m.Min()
+	if !ok || k != 5 {
+		t.Fatalf("Min after reclaim = %d, %v", k, ok)
+	}
+	if m.Len() != 4 || m.Reclaimed() != 4 {
+		t.Fatalf("Len/Reclaimed = %d/%d", m.Len(), m.Reclaimed())
+	}
+}
+
+func TestSortedMapReclaimShuffledInsertFragmentation(t *testing.T) {
+	// When insertion order does not match key order, key-ordered
+	// reclamation scatters frees across pages — the §3.1 efficacy
+	// trade-off. More entries die per page released, but the order is
+	// still strictly ascending and the demand is still met.
+	sma := newSMA()
+	var evicted []uint64
+	m := NewSoftSortedMap[uint64](sma, "sm", SortedMapConfig[uint64]{
+		Seed:      4,
+		OnReclaim: func(k uint64, _ []byte) { evicted = append(evicted, k) },
+	})
+	defer m.Close()
+	val := make([]byte, 2048)
+	for _, k := range []uint64{7, 2, 9, 4, 1, 8, 3, 6} {
+		if err := m.Put(k, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if released := sma.HandleDemand(2); released < 2 {
+		t.Fatalf("released %d", released)
+	}
+	if len(evicted) < 4 {
+		t.Fatalf("evicted %d entries, want >= 4", len(evicted))
+	}
+	for i := 1; i < len(evicted); i++ {
+		if evicted[i] <= evicted[i-1] {
+			t.Fatalf("eviction not in ascending key order: %v", evicted)
+		}
+	}
+}
+
+// Property: the map agrees with a reference map under random operations
+// and stays correctly ordered.
+func TestSortedMapMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		m := NewSoftSortedMap[uint16](newSMA(), "sm", SortedMapConfig[uint16]{Seed: seed})
+		defer m.Close()
+		ref := map[uint16]byte{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			k := op % 64
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := byte(op >> 8)
+				if err := m.Put(k, []byte{v}); err != nil {
+					return false
+				}
+				ref[k] = v
+			case 2:
+				removed, err := m.Delete(k)
+				if err != nil {
+					return false
+				}
+				_, existed := ref[k]
+				if removed != existed {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok, err := m.Get(k)
+			if err != nil || !ok || got[0] != v {
+				return false
+			}
+		}
+		// Range over everything must be sorted and complete.
+		var keys []uint16
+		if err := m.Range(0, 64, func(k uint16, _ []byte) bool {
+			keys = append(keys, k)
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(keys) != len(ref) {
+			return false
+		}
+		return sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedMapLargePopulation(t *testing.T) {
+	m := NewSoftSortedMap[int](newSMA(), "sm", SortedMapConfig[int]{Seed: 11})
+	defer m.Close()
+	const n = 5000
+	perm := rand.New(rand.NewSource(5)).Perm(n)
+	for _, k := range perm {
+		if err := m.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for _, k := range []int{0, 1, n / 2, n - 1} {
+		v, ok, err := m.Get(k)
+		if err != nil || !ok || v[0] != byte(k) {
+			t.Fatalf("Get(%d) = %v, %v, %v", k, v, ok, err)
+		}
+	}
+}

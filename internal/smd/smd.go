@@ -1,0 +1,502 @@
+// Package smd implements the Soft Memory Daemon (§3.3, §4): the
+// machine-wide arbiter of soft memory budgets.
+//
+// The daemon tracks each process's soft budget and self-reported usage.
+// It approves budget requests from free machine memory when it can; under
+// pressure it first harvests *slack* (budget processes hold but do not
+// use — "excess soft memory budget in any process" costs nothing to take),
+// then demands reclamation from a capped number of processes in descending
+// reclamation weight, over-demanding by a fixed factor to amortize
+// reclamation costs. If the quota cannot be met within the target cap, the
+// triggering request is denied — already-reclaimed pages stay reclaimed
+// and simply enlarge free memory, exactly as in the paper.
+//
+// Reclamation weights are pluggable (§7 asks what policy is fair); the
+// default ProportionalWeight implements the paper's two criteria: weight
+// grows with total footprint, and soft usage raises weight only in
+// proportion to traditional usage, so processes that put most of their
+// data in soft memory are not punished for it (§3.3's A/B example).
+package smd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+// ErrUnregistered reports an operation on a process the daemon no longer
+// tracks.
+var ErrUnregistered = errors.New("smd: process not registered")
+
+// ProcID identifies a registered process for the daemon's lifetime.
+type ProcID int
+
+// Target is the daemon's handle for demanding reclamation from a process.
+// *core.SMA satisfies it directly; the socket server wraps a connection.
+type Target interface {
+	// HandleDemand asks the process to release up to pages pages of soft
+	// memory back to the machine; it returns the number released.
+	HandleDemand(pages int) int
+}
+
+// WeightPolicy computes a process's reclamation weight from its
+// traditional footprint and soft usage. Higher weight = reclaimed sooner.
+type WeightPolicy interface {
+	Weight(traditionalBytes int64, softPages int) float64
+	Name() string
+}
+
+// ProportionalWeight is the default policy: w = T' + S·T'/(T'+S) with T'
+// the traditional footprint in pages (floored at one page so a process is
+// never invisible). It is strictly increasing in both T and S, and for
+// equal soft usage a process with less traditional memory — i.e. a higher
+// soft-to-traditional ratio — gets a lower weight, satisfying the paper's
+// incentive criterion (§3.3).
+type ProportionalWeight struct{}
+
+// Weight implements WeightPolicy.
+func (ProportionalWeight) Weight(traditionalBytes int64, softPages int) float64 {
+	t := float64(traditionalBytes) / pages.Size
+	if t < 1 {
+		t = 1
+	}
+	s := float64(softPages)
+	if t+s == 0 {
+		return 0
+	}
+	return t + s*t/(t+s)
+}
+
+// Name implements WeightPolicy.
+func (ProportionalWeight) Name() string { return "proportional" }
+
+// FootprintWeight weighs processes by total footprint T+S, the "larger
+// users give up more" policy §7 debates.
+type FootprintWeight struct{}
+
+// Weight implements WeightPolicy.
+func (FootprintWeight) Weight(traditionalBytes int64, softPages int) float64 {
+	return float64(traditionalBytes)/pages.Size + float64(softPages)
+}
+
+// Name implements WeightPolicy.
+func (FootprintWeight) Name() string { return "footprint" }
+
+// SoftShareWeight weighs processes purely by soft usage: intuitively fair
+// (heavy soft users benefit most) but a disincentive to adopt soft memory,
+// which is why the paper rejects it. Kept for the policy ablation (E8).
+type SoftShareWeight struct{}
+
+// Weight implements WeightPolicy.
+func (SoftShareWeight) Weight(_ int64, softPages int) float64 { return float64(softPages) }
+
+// Name implements WeightPolicy.
+func (SoftShareWeight) Name() string { return "softshare" }
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// TotalPages is the machine's soft memory partition (required > 0).
+	TotalPages int
+	// TargetCap bounds how many processes one request may disturb
+	// ("selects a capped number of processes", §3.3). Default 3.
+	TargetCap int
+	// ReclaimFactor over-demands by this factor to amortize reclamation
+	// ("demands a fixed memory percentage upon reclamation, which may
+	// exceed the immediate soft memory request", §4). Default 1.25.
+	ReclaimFactor float64
+	// Policy is the reclamation-weight policy. Default ProportionalWeight.
+	Policy WeightPolicy
+	// AllowSelfReclaim lets a requester be chosen as its own reclamation
+	// target (§7 open question). Default false.
+	AllowSelfReclaim bool
+	// OnEvent, if set, receives an audit record for every grant, denial,
+	// slack harvest, and demand — the trail an operator needs to answer
+	// "who took my memory and why". Called with the daemon lock held;
+	// must not call back into the daemon and must be fast.
+	OnEvent func(Event)
+}
+
+// EventKind classifies audit events.
+type EventKind int
+
+// Audit event kinds.
+const (
+	// EventGrant: a budget request was approved.
+	EventGrant EventKind = iota
+	// EventDeny: a budget request was denied under unrelievable pressure.
+	EventDeny
+	// EventSlack: unused budget was harvested from a process.
+	EventSlack
+	// EventDemand: a reclamation demand was issued to a process.
+	EventDemand
+)
+
+// String returns the kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventGrant:
+		return "grant"
+	case EventDeny:
+		return "deny"
+	case EventSlack:
+		return "slack"
+	case EventDemand:
+		return "demand"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one audit record.
+type Event struct {
+	Kind EventKind
+	// Proc is the acting process: the requester for grants/denials, the
+	// source for slack harvests and demands.
+	Proc ProcID
+	Name string
+	// Pages is the request size for grants/denials, the harvested amount
+	// for slack, the demanded amount for demands.
+	Pages int
+	// Released is the pages actually released (demands only).
+	Released int
+	// Trigger is the requesting process whose need caused a slack
+	// harvest or demand (zero otherwise).
+	Trigger ProcID
+}
+
+func (c *Config) setDefaults() {
+	if c.TargetCap <= 0 {
+		c.TargetCap = 3
+	}
+	if c.ReclaimFactor < 1 {
+		c.ReclaimFactor = 1.25
+	}
+	if c.Policy == nil {
+		c.Policy = ProportionalWeight{}
+	}
+}
+
+// Stats is a snapshot of the daemon's counters.
+type Stats struct {
+	Requests       int64 // budget requests received
+	Granted        int64 // requests approved
+	Denied         int64 // requests denied under unrelievable pressure
+	ReclaimEvents  int64 // requests that required any reclamation
+	SlackPages     int64 // budget slack harvested without disturbance
+	DemandedPages  int64 // pages demanded from processes
+	ReclaimedPages int64 // pages actually released by processes
+	BudgetPages    int   // Σ budgets currently granted
+	FreePages      int   // TotalPages − Σ budgets
+	Procs          int
+}
+
+// ProcInfo describes one registered process, for observability.
+type ProcInfo struct {
+	ID          ProcID
+	Name        string
+	BudgetPages int
+	Usage       core.Usage
+	Weight      float64
+}
+
+type procState struct {
+	id     ProcID
+	name   string
+	target Target
+	budget int
+	usage  core.Usage
+	gone   bool
+}
+
+// Daemon is the machine-wide soft memory manager.
+type Daemon struct {
+	mu     sync.Mutex
+	cfg    Config
+	procs  map[ProcID]*procState
+	nextID ProcID
+	stats  Stats
+}
+
+// NewDaemon returns a daemon arbitrating cfg.TotalPages of soft memory.
+func NewDaemon(cfg Config) *Daemon {
+	if cfg.TotalPages <= 0 {
+		panic("smd: Config.TotalPages must be positive")
+	}
+	cfg.setDefaults()
+	return &Daemon{cfg: cfg, procs: make(map[ProcID]*procState)}
+}
+
+// TotalPages returns the soft memory partition size.
+func (d *Daemon) TotalPages() int { return d.cfg.TotalPages }
+
+// Register adds a process. The returned Proc is the process's
+// core.DaemonClient; target receives reclamation demands (it may be nil
+// for processes that only ever release, e.g. pure observers, but such a
+// process can never be a reclamation source).
+func (d *Daemon) Register(name string, target Target) *Proc {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextID++
+	ps := &procState{id: d.nextID, name: name, target: target}
+	d.procs[ps.id] = ps
+	return &Proc{d: d, id: ps.id}
+}
+
+// Unregister removes a process, returning its budget to the free pool.
+// Typically called when a job exits; its soft pages are assumed returned
+// to the machine by process teardown.
+func (d *Daemon) Unregister(p *Proc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ps, ok := d.procs[p.id]; ok {
+		ps.gone = true
+		delete(d.procs, p.id)
+	}
+}
+
+// grantedLocked returns Σ budgets.
+func (d *Daemon) grantedLocked() int {
+	sum := 0
+	for _, ps := range d.procs {
+		sum += ps.budget
+	}
+	return sum
+}
+
+// weightLocked computes a process's current reclamation weight.
+func (d *Daemon) weightLocked(ps *procState) float64 {
+	return d.cfg.Policy.Weight(ps.usage.TraditionalBytes, ps.usage.UsedPages)
+}
+
+// candidatesLocked returns processes other than requester (unless self-
+// reclaim is allowed) in descending reclamation weight.
+func (d *Daemon) candidatesLocked(requester ProcID) []*procState {
+	out := make([]*procState, 0, len(d.procs))
+	for _, ps := range d.procs {
+		if ps.id == requester && !d.cfg.AllowSelfReclaim {
+			continue
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := d.weightLocked(out[i]), d.weightLocked(out[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i].id < out[j].id // deterministic tie-break
+	})
+	return out
+}
+
+// requestBudget is the core arbitration path.
+func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("smd: non-positive budget request %d", n)
+	}
+	d.mu.Lock()
+	ps, ok := d.procs[id]
+	if !ok {
+		d.mu.Unlock()
+		return 0, ErrUnregistered
+	}
+	ps.usage = u
+	d.stats.Requests++
+
+	free := d.cfg.TotalPages - d.grantedLocked()
+	if free >= n {
+		ps.budget += n
+		d.stats.Granted++
+		d.emitLocked(Event{Kind: EventGrant, Proc: id, Name: ps.name, Pages: n})
+		d.mu.Unlock()
+		return n, nil
+	}
+	need := n - free
+	d.stats.ReclaimEvents++
+
+	// Phase 1 — harvest slack: unused budget in other processes costs
+	// nothing to take ("minimal disturbance", §3.3; the prototype's bias
+	// toward "targets that will experience little or no disturbance", §4).
+	cands := d.candidatesLocked(id)
+	for _, c := range cands {
+		if need <= 0 {
+			break
+		}
+		slack := c.budget - c.usage.UsedPages
+		if slack <= 0 {
+			continue
+		}
+		take := slack
+		if take > need {
+			take = need
+		}
+		c.budget -= take
+		need -= take
+		d.stats.SlackPages += int64(take)
+		d.emitLocked(Event{Kind: EventSlack, Proc: c.id, Name: c.name, Pages: take, Trigger: id})
+	}
+	if need <= 0 {
+		ps.budget += n
+		d.stats.Granted++
+		d.emitLocked(Event{Kind: EventGrant, Proc: id, Name: ps.name, Pages: n})
+		d.mu.Unlock()
+		return n, nil
+	}
+
+	// Phase 2 — demand reclamation from up to TargetCap processes in
+	// descending weight, over-demanding by ReclaimFactor to amortize.
+	quota := int(math.Ceil(float64(need) * d.cfg.ReclaimFactor))
+	targets := 0
+	for _, c := range cands {
+		if quota <= 0 || targets >= d.cfg.TargetCap {
+			break
+		}
+		if c.target == nil || c.usage.UsedPages <= 0 {
+			continue
+		}
+		want := quota
+		if want > c.usage.UsedPages {
+			want = c.usage.UsedPages
+		}
+		targets++
+		d.stats.DemandedPages += int64(want)
+		// The daemon lock is held across the demand. Lock ordering is
+		// one-way (daemon → process): processes never call the daemon
+		// while holding their own SMA lock, so this cannot deadlock.
+		released := c.target.HandleDemand(want)
+		if released < 0 {
+			released = 0
+		}
+		if released > c.budget {
+			released = c.budget
+		}
+		c.budget -= released
+		c.usage.UsedPages -= released
+		if c.usage.UsedPages < 0 {
+			c.usage.UsedPages = 0
+		}
+		quota -= released
+		need -= released
+		d.stats.ReclaimedPages += int64(released)
+		d.emitLocked(Event{Kind: EventDemand, Proc: c.id, Name: c.name, Pages: want, Released: released, Trigger: id})
+	}
+
+	if need > 0 {
+		// Quota unmet within the target cap: deny the triggering request.
+		// Pages already reclaimed stay free (§3.3).
+		d.stats.Denied++
+		d.emitLocked(Event{Kind: EventDeny, Proc: id, Name: ps.name, Pages: n})
+		d.mu.Unlock()
+		return 0, nil
+	}
+	ps.budget += n
+	d.stats.Granted++
+	d.emitLocked(Event{Kind: EventGrant, Proc: id, Name: ps.name, Pages: n})
+	d.mu.Unlock()
+	return n, nil
+}
+
+// emitLocked delivers an audit event if a sink is configured.
+func (d *Daemon) emitLocked(ev Event) {
+	if d.cfg.OnEvent != nil {
+		d.cfg.OnEvent(ev)
+	}
+}
+
+// releaseBudget returns budget from a process.
+func (d *Daemon) releaseBudget(id ProcID, n int, u core.Usage) error {
+	if n < 0 {
+		return fmt.Errorf("smd: negative budget release %d", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps, ok := d.procs[id]
+	if !ok {
+		return ErrUnregistered
+	}
+	ps.usage = u
+	ps.budget -= n
+	if ps.budget < 0 {
+		ps.budget = 0
+	}
+	return nil
+}
+
+// reportUsage refreshes a process's self-report outside budget traffic.
+func (d *Daemon) reportUsage(id ProcID, u core.Usage) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps, ok := d.procs[id]
+	if !ok {
+		return ErrUnregistered
+	}
+	ps.usage = u
+	return nil
+}
+
+// Stats returns a snapshot of the daemon's counters.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.BudgetPages = d.grantedLocked()
+	st.FreePages = d.cfg.TotalPages - st.BudgetPages
+	st.Procs = len(d.procs)
+	return st
+}
+
+// Snapshot lists registered processes with their budgets, usage, and
+// current weights, sorted by descending weight.
+func (d *Daemon) Snapshot() []ProcInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ProcInfo, 0, len(d.procs))
+	for _, ps := range d.procs {
+		out = append(out, ProcInfo{
+			ID:          ps.id,
+			Name:        ps.name,
+			BudgetPages: ps.budget,
+			Usage:       ps.usage,
+			Weight:      d.weightLocked(ps),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Proc is a process's handle on the daemon; it implements
+// core.DaemonClient.
+type Proc struct {
+	d  *Daemon
+	id ProcID
+}
+
+// ID returns the process's daemon-assigned identifier.
+func (p *Proc) ID() ProcID { return p.id }
+
+// RequestBudget implements core.DaemonClient.
+func (p *Proc) RequestBudget(n int, u core.Usage) (int, error) {
+	return p.d.requestBudget(p.id, n, u)
+}
+
+// ReleaseBudget implements core.DaemonClient.
+func (p *Proc) ReleaseBudget(n int, u core.Usage) error {
+	return p.d.releaseBudget(p.id, n, u)
+}
+
+// ReportUsage refreshes the daemon's view of this process outside budget
+// traffic (e.g. when traditional memory changes).
+func (p *Proc) ReportUsage(u core.Usage) error {
+	return p.d.reportUsage(p.id, u)
+}
+
+var _ core.DaemonClient = (*Proc)(nil)

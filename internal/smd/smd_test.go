@@ -1,0 +1,550 @@
+package smd
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"softmem/internal/alloc"
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+// fakeTarget releases up to avail pages on demand and records demands.
+type fakeTarget struct {
+	avail    int
+	demands  []int
+	released int
+}
+
+func (f *fakeTarget) HandleDemand(n int) int {
+	f.demands = append(f.demands, n)
+	take := n
+	if take > f.avail {
+		take = f.avail
+	}
+	f.avail -= take
+	f.released += take
+	return take
+}
+
+func usage(usedPages int, tradBytes int64) core.Usage {
+	return core.Usage{UsedPages: usedPages, TraditionalBytes: tradBytes}
+}
+
+func TestGrantFromFreeMemory(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100})
+	p := d.Register("a", nil)
+	granted, err := p.RequestBudget(40, usage(0, 0))
+	if err != nil || granted != 40 {
+		t.Fatalf("granted = %d, err %v", granted, err)
+	}
+	st := d.Stats()
+	if st.BudgetPages != 40 || st.FreePages != 60 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ReclaimEvents != 0 {
+		t.Fatal("grant from free memory counted as reclaim event")
+	}
+}
+
+func TestSlackHarvestAvoidsDemands(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100})
+	idle := &fakeTarget{avail: 100}
+	pIdle := d.Register("idle", idle)
+	// idle holds 80 budget but uses only 20 -> 60 slack.
+	if g, _ := pIdle.RequestBudget(80, usage(20, 0)); g != 80 {
+		t.Fatal("setup grant failed")
+	}
+	p := d.Register("needy", nil)
+	// free = 20; request 50 -> need 30 from slack.
+	granted, err := p.RequestBudget(50, usage(0, 0))
+	if err != nil || granted != 50 {
+		t.Fatalf("granted = %d, err %v", granted, err)
+	}
+	if len(idle.demands) != 0 {
+		t.Fatalf("slack harvest issued demands: %v", idle.demands)
+	}
+	st := d.Stats()
+	if st.SlackPages != 30 {
+		t.Fatalf("SlackPages = %d, want 30", st.SlackPages)
+	}
+	// Idle's budget must have shrunk to 50 (80 - 30).
+	for _, pi := range d.Snapshot() {
+		if pi.Name == "idle" && pi.BudgetPages != 50 {
+			t.Fatalf("idle budget = %d, want 50", pi.BudgetPages)
+		}
+	}
+}
+
+func TestDemandPathReclaims(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100, ReclaimFactor: 1.0})
+	victim := &fakeTarget{avail: 80}
+	pv := d.Register("victim", victim)
+	if g, _ := pv.RequestBudget(80, usage(80, 0)); g != 80 {
+		t.Fatal("setup failed")
+	}
+	p := d.Register("needy", nil)
+	// free = 20, no slack; need 30 more -> demand from victim.
+	granted, err := p.RequestBudget(50, usage(0, 0))
+	if err != nil || granted != 50 {
+		t.Fatalf("granted = %d, err %v", granted, err)
+	}
+	if victim.released != 30 {
+		t.Fatalf("victim released %d, want 30", victim.released)
+	}
+	st := d.Stats()
+	if st.ReclaimedPages != 30 || st.ReclaimEvents != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOverReclamationFactor(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100, ReclaimFactor: 1.5})
+	victim := &fakeTarget{avail: 100}
+	pv := d.Register("victim", victim)
+	pv.RequestBudget(100, usage(100, 0))
+	p := d.Register("needy", nil)
+	granted, _ := p.RequestBudget(20, usage(0, 0)) // need 20, quota 30
+	if granted != 20 {
+		t.Fatalf("granted = %d", granted)
+	}
+	if victim.released != 30 {
+		t.Fatalf("victim released %d, want 30 (1.5x over-reclamation)", victim.released)
+	}
+	// The extra 10 pages enlarge free memory for the next request.
+	if st := d.Stats(); st.FreePages != 10 {
+		t.Fatalf("FreePages = %d, want 10", st.FreePages)
+	}
+}
+
+func TestWeightOrderSelectsHeaviestFirst(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100, ReclaimFactor: 1.0, TargetCap: 1})
+	light := &fakeTarget{avail: 50}
+	heavy := &fakeTarget{avail: 50}
+	pl := d.Register("light", light)
+	ph := d.Register("heavy", heavy)
+	// Same soft usage, heavy has more traditional memory -> higher weight
+	// (the paper's A/B example: T_A < T_B means A is disturbed less).
+	pl.RequestBudget(50, usage(50, 10*pages.Size))
+	ph.RequestBudget(50, usage(50, 1000*pages.Size))
+	p := d.Register("needy", nil)
+	granted, _ := p.RequestBudget(10, usage(0, 0))
+	if granted != 10 {
+		t.Fatalf("granted = %d", granted)
+	}
+	if heavy.released != 10 || light.released != 0 {
+		t.Fatalf("released heavy=%d light=%d; want heavy only", heavy.released, light.released)
+	}
+}
+
+func TestTargetCapDeniesWhenInsufficient(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 90, ReclaimFactor: 1.0, TargetCap: 2})
+	var procs []*Proc
+	var targets []*fakeTarget
+	for i := 0; i < 3; i++ {
+		ft := &fakeTarget{avail: 30}
+		targets = append(targets, ft)
+		pp := d.Register("p", ft)
+		pp.RequestBudget(30, usage(30, int64(i)*pages.Size))
+		procs = append(procs, pp)
+	}
+	needy := d.Register("needy", nil)
+	// All 90 pages budgeted and in use; request 70 but only 2 targets
+	// (60 pages) may be disturbed -> denial.
+	granted, err := needy.RequestBudget(70, usage(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted != 0 {
+		t.Fatalf("granted = %d, want 0 (denied)", granted)
+	}
+	disturbed := 0
+	for _, ft := range targets {
+		if ft.released > 0 {
+			disturbed++
+		}
+	}
+	if disturbed != 2 {
+		t.Fatalf("%d processes disturbed, want exactly TargetCap=2", disturbed)
+	}
+	if st := d.Stats(); st.Denied != 1 {
+		t.Fatalf("Denied = %d, want 1", st.Denied)
+	}
+	// Reclaimed pages stay free after the denial.
+	if st := d.Stats(); st.FreePages != 60 {
+		t.Fatalf("FreePages = %d, want 60 (reclaimed pages remain free)", st.FreePages)
+	}
+}
+
+func TestSelfReclaimDisabledByDefault(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 50, ReclaimFactor: 1.0})
+	self := &fakeTarget{avail: 50}
+	p := d.Register("self", self)
+	p.RequestBudget(50, usage(50, 0))
+	// Self requests more; the only possible target is itself -> denied.
+	granted, _ := p.RequestBudget(10, usage(50, 0))
+	if granted != 0 {
+		t.Fatalf("granted = %d, want 0", granted)
+	}
+	if self.released != 0 {
+		t.Fatal("self-reclaim happened with AllowSelfReclaim=false")
+	}
+}
+
+func TestSelfReclaimEnabled(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 50, ReclaimFactor: 1.0, AllowSelfReclaim: true})
+	self := &fakeTarget{avail: 50}
+	p := d.Register("self", self)
+	p.RequestBudget(50, usage(50, 0))
+	granted, _ := p.RequestBudget(10, usage(50, 0))
+	if granted != 10 {
+		t.Fatalf("granted = %d, want 10 via self-reclaim", granted)
+	}
+	if self.released != 10 {
+		t.Fatalf("self released %d, want 10", self.released)
+	}
+}
+
+func TestUnregisterReleasesBudget(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100})
+	p := d.Register("a", nil)
+	p.RequestBudget(60, usage(0, 0))
+	d.Unregister(p)
+	if st := d.Stats(); st.FreePages != 100 || st.Procs != 0 {
+		t.Fatalf("stats after unregister = %+v", st)
+	}
+	if _, err := p.RequestBudget(1, usage(0, 0)); !errors.Is(err, ErrUnregistered) {
+		t.Fatalf("err = %v, want ErrUnregistered", err)
+	}
+	if err := p.ReleaseBudget(1, usage(0, 0)); !errors.Is(err, ErrUnregistered) {
+		t.Fatalf("release err = %v, want ErrUnregistered", err)
+	}
+}
+
+func TestReleaseBudget(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100})
+	p := d.Register("a", nil)
+	p.RequestBudget(60, usage(0, 0))
+	if err := p.ReleaseBudget(20, usage(40, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.BudgetPages != 40 {
+		t.Fatalf("BudgetPages = %d, want 40", st.BudgetPages)
+	}
+	// Over-release floors at zero rather than corrupting the ledger.
+	if err := p.ReleaseBudget(1000, usage(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.BudgetPages != 0 {
+		t.Fatalf("BudgetPages = %d after over-release, want 0", st.BudgetPages)
+	}
+}
+
+func TestInvalidRequests(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 10})
+	p := d.Register("a", nil)
+	if _, err := p.RequestBudget(0, usage(0, 0)); err == nil {
+		t.Fatal("RequestBudget(0) did not error")
+	}
+	if err := p.ReleaseBudget(-1, usage(0, 0)); err == nil {
+		t.Fatal("ReleaseBudget(-1) did not error")
+	}
+}
+
+func TestReportUsageFeedsWeights(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100})
+	p := d.Register("a", nil)
+	if err := p.ReportUsage(usage(5, 77)); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	if len(snap) != 1 || snap[0].Usage.TraditionalBytes != 77 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestProportionalWeightCriteria(t *testing.T) {
+	w := ProportionalWeight{}
+	// Criterion (paper §3.3): same soft usage, more traditional memory
+	// means higher weight.
+	const S = 100
+	wA := w.Weight(10*pages.Size, S)
+	wB := w.Weight(500*pages.Size, S)
+	if !(wA < wB) {
+		t.Fatalf("w(T=10)=%v !< w(T=500)=%v", wA, wB)
+	}
+	// Monotone in soft usage too (criterion i: larger footprint, higher
+	// weight).
+	if !(w.Weight(100*pages.Size, 50) < w.Weight(100*pages.Size, 200)) {
+		t.Fatal("weight not increasing in soft usage")
+	}
+	// Zero-footprint process has minimal but defined weight.
+	if w.Weight(0, 0) <= 0 {
+		t.Fatal("zero-footprint weight not positive (floor)")
+	}
+}
+
+func TestProportionalWeightMonotoneProperty(t *testing.T) {
+	w := ProportionalWeight{}
+	f := func(tPages uint16, s uint16, dt uint8, ds uint8) bool {
+		tb := int64(tPages) * pages.Size
+		base := w.Weight(tb, int(s))
+		if w.Weight(tb+int64(dt)*pages.Size+pages.Size, int(s)) < base {
+			return false // must not decrease in T
+		}
+		if w.Weight(tb, int(s)+int(ds)+1) < base {
+			return false // must not decrease in S
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlternativeWeightPolicies(t *testing.T) {
+	fp := FootprintWeight{}
+	if fp.Weight(10*pages.Size, 5) != 15 {
+		t.Fatalf("footprint weight = %v", fp.Weight(10*pages.Size, 5))
+	}
+	ss := SoftShareWeight{}
+	if ss.Weight(1<<40, 7) != 7 {
+		t.Fatalf("softshare weight = %v", ss.Weight(1<<40, 7))
+	}
+	for _, p := range []WeightPolicy{ProportionalWeight{}, fp, ss} {
+		if p.Name() == "" {
+			t.Fatal("policy missing name")
+		}
+	}
+}
+
+func TestZeroTotalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDaemon(0) did not panic")
+		}
+	}()
+	NewDaemon(Config{})
+}
+
+// TestEndToEndTwoSMAs wires two real SMAs to one daemon and one machine
+// pool: B's allocation forces reclamation from A, and machine accounting
+// stays conserved. This is the in-process version of the paper's Figure 2
+// scenario.
+func TestEndToEndTwoSMAs(t *testing.T) {
+	const totalPages = 5120 // 20 MiB, as in the paper
+	machine := pages.NewPool(totalPages)
+	d := NewDaemon(Config{TotalPages: totalPages, ReclaimFactor: 1.0})
+
+	// Process A: fills 10 MiB of soft memory in a reclaimable stack SDS.
+	smaA := core.New(core.Config{Machine: machine})
+	sdsA := &e2eSDS{}
+	sdsA.ctx = smaA.Register("store", 0, sdsA)
+	smaA.AttachDaemon(d.Register("A", smaA))
+	for i := 0; i < 2560; i++ { // 2560 × 4 KiB = 10 MiB
+		if err := sdsA.push(4096); err != nil {
+			t.Fatalf("A fill: %v", err)
+		}
+	}
+
+	// Process B: allocates 12 MiB, exceeding the 10 MiB remaining.
+	smaB := core.New(core.Config{Machine: machine})
+	sdsB := &e2eSDS{}
+	sdsB.ctx = smaB.Register("batch", 0, sdsB)
+	smaB.AttachDaemon(d.Register("B", smaB))
+	for i := 0; i < 3072; i++ { // 3072 × 4 KiB = 12 MiB
+		if err := sdsB.push(4096); err != nil {
+			t.Fatalf("B alloc %d: %v", i, err)
+		}
+	}
+
+	if got := smaB.FootprintBytes(); got < 12<<20 {
+		t.Fatalf("B footprint = %d, want >= 12 MiB", got)
+	}
+	if got := smaA.FootprintBytes(); got > 9<<20 {
+		t.Fatalf("A footprint = %d after reclamation, want <= 9 MiB", got)
+	}
+	if smaA.Stats().DemandsServed == 0 {
+		t.Fatal("A never served a demand")
+	}
+	// Machine conservation: pages in use equal A + B usage.
+	wantInUse := smaA.Stats().UsedPages + smaB.Stats().UsedPages
+	if machine.InUse() != wantInUse {
+		t.Fatalf("machine InUse = %d, SMAs hold %d", machine.InUse(), wantInUse)
+	}
+	if machine.InUse() > totalPages {
+		t.Fatal("machine over-committed")
+	}
+}
+
+// e2eSDS is a stack SDS used by the end-to-end test: oldest-first
+// reclamation, like the paper's soft linked list.
+type e2eSDS struct {
+	ctx  *core.Context
+	refs []alloc.Ref
+}
+
+func (s *e2eSDS) push(size int) error {
+	ref, err := s.ctx.Alloc(size)
+	if err != nil {
+		return err
+	}
+	return s.ctx.Do(func(tx *core.Tx) error {
+		s.refs = append(s.refs, ref)
+		return nil
+	})
+}
+
+func (s *e2eSDS) Reclaim(tx *core.Tx, bytes int) int {
+	freed := 0
+	for len(s.refs) > 0 && freed < bytes {
+		r := s.refs[0]
+		s.refs = s.refs[1:]
+		size, err := tx.Size(r)
+		if err != nil {
+			continue
+		}
+		if err := tx.Free(r); err == nil {
+			freed += size
+		}
+	}
+	return freed
+}
+
+func TestEventAuditTrail(t *testing.T) {
+	var events []Event
+	d := NewDaemon(Config{
+		TotalPages:    100,
+		ReclaimFactor: 1.0,
+		OnEvent:       func(ev Event) { events = append(events, ev) },
+	})
+	victim := &fakeTarget{avail: 80}
+	pv := d.Register("victim", victim)
+	pv.RequestBudget(80, usage(60, 0)) // grant; 20 slack
+	needy := d.Register("needy", nil)
+	needy.RequestBudget(50, usage(0, 0)) // 20 free + 20 slack + 10 demand
+
+	kinds := map[EventKind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	if kinds[EventGrant] != 2 {
+		t.Fatalf("grants = %d, want 2 (events: %+v)", kinds[EventGrant], events)
+	}
+	if kinds[EventSlack] != 1 {
+		t.Fatalf("slack events = %d, want 1", kinds[EventSlack])
+	}
+	if kinds[EventDemand] != 1 {
+		t.Fatalf("demand events = %d, want 1", kinds[EventDemand])
+	}
+	// The demand names the victim and the trigger.
+	for _, ev := range events {
+		if ev.Kind == EventDemand {
+			if ev.Name != "victim" || ev.Released != 10 {
+				t.Fatalf("demand event = %+v", ev)
+			}
+			if ev.Trigger == 0 {
+				t.Fatal("demand event missing trigger")
+			}
+		}
+	}
+	// Denial is audited too.
+	events = nil
+	needy.RequestBudget(1000, usage(0, 0))
+	found := false
+	for _, ev := range events {
+		if ev.Kind == EventDeny && ev.Pages == 1000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no deny event: %+v", events)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventGrant: "grant", EventDeny: "deny", EventSlack: "slack",
+		EventDemand: "demand", EventKind(9): "unknown",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestConcurrentRequestsRace(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 10000, ReclaimFactor: 1.0})
+	var victims []*Proc
+	for i := 0; i < 4; i++ {
+		ft := &fakeTarget{avail: 2000}
+		p := d.Register("victim", ft)
+		p.RequestBudget(2000, usage(2000, int64(i)*pages.Size))
+		victims = append(victims, p)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := d.Register("needy", nil)
+			for i := 0; i < 50; i++ {
+				if granted, err := p.RequestBudget(4, usage(0, 0)); err == nil && granted > 0 {
+					p.ReleaseBudget(granted, usage(0, 0))
+				}
+			}
+			d.Unregister(p)
+		}(g)
+	}
+	wg.Wait()
+	st := d.Stats()
+	if st.BudgetPages > d.TotalPages() {
+		t.Fatalf("over-committed after concurrent churn: %+v", st)
+	}
+	_ = victims
+}
+
+// Property: for any sequence of grants, releases, and reclaim-backed
+// requests, the daemon never over-commits its partition.
+func TestLedgerNeverOverCommitsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const total = 256
+		d := NewDaemon(Config{TotalPages: total, ReclaimFactor: 1.0})
+		type pp struct {
+			p  *Proc
+			ft *fakeTarget
+		}
+		var procs []pp
+		for i := 0; i < 4; i++ {
+			ft := &fakeTarget{avail: 1 << 20}
+			procs = append(procs, pp{d.Register("p", ft), ft})
+		}
+		for _, op := range ops {
+			pr := procs[int(op)%len(procs)]
+			n := int(op%32) + 1
+			switch (op >> 8) % 3 {
+			case 0, 1:
+				granted, err := pr.p.RequestBudget(n, usage(n, int64(op)))
+				if err != nil {
+					return false
+				}
+				if granted != 0 && granted != n {
+					return false // all-or-nothing grants
+				}
+			case 2:
+				if err := pr.p.ReleaseBudget(n, usage(0, 0)); err != nil {
+					return false
+				}
+			}
+			if st := d.Stats(); st.BudgetPages > total || st.BudgetPages < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

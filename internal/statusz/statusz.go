@@ -1,0 +1,48 @@
+// Package statusz serves JSON status pages for the daemon and the KV
+// server — the minimal observability surface a machine operator needs to
+// see where soft memory sits right now.
+package statusz
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler serves the JSON encoding of fn()'s result at every request.
+func Handler(fn func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fn()); err != nil {
+			http.Error(w, fmt.Sprintf("statusz: encode: %v", err), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Server is a minimal status HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving fn's snapshots at http://addr/statusz (and /) in
+// a background goroutine, returning the bound address.
+func Serve(addr string, fn func() any) (*Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("statusz: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	h := Handler(fn)
+	mux.Handle("/", h)
+	mux.Handle("/statusz", h)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, ln.Addr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

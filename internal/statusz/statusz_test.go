@@ -1,0 +1,77 @@
+package statusz
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerServesJSON(t *testing.T) {
+	h := Handler(func() any {
+		return map[string]int{"pages": 42}
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["pages"] != 42 {
+		t.Fatalf("body = %v", out)
+	}
+}
+
+func TestHandlerEncodesFreshSnapshots(t *testing.T) {
+	n := 0
+	h := Handler(func() any {
+		n++
+		return map[string]int{"n": n}
+	})
+	for want := 1; want <= 3; want++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		var out map[string]int
+		json.Unmarshal(rec.Body.Bytes(), &out)
+		if out["n"] != want {
+			t.Fatalf("snapshot %d = %v", want, out)
+		}
+	}
+}
+
+func TestHandlerEncodingError(t *testing.T) {
+	h := Handler(func() any { return make(chan int) }) // unencodable
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	// The encoder fails mid-response; the handler must not panic.
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", func() any {
+		return map[string]string{"state": "ok"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var out map[string]string
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["state"] != "ok" {
+		t.Fatalf("body = %s", body)
+	}
+}

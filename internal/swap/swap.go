@@ -1,0 +1,181 @@
+// Package swap models the alternative the paper positions soft memory
+// against (§6): far-memory/swapping systems (AIFM, zswap) that move
+// reclaimed data to slower storage instead of dropping it.
+//
+// Device is a far-memory tier with modelled costs. Table is a key-value
+// cache whose reclaim callback SPILLS values to the device rather than
+// losing them — built entirely on the public SDS callback API (the
+// paper's "store the data elsewhere" escape hatch) — and whose Get
+// faults spilled values back in. Comparing Table against a plain
+// dropping SoftHashTable quantifies the paper's claim: dropping wins
+// when reclaimed data loses its utility (low re-reference rate, cheap
+// recomputation), swapping wins when the data will be needed again and
+// the backing store is far.
+package swap
+
+import (
+	"sync"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/sds"
+)
+
+// Device is a modelled far-memory/flash tier. Costs are virtual (no
+// sleeping): callers accumulate them into their own experiment clocks.
+// It is safe for concurrent use.
+type Device struct {
+	mu sync.Mutex
+	// latency models per-operation cost; throughput models per-byte cost.
+	latency    time.Duration
+	perByte    time.Duration
+	store      map[string][]byte
+	bytesOut   int64
+	bytesIn    int64
+	spills     int64
+	faults     int64
+	spentTotal time.Duration
+}
+
+// NewDevice returns a device with the given per-operation latency and
+// per-byte transfer cost. Defaults model a local NVMe tier: 20µs + 1ns/B
+// (~1 GB/s).
+func NewDevice(latency, perByte time.Duration) *Device {
+	if latency <= 0 {
+		latency = 20 * time.Microsecond
+	}
+	if perByte < 0 {
+		perByte = 0
+	}
+	return &Device{latency: latency, perByte: perByte, store: make(map[string][]byte)}
+}
+
+// Out spills data under key and returns the modelled cost.
+func (d *Device) Out(key string, data []byte) time.Duration {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	cost := d.latency + time.Duration(len(data))*d.perByte
+	d.mu.Lock()
+	d.store[key] = cp
+	d.bytesOut += int64(len(data))
+	d.spills++
+	d.spentTotal += cost
+	d.mu.Unlock()
+	return cost
+}
+
+// In faults data back, removing it from the device. ok is false when the
+// key was never spilled.
+func (d *Device) In(key string) (data []byte, cost time.Duration, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, ok = d.store[key]
+	if !ok {
+		return nil, d.latency, false // a miss still pays the probe
+	}
+	delete(d.store, key)
+	cost = d.latency + time.Duration(len(data))*d.perByte
+	d.bytesIn += int64(len(data))
+	d.faults++
+	d.spentTotal += cost
+	return data, cost, true
+}
+
+// Stats is a snapshot of device traffic.
+type Stats struct {
+	Spills    int64
+	Faults    int64
+	BytesOut  int64
+	BytesIn   int64
+	TotalCost time.Duration
+	Resident  int
+}
+
+// Stats returns a snapshot of the device's counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Spills:    d.spills,
+		Faults:    d.faults,
+		BytesOut:  d.bytesOut,
+		BytesIn:   d.bytesIn,
+		TotalCost: d.spentTotal,
+		Resident:  len(d.store),
+	}
+}
+
+// Table is a soft-memory KV cache that spills to a Device on reclamation
+// instead of dropping — an AIFM-style far-memory cache expressed through
+// the soft memory callback API. All methods are safe for concurrent use.
+type Table struct {
+	ht  *sds.SoftHashTable[string]
+	dev *Device
+
+	mu       sync.Mutex
+	spillers time.Duration // cost accumulated inside reclaim callbacks
+}
+
+// NewTable creates a spilling table with its own SDS in sma.
+func NewTable(sma *core.SMA, name string, dev *Device, priority int) *Table {
+	t := &Table{dev: dev}
+	t.ht = sds.NewSoftHashTable[string](sma, name, sds.HashTableConfig[string]{
+		Policy:   sds.EvictLRU,
+		Priority: priority,
+		OnReclaim: func(key string, value []byte) {
+			cost := dev.Out(key, value)
+			t.mu.Lock()
+			t.spillers += cost
+			t.mu.Unlock()
+		},
+	})
+	return t
+}
+
+// Put stores value under key in soft memory.
+func (t *Table) Put(key string, value []byte) error {
+	// A fresh Put supersedes any spilled copy.
+	t.dev.mu.Lock()
+	delete(t.dev.store, key)
+	t.dev.mu.Unlock()
+	return t.ht.Put(key, value)
+}
+
+// Get returns the value, faulting it back from the device if it was
+// spilled. cost is the modelled far-memory time for this access (0 on a
+// resident hit).
+func (t *Table) Get(key string) (value []byte, cost time.Duration, ok bool, err error) {
+	value, ok, err = t.ht.Get(key)
+	if err != nil || ok {
+		return value, 0, ok, err
+	}
+	data, faultCost, ok := t.dev.In(key)
+	if !ok {
+		return nil, 0, false, nil
+	}
+	// Faulting back re-inserts into soft memory, possibly triggering
+	// further reclamation — exactly the swap dynamic.
+	if err := t.ht.Put(key, data); err != nil {
+		// Under extreme pressure serve the value without caching it.
+		return data, faultCost, true, nil
+	}
+	return data, faultCost, true, nil
+}
+
+// SpillCost returns the accumulated modelled cost of reclaim-time
+// spills.
+func (t *Table) SpillCost() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spillers
+}
+
+// Len returns resident (in-soft-memory) entries.
+func (t *Table) Len() int { return t.ht.Len() }
+
+// Device returns the backing device.
+func (t *Table) Device() *Device { return t.dev }
+
+// Close frees the table's soft memory (spilled data stays on the
+// device).
+func (t *Table) Close() { t.ht.Close() }

@@ -1,0 +1,122 @@
+package swap
+
+import (
+	"testing"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+func newTable(t *testing.T) (*Table, *core.SMA, *Device) {
+	t.Helper()
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	dev := NewDevice(20*time.Microsecond, time.Nanosecond)
+	tab := NewTable(sma, "swap", dev, 0)
+	t.Cleanup(tab.Close)
+	return tab, sma, dev
+}
+
+func TestDeviceOutIn(t *testing.T) {
+	d := NewDevice(10*time.Microsecond, time.Nanosecond)
+	cost := d.Out("k", []byte("data"))
+	if cost != 10*time.Microsecond+4*time.Nanosecond {
+		t.Fatalf("out cost = %v", cost)
+	}
+	data, cost2, ok := d.In("k")
+	if !ok || string(data) != "data" || cost2 != cost {
+		t.Fatalf("In = %q, %v, %v", data, cost2, ok)
+	}
+	// Faulted data leaves the device.
+	if _, _, ok := d.In("k"); ok {
+		t.Fatal("double fault-in succeeded")
+	}
+	st := d.Stats()
+	if st.Spills != 1 || st.Faults != 1 || st.BytesOut != 4 || st.BytesIn != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeviceDefaults(t *testing.T) {
+	d := NewDevice(0, -1)
+	if d.latency != 20*time.Microsecond || d.perByte != 0 {
+		t.Fatalf("defaults = %v, %v", d.latency, d.perByte)
+	}
+}
+
+func TestReclaimSpillsInsteadOfDropping(t *testing.T) {
+	tab, sma, dev := newTable(t)
+	val := make([]byte, 4096)
+	for i := 0; i < 8; i++ {
+		val[0] = byte(i)
+		if err := tab.Put(string(rune('a'+i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if released := sma.HandleDemand(4); released != 4 {
+		t.Fatalf("released %d", released)
+	}
+	if dev.Stats().Spills != 4 {
+		t.Fatalf("spills = %d, want 4", dev.Stats().Spills)
+	}
+	if tab.SpillCost() == 0 {
+		t.Fatal("spill cost not accounted")
+	}
+	// The spilled entries are STILL readable — unlike a dropping cache —
+	// at a fault cost.
+	v, cost, ok, err := tab.Get("a")
+	if err != nil || !ok {
+		t.Fatalf("spilled entry lost: %v %v", ok, err)
+	}
+	if v[0] != 0 {
+		t.Fatal("spilled entry corrupt")
+	}
+	if cost == 0 {
+		t.Fatal("fault-in cost not charged")
+	}
+	// Resident entries cost nothing.
+	_, cost, ok, _ = tab.Get("h")
+	if !ok || cost != 0 {
+		t.Fatalf("resident get: ok=%v cost=%v", ok, cost)
+	}
+}
+
+func TestFaultBackReinsertsResident(t *testing.T) {
+	tab, sma, dev := newTable(t)
+	val := make([]byte, 4096)
+	tab.Put("x", val)
+	sma.HandleDemand(1)
+	if dev.Stats().Resident != 1 {
+		t.Fatal("value not on device")
+	}
+	if _, _, ok, _ := tab.Get("x"); !ok {
+		t.Fatal("fault-in failed")
+	}
+	// Second access is resident (free).
+	_, cost, ok, _ := tab.Get("x")
+	if !ok || cost != 0 {
+		t.Fatalf("second get: ok=%v cost=%v", ok, cost)
+	}
+	if dev.Stats().Resident != 0 {
+		t.Fatal("device copy not consumed")
+	}
+}
+
+func TestPutSupersedesSpilled(t *testing.T) {
+	tab, sma, _ := newTable(t)
+	tab.Put("k", make([]byte, 4096))
+	sma.HandleDemand(1) // spill
+	fresh := []byte("fresh")
+	tab.Put("k", fresh)
+	v, cost, ok, _ := tab.Get("k")
+	if !ok || string(v) != "fresh" || cost != 0 {
+		t.Fatalf("Get = %q cost=%v ok=%v; stale spill served?", v, cost, ok)
+	}
+}
+
+func TestAbsentKeyMisses(t *testing.T) {
+	tab, _, _ := newTable(t)
+	if _, _, ok, err := tab.Get("never"); ok || err != nil {
+		t.Fatalf("absent key: ok=%v err=%v", ok, err)
+	}
+}

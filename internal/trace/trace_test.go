@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZipfKeysDeterministic(t *testing.T) {
+	a := NewZipfKeys(42, 1000, 1.2)
+	b := NewZipfKeys(42, 1000, 1.2)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestZipfKeysInRange(t *testing.T) {
+	g := NewZipfKeys(1, 100, 1.1)
+	for i := 0; i < 10000; i++ {
+		if k := g.Next(); k >= 100 {
+			t.Fatalf("key %d out of range [0,100)", k)
+		}
+	}
+}
+
+func TestZipfKeysSkewed(t *testing.T) {
+	g := NewZipfKeys(7, 10000, 1.3)
+	counts := map[uint64]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	// Key 0 must be far more popular than the median key under Zipf.
+	if counts[0] < draws/100 {
+		t.Fatalf("key 0 drawn %d times out of %d; distribution not skewed", counts[0], draws)
+	}
+}
+
+func TestZipfKeysZeroKeyspacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero keyspace")
+		}
+	}()
+	NewZipfKeys(1, 0, 1.1)
+}
+
+func TestUniformKeysInRangeAndDeterministic(t *testing.T) {
+	a := NewUniformKeys(5, 64)
+	b := NewUniformKeys(5, 64)
+	for i := 0; i < 1000; i++ {
+		ka, kb := a.Next(), b.Next()
+		if ka != kb {
+			t.Fatal("same seed produced different streams")
+		}
+		if ka >= 64 {
+			t.Fatalf("key %d out of range", ka)
+		}
+	}
+}
+
+func TestSequentialKeysWrap(t *testing.T) {
+	g := NewSequentialKeys(3)
+	want := []uint64{0, 1, 2, 0, 1}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("draw %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestKeyFixedWidth(t *testing.T) {
+	if len(Key(0)) != len(Key(999999999)) {
+		t.Fatal("Key() is not fixed width")
+	}
+}
+
+func TestDiurnalBounds(t *testing.T) {
+	period := 24 * time.Hour
+	f := func(sec uint32) bool {
+		v := Diurnal(time.Duration(sec)*time.Second, period, 0.2, 1.0)
+		return v >= 0.2-1e-9 && v <= 1.0+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalPeakAndTrough(t *testing.T) {
+	period := 24 * time.Hour
+	peak := Diurnal(0, period, 0.2, 1.0)
+	trough := Diurnal(period/2, period, 0.2, 1.0)
+	if peak < 0.999 {
+		t.Fatalf("peak = %v, want ~1.0", peak)
+	}
+	if trough > 0.201 {
+		t.Fatalf("trough = %v, want ~0.2", trough)
+	}
+}
+
+func TestGenerateJobsDeterministic(t *testing.T) {
+	cfg := TraceConfig{
+		Seed: 3, Jobs: 200, Horizon: time.Hour,
+		MeanRuntime: 5 * time.Minute, MeanMemPages: 100,
+		BatchFraction: 0.5, SoftFrac: 0.4, SoftAdoption: 0.6,
+	}
+	a := GenerateJobs(cfg)
+	b := GenerateJobs(cfg)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lengths %d/%d, want 200", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestGenerateJobsSortedByArrival(t *testing.T) {
+	jobs := GenerateJobs(TraceConfig{
+		Seed: 9, Jobs: 500, Horizon: time.Hour,
+		MeanRuntime: time.Minute, MeanMemPages: 50,
+		BatchFraction: 0.5,
+	})
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival < jobs[i-1].Arrival {
+			t.Fatalf("jobs not sorted at index %d", i)
+		}
+	}
+}
+
+func TestGenerateJobsFieldsValid(t *testing.T) {
+	cfg := TraceConfig{
+		Seed: 11, Jobs: 300, Horizon: 2 * time.Hour,
+		MeanRuntime: time.Minute, MeanMemPages: 64,
+		BatchFraction: 0.6, SoftFrac: 0.5, SoftAdoption: 1.0,
+	}
+	jobs := GenerateJobs(cfg)
+	for _, j := range jobs {
+		if j.Runtime < time.Second {
+			t.Fatalf("job %d runtime %v < 1s floor", j.ID, j.Runtime)
+		}
+		if j.MemPages < 1 {
+			t.Fatalf("job %d has %d pages", j.ID, j.MemPages)
+		}
+		if j.Arrival < 0 || j.Arrival >= cfg.Horizon {
+			t.Fatalf("job %d arrival %v outside horizon", j.ID, j.Arrival)
+		}
+		if j.SoftFrac != 0.5 {
+			t.Fatalf("job %d SoftFrac = %v with full adoption", j.ID, j.SoftFrac)
+		}
+	}
+}
+
+func TestGenerateJobsPriorityMix(t *testing.T) {
+	jobs := GenerateJobs(TraceConfig{
+		Seed: 21, Jobs: 1000, Horizon: time.Hour,
+		MeanRuntime: time.Minute, MeanMemPages: 10,
+		BatchFraction: 0.5,
+	})
+	counts := map[Priority]int{}
+	for _, j := range jobs {
+		counts[j.Priority]++
+	}
+	if counts[Batch] < 300 || counts[Batch] > 700 {
+		t.Fatalf("batch count %d implausible for 50%% fraction", counts[Batch])
+	}
+	if counts[Prod] == 0 || counts[Critical] == 0 {
+		t.Fatalf("missing priority tiers: %v", counts)
+	}
+}
+
+func TestGenerateJobsEmpty(t *testing.T) {
+	if jobs := GenerateJobs(TraceConfig{Jobs: 0, Horizon: time.Hour}); jobs != nil {
+		t.Fatalf("expected nil for zero jobs, got %d", len(jobs))
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	cases := map[Priority]string{Batch: "batch", Prod: "prod", Critical: "critical", Priority(9): "priority(9)"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
