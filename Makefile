@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments cover fmt clean
+.PHONY: all check build vet test race race-hot bench experiments cover fmt clean
 
-all: build vet test
+all: check
+
+# The default gate: build, vet, the full test suite, and the race
+# detector on the concurrency-critical packages.
+check: build vet test race-hot
 
 build:
 	$(GO) build ./...
@@ -17,6 +21,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Race-detect the packages with lock-per-heap concurrency (fast subset
+# of `make race`, wired into `make check`).
+race-hot:
+	$(GO) test -race ./internal/core ./internal/sds ./internal/kvstore
 
 # Regenerate every table and figure from the paper (DESIGN.md E1-E10).
 experiments:

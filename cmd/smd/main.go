@@ -89,7 +89,7 @@ func main() {
 			for range time.Tick(time.Duration(*statsSec) * time.Second) {
 				st := daemon.Stats()
 				log.Printf("smd: procs=%d budgeted=%d free=%d requests=%d denied=%d reclaimed=%d",
-					st.Procs, st.BudgetPages, st.FreePages, st.Requests, st.Denied, st.ReclaimedPages)
+					st.Procs, st.BudgetPages, st.FreePages, st.Requests, st.Denied, st.PagesReclaimed)
 				for _, p := range daemon.Snapshot() {
 					log.Printf("smd:   %-16s budget=%-6d used=%-6d trad=%-10d weight=%.1f",
 						p.Name, p.BudgetPages, p.Usage.UsedPages, p.Usage.TraditionalBytes, p.Weight)

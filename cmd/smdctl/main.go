@@ -29,7 +29,7 @@ type status struct {
 		ReclaimEvents  int64 `json:"ReclaimEvents"`
 		SlackPages     int64 `json:"SlackPages"`
 		DemandedPages  int64 `json:"DemandedPages"`
-		ReclaimedPages int64 `json:"ReclaimedPages"`
+		PagesReclaimed int64 `json:"PagesReclaimed"`
 		BudgetPages    int   `json:"BudgetPages"`
 		FreePages      int   `json:"FreePages"`
 		Procs          int   `json:"Procs"`
@@ -77,7 +77,7 @@ func main() {
 	fmt.Printf("requests: %d granted, %d denied, %d needed reclamation\n",
 		st.Stats.Granted, st.Stats.Denied, st.Stats.ReclaimEvents)
 	fmt.Printf("reclaimed: %d pages demanded, %d released, %d slack harvested\n\n",
-		st.Stats.DemandedPages, st.Stats.ReclaimedPages, st.Stats.SlackPages)
+		st.Stats.DemandedPages, st.Stats.PagesReclaimed, st.Stats.SlackPages)
 	fmt.Printf("%-6s %-20s %10s %10s %14s %10s\n", "proc", "name", "budget", "used", "traditional", "weight")
 	for _, p := range st.Procs {
 		fmt.Printf("%-6d %-20s %10d %10d %14d %10.1f\n",

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -35,6 +36,7 @@ func main() {
 		name       = flag.String("name", "softkv", "process name registered with the daemon")
 		localMiB   = flag.Int("local-mib", 0, "standalone local soft cap in MiB (0 = unlimited)")
 		lru        = flag.Bool("lru", false, "evict least-recently-used entries under reclamation (default: oldest)")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "string-table shards (per-shard heap locks; 1 = store-global eviction order)")
 		cleanup    = flag.Int("cleanup-work", 0, "synthetic per-entry cleanup iterations on reclamation")
 		httpAddr   = flag.String("http", "", "serve JSON status at this address (empty = off)")
 		sweepSec   = flag.Int("sweep", 10, "seconds between TTL expiry sweeps (0 = lazy only)")
@@ -51,6 +53,7 @@ func main() {
 	store := kvstore.New(kvstore.Config{
 		SMA:         sma,
 		Policy:      policy,
+		Shards:      *shards,
 		CleanupWork: *cleanup,
 		OnReclaim:   func(string) {},
 	})
@@ -58,9 +61,8 @@ func main() {
 	if *smdAddr != "" {
 		// The resilient client survives daemon restarts: it re-registers
 		// and resyncs the budget ledger automatically.
-		cli, err := ipc.DialResilient(ipc.ResilientConfig{
-			Network: *smdNetwork, Addr: *smdAddr, Name: *name,
-		}, sma)
+		cli, err := ipc.DialResilient(*smdNetwork, *smdAddr, *name, sma,
+			ipc.WithDialTimeout(5*time.Second))
 		if err != nil {
 			log.Fatalf("softkv: daemon: %v", err)
 		}
@@ -81,7 +83,6 @@ func main() {
 		stSrv, stAddr, err := statusz.Serve(*httpAddr, func() any {
 			return map[string]any{
 				"store":    store.Stats(),
-				"entries":  store.Len(),
 				"sma":      sma.Stats(),
 				"contexts": sma.Contexts(),
 			}

@@ -36,9 +36,7 @@ func main() {
 	pool := pages.NewPool(*localMiB << 20 / pages.Size)
 	sma := core.New(core.Config{Machine: pool})
 	if *smdAddr != "" {
-		cli, err := ipc.DialResilient(ipc.ResilientConfig{
-			Network: *smdNetwork, Addr: *smdAddr, Name: *name,
-		}, sma)
+		cli, err := ipc.DialResilient(*smdNetwork, *smdAddr, *name, sma)
 		if err != nil {
 			log.Fatalf("softml: daemon: %v", err)
 		}

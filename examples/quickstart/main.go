@@ -5,6 +5,9 @@
 // daemon to reclaim from A. A's reclaim callback sees every element
 // before it is revoked, and neither process crashes.
 //
+// Everything here goes through the public softmem facade — applications
+// never import softmem/internal/... directly.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -12,22 +15,19 @@ import (
 	"fmt"
 	"log"
 
-	"softmem/internal/core"
-	"softmem/internal/pages"
-	"softmem/internal/sds"
-	"softmem/internal/smd"
+	"softmem"
 )
 
 func main() {
 	// The machine: 4 MiB of soft memory (1024 pages), one daemon.
-	machine := pages.NewPool(1024)
-	daemon := smd.NewDaemon(smd.Config{TotalPages: 1024})
+	machine := softmem.NewPool(1024)
+	daemon := softmem.NewDaemon(softmem.DaemonConfig{TotalPages: 1024})
 
 	// Process A: a cache of 2 KiB entries in a soft linked list. The
 	// callback is the last chance to see revoked data.
-	smaA := core.New(core.Config{Machine: machine})
+	smaA := softmem.New(softmem.Config{Machine: machine})
 	reclaimed := 0
-	cache := sds.NewSoftLinkedList(smaA, "cache", sds.BytesCodec{},
+	cache := softmem.NewSoftLinkedList(smaA, "cache", softmem.BytesCodec{},
 		func(v []byte) { reclaimed++ })
 	smaA.AttachDaemon(daemon.Register("service-A", smaA))
 
@@ -42,8 +42,8 @@ func main() {
 
 	// Process B: a batch job that needs 2 MiB. The machine has only ~1
 	// MiB free, so the daemon reclaims the difference from A.
-	smaB := core.New(core.Config{Machine: machine})
-	scratch := sds.NewSoftQueue(smaB, "scratch", sds.BytesCodec{}, nil)
+	smaB := softmem.New(softmem.Config{Machine: machine})
+	scratch := softmem.NewSoftQueue(smaB, "scratch", softmem.BytesCodec{}, nil)
 	smaB.AttachDaemon(daemon.Register("batch-B", smaB))
 
 	block := make([]byte, 4096)

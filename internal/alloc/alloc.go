@@ -14,7 +14,7 @@
 // densely into pages, freeing a handful of allocations tends to produce
 // entirely-free pages that can be returned for reclamation.
 //
-// A Heap is not safe for concurrent use; the owning SMA serializes access
+// A Heap is not safe for concurrent use; the owning Context serializes access
 // (the paper leaves concurrency as an open question, §7).
 package alloc
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"softmem/internal/alloc"
 	"softmem/internal/pages"
@@ -10,14 +11,25 @@ import (
 // Context is a Soft Data Structure's handle on its isolated heap: the
 // paper's "SDS context in charge of tracking the SDS's heap and a
 // user-defined priority" (§3.1). All methods are safe for concurrent use;
-// they serialize on the owning SMA's lock.
+// they serialize on the context's own heap lock, so operations on
+// different contexts proceed in parallel.
 type Context struct {
 	sma       *SMA
-	heap      *alloc.Heap
 	name      string
-	priority  int
 	reclaimer Reclaimer
-	closed    bool
+	// seq is the registration sequence number; paths that must hold
+	// several heap locks at once (integrity checks) acquire them in
+	// ascending seq order to stay deadlock-free.
+	seq uint64
+	// priority orders the reclamation walk; it is registry state, guarded
+	// by the SMA's regMu.
+	priority int
+
+	// mu guards the heap and everything below it. The allocation slow
+	// path (daemon round-trips) runs with mu dropped and retries.
+	mu     sync.Mutex
+	heap   *alloc.Heap
+	closed bool
 	// pins counts active Pins per allocation; pinned allocations cannot
 	// be freed or reclaimed.
 	pins map[alloc.Ref]int
@@ -34,17 +46,17 @@ func (c *Context) Name() string { return c.name }
 // Priority returns the context's reclamation priority; lower values are
 // reclaimed first.
 func (c *Context) Priority() int {
-	c.sma.mu.Lock()
-	defer c.sma.mu.Unlock()
+	c.sma.regMu.Lock()
+	defer c.sma.regMu.Unlock()
 	return c.priority
 }
 
 // SetPriority changes the context's reclamation priority.
 func (c *Context) SetPriority(p int) {
-	c.sma.mu.Lock()
+	c.sma.regMu.Lock()
 	c.priority = p
 	c.sma.sortContextsLocked()
-	c.sma.mu.Unlock()
+	c.sma.regMu.Unlock()
 }
 
 // pagesNeeded is the worst-case page cost of an allocation, used to size
@@ -62,13 +74,13 @@ func pagesNeeded(size int) int {
 func (c *Context) Alloc(size int) (alloc.Ref, error) {
 	const maxRetries = 10
 	for attempt := 0; ; attempt++ {
-		c.sma.mu.Lock()
+		c.mu.Lock()
 		if c.closed {
-			c.sma.mu.Unlock()
+			c.mu.Unlock()
 			return alloc.Ref{}, ErrClosed
 		}
 		ref, err := c.heap.Alloc(size)
-		c.sma.mu.Unlock()
+		c.mu.Unlock()
 		if err == nil {
 			return ref, nil
 		}
@@ -111,21 +123,21 @@ func (c *Context) AllocData(data []byte) (alloc.Ref, error) {
 // budget to the daemon. Freeing a pinned allocation fails with
 // ErrPinned.
 func (c *Context) Free(ref alloc.Ref) error {
-	c.sma.mu.Lock()
+	c.mu.Lock()
 	if c.pinnedLocked(ref) {
-		c.sma.mu.Unlock()
+		c.mu.Unlock()
 		return ErrPinned
 	}
 	err := c.heap.Free(ref)
 	c.trimHeapLocked()
-	c.sma.mu.Unlock()
+	c.mu.Unlock()
 	c.sma.flushTrim()
 	return err
 }
 
 // trimHeapLocked transfers free pages beyond the retention threshold from
 // the heap to the process free pool ("periodically transfers free pages
-// back to the global free pool", §4).
+// back to the global free pool", §4). Caller holds c.mu.
 func (c *Context) trimHeapLocked() {
 	if over := c.heap.FreePages() - c.sma.cfg.HeapFreeMax; over > 0 {
 		c.heap.ReleaseFreePages(over)
@@ -134,22 +146,22 @@ func (c *Context) trimHeapLocked() {
 
 // Write copies data into the allocation at offset off.
 func (c *Context) Write(ref alloc.Ref, data []byte, off int) error {
-	c.sma.mu.Lock()
-	defer c.sma.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.heap.WriteAt(ref, data, off)
 }
 
 // Read copies from the allocation at offset off into buf.
 func (c *Context) Read(ref alloc.Ref, buf []byte, off int) error {
-	c.sma.mu.Lock()
-	defer c.sma.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.heap.ReadAt(ref, buf, off)
 }
 
 // ReadAll returns a copy of the allocation's contents.
 func (c *Context) ReadAll(ref alloc.Ref) ([]byte, error) {
-	c.sma.mu.Lock()
-	defer c.sma.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	size, err := c.heap.Size(ref)
 	if err != nil {
 		return nil, err
@@ -163,34 +175,34 @@ func (c *Context) ReadAll(ref alloc.Ref) ([]byte, error) {
 
 // Size returns the allocation's size in bytes.
 func (c *Context) Size(ref alloc.Ref) (int, error) {
-	c.sma.mu.Lock()
-	defer c.sma.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.heap.Size(ref)
 }
 
 // Live reports whether ref names a live allocation (false after free or
 // reclamation).
 func (c *Context) Live(ref alloc.Ref) bool {
-	c.sma.mu.Lock()
-	defer c.sma.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.heap.Live(ref)
 }
 
-// Do runs fn under the SMA lock with a Tx for allocation access. SDSs use
-// it to mutate their in-memory index atomically with respect to
-// reclamation: the Reclaim callback runs under the same lock, so an index
-// observed inside Do is never half-reclaimed. fn must not call the
-// Context's public methods (deadlock) nor block.
+// Do runs fn under the context's heap lock with a Tx for allocation
+// access. SDSs use it to mutate their in-memory index atomically with
+// respect to reclamation: the Reclaim callback runs under the same lock,
+// so an index observed inside Do is never half-reclaimed. fn must not
+// call the Context's public methods (deadlock) nor block.
 func (c *Context) Do(fn func(tx *Tx) error) error {
-	c.sma.mu.Lock()
+	c.mu.Lock()
 	if c.closed {
-		c.sma.mu.Unlock()
+		c.mu.Unlock()
 		return ErrClosed
 	}
 	tx := &Tx{ctx: c}
 	err := fn(tx)
 	c.trimHeapLocked()
-	c.sma.mu.Unlock()
+	c.mu.Unlock()
 	c.sma.flushTrim()
 	return err
 }
@@ -200,21 +212,25 @@ func (c *Context) Do(fn func(tx *Tx) error) error {
 // captured bytes readable (Go memory safety) but the data is no longer
 // soft-memory-backed.
 func (c *Context) Close() {
-	c.sma.mu.Lock()
-	if !c.closed {
+	c.mu.Lock()
+	already := c.closed
+	if !already {
 		c.heap.Reset()
 		c.closed = true
 		c.pins = nil
-		c.sma.removeContextLocked(c)
 	}
-	c.sma.mu.Unlock()
+	c.mu.Unlock()
+	if already {
+		return
+	}
+	c.sma.unregister(c)
 	c.sma.flushTrim()
 }
 
 // HeapStats returns the context's heap accounting.
 func (c *Context) HeapStats() alloc.Stats {
-	c.sma.mu.Lock()
-	defer c.sma.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.heap.Stats()
 }
 
@@ -222,7 +238,7 @@ func (c *Context) HeapStats() alloc.Stats {
 // this repository's answer to the paper's §7 concurrency question, in
 // the spirit of AIFM's dereference scopes: while a thread holds a Pin,
 // the allocation cannot be revoked, so its bytes may be read outside the
-// SMA lock without racing a demand. Pins should be short-lived; a pinned
+// heap lock without racing a demand. Pins should be short-lived; a pinned
 // allocation is invisible to reclamation and long pins erode the
 // process's ability to satisfy demands.
 type Pin struct {
@@ -246,7 +262,7 @@ func (p *Pin) Unpin() {
 	}
 	p.done = true
 	c := p.ctx
-	c.sma.mu.Lock()
+	c.mu.Lock()
 	if c.pins != nil {
 		if n := c.pins[p.ref]; n > 1 {
 			c.pins[p.ref] = n - 1
@@ -254,7 +270,7 @@ func (p *Pin) Unpin() {
 			delete(c.pins, p.ref)
 		}
 	}
-	c.sma.mu.Unlock()
+	c.mu.Unlock()
 	p.data = nil
 }
 
@@ -262,8 +278,8 @@ func (p *Pin) Unpin() {
 // access to its bytes. Multi-page allocations cannot be pinned for
 // zero-copy access (use Read); they return an error.
 func (c *Context) Pin(ref alloc.Ref) (*Pin, error) {
-	c.sma.mu.Lock()
-	defer c.sma.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
@@ -278,7 +294,7 @@ func (c *Context) Pin(ref alloc.Ref) (*Pin, error) {
 	return &Pin{ctx: c, ref: ref, data: b}, nil
 }
 
-// pinnedLocked reports whether ref is pinned. Caller holds the SMA lock.
+// pinnedLocked reports whether ref is pinned. Caller holds c.mu.
 func (c *Context) pinnedLocked(ref alloc.Ref) bool {
 	return c.pins != nil && c.pins[ref] > 0
 }

@@ -19,11 +19,16 @@
 // # Concurrency
 //
 // The paper leaves safe concurrent reclamation as an open question (§7).
-// This implementation takes the coarse, sound position: a single mutex per
-// SMA serializes every allocation, free, data access, and reclamation in
-// the process (the paper's Redis is single-threaded, so this also matches
-// the prototype's effective behaviour). The mutex is never held across a
-// daemon call — budget requests drop the lock and retry — which prevents
-// deadlock between two processes' allocations and the demands they
-// trigger in each other.
+// This implementation answers it with per-heap locking: each Context has
+// its own mutex guarding its heap, so independent SDSs allocate, free, and
+// read in parallel. The SMA itself keeps the budget ledger and usage
+// counters as atomics (lock-free fast path), plus three narrow mutexes:
+// budgetMu single-flights daemon round-trips, demandMu serializes
+// reclamation demands (and gives VerifyIntegrity a consistent snapshot),
+// and regMu/poolMu guard the context registry and tier-0 free pool. Lock
+// order is demandMu → regMu → Context locks (ascending registration
+// order) → poolMu. No lock is ever held across a daemon call — budget
+// requests run under budgetMu only, and the demand path never touches
+// budgetMu — which keeps the cross-process demand path deadlock-free. See
+// the SMA struct comment in sma.go for the full model.
 package core

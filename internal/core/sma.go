@@ -24,7 +24,7 @@ var (
 	ErrPinned = errors.New("core: allocation is pinned")
 
 	// errNeedBudget is the internal signal that an allocation needs more
-	// budget; the allocation loop catches it, drops the SMA lock, talks
+	// budget; the allocation loop catches it, drops the heap lock, talks
 	// to the daemon, and retries.
 	errNeedBudget = errors.New("core: budget required")
 
@@ -49,7 +49,8 @@ type Usage struct {
 
 // DaemonClient is the SMA's view of the Soft Memory Daemon. The in-process
 // daemon and the socket client both satisfy it. Implementations must be
-// safe for concurrent use; the SMA never holds its own lock while calling.
+// safe for concurrent use; the SMA never holds a heap or pool lock while
+// calling (only the budget lock, which the demand path never takes).
 type DaemonClient interface {
 	// RequestBudget asks the daemon to grow this process's soft budget by
 	// pages. The daemon grants all-or-nothing; granted is pages or 0.
@@ -61,9 +62,9 @@ type DaemonClient interface {
 // Reclaimer is implemented by every Soft Data Structure: given a byte
 // quota, free allocations (oldest/lowest-value first per the SDS's
 // policy), invoking the application callback before each free, and return
-// the number of bytes actually freed. Reclaim is called with the SMA lock
-// held; it must use only the Tx passed to it, never the Context's public
-// methods.
+// the number of bytes actually freed. Reclaim is called with the owning
+// Context's heap lock held; it must use only the Tx passed to it, never
+// the Context's public methods.
 type Reclaimer interface {
 	Reclaim(tx *Tx, bytes int) int
 }
@@ -114,27 +115,84 @@ type Stats struct {
 	RebackedPages   int64 // previously released pages re-backed on growth
 }
 
+// daemonBox wraps the attached DaemonClient so it can live in an
+// atomic.Pointer: allocation fast paths read it lock-free.
+type daemonBox struct{ c DaemonClient }
+
 // SMA is a process's Soft Memory Allocator.
+//
+// Locking model: there is no single SMA lock. Each Context guards its own
+// heap with a per-Context mutex, so independent SDS heaps allocate, read,
+// and free in parallel. Shared state is split:
+//
+//   - budget, used, unbackedVirtual, pendingTrim and the stat counters
+//     are atomics — the allocation fast path reserves ledger room with a
+//     CAS and never blocks on another heap;
+//   - poolMu guards the process-local free pool (tier-0 pages);
+//   - regMu guards the context registry and pressure listeners;
+//   - budgetMu single-flights daemon round-trips (slow path only);
+//   - demandMu serializes reclamation demands so a demand's multi-step
+//     accounting appears atomic to integrity checks.
+//
+// Lock order, for paths that nest: demandMu → regMu → Context.mu
+// (ascending registration order when holding several) → poolMu → the
+// machine pool's internal lock. budgetMu nests with none of these: it is
+// held only around daemon calls, and the demand path — which the daemon
+// may run while a budget request is in flight — never takes it.
 type SMA struct {
-	mu       sync.Mutex
-	cfg      Config
-	machine  *pages.Pool
-	daemon   DaemonClient
-	budget   int
-	used     int
-	freePool []*pages.Page
-	contexts []*Context
+	cfg     Config
+	machine *pages.Pool
+
+	// daemon is the attached DaemonClient (nil box pointer = standalone).
+	daemon atomic.Pointer[daemonBox]
+
+	// Budget ledger. used <= budget is enforced by a CAS reservation loop
+	// in acquire; both only ever change by exact page counts, so machine
+	// conservation invariants hold without a global lock.
+	budget atomic.Int64
+	used   atomic.Int64
 	// unbackedVirtual counts pages released to the machine under demands
 	// whose virtual range the prototype would re-back before growing.
-	unbackedVirtual int
+	unbackedVirtual atomic.Int64
 	// pendingTrim accumulates pages trimmed to the machine whose budget
-	// must be returned to the daemon once the lock is dropped.
-	pendingTrim int
-	// traditional is atomic so SDS reclaim callbacks (which run with the
-	// SMA mutex held) can adjust traditional-memory accounting directly.
+	// must be returned to the daemon once all heap locks are dropped.
+	pendingTrim atomic.Int64
+	// traditional is the self-reported hard-memory footprint; atomic so
+	// SDS reclaim callbacks can adjust it from inside locked sections.
 	traditional atomic.Int64
+
+	// budgetMu single-flights daemon round-trips: when many goroutines
+	// hit the budget ceiling at once, one performs the request and the
+	// rest observe the grant and retry.
+	budgetMu sync.Mutex
+
+	// demandMu serializes reclamation demands (see lock order above).
+	demandMu sync.Mutex
+
+	// regMu guards the registry (sorted by ascending priority) and the
+	// pressure listeners. Context priorities are registry state too.
+	regMu       sync.Mutex
+	contexts    []*Context
+	nextSeq     uint64
 	pressureFns []func(PressureEvent)
-	stats       Stats
+
+	// poolMu guards the process-local free pool.
+	poolMu   sync.Mutex
+	freePool []*pages.Page
+
+	c counters
+}
+
+// counters are the monotonic halves of Stats, kept as atomics so hot
+// paths bump them without a lock.
+type counters struct {
+	budgetRequests  atomic.Int64
+	budgetDenied    atomic.Int64
+	demandsServed   atomic.Int64
+	pagesReclaimed  atomic.Int64
+	allocsReclaimed atomic.Int64
+	releasedVirtual atomic.Int64
+	rebackedPages   atomic.Int64
 }
 
 // New returns an SMA drawing pages from cfg.Machine under cfg.Daemon's
@@ -144,7 +202,19 @@ func New(cfg Config) *SMA {
 		panic("core: Config.Machine is required")
 	}
 	cfg.setDefaults()
-	return &SMA{cfg: cfg, machine: cfg.Machine, daemon: cfg.Daemon}
+	s := &SMA{cfg: cfg, machine: cfg.Machine}
+	if cfg.Daemon != nil {
+		s.daemon.Store(&daemonBox{cfg.Daemon})
+	}
+	return s
+}
+
+// daemonClient returns the attached daemon, or nil when standalone.
+func (s *SMA) daemonClient() DaemonClient {
+	if b := s.daemon.Load(); b != nil {
+		return b.c
+	}
+	return nil
 }
 
 // AttachDaemon wires the SMA to its daemon client after construction.
@@ -153,9 +223,7 @@ func New(cfg Config) *SMA {
 // is: build the SMA without a daemon, register it with the daemon to get
 // the client, then attach. Must be called before the first allocation.
 func (s *SMA) AttachDaemon(d DaemonClient) {
-	s.mu.Lock()
-	s.daemon = d
-	s.mu.Unlock()
+	s.daemon.Store(&daemonBox{d})
 }
 
 // SetTraditionalBytes records the process's traditional-memory footprint,
@@ -186,76 +254,82 @@ func (s *SMA) TraditionalBytes() int64 {
 func (s *SMA) Register(name string, priority int, r Reclaimer) *Context {
 	ctx := &Context{sma: s, name: name, priority: priority, reclaimer: r}
 	ctx.heap = alloc.New(ctxSource{ctx})
-	s.mu.Lock()
+	s.regMu.Lock()
+	s.nextSeq++
+	ctx.seq = s.nextSeq
 	s.contexts = append(s.contexts, ctx)
 	s.sortContextsLocked()
-	s.mu.Unlock()
+	s.regMu.Unlock()
 	return ctx
 }
 
 // sortContextsLocked keeps contexts in ascending priority (reclaim order),
-// stable in registration order among equals.
+// stable in registration order among equals. Caller holds regMu.
 func (s *SMA) sortContextsLocked() {
 	sort.SliceStable(s.contexts, func(i, j int) bool {
 		return s.contexts[i].priority < s.contexts[j].priority
 	})
 }
 
-// removeContextLocked drops a closed context so long-lived processes
-// that churn SDSs do not accumulate dead entries.
-func (s *SMA) removeContextLocked(ctx *Context) {
+// unregister drops a closed context so long-lived processes that churn
+// SDSs do not accumulate dead entries.
+func (s *SMA) unregister(ctx *Context) {
+	s.regMu.Lock()
 	for i, c := range s.contexts {
 		if c == ctx {
 			s.contexts = append(s.contexts[:i], s.contexts[i+1:]...)
-			return
+			break
 		}
 	}
+	s.regMu.Unlock()
+}
+
+// snapshotContexts copies the registry in reclaim order (ascending
+// priority) without holding regMu across the caller's work.
+func (s *SMA) snapshotContexts() []*Context {
+	s.regMu.Lock()
+	out := append([]*Context(nil), s.contexts...)
+	s.regMu.Unlock()
+	return out
 }
 
 // Close tears the SMA down: every context is closed (freeing its heap),
 // the free pool returns to the machine, and all budget is released to
 // the daemon. The SMA must not be used afterwards.
 func (s *SMA) Close() {
-	s.mu.Lock()
-	ctxs := append([]*Context(nil), s.contexts...)
-	s.mu.Unlock()
-	for _, c := range ctxs {
+	for _, c := range s.snapshotContexts() {
 		c.Close()
 	}
-	s.mu.Lock()
-	if n := len(s.freePool); n > 0 {
+	s.poolMu.Lock()
+	n := len(s.freePool)
+	if n > 0 {
 		s.machine.Release(s.freePool...)
 		s.freePool = s.freePool[:0]
-		s.used -= n
 	}
-	budget := s.budget
-	s.budget = 0
-	u := s.usageLocked()
-	daemon := s.daemon
-	s.mu.Unlock()
-	if daemon != nil && budget > 0 {
-		_ = daemon.ReleaseBudget(budget, u)
+	s.poolMu.Unlock()
+	if n > 0 {
+		s.used.Add(-int64(n))
+	}
+	budget := s.budget.Swap(0)
+	if d := s.daemonClient(); d != nil && budget > 0 {
+		_ = d.ReleaseBudget(int(budget), s.usage())
 	}
 }
 
-// usageLocked snapshots the self-report sent with daemon interactions.
-func (s *SMA) usageLocked() Usage {
-	return Usage{UsedPages: s.used, TraditionalBytes: s.traditional.Load()}
+// usage snapshots the self-report sent with daemon interactions.
+func (s *SMA) usage() Usage {
+	return Usage{UsedPages: int(s.used.Load()), TraditionalBytes: s.traditional.Load()}
 }
 
 // Usage returns the current self-report.
 func (s *SMA) Usage() Usage {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.usageLocked()
+	return s.usage()
 }
 
 // BudgetPages returns the soft budget the SMA currently believes it
 // holds.
 func (s *SMA) BudgetPages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.budget
+	return int(s.budget.Load())
 }
 
 // ResetBudget overwrites the SMA's view of its budget. Transports use it
@@ -267,27 +341,39 @@ func (s *SMA) ResetBudget(n int) {
 	if n < 0 {
 		n = 0
 	}
-	s.mu.Lock()
-	s.budget = n
-	s.mu.Unlock()
+	s.budget.Store(int64(n))
 }
 
 // VerifyIntegrity checks the SMA's internal accounting invariants and
 // returns a descriptive error on the first violation. Tests and soak
 // harnesses call it after churn; it is cheap enough to call in
-// production health checks.
+// production health checks. To get a consistent snapshot it quiesces the
+// allocator: demandMu stops demands, regMu stops registration, and every
+// context's heap lock (taken in registration order) stops allocation.
 func (s *SMA) VerifyIntegrity() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.demandMu.Lock()
+	defer s.demandMu.Unlock()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	ctxs := append([]*Context(nil), s.contexts...)
+	sort.Slice(ctxs, func(i, j int) bool { return ctxs[i].seq < ctxs[j].seq })
+	for _, c := range ctxs {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+
 	heapPages := 0
-	for _, c := range s.contexts {
+	for _, c := range ctxs {
 		heapPages += c.heap.PagesHeld()
 	}
-	if got := heapPages + len(s.freePool); got != s.used {
-		return fmt.Errorf("core: used=%d but heaps+pool hold %d pages", s.used, got)
+	used := int(s.used.Load())
+	if got := heapPages + len(s.freePool); got != used {
+		return fmt.Errorf("core: used=%d but heaps+pool hold %d pages", used, got)
 	}
-	if s.daemon != nil && s.budget < 0 {
-		return fmt.Errorf("core: negative budget %d", s.budget)
+	if s.daemonClient() != nil && s.budget.Load() < 0 {
+		return fmt.Errorf("core: negative budget %d", s.budget.Load())
 	}
 	if len(s.freePool) > s.cfg.FreePoolMax {
 		return fmt.Errorf("core: free pool %d exceeds cap %d", len(s.freePool), s.cfg.FreePoolMax)
@@ -302,22 +388,31 @@ func (s *SMA) VerifyIntegrity() error {
 
 // Stats returns a snapshot of the SMA's accounting.
 func (s *SMA) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.BudgetPages = s.budget
-	st.UsedPages = s.used
-	st.FreePoolPages = len(s.freePool)
-	st.Contexts = len(s.contexts)
-	return st
+	s.poolMu.Lock()
+	free := len(s.freePool)
+	s.poolMu.Unlock()
+	s.regMu.Lock()
+	nctx := len(s.contexts)
+	s.regMu.Unlock()
+	return Stats{
+		BudgetPages:     int(s.budget.Load()),
+		UsedPages:       int(s.used.Load()),
+		FreePoolPages:   free,
+		Contexts:        nctx,
+		BudgetRequests:  s.c.budgetRequests.Load(),
+		BudgetDenied:    s.c.budgetDenied.Load(),
+		DemandsServed:   s.c.demandsServed.Load(),
+		PagesReclaimed:  s.c.pagesReclaimed.Load(),
+		AllocsReclaimed: s.c.allocsReclaimed.Load(),
+		ReleasedVirtual: s.c.releasedVirtual.Load(),
+		RebackedPages:   s.c.rebackedPages.Load(),
+	}
 }
 
 // FootprintBytes returns the process's current soft-memory footprint in
 // bytes (pages held times page size) — the quantity plotted in Figure 2.
 func (s *SMA) FootprintBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return int64(s.used) * pages.Size
+	return s.used.Load() * pages.Size
 }
 
 // ContextInfo describes one registered SDS context for observability.
@@ -331,24 +426,49 @@ type ContextInfo struct {
 // Contexts lists the SMA's registered contexts in reclamation order
 // (ascending priority).
 func (s *SMA) Contexts() []ContextInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
 	out := make([]ContextInfo, 0, len(s.contexts))
 	for _, c := range s.contexts {
+		c.mu.Lock()
 		out = append(out, ContextInfo{
 			Name:     c.name,
 			Priority: c.priority,
 			Closed:   c.closed,
 			Heap:     c.heap.Stats(),
 		})
+		c.mu.Unlock()
 	}
 	return out
 }
 
-// acquireLocked hands n pages to a heap, preferring the free pool, then
-// the machine within budget. It returns errNeedBudget when the daemon
-// must be consulted; the caller drops the lock and retries.
-func (s *SMA) acquireLocked(n int) ([]*pages.Page, error) {
+// atomicSubClamp subtracts up to n from a, never going below zero, and
+// returns how much was actually subtracted.
+func atomicSubClamp(a *atomic.Int64, n int64) int64 {
+	for {
+		cur := a.Load()
+		take := n
+		if take > cur {
+			take = cur
+		}
+		if take <= 0 {
+			return 0
+		}
+		if a.CompareAndSwap(cur, cur-take) {
+			return take
+		}
+	}
+}
+
+// acquire hands n pages to a heap, preferring the free pool, then the
+// machine within budget. It returns errNeedBudget when the daemon must be
+// consulted; the caller drops its heap lock and retries. Runs with the
+// owning Context's lock held; ledger room is reserved with a CAS so
+// concurrent heaps never over-commit the budget.
+func (s *SMA) acquire(n int) ([]*pages.Page, error) {
+	// Fast path: the process-local free pool (all-or-nothing, so a
+	// multi-page span never mixes sources).
+	s.poolMu.Lock()
 	if len(s.freePool) >= n {
 		out := make([]*pages.Page, n)
 		copy(out, s.freePool[len(s.freePool)-n:])
@@ -356,148 +476,151 @@ func (s *SMA) acquireLocked(n int) ([]*pages.Page, error) {
 			s.freePool[i] = nil
 		}
 		s.freePool = s.freePool[:len(s.freePool)-n]
+		s.poolMu.Unlock()
 		return out, nil
 	}
-	if s.daemon != nil && s.used+n > s.budget {
-		return nil, errNeedBudget
+	s.poolMu.Unlock()
+
+	// Reserve ledger room before touching the machine; roll back on
+	// failure so used always equals pages actually held.
+	hasDaemon := s.daemonClient() != nil
+	if hasDaemon {
+		for {
+			u := s.used.Load()
+			if u+int64(n) > s.budget.Load() {
+				return nil, errNeedBudget
+			}
+			if s.used.CompareAndSwap(u, u+int64(n)) {
+				break
+			}
+		}
+	} else {
+		s.used.Add(int64(n))
 	}
 	pgs, err := s.machine.Acquire(n)
 	if err != nil {
-		if s.daemon != nil {
+		s.used.Add(-int64(n))
+		if hasDaemon {
 			return nil, errNeedPages
 		}
 		return nil, fmt.Errorf("%w: machine pool: %v", ErrExhausted, err)
 	}
-	if s.unbackedVirtual > 0 {
-		// Re-back previously released virtual pages before growing (§4).
-		reback := n
-		if reback > s.unbackedVirtual {
-			reback = s.unbackedVirtual
-		}
-		s.unbackedVirtual -= reback
-		s.stats.RebackedPages += int64(reback)
+	// Re-back previously released virtual pages before growing (§4).
+	if reback := atomicSubClamp(&s.unbackedVirtual, int64(n)); reback > 0 {
+		s.c.rebackedPages.Add(reback)
 	}
-	s.used += n
 	return pgs, nil
 }
 
-// releaseLocked accepts pages back from a heap into the free pool,
-// trimming overflow to the machine (and the matching budget to the
-// daemon, outside the lock, via the returned trim count).
-func (s *SMA) releaseLocked(pgs []*pages.Page) (trim int) {
+// releasePages accepts pages back from a heap into the free pool,
+// trimming overflow to the machine. Trimmed budget is accumulated in
+// pendingTrim and returned to the daemon by flushTrim once the caller's
+// heap lock is dropped.
+func (s *SMA) releasePages(pgs []*pages.Page) {
+	var cut []*pages.Page
+	s.poolMu.Lock()
 	s.freePool = append(s.freePool, pgs...)
 	if over := len(s.freePool) - s.cfg.FreePoolMax; over > 0 {
-		cut := s.freePool[len(s.freePool)-over:]
-		s.machine.Release(cut...)
-		for i := range cut {
-			cut[i] = nil
+		tail := s.freePool[len(s.freePool)-over:]
+		cut = append(cut, tail...)
+		for i := range tail {
+			tail[i] = nil
 		}
 		s.freePool = s.freePool[:len(s.freePool)-over]
-		s.used -= over
-		return over
 	}
-	return 0
+	s.poolMu.Unlock()
+	if len(cut) > 0 {
+		s.machine.Release(cut...)
+		s.used.Add(-int64(len(cut)))
+		s.pendingTrim.Add(int64(len(cut)))
+	}
 }
 
 // ensureBudget grows the budget by at least need pages via the daemon.
-// Called WITHOUT the SMA lock.
+// Called WITHOUT any heap lock. budgetMu single-flights the round-trip:
+// a goroutine that arrives while another is mid-request blocks here, then
+// usually finds the fresh grant sufficient and returns without its own
+// round-trip.
 func (s *SMA) ensureBudget(need int) error {
-	s.mu.Lock()
-	if s.daemon == nil || s.used+need <= s.budget {
-		s.mu.Unlock()
+	d := s.daemonClient()
+	if d == nil {
+		return nil
+	}
+	s.budgetMu.Lock()
+	defer s.budgetMu.Unlock()
+	if s.used.Load()+int64(need) <= s.budget.Load() {
 		return nil
 	}
 	ask := s.cfg.BudgetChunk
 	if need > ask {
 		ask = need
 	}
-	u := s.usageLocked()
-	daemon := s.daemon
-	s.stats.BudgetRequests++
-	s.mu.Unlock()
-
-	granted, err := daemon.RequestBudget(ask, u)
+	u := s.usage()
+	s.c.budgetRequests.Add(1)
+	granted, err := d.RequestBudget(ask, u)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrExhausted, err)
 	}
 	if granted == 0 && ask > need {
 		// The chunk was denied under pressure; retry with the exact need
 		// before giving up, to avoid spurious failures near the limit.
-		s.mu.Lock()
-		s.stats.BudgetRequests++
-		s.mu.Unlock()
-		granted, err = daemon.RequestBudget(need, u)
+		s.c.budgetRequests.Add(1)
+		granted, err = d.RequestBudget(need, u)
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrExhausted, err)
 		}
 	}
 	if granted == 0 {
-		s.mu.Lock()
-		s.stats.BudgetDenied++
-		s.mu.Unlock()
+		s.c.budgetDenied.Add(1)
 		return fmt.Errorf("%w: daemon denied budget request", ErrExhausted)
 	}
-	s.mu.Lock()
-	s.budget += granted
-	s.mu.Unlock()
+	s.budget.Add(int64(granted))
 	return nil
 }
 
 // forcePressureRound performs an unconditional daemon round-trip when the
 // machine pool is empty despite available budget. The fresh request makes
 // the daemon reclaim physical pages from other processes (its slack view
-// of them was stale). Called WITHOUT the SMA lock.
+// of them was stale). Called WITHOUT any heap lock.
 func (s *SMA) forcePressureRound(need int) error {
-	s.mu.Lock()
-	daemon := s.daemon
-	u := s.usageLocked()
+	d := s.daemonClient()
+	if d == nil {
+		return fmt.Errorf("%w: machine pool empty", ErrExhausted)
+	}
 	// Ask for a whole chunk: the daemon over-reclaims proportionally, so
 	// one round frees enough physical pages to amortize many allocations
 	// (the paper's "fixed memory percentage" amortization, §4).
 	if need < s.cfg.BudgetChunk {
 		need = s.cfg.BudgetChunk
 	}
-	s.stats.BudgetRequests++
-	s.mu.Unlock()
-	if daemon == nil {
-		return fmt.Errorf("%w: machine pool empty", ErrExhausted)
-	}
-	granted, err := daemon.RequestBudget(need, u)
+	s.budgetMu.Lock()
+	defer s.budgetMu.Unlock()
+	s.c.budgetRequests.Add(1)
+	granted, err := d.RequestBudget(need, s.usage())
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrExhausted, err)
 	}
 	if granted == 0 {
-		s.mu.Lock()
-		s.stats.BudgetDenied++
-		s.mu.Unlock()
+		s.c.budgetDenied.Add(1)
 		return fmt.Errorf("%w: daemon denied pressure request", ErrExhausted)
 	}
-	s.mu.Lock()
-	s.budget += granted
-	s.mu.Unlock()
+	s.budget.Add(int64(granted))
 	return nil
 }
 
 // returnBudget gives back budget for pages trimmed to the machine.
-// Called WITHOUT the SMA lock.
+// Called WITHOUT any heap lock.
 func (s *SMA) returnBudget(n int) {
 	if n <= 0 {
 		return
 	}
-	s.mu.Lock()
-	if s.daemon == nil {
-		s.mu.Unlock()
+	d := s.daemonClient()
+	if d == nil {
 		return
 	}
-	s.budget -= n
-	if s.budget < 0 {
-		s.budget = 0
-	}
-	u := s.usageLocked()
-	daemon := s.daemon
-	s.mu.Unlock()
+	atomicSubClamp(&s.budget, int64(n))
 	// Best-effort: a failed release only strands budget at the daemon.
-	_ = daemon.ReleaseBudget(n, u)
+	_ = d.ReleaseBudget(n, s.usage())
 }
 
 // PressureEvent describes one served reclamation demand, delivered to
@@ -515,89 +638,106 @@ type PressureEvent struct {
 }
 
 // OnPressure registers a listener invoked after every served reclamation
-// demand, outside the SMA lock. This is the explicitness the paper
+// demand, outside all SMA locks. This is the explicitness the paper
 // contrasts with swapping (§1): the application *knows* it was squeezed
 // and can follow a less aggressive caching strategy, shed load, or log
 // the event. Listeners must not block for long; they run on the
 // demanding goroutine.
 func (s *SMA) OnPressure(fn func(PressureEvent)) {
-	s.mu.Lock()
+	s.regMu.Lock()
 	s.pressureFns = append(s.pressureFns, fn)
-	s.mu.Unlock()
+	s.regMu.Unlock()
 }
 
 // HandleDemand serves a reclamation demand from the daemon: release up to
 // demandPages pages back to the machine, first from the free pool, then by
 // walking SDS contexts in ascending priority. It returns the number of
 // pages actually released; the daemon shrinks the process budget by the
-// same amount. Safe to call from any goroutine.
+// same amount. Safe to call from any goroutine; demands serialize on
+// demandMu and take each context's heap lock one at a time, so allocation
+// on other heaps proceeds while one SDS is being squeezed.
 func (s *SMA) HandleDemand(demandPages int) int {
 	if demandPages <= 0 {
 		return 0
 	}
-	s.mu.Lock()
+	s.demandMu.Lock()
 	released := 0
-	allocsBefore := s.stats.AllocsReclaimed
+	var allocsFreed int64
 
 	// Tier 0: the free pool — zero-disturbance pages (§3.1).
+	s.poolMu.Lock()
 	if n := len(s.freePool); n > 0 {
 		take := n
 		if take > demandPages {
 			take = demandPages
 		}
-		cut := s.freePool[len(s.freePool)-take:]
-		s.machine.Release(cut...)
-		for i := range cut {
-			cut[i] = nil
+		cut := append([]*pages.Page(nil), s.freePool[n-take:]...)
+		for i := n - take; i < n; i++ {
+			s.freePool[i] = nil
 		}
-		s.freePool = s.freePool[:len(s.freePool)-take]
+		s.freePool = s.freePool[:n-take]
+		s.poolMu.Unlock()
+		s.machine.Release(cut...)
 		released += take
+	} else {
+		s.poolMu.Unlock()
 	}
 
 	// Tier 1: SDS contexts, lowest priority first. Each SDS frees
 	// allocations until its heap has surrendered enough whole pages.
-	for _, ctx := range s.contexts {
-		if released >= demandPages {
-			break
+	if released < demandPages {
+		for _, ctx := range s.snapshotContexts() {
+			if released >= demandPages {
+				break
+			}
+			if ctx.reclaimer == nil {
+				continue
+			}
+			pgs, frees := s.reclaimFromContext(ctx, demandPages-released)
+			released += pgs
+			allocsFreed += frees
 		}
-		if ctx.reclaimer == nil || ctx.closed {
-			continue
-		}
-		released += s.reclaimFromContextLocked(ctx, demandPages-released)
 	}
 
-	s.used -= released
-	s.budget -= released
-	if s.budget < 0 {
-		s.budget = 0
-	}
-	s.unbackedVirtual += released
-	s.stats.DemandsServed++
-	s.stats.PagesReclaimed += int64(released)
-	s.stats.ReleasedVirtual += int64(released)
+	s.used.Add(-int64(released))
+	atomicSubClamp(&s.budget, int64(released))
+	s.unbackedVirtual.Add(int64(released))
+	s.c.demandsServed.Add(1)
+	s.c.pagesReclaimed.Add(int64(released))
+	s.c.releasedVirtual.Add(int64(released))
 	ev := PressureEvent{
 		DemandedPages:   demandPages,
 		ReleasedPages:   released,
-		AllocsReclaimed: s.stats.AllocsReclaimed - allocsBefore,
-		UsedPages:       s.used,
+		AllocsReclaimed: allocsFreed,
+		UsedPages:       int(s.used.Load()),
 	}
-	listeners := s.pressureFns
-	s.mu.Unlock()
+	s.demandMu.Unlock()
+	s.regMu.Lock()
+	listeners := append([]func(PressureEvent){}, s.pressureFns...)
+	s.regMu.Unlock()
 	for _, fn := range listeners {
 		fn(ev)
 	}
 	return released
 }
 
-// reclaimFromContextLocked asks one SDS to free allocations until quota
-// pages have flowed from its heap to the machine, or the SDS runs dry.
-// While it runs, every page the heap releases — emptied slot pages and
-// freed multi-page spans alike — goes straight to the machine and is
-// counted via ctx.drainReleased.
-func (s *SMA) reclaimFromContextLocked(ctx *Context, quotaPages int) int {
+// reclaimFromContext asks one SDS to free allocations until quota pages
+// have flowed from its heap to the machine, or the SDS runs dry. It takes
+// the context's heap lock for the duration; while it runs, every page the
+// heap releases — emptied slot pages and freed multi-page spans alike —
+// goes straight to the machine and is counted via ctx.drainReleased. It
+// returns the pages drained and the allocations freed (counted per
+// demand, so concurrent observers never see another demand's frees).
+func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (int, int64) {
+	ctx.mu.Lock()
+	defer ctx.mu.Unlock()
+	if ctx.closed {
+		return 0, 0
+	}
 	tx := &Tx{ctx: ctx}
 	ctx.demandDrain = true
 	ctx.drainReleased = 0
+	var frees int64
 	// Bounded rounds guard against a misbehaving Reclaimer that reports
 	// progress without ever emptying pages.
 	for round := 0; round < 64; round++ {
@@ -610,7 +750,7 @@ func (s *SMA) reclaimFromContextLocked(ctx *Context, quotaPages int) int {
 		}
 		wantBytes := (quotaPages - ctx.drainReleased) * pages.Size
 		freed := ctx.reclaimer.Reclaim(tx, wantBytes)
-		s.stats.AllocsReclaimed += int64(tx.frees)
+		frees += int64(tx.frees)
 		tx.frees = 0
 		if freed <= 0 {
 			// SDS cannot free more; take whatever pages emptied out.
@@ -621,17 +761,18 @@ func (s *SMA) reclaimFromContextLocked(ctx *Context, quotaPages int) int {
 		}
 	}
 	ctx.demandDrain = false
-	return ctx.drainReleased
+	s.c.allocsReclaimed.Add(frees)
+	return ctx.drainReleased, frees
 }
 
 // ctxSource is the alloc.PageSource wired into each context's heap. All
-// its methods run with the SMA lock held (heap operations only happen
-// under the lock).
+// its methods run with the owning Context's lock held (heap operations
+// only happen under that lock).
 type ctxSource struct{ ctx *Context }
 
 // AcquirePages leases pages for the heap from the free pool or machine.
 func (cs ctxSource) AcquirePages(n int) ([]*pages.Page, error) {
-	return cs.ctx.sma.acquireLocked(n)
+	return cs.ctx.sma.acquire(n)
 }
 
 // ReleasePages accepts pages back from the heap. On the demand path they
@@ -643,15 +784,18 @@ func (cs ctxSource) ReleasePages(pgs []*pages.Page) {
 		cs.ctx.drainReleased += len(pgs)
 		return
 	}
-	s.pendingTrim += s.releaseLocked(pgs)
+	s.releasePages(pgs)
 }
 
 // flushTrim returns budget for trimmed pages to the daemon. Called
-// WITHOUT the SMA lock, after every public operation that may trim.
+// WITHOUT any heap lock, after every public operation that may trim.
+// The Load-before-Swap keeps the common no-trim case a read of a shared
+// cache line instead of a contended read-modify-write.
 func (s *SMA) flushTrim() {
-	s.mu.Lock()
-	n := s.pendingTrim
-	s.pendingTrim = 0
-	s.mu.Unlock()
-	s.returnBudget(n)
+	if s.pendingTrim.Load() == 0 {
+		return
+	}
+	if n := s.pendingTrim.Swap(0); n > 0 {
+		s.returnBudget(int(n))
+	}
 }

@@ -47,7 +47,7 @@ func (b *blobSDS) allocPages(n int) error {
 // allocMany makes n raw soft allocations and registers them for
 // reclamation in one locked batch at the end. This is the faithful
 // analogue of the paper's stress loops, which time bare soft_malloc
-// calls — the per-allocation cost is one SMA lock acquisition, not a
+// calls — the per-allocation cost is one Context lock acquisition, not a
 // second index round-trip.
 func (b *blobSDS) allocMany(n, size int) error {
 	local := make([]alloc.Ref, 0, n)

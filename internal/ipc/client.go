@@ -29,9 +29,17 @@ type DemandTarget interface {
 
 // Dial connects to the daemon at network/addr, registers under name, and
 // routes reclamation demands to target. The returned Client is ready to
-// pass to SMA.AttachDaemon.
-func Dial(network, addr, name string, target DemandTarget) (*Client, error) {
-	nc, err := net.Dial(network, addr)
+// pass to SMA.AttachDaemon. Options tune the connection (e.g.
+// WithDialTimeout); reconnect options only apply to DialResilient.
+func Dial(network, addr, name string, target DemandTarget, opts ...DialOption) (*Client, error) {
+	o := resolveOptions(opts)
+	var nc net.Conn
+	var err error
+	if o.timeout > 0 {
+		nc, err = net.DialTimeout(network, addr, o.timeout)
+	} else {
+		nc, err = net.Dial(network, addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ipc: dial %s %s: %w", network, addr, err)
 	}

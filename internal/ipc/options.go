@@ -1,0 +1,60 @@
+package ipc
+
+import (
+	"log"
+	"time"
+)
+
+// DialOption tunes how clients connect to the daemon. Options are shared
+// by Dial and DialResilient so connection knobs grow without positional
+// parameters.
+type DialOption func(*dialOptions)
+
+// dialOptions is the resolved option set.
+type dialOptions struct {
+	timeout    time.Duration
+	backoff    time.Duration
+	maxBackoff time.Duration
+	logf       func(string, ...any)
+}
+
+func resolveOptions(opts []DialOption) dialOptions {
+	o := dialOptions{
+		backoff:    100 * time.Millisecond,
+		maxBackoff: 5 * time.Second,
+		logf:       log.Printf,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithDialTimeout bounds each connection attempt. Zero (the default)
+// means the platform's connect timeout.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(o *dialOptions) { o.timeout = d }
+}
+
+// WithBackoff sets the resilient client's reconnect delays: initial is
+// the first retry delay (default 100ms), doubling up to max (default 5s).
+// Non-positive values keep the defaults. Ignored by plain Dial.
+func WithBackoff(initial, max time.Duration) DialOption {
+	return func(o *dialOptions) {
+		if initial > 0 {
+			o.backoff = initial
+		}
+		if max > 0 {
+			o.maxBackoff = max
+		}
+	}
+}
+
+// WithLogf routes connection lifecycle messages (default log.Printf).
+func WithLogf(f func(string, ...any)) DialOption {
+	return func(o *dialOptions) {
+		if f != nil {
+			o.logf = f
+		}
+	}
+}

@@ -3,7 +3,6 @@ package ipc
 import (
 	"errors"
 	"fmt"
-	"log"
 	"sync"
 	"time"
 
@@ -25,7 +24,10 @@ type Process interface {
 	ResetBudget(n int)
 }
 
-// ResilientConfig configures DialResilient.
+// ResilientConfig configures DialResilientConfig.
+//
+// Deprecated: use DialResilient with DialOptions (WithBackoff, WithLogf,
+// WithDialTimeout) instead of positional config growth.
 type ResilientConfig struct {
 	Network string
 	Addr    string
@@ -38,18 +40,6 @@ type ResilientConfig struct {
 	Logf func(string, ...any)
 }
 
-func (c *ResilientConfig) setDefaults() {
-	if c.Backoff <= 0 {
-		c.Backoff = 100 * time.Millisecond
-	}
-	if c.MaxBackoff <= 0 {
-		c.MaxBackoff = 5 * time.Second
-	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
-	}
-}
-
 // Resilient is a daemon client that survives daemon restarts: when the
 // connection drops it redials with backoff, re-registers, and resyncs
 // the process's budget with the (possibly fresh) daemon. Budget calls
@@ -59,8 +49,9 @@ func (c *ResilientConfig) setDefaults() {
 //
 // It implements core.DaemonClient.
 type Resilient struct {
-	cfg  ResilientConfig
-	proc Process
+	network, addr, name string
+	opt                 dialOptions
+	proc                Process
 
 	mu     sync.Mutex
 	cli    *Client
@@ -69,22 +60,35 @@ type Resilient struct {
 	reconnects int
 }
 
-// DialResilient connects to the daemon and starts the reconnect watcher.
-// The initial dial must succeed; later failures are retried forever
-// (until Close).
-func DialResilient(cfg ResilientConfig, proc Process) (*Resilient, error) {
-	cfg.setDefaults()
+// DialResilient connects to the daemon at network/addr, registering under
+// name, and starts the reconnect watcher. The initial dial must succeed;
+// later failures are retried forever (until Close). Options tune the
+// per-attempt dial timeout, reconnect backoff, and logging.
+func DialResilient(network, addr, name string, proc Process, opts ...DialOption) (*Resilient, error) {
 	if proc == nil {
 		return nil, errors.New("ipc: DialResilient needs a Process")
 	}
-	r := &Resilient{cfg: cfg, proc: proc}
-	cli, err := Dial(cfg.Network, cfg.Addr, cfg.Name, proc)
+	r := &Resilient{network: network, addr: addr, name: name, opt: resolveOptions(opts), proc: proc}
+	cli, err := r.dial()
 	if err != nil {
 		return nil, err
 	}
 	r.cli = cli
 	go r.watch(cli)
 	return r, nil
+}
+
+// DialResilientConfig is the positional-config form of DialResilient.
+//
+// Deprecated: use DialResilient with DialOptions.
+func DialResilientConfig(cfg ResilientConfig, proc Process) (*Resilient, error) {
+	return DialResilient(cfg.Network, cfg.Addr, cfg.Name, proc,
+		WithBackoff(cfg.Backoff, cfg.MaxBackoff), WithLogf(cfg.Logf))
+}
+
+// dial performs one connection attempt with the client's options.
+func (r *Resilient) dial() (*Client, error) {
+	return Dial(r.network, r.addr, r.name, r.proc, WithDialTimeout(r.opt.timeout))
 }
 
 // watch waits for the connection to die and then reconnects.
@@ -97,9 +101,9 @@ func (r *Resilient) watch(cli *Client) {
 	}
 	r.cli = nil // fail calls fast while down
 	r.mu.Unlock()
-	r.cfg.Logf("ipc: lost daemon connection; reconnecting")
+	r.opt.logf("ipc: lost daemon connection; reconnecting")
 
-	delay := r.cfg.Backoff
+	delay := r.opt.backoff
 	for {
 		r.mu.Lock()
 		if r.closed {
@@ -108,7 +112,7 @@ func (r *Resilient) watch(cli *Client) {
 		}
 		r.mu.Unlock()
 
-		next, err := Dial(r.cfg.Network, r.cfg.Addr, r.cfg.Name, r.proc)
+		next, err := r.dial()
 		if err == nil {
 			r.resync(next)
 			r.mu.Lock()
@@ -120,13 +124,13 @@ func (r *Resilient) watch(cli *Client) {
 			r.cli = next
 			r.reconnects++
 			r.mu.Unlock()
-			r.cfg.Logf("ipc: reconnected to daemon as proc %d", next.ProcID())
+			r.opt.logf("ipc: reconnected to daemon as proc %d", next.ProcID())
 			go r.watch(next)
 			return
 		}
 		time.Sleep(delay)
-		if delay *= 2; delay > r.cfg.MaxBackoff {
-			delay = r.cfg.MaxBackoff
+		if delay *= 2; delay > r.opt.maxBackoff {
+			delay = r.opt.maxBackoff
 		}
 	}
 }
@@ -146,13 +150,13 @@ func (r *Resilient) resync(cli *Client) {
 	}
 	granted, err := cli.RequestBudget(want, u)
 	if err != nil {
-		r.cfg.Logf("ipc: budget resync failed: %v", err)
+		r.opt.logf("ipc: budget resync failed: %v", err)
 		r.proc.ResetBudget(0)
 		return
 	}
 	r.proc.ResetBudget(granted)
 	if granted < want {
-		r.cfg.Logf("ipc: daemon re-granted %d of %d pages after restart", granted, want)
+		r.opt.logf("ipc: daemon re-granted %d of %d pages after restart", granted, want)
 	}
 }
 
@@ -218,5 +222,5 @@ var _ core.DaemonClient = (*Resilient)(nil)
 
 // String describes the client for diagnostics.
 func (r *Resilient) String() string {
-	return fmt.Sprintf("resilient(%s %s, %d reconnects)", r.cfg.Network, r.cfg.Addr, r.Reconnects())
+	return fmt.Sprintf("resilient(%s %s, %d reconnects)", r.network, r.addr, r.Reconnects())
 }

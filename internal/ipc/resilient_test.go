@@ -41,10 +41,8 @@ func TestResilientSurvivesDaemonRestart(t *testing.T) {
 	machine := pages.NewPool(0)
 	sma := core.New(core.Config{Machine: machine})
 	ctx := sma.Register("data", 0, nil)
-	rc, err := DialResilient(ResilientConfig{
-		Network: "tcp", Addr: addr, Name: "proc",
-		Backoff: 10 * time.Millisecond, Logf: func(string, ...any) {},
-	}, sma)
+	rc, err := DialResilient("tcp", addr, "proc", sma,
+		WithBackoff(10*time.Millisecond, 0), WithLogf(func(string, ...any) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,10 +113,8 @@ func TestResilientResyncShrinksWhenMachineShrank(t *testing.T) {
 
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
 	ctx := sma.Register("data", 0, nil)
-	rc, err := DialResilient(ResilientConfig{
-		Network: "tcp", Addr: addr, Name: "proc",
-		Backoff: 10 * time.Millisecond, Logf: func(string, ...any) {},
-	}, sma)
+	rc, err := DialResilient("tcp", addr, "proc", sma,
+		WithBackoff(10*time.Millisecond, 0), WithLogf(func(string, ...any) {}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +151,7 @@ func TestResilientClose(t *testing.T) {
 	_, srv := startServerOn(t, addr, smd.Config{TotalPages: 100})
 	defer srv.Close()
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	rc, err := DialResilient(ResilientConfig{
+	rc, err := DialResilientConfig(ResilientConfig{
 		Network: "tcp", Addr: addr, Name: "p",
 		Logf: func(string, ...any) {},
 	}, sma)
@@ -172,7 +168,7 @@ func TestResilientClose(t *testing.T) {
 }
 
 func TestResilientNeedsProcess(t *testing.T) {
-	if _, err := DialResilient(ResilientConfig{Network: "tcp", Addr: "127.0.0.1:1"}, nil); err == nil {
+	if _, err := DialResilient("tcp", "127.0.0.1:1", "x", nil); err == nil {
 		t.Fatal("nil process accepted")
 	}
 }

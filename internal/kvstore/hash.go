@@ -20,8 +20,8 @@ type hashField struct {
 // integration kept keys/values traditional and freed them via callback;
 // here the traditional side is the field index).
 //
-// Lock ordering: the SMA lock (inside sds calls) is always taken before
-// hashStore.mu — the reclaim callback runs under the SMA lock and then
+// Lock ordering: the Context lock (inside sds calls) is always taken before
+// hashStore.mu — the reclaim callback runs under the Context lock and then
 // takes mu, so no path may hold mu while calling into the table.
 type hashStore struct {
 	ht *sds.SoftHashTable[hashField]

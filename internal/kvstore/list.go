@@ -24,7 +24,7 @@ type listElem struct {
 // Under pressure the table evicts in insertion order, so a list loses
 // its OLDEST elements first; the seq index tolerates holes.
 //
-// Lock ordering matches hashStore: SMA lock (inside sds calls) before
+// Lock ordering matches hashStore: the Context lock (inside sds calls) before
 // listStore.mu.
 type listStore struct {
 	ht *sds.SoftHashTable[listElem]
@@ -40,7 +40,7 @@ func newListStore(table *sds.SoftHashTable[listElem]) *listStore {
 }
 
 // dropElem removes a reclaimed element from the traditional index
-// (callback path; runs under the SMA lock, then takes mu).
+// (callback path; runs under the Context lock, then takes mu).
 func (l *listStore) dropElem(e listElem) {
 	l.mu.Lock()
 	seqs := l.seqs[e.key]

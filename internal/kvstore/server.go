@@ -471,10 +471,10 @@ func (s *Server) execute(w *bufio.Writer, args []string) (quit bool) {
 		writeSimple(w, "OK")
 	case "INFO":
 		st := s.store.Stats()
-		hs := s.store.Context().HeapStats()
+		hs := st.Soft
 		info := fmt.Sprintf(
-			"entries:%d\r\nsets:%d\r\ngets:%d\r\nhits:%d\r\nmisses:%d\r\nreclaimed:%d\r\nsoft_bytes:%d\r\nsoft_slot_bytes:%d\r\nsoft_pages:%d\r\nsoft_free_pages:%d\r\ntotal_allocs:%d\r\ntotal_frees:%d\r\n",
-			s.store.Len(), st.Sets, st.Gets, st.Hits, st.Misses, st.Reclaimed,
+			"entries:%d\r\nshards:%d\r\nsets:%d\r\ngets:%d\r\nhits:%d\r\nmisses:%d\r\nreclaimed:%d\r\nexpired:%d\r\nsoft_bytes:%d\r\nsoft_slot_bytes:%d\r\nsoft_pages:%d\r\nsoft_free_pages:%d\r\ntotal_allocs:%d\r\ntotal_frees:%d\r\n",
+			st.Entries, st.Shards, st.Sets, st.Gets, st.Hits, st.Misses, st.Reclaimed, st.Expired,
 			hs.LiveBytes, hs.SlotBytes, hs.PagesHeld, hs.FreePages, hs.TotalAllocs, hs.TotalFrees)
 		writeBulk(w, []byte(info))
 	default:

@@ -10,16 +10,26 @@
 // from its database. The reclaim callback is where associated traditional
 // memory is cleaned up — the paper measures that cleanup as the dominant
 // reclamation cost.
+//
+// The string table can be sharded (Config.Shards) into several
+// SoftHashTables, each with its own SDS context and heap lock, so
+// concurrent clients on different keys proceed in parallel. Sharding
+// trades global eviction order for throughput: each shard evicts
+// oldest/LRU-first within itself, so reclamation order across the whole
+// store is only approximately global. The default of one shard preserves
+// the exact store-wide order.
 package kvstore
 
 import (
 	"fmt"
+	"math/bits"
 	"path"
 	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"softmem/internal/alloc"
 	"softmem/internal/core"
 	"softmem/internal/sds"
 )
@@ -40,6 +50,11 @@ type Config struct {
 	Policy sds.EvictPolicy
 	// Priority is the store's SDS reclamation priority.
 	Priority int
+	// Shards splits the string table into this many SoftHashTables
+	// (rounded up to a power of two), each with its own heap lock, so
+	// concurrent clients scale. Eviction order under reclamation becomes
+	// per-shard rather than store-global. Default 1.
+	Shards int
 	// OnReclaim runs for every entry revoked under memory pressure, after
 	// the store's own cleanup. Optional.
 	OnReclaim func(key string)
@@ -52,7 +67,9 @@ type Config struct {
 	Clock func() time.Time
 }
 
-// Stats counts store operations.
+// Stats is the store's unified observability snapshot: operation
+// counters, entry counts, and the aggregated soft-heap accounting across
+// all of the store's SDS contexts. It is served as-is by statusz.
 type Stats struct {
 	Sets      int64
 	Gets      int64
@@ -60,12 +77,20 @@ type Stats struct {
 	Misses    int64
 	Dels      int64
 	Reclaimed int64 // entries revoked under memory pressure
+	Expired   int64 // entries collected by TTL expiry
+	Entries   int   // live string entries across all shards
+	Shards    int   // string-table shard count
+	// Soft aggregates heap accounting over every SDS context the store
+	// owns (string shards, hash table, list table).
+	Soft alloc.Stats
 }
 
 // Store is an embeddable soft-memory key-value store. All methods are
-// safe for concurrent use.
+// safe for concurrent use; with Shards > 1, operations on different keys
+// contend only on their shard's heap lock.
 type Store struct {
-	ht          *sds.SoftHashTable[string]
+	shards      []*sds.SoftHashTable[string]
+	shardMask   uint64
 	hashes      *hashStore
 	lists       *listStore
 	ttl         *ttlTable
@@ -79,7 +104,7 @@ type Store struct {
 	cleanupSink atomic.Int64
 }
 
-// New creates a store backed by one soft hash table in cfg.SMA.
+// New creates a store backed by soft hash tables in cfg.SMA.
 func New(cfg Config) *Store {
 	if cfg.SMA == nil {
 		panic("kvstore: Config.SMA is required")
@@ -88,28 +113,43 @@ func New(cfg Config) *Store {
 	if name == "" {
 		name = "kvstore"
 	}
+	nshards := cfg.Shards
+	if nshards <= 1 {
+		nshards = 1
+	} else if nshards&(nshards-1) != 0 {
+		nshards = 1 << bits.Len(uint(nshards))
+	}
 	s := &Store{ttl: newTTLTable(cfg.Clock)}
-	s.ht = sds.NewSoftHashTable[string](cfg.SMA, name, sds.HashTableConfig[string]{
-		Policy:   cfg.Policy,
-		Priority: cfg.Priority,
-		KeyBytes: func(k string) int { return len(k) + keyOverheadBytes },
-		OnReclaim: func(key string, _ []byte) {
-			s.reclaimed.Add(1)
-			s.ttl.clear(key)
-			// Synthetic traditional-memory cleanup, per the paper's
-			// observation that reclamation time "is spent almost
-			// exclusively in Redis code, invoked via the callback, that
-			// cleans up associated traditional memory".
-			sink := int64(0)
-			for i := 0; i < cfg.CleanupWork; i++ {
-				sink += int64(i ^ len(key))
-			}
-			s.cleanupSink.Add(sink)
-			if cfg.OnReclaim != nil {
-				cfg.OnReclaim(key)
-			}
-		},
-	})
+	s.shardMask = uint64(nshards - 1)
+	onReclaim := func(key string, _ []byte) {
+		s.reclaimed.Add(1)
+		s.ttl.clear(key)
+		// Synthetic traditional-memory cleanup, per the paper's
+		// observation that reclamation time "is spent almost
+		// exclusively in Redis code, invoked via the callback, that
+		// cleans up associated traditional memory".
+		sink := int64(0)
+		for i := 0; i < cfg.CleanupWork; i++ {
+			sink += int64(i ^ len(key))
+		}
+		s.cleanupSink.Add(sink)
+		if cfg.OnReclaim != nil {
+			cfg.OnReclaim(key)
+		}
+	}
+	s.shards = make([]*sds.SoftHashTable[string], nshards)
+	for i := range s.shards {
+		shardName := name
+		if nshards > 1 {
+			shardName = fmt.Sprintf("%s/%d", name, i)
+		}
+		s.shards[i] = sds.NewSoftHashTable[string](cfg.SMA, shardName, sds.HashTableConfig[string]{
+			Policy:    cfg.Policy,
+			Priority:  cfg.Priority,
+			KeyBytes:  func(k string) int { return len(k) + keyOverheadBytes },
+			OnReclaim: onReclaim,
+		})
+	}
 	hashTable := sds.NewSoftHashTable[hashField](cfg.SMA, name+"-hashes", sds.HashTableConfig[hashField]{
 		Policy:   cfg.Policy,
 		Priority: cfg.Priority,
@@ -133,12 +173,29 @@ func New(cfg Config) *Store {
 	return s
 }
 
+// table routes a key to its shard (FNV-1a over the key).
+func (s *Store) table(key string) *sds.SoftHashTable[string] {
+	if s.shardMask == 0 {
+		return s.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return s.shards[h&s.shardMask]
+}
+
 // Set stores value under key, replacing any existing value. It returns
 // core.ErrExhausted when soft memory cannot be obtained even after
 // machine-wide reclamation.
 func (s *Store) Set(key string, value []byte) error {
 	s.sets.Add(1)
-	return s.ht.Put(key, value)
+	return s.table(key).Put(key, value)
 }
 
 // Get returns a copy of the value under key; ok is false on miss —
@@ -146,7 +203,7 @@ func (s *Store) Set(key string, value []byte) error {
 func (s *Store) Get(key string) (value []byte, ok bool, err error) {
 	s.expireIfDue(key)
 	s.gets.Add(1)
-	value, ok, err = s.ht.Get(key)
+	value, ok, err = s.table(key).Get(key)
 	if ok {
 		s.hits.Add(1)
 	} else {
@@ -159,13 +216,13 @@ func (s *Store) Get(key string) (value []byte, ok bool, err error) {
 func (s *Store) Del(key string) (bool, error) {
 	s.dels.Add(1)
 	s.ttl.clear(key)
-	return s.ht.Delete(key)
+	return s.table(key).Delete(key)
 }
 
 // Exists reports whether key is present.
 func (s *Store) Exists(key string) bool {
 	s.expireIfDue(key)
-	return s.ht.Contains(key)
+	return s.table(key).Contains(key)
 }
 
 // Incr adjusts the integer stored at key by delta, creating it at delta
@@ -174,7 +231,8 @@ func (s *Store) Exists(key string) bool {
 func (s *Store) Incr(key string, delta int64) (int64, error) {
 	s.expireIfDue(key)
 	s.gets.Add(1)
-	cur, ok, err := s.ht.Get(key)
+	ht := s.table(key)
+	cur, ok, err := ht.Get(key)
 	if err != nil {
 		return 0, err
 	}
@@ -190,7 +248,7 @@ func (s *Store) Incr(key string, delta int64) (int64, error) {
 	}
 	n += delta
 	s.sets.Add(1)
-	if err := s.ht.Put(key, []byte(strconv.FormatInt(n, 10))); err != nil {
+	if err := ht.Put(key, []byte(strconv.FormatInt(n, 10))); err != nil {
 		return 0, err
 	}
 	return n, nil
@@ -201,7 +259,8 @@ func (s *Store) Incr(key string, delta int64) (int64, error) {
 func (s *Store) Append(key string, data []byte) (int, error) {
 	s.expireIfDue(key)
 	s.gets.Add(1)
-	cur, ok, err := s.ht.Get(key)
+	ht := s.table(key)
+	cur, ok, err := ht.Get(key)
 	if err != nil {
 		return 0, err
 	}
@@ -212,7 +271,7 @@ func (s *Store) Append(key string, data []byte) (int, error) {
 	}
 	next := append(cur, data...)
 	s.sets.Add(1)
-	if err := s.ht.Put(key, next); err != nil {
+	if err := ht.Put(key, next); err != nil {
 		return 0, err
 	}
 	return len(next), nil
@@ -221,7 +280,7 @@ func (s *Store) Append(key string, data []byte) (int, error) {
 // StrLen returns the length of the value at key (0 if absent).
 func (s *Store) StrLen(key string) int {
 	s.expireIfDue(key)
-	v, ok, err := s.ht.Get(key)
+	v, ok, err := s.table(key).Get(key)
 	if err != nil || !ok {
 		return 0
 	}
@@ -236,39 +295,49 @@ func (s *Store) Keys(pattern string) ([]string, error) {
 		return nil, fmt.Errorf("kvstore: bad pattern %q: %w", pattern, err)
 	}
 	var out []string
-	if err := s.ht.Range(func(k string, _ []byte) bool {
-		if ok, _ := path.Match(pattern, k); ok {
-			out = append(out, k)
+	for _, ht := range s.shards {
+		if err := ht.Range(func(k string, _ []byte) bool {
+			if ok, _ := path.Match(pattern, k); ok {
+				out = append(out, k)
+			}
+			return true
+		}); err != nil {
+			return nil, err
 		}
-		return true
-	}); err != nil {
-		return nil, err
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
 // Len returns the number of live entries.
-func (s *Store) Len() int { return s.ht.Len() }
+func (s *Store) Len() int {
+	n := 0
+	for _, ht := range s.shards {
+		n += ht.Len()
+	}
+	return n
+}
 
 // FlushAll removes every entry.
 func (s *Store) FlushAll() error {
-	var keys []string
-	if err := s.ht.Range(func(k string, _ []byte) bool {
-		keys = append(keys, k)
-		return true
-	}); err != nil {
-		return err
-	}
-	for _, k := range keys {
-		if _, err := s.ht.Delete(k); err != nil {
+	for _, ht := range s.shards {
+		var keys []string
+		if err := ht.Range(func(k string, _ []byte) bool {
+			keys = append(keys, k)
+			return true
+		}); err != nil {
 			return err
+		}
+		for _, k := range keys {
+			if _, err := ht.Delete(k); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// Stats returns a snapshot of operation counters.
+// Stats returns the unified observability snapshot.
 func (s *Store) Stats() Stats {
 	return Stats{
 		Sets:      s.sets.Load(),
@@ -277,15 +346,45 @@ func (s *Store) Stats() Stats {
 		Misses:    s.misses.Load(),
 		Dels:      s.dels.Load(),
 		Reclaimed: s.reclaimed.Load(),
+		Expired:   s.expired.Load(),
+		Entries:   s.Len(),
+		Shards:    len(s.shards),
+		Soft:      s.HeapStats(),
 	}
 }
 
-// Context exposes the store's SDS context (for stats and priority).
-func (s *Store) Context() *core.Context { return s.ht.Context() }
+// HeapStats aggregates heap accounting over every SDS context the store
+// owns: all string shards plus the hash and list tables.
+func (s *Store) HeapStats() alloc.Stats {
+	var sum alloc.Stats
+	add := func(h alloc.Stats) {
+		sum.LiveAllocs += h.LiveAllocs
+		sum.LiveBytes += h.LiveBytes
+		sum.SlotBytes += h.SlotBytes
+		sum.PagesHeld += h.PagesHeld
+		sum.FreePages += h.FreePages
+		sum.TotalAllocs += h.TotalAllocs
+		sum.TotalFrees += h.TotalFrees
+		sum.FailedAllocs += h.FailedAllocs
+	}
+	for _, ht := range s.shards {
+		add(ht.Context().HeapStats())
+	}
+	add(s.hashes.ht.Context().HeapStats())
+	add(s.lists.ht.Context().HeapStats())
+	return sum
+}
+
+// Context exposes the store's first string-shard SDS context (for stats
+// and priority). With Shards > 1 use HeapStats for whole-store heap
+// accounting.
+func (s *Store) Context() *core.Context { return s.shards[0].Context() }
 
 // Close frees the store's soft memory.
 func (s *Store) Close() {
-	s.ht.Close()
+	for _, ht := range s.shards {
+		ht.Close()
+	}
 	s.hashes.ht.Close()
 	s.lists.ht.Close()
 }

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -10,8 +11,11 @@ import (
 // free their soft memory voluntarily, which is cheaper than waiting for
 // a reclamation demand to take them.
 type ttlTable struct {
-	mu  sync.Mutex
-	m   map[string]time.Time
+	mu sync.Mutex
+	m  map[string]time.Time
+	// n mirrors len(m) so the hot read paths (every GET checks expiry)
+	// skip the mutex entirely while no TTLs are set.
+	n   atomic.Int64
 	now func() time.Time
 }
 
@@ -25,21 +29,33 @@ func newTTLTable(now func() time.Time) *ttlTable {
 // set records a deadline for key.
 func (t *ttlTable) set(key string, deadline time.Time) {
 	t.mu.Lock()
+	if _, ok := t.m[key]; !ok {
+		t.n.Add(1)
+	}
 	t.m[key] = deadline
 	t.mu.Unlock()
 }
 
 // clear removes key's deadline, reporting whether one existed.
 func (t *ttlTable) clear(key string) bool {
+	if t.n.Load() == 0 {
+		return false
+	}
 	t.mu.Lock()
 	_, ok := t.m[key]
-	delete(t.m, key)
+	if ok {
+		delete(t.m, key)
+		t.n.Add(-1)
+	}
 	t.mu.Unlock()
 	return ok
 }
 
 // due reports whether key has an expired deadline.
 func (t *ttlTable) due(key string) bool {
+	if t.n.Load() == 0 {
+		return false
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	dl, ok := t.m[key]
@@ -63,6 +79,9 @@ func (t *ttlTable) remaining(key string) (time.Duration, bool) {
 
 // expired returns all keys whose deadline has passed.
 func (t *ttlTable) expired() []string {
+	if t.n.Load() == 0 {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := t.now()
@@ -77,7 +96,7 @@ func (t *ttlTable) expired() []string {
 
 // Expire sets key's time-to-live, reporting whether the key exists.
 func (s *Store) Expire(key string, d time.Duration) bool {
-	if !s.ht.Contains(key) {
+	if !s.table(key).Contains(key) {
 		return false
 	}
 	s.ttl.set(key, s.ttl.now().Add(d))
@@ -88,7 +107,7 @@ func (s *Store) Expire(key string, d time.Duration) bool {
 // keys; hasTTL is false for keys without a deadline.
 func (s *Store) TTL(key string) (d time.Duration, exists, hasTTL bool) {
 	s.expireIfDue(key)
-	if !s.ht.Contains(key) {
+	if !s.table(key).Contains(key) {
 		return 0, false, false
 	}
 	d, hasTTL = s.ttl.remaining(key)
@@ -97,7 +116,7 @@ func (s *Store) TTL(key string) (d time.Duration, exists, hasTTL bool) {
 
 // Persist removes key's time-to-live, reporting whether one was removed.
 func (s *Store) Persist(key string) bool {
-	if !s.ht.Contains(key) {
+	if !s.table(key).Contains(key) {
 		return false
 	}
 	return s.ttl.clear(key)
@@ -107,7 +126,7 @@ func (s *Store) Persist(key string) bool {
 func (s *Store) expireIfDue(key string) {
 	if s.ttl.due(key) {
 		s.ttl.clear(key)
-		if removed, _ := s.ht.Delete(key); removed {
+		if removed, _ := s.table(key).Delete(key); removed {
 			s.expired.Add(1)
 		}
 	}
@@ -120,7 +139,7 @@ func (s *Store) SweepExpired() int {
 	n := 0
 	for _, key := range s.ttl.expired() {
 		s.ttl.clear(key)
-		if removed, _ := s.ht.Delete(key); removed {
+		if removed, _ := s.table(key).Delete(key); removed {
 			s.expired.Add(1)
 			n++
 		}

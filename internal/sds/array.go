@@ -198,8 +198,8 @@ func (a *SoftArray[T]) Context() *core.Context { return a.ctx }
 func (a *SoftArray[T]) Close() { a.ctx.Close() }
 
 // reclaim surrenders the whole block (the array's all-or-nothing policy),
-// invoking the callback on each present element first. Runs under the SMA
-// lock.
+// invoking the callback on each present element first. Runs under the
+// Context lock.
 func (a *SoftArray[T]) reclaim(tx *core.Tx, quota int) int {
 	if !a.valid || quota <= 0 || tx.Pinned(a.ref) {
 		return 0

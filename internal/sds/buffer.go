@@ -199,7 +199,7 @@ func (b *SoftBuffer) Close() { b.ctx.Close() }
 
 // reclaim drops whole chunks oldest-first until quota bytes are freed.
 // The partially-filled tail chunk is surrendered last. Runs under the
-// SMA lock.
+// Context lock.
 func (b *SoftBuffer) reclaim(tx *core.Tx, quota int) int {
 	freed := 0
 	var lost int64

@@ -21,7 +21,7 @@ import (
 //     round-trips, so call them outside locked sections; then install
 //     the ref into your index inside ctx.Do.
 //  3. Mutate your index ONLY inside ctx.Do (or your Reclaim) — both run
-//     under the SMA lock, so reclamation never sees a half-updated
+//     under the Context lock, so reclamation never sees a half-updated
 //     index.
 //  4. Implement Reclaim(tx, quota): free your least valuable
 //     allocations (skipping pinned ones) until quota SLOT bytes are

@@ -287,7 +287,7 @@ func (t *SoftHashTable[K]) touch(e *htEntry[K]) {
 // reclaim evicts entries from the head of the eviction order until quota
 // bytes are freed, invoking the callback and cleaning the traditional
 // index for each. Pinned entries are skipped and survive. Runs under
-// the SMA lock.
+// the Context lock.
 func (t *SoftHashTable[K]) reclaim(tx *core.Tx, quota int) int {
 	freed := 0
 	var keyBytesFreed int64

@@ -228,7 +228,7 @@ func (l *SoftLinkedList[T]) Close() { l.ctx.Close() }
 
 // reclaim frees elements oldest-first until quota bytes are freed (§3.2:
 // "prioritizes newer entries over older entries"). Pinned elements are
-// skipped and survive. Runs under the SMA lock.
+// skipped and survive. Runs under the Context lock.
 func (l *SoftLinkedList[T]) reclaim(tx *core.Tx, quota int) int {
 	freed := 0
 	for n := l.oldest; n != nil && freed < quota; {

@@ -130,7 +130,7 @@ func (q *SoftQueue[T]) Close() { q.ctx.Close() }
 
 // reclaim drops elements from the front until quota bytes are freed. A
 // pinned element halts reclamation (the queue only gives up a contiguous
-// prefix, preserving FIFO order). Runs under the SMA lock.
+// prefix, preserving FIFO order). Runs under the Context lock.
 func (q *SoftQueue[T]) reclaim(tx *core.Tx, quota int) int {
 	freed := 0
 	for q.start < len(q.items) && freed < quota {

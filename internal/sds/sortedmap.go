@@ -245,7 +245,7 @@ func (m *SoftSortedMap[K]) Context() *core.Context { return m.ctx }
 func (m *SoftSortedMap[K]) Close() { m.ctx.Close() }
 
 // reclaim frees entries from the low end until quota bytes are freed.
-// Runs under the SMA lock.
+// Runs under the Context lock.
 func (m *SoftSortedMap[K]) reclaim(tx *core.Tx, quota int) int {
 	freed := 0
 	for freed < quota {

@@ -189,7 +189,7 @@ type Stats struct {
 	ReclaimEvents  int64 // requests that required any reclamation
 	SlackPages     int64 // budget slack harvested without disturbance
 	DemandedPages  int64 // pages demanded from processes
-	ReclaimedPages int64 // pages actually released by processes
+	PagesReclaimed int64 // pages actually released by processes
 	BudgetPages    int   // Σ budgets currently granted
 	FreePages      int   // TotalPages − Σ budgets
 	Procs          int
@@ -366,7 +366,7 @@ func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
 		d.stats.DemandedPages += int64(want)
 		// The daemon lock is held across the demand. Lock ordering is
 		// one-way (daemon → process): processes never call the daemon
-		// while holding their own SMA lock, so this cannot deadlock.
+		// while holding per-Context heap locks, so this cannot deadlock.
 		released := c.target.HandleDemand(want)
 		if released < 0 {
 			released = 0
@@ -381,7 +381,7 @@ func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
 		}
 		quota -= released
 		need -= released
-		d.stats.ReclaimedPages += int64(released)
+		d.stats.PagesReclaimed += int64(released)
 		d.emitLocked(Event{Kind: EventDemand, Proc: c.id, Name: c.name, Pages: want, Released: released, Trigger: id})
 	}
 

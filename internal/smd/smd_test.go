@@ -95,7 +95,7 @@ func TestDemandPathReclaims(t *testing.T) {
 		t.Fatalf("victim released %d, want 30", victim.released)
 	}
 	st := d.Stats()
-	if st.ReclaimedPages != 30 || st.ReclaimEvents != 1 {
+	if st.PagesReclaimed != 30 || st.ReclaimEvents != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
