@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-hot bench experiments cover fmt clean
+.PHONY: all check build vet test race race-hot soak-spill bench experiments cover fmt clean
 
 all: check
 
@@ -25,7 +25,13 @@ race:
 # Race-detect the packages with lock-per-heap concurrency (fast subset
 # of `make race`, wired into `make check`).
 race-hot:
-	$(GO) test -race ./internal/core ./internal/sds ./internal/kvstore
+	$(GO) test -race ./internal/core ./internal/sds ./internal/kvstore ./internal/spill
+
+# Soak the spill tier: the YCSB-style load generator against a real
+# RESP server with disk demotion enabled, squeezed continuously by a
+# synthetic daemon (TestSoakSpill; skipped without SOFTMEM_SOAK).
+soak-spill:
+	SOFTMEM_SOAK=1 $(GO) test -race -run TestSoakSpill -count=1 -v -timeout 10m ./internal/kvstore
 
 # Regenerate every table and figure from the paper (DESIGN.md E1-E10).
 experiments:

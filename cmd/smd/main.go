@@ -65,17 +65,22 @@ func main() {
 	}
 	daemon := smd.NewDaemon(cfg)
 	if *httpAddr != "" {
-		stSrv, stAddr, err := statusz.Serve(*httpAddr, func() any {
-			return map[string]any{
-				"stats": daemon.Stats(),
-				"procs": daemon.Snapshot(),
-			}
+		stSrv, stAddr, err := statusz.ServeMulti(*httpAddr, map[string]func() any{
+			"statusz": func() any {
+				return map[string]any{
+					"stats": daemon.Stats(),
+					"procs": daemon.Snapshot(),
+				}
+			},
+			"events": func() any {
+				return map[string]any{"events": daemon.Events()}
+			},
 		})
 		if err != nil {
 			log.Fatalf("smd: %v", err)
 		}
 		defer stSrv.Close()
-		log.Printf("smd: status at http://%s/statusz", stAddr)
+		log.Printf("smd: status at http://%s/statusz, audit log at /events", stAddr)
 	}
 	srv := ipc.NewServer(daemon, log.Printf)
 	addr, err := srv.Listen(*network, *listen)
@@ -91,8 +96,8 @@ func main() {
 				log.Printf("smd: procs=%d budgeted=%d free=%d requests=%d denied=%d reclaimed=%d",
 					st.Procs, st.BudgetPages, st.FreePages, st.Requests, st.Denied, st.PagesReclaimed)
 				for _, p := range daemon.Snapshot() {
-					log.Printf("smd:   %-16s budget=%-6d used=%-6d trad=%-10d weight=%.1f",
-						p.Name, p.BudgetPages, p.Usage.UsedPages, p.Usage.TraditionalBytes, p.Weight)
+					log.Printf("smd:   %-16s budget=%-6d used=%-6d trad=%-10d spilled=%-10d weight=%.1f",
+						p.Name, p.BudgetPages, p.Usage.UsedPages, p.Usage.TraditionalBytes, p.Usage.SpilledBytes, p.Weight)
 				}
 			}
 		}()

@@ -1,12 +1,14 @@
 // Command smdctl is the operator's view of a running Soft Memory
-// Daemon: it fetches the daemon's JSON status endpoint and renders the
+// Daemon: it fetches the daemon's JSON status endpoints and renders the
 // machine's soft memory ledger.
 //
 // Usage:
 //
 //	smd -http 127.0.0.1:7071 ...     # daemon exposes status
-//	smdctl -http 127.0.0.1:7071
-//	smdctl -http 127.0.0.1:7071 -json
+//	smdctl -http 127.0.0.1:7071              # status table (default)
+//	smdctl -http 127.0.0.1:7071 -json        # raw status JSON
+//	smdctl -http 127.0.0.1:7071 events       # audit event log
+//	smdctl -http 127.0.0.1:7071 -json events # raw event JSON
 package main
 
 import (
@@ -33,6 +35,7 @@ type status struct {
 		BudgetPages    int   `json:"BudgetPages"`
 		FreePages      int   `json:"FreePages"`
 		Procs          int   `json:"Procs"`
+		SpilledBytes   int64 `json:"SpilledBytes"`
 	} `json:"stats"`
 	Procs []struct {
 		ID          int    `json:"ID"`
@@ -41,9 +44,24 @@ type status struct {
 		Usage       struct {
 			UsedPages        int   `json:"UsedPages"`
 			TraditionalBytes int64 `json:"TraditionalBytes"`
+			SpilledBytes     int64 `json:"SpilledBytes"`
 		} `json:"Usage"`
 		Weight float64 `json:"Weight"`
 	} `json:"procs"`
+}
+
+// eventLog mirrors the daemon's /events payload.
+type eventLog struct {
+	Events []struct {
+		Seq          uint64 `json:"Seq"`
+		KindName     string `json:"KindName"`
+		Proc         int    `json:"Proc"`
+		Name         string `json:"Name"`
+		Pages        int    `json:"Pages"`
+		Released     int    `json:"Released"`
+		Trigger      int    `json:"Trigger"`
+		SpilledBytes int64  `json:"SpilledBytes"`
+	} `json:"events"`
 }
 
 func main() {
@@ -54,8 +72,34 @@ func main() {
 	)
 	flag.Parse()
 
-	cli := &http.Client{Timeout: *timeout}
-	resp, err := cli.Get("http://" + *httpAddr + "/statusz")
+	cmd := "status"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	switch cmd {
+	case "status":
+		body := fetch(*httpAddr, "/statusz", *timeout)
+		if *raw {
+			os.Stdout.Write(body)
+			return
+		}
+		printStatus(body)
+	case "events":
+		body := fetch(*httpAddr, "/events", *timeout)
+		if *raw {
+			os.Stdout.Write(body)
+			return
+		}
+		printEvents(body)
+	default:
+		log.Fatalf("smdctl: unknown command %q (want status or events)", cmd)
+	}
+}
+
+// fetch retrieves one JSON endpoint from the daemon.
+func fetch(addr, path string, timeout time.Duration) []byte {
+	cli := &http.Client{Timeout: timeout}
+	resp, err := cli.Get("http://" + addr + path)
 	if err != nil {
 		log.Fatalf("smdctl: %v", err)
 	}
@@ -64,10 +108,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("smdctl: read: %v", err)
 	}
-	if *raw {
-		os.Stdout.Write(body)
-		return
-	}
+	return body
+}
+
+func printStatus(body []byte) {
 	var st status
 	if err := json.Unmarshal(body, &st); err != nil {
 		log.Fatalf("smdctl: decode: %v", err)
@@ -76,11 +120,30 @@ func main() {
 		st.Stats.BudgetPages, st.Stats.FreePages, st.Stats.Procs)
 	fmt.Printf("requests: %d granted, %d denied, %d needed reclamation\n",
 		st.Stats.Granted, st.Stats.Denied, st.Stats.ReclaimEvents)
-	fmt.Printf("reclaimed: %d pages demanded, %d released, %d slack harvested\n\n",
+	fmt.Printf("reclaimed: %d pages demanded, %d released, %d slack harvested\n",
 		st.Stats.DemandedPages, st.Stats.PagesReclaimed, st.Stats.SlackPages)
-	fmt.Printf("%-6s %-20s %10s %10s %14s %10s\n", "proc", "name", "budget", "used", "traditional", "weight")
+	fmt.Printf("spilled: %d bytes of reclaimed soft data on disk machine-wide\n\n",
+		st.Stats.SpilledBytes)
+	fmt.Printf("%-6s %-20s %10s %10s %14s %10s %10s\n", "proc", "name", "budget", "used", "traditional", "spilled", "weight")
 	for _, p := range st.Procs {
-		fmt.Printf("%-6d %-20s %10d %10d %14d %10.1f\n",
-			p.ID, p.Name, p.BudgetPages, p.Usage.UsedPages, p.Usage.TraditionalBytes, p.Weight)
+		fmt.Printf("%-6d %-20s %10d %10d %14d %10d %10.1f\n",
+			p.ID, p.Name, p.BudgetPages, p.Usage.UsedPages, p.Usage.TraditionalBytes, p.Usage.SpilledBytes, p.Weight)
+	}
+}
+
+func printEvents(body []byte) {
+	var el eventLog
+	if err := json.Unmarshal(body, &el); err != nil {
+		log.Fatalf("smdctl: decode: %v", err)
+	}
+	if len(el.Events) == 0 {
+		fmt.Println("no events recorded (ring empty or disabled)")
+		return
+	}
+	fmt.Printf("%-8s %-8s %-6s %-20s %8s %10s %8s %12s\n",
+		"seq", "kind", "proc", "name", "pages", "released", "trigger", "spilled")
+	for _, ev := range el.Events {
+		fmt.Printf("%-8d %-8s %-6d %-20s %8d %10d %8d %12d\n",
+			ev.Seq, ev.KindName, ev.Proc, ev.Name, ev.Pages, ev.Released, ev.Trigger, ev.SpilledBytes)
 	}
 }

@@ -7,6 +7,11 @@
 //
 //	softkv -listen 127.0.0.1:6380 -smd 127.0.0.1:7070 -name redis-like
 //	softkv -listen 127.0.0.1:6380                      # standalone
+//	softkv -listen 127.0.0.1:6380 -spill-dir /var/tmp/softkv-spill
+//
+// With -spill-dir set, entries revoked under memory pressure are demoted
+// to compressed disk records instead of dropped, and a GET miss faults
+// the value back into soft memory transparently.
 //
 // Speak to it with the RESP subset: SET/GET/DEL/EXISTS/DBSIZE/INFO/PING.
 package main
@@ -25,6 +30,7 @@ import (
 	"softmem/internal/kvstore"
 	"softmem/internal/pages"
 	"softmem/internal/sds"
+	"softmem/internal/spill"
 	"softmem/internal/statusz"
 )
 
@@ -40,6 +46,8 @@ func main() {
 		cleanup    = flag.Int("cleanup-work", 0, "synthetic per-entry cleanup iterations on reclamation")
 		httpAddr   = flag.String("http", "", "serve JSON status at this address (empty = off)")
 		sweepSec   = flag.Int("sweep", 10, "seconds between TTL expiry sweeps (0 = lazy only)")
+		spillDir   = flag.String("spill-dir", "", "spill tier directory: demote reclaimed entries to compressed disk records (empty = drop, the default semantics)")
+		spillMiB   = flag.Int("spill-budget", 256, "spill tier disk budget in MiB (oldest segments evicted beyond it)")
 	)
 	flag.Parse()
 
@@ -50,12 +58,32 @@ func main() {
 	if *lru {
 		policy = sds.EvictLRU
 	}
+
+	var spillStore *spill.Store
+	if *spillDir != "" {
+		var err error
+		spillStore, err = spill.Open(spill.Config{
+			Dir:         *spillDir,
+			BudgetBytes: int64(*spillMiB) << 20,
+		})
+		if err != nil {
+			log.Fatalf("softkv: spill: %v", err)
+		}
+		defer spillStore.Close()
+		// Report the spill footprint to the daemon with every budget
+		// interaction, so SMD sees demotion pressure machine-wide.
+		sma.SetSpillReporter(spillStore.BytesOnDisk)
+		log.Printf("softkv: spill tier at %s (budget %d MiB, %d records recovered)",
+			*spillDir, *spillMiB, spillStore.Stats().LiveRecords)
+	}
+
 	store := kvstore.New(kvstore.Config{
 		SMA:         sma,
 		Policy:      policy,
 		Shards:      *shards,
 		CleanupWork: *cleanup,
 		OnReclaim:   func(string) {},
+		Spill:       spillStore,
 	})
 
 	if *smdAddr != "" {
@@ -80,13 +108,24 @@ func main() {
 	})
 
 	if *httpAddr != "" {
-		stSrv, stAddr, err := statusz.Serve(*httpAddr, func() any {
-			return map[string]any{
-				"store":    store.Stats(),
-				"sma":      sma.Stats(),
-				"contexts": sma.Contexts(),
+		endpoints := map[string]func() any{
+			"statusz": func() any {
+				return map[string]any{
+					"store":    store.Stats(),
+					"sma":      sma.Stats(),
+					"contexts": sma.Contexts(),
+				}
+			},
+		}
+		if spillStore != nil {
+			endpoints["spill"] = func() any {
+				return map[string]any{
+					"stats":         spillStore.Stats(),
+					"bytes_on_disk": spillStore.BytesOnDisk(),
+				}
 			}
-		})
+		}
+		stSrv, stAddr, err := statusz.ServeMulti(*httpAddr, endpoints)
 		if err != nil {
 			log.Fatalf("softkv: %v", err)
 		}

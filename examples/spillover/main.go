@@ -1,0 +1,95 @@
+// Spillover: soft memory with a compressed disk safety net.
+//
+// A cache keeps its entries in a SoftSpillTable: a soft hash table
+// wired to a spill store. When a competing allocation forces the daemon
+// to reclaim the cache's pages, revoked entries are demoted to
+// compressed, checksummed records on disk instead of dropped — and the
+// next Get on a demoted key transparently promotes the value back into
+// soft memory through the normal budget path. Nothing is lost, nobody
+// is killed, and the hot tier stays within its soft budget.
+//
+//	go run ./examples/spillover
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"softmem"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "softmem-spillover-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The machine: 4 MiB of soft memory, one daemon, and a spill store
+	// rooted in a scratch directory (256 KiB budget is plenty here).
+	machine := softmem.NewPool(1024)
+	daemon := softmem.NewDaemon(softmem.DaemonConfig{TotalPages: 1024})
+	store, err := softmem.OpenSpillStore(softmem.SpillConfig{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	// Process A: a cache whose reclaimed entries demote to disk.
+	smaA := softmem.New(softmem.Config{Machine: machine})
+	cache := softmem.NewSoftSpillTable(smaA, "cache",
+		softmem.NewSpillSink(store, "cache"), softmem.HashTableConfig[string]{})
+	smaA.AttachDaemon(daemon.Register("cache-A", smaA))
+	// Every daemon interaction reports the spill footprint too.
+	smaA.SetSpillReporter(store.BytesOnDisk)
+
+	value := make([]byte, 2048)
+	for i := range value {
+		value[i] = byte(i % 251)
+	}
+	const entries = 1500 // ~3 MiB
+	for i := 0; i < entries; i++ {
+		if err := cache.Put(fmt.Sprintf("user:%04d", i), value); err != nil {
+			log.Fatalf("cache fill: %v", err)
+		}
+	}
+	fmt.Printf("A: cache holds %d entries hot (%.1f MiB soft)\n",
+		cache.Len(), float64(smaA.FootprintBytes())/(1<<20))
+
+	// Process B: a batch job needing 2 MiB squeezes the cache.
+	smaB := softmem.New(softmem.Config{Machine: machine})
+	scratch := softmem.NewSoftQueue(smaB, "scratch", softmem.BytesCodec{}, nil)
+	smaB.AttachDaemon(daemon.Register("batch-B", smaB))
+	block := make([]byte, 4096)
+	for i := 0; i < 512; i++ {
+		if err := scratch.Push(block); err != nil {
+			log.Fatalf("batch alloc: %v", err)
+		}
+	}
+
+	st := store.Stats()
+	fmt.Printf("B: allocated %.1f MiB under pressure\n", float64(smaB.FootprintBytes())/(1<<20))
+	fmt.Printf("A: %d entries demoted to disk (%d compressed bytes, not dropped)\n",
+		cache.Spilled(), store.BytesOnDisk())
+	fmt.Printf("   spill store: %d demotions across %d segments\n", st.Demotions, st.Segments)
+
+	// The punchline: every key still answers. Demoted ones fault back in
+	// through the soft allocator; hot ones never left.
+	missing := 0
+	for i := 0; i < entries; i++ {
+		v, ok, err := cache.Get(fmt.Sprintf("user:%04d", i))
+		if err != nil {
+			log.Fatalf("get: %v", err)
+		}
+		if !ok || len(v) != len(value) {
+			missing++
+		}
+	}
+	fmt.Printf("A: read all %d keys back: %d promoted from disk, %d missing\n",
+		entries, cache.Promotions(), missing)
+	if missing > 0 {
+		log.Fatalf("spill tier lost %d entries", missing)
+	}
+	fmt.Println("A: zero loss — reclaimed soft memory spilled and recovered")
+}

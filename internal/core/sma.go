@@ -45,6 +45,10 @@ type Usage struct {
 	// TraditionalBytes is the process's self-reported traditional (hard)
 	// memory footprint, used by the daemon's weight policy.
 	TraditionalBytes int64
+	// SpilledBytes is the process's spill-tier footprint: bytes of
+	// reclaimed soft data demoted to local disk and still live there.
+	// Zero when the process runs without a spill tier.
+	SpilledBytes int64 `json:",omitempty"`
 }
 
 // DaemonClient is the SMA's view of the Soft Memory Daemon. The in-process
@@ -160,6 +164,10 @@ type SMA struct {
 	// traditional is the self-reported hard-memory footprint; atomic so
 	// SDS reclaim callbacks can adjust it from inside locked sections.
 	traditional atomic.Int64
+	// spillReport, when set, supplies the process's spill-tier footprint
+	// for the daemon self-report (an atomic pointer so usage() — called
+	// from budget paths with no heap locks held — reads it lock-free).
+	spillReport atomic.Pointer[func() int64]
 
 	// budgetMu single-flights daemon round-trips: when many goroutines
 	// hit the budget ceiling at once, one performs the request and the
@@ -316,9 +324,27 @@ func (s *SMA) Close() {
 	}
 }
 
+// SetSpillReporter wires a spill-tier footprint source (typically
+// spill.Store.BytesOnDisk) into the daemon self-report, making SMD
+// spill-aware: the daemon sees how much reclaimed data each process is
+// holding on disk. The reporter is called from budget round-trips with
+// no heap locks held; it must be safe for concurrent use and must not
+// call back into the SMA. A nil reporter detaches it.
+func (s *SMA) SetSpillReporter(fn func() int64) {
+	if fn == nil {
+		s.spillReport.Store(nil)
+		return
+	}
+	s.spillReport.Store(&fn)
+}
+
 // usage snapshots the self-report sent with daemon interactions.
 func (s *SMA) usage() Usage {
-	return Usage{UsedPages: int(s.used.Load()), TraditionalBytes: s.traditional.Load()}
+	u := Usage{UsedPages: int(s.used.Load()), TraditionalBytes: s.traditional.Load()}
+	if fn := s.spillReport.Load(); fn != nil {
+		u.SpilledBytes = (*fn)()
+	}
+	return u
 }
 
 // Usage returns the current self-report.

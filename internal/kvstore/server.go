@@ -472,10 +472,22 @@ func (s *Server) execute(w *bufio.Writer, args []string) (quit bool) {
 	case "INFO":
 		st := s.store.Stats()
 		hs := st.Soft
+		// Totals are store-global aggregates over every shard; the
+		// per-shard breakdown follows so operators can see skew.
 		info := fmt.Sprintf(
 			"entries:%d\r\nshards:%d\r\nsets:%d\r\ngets:%d\r\nhits:%d\r\nmisses:%d\r\nreclaimed:%d\r\nexpired:%d\r\nsoft_bytes:%d\r\nsoft_slot_bytes:%d\r\nsoft_pages:%d\r\nsoft_free_pages:%d\r\ntotal_allocs:%d\r\ntotal_frees:%d\r\n",
 			st.Entries, st.Shards, st.Sets, st.Gets, st.Hits, st.Misses, st.Reclaimed, st.Expired,
 			hs.LiveBytes, hs.SlotBytes, hs.PagesHeld, hs.FreePages, hs.TotalAllocs, hs.TotalFrees)
+		if st.Spill != nil {
+			info += fmt.Sprintf(
+				"promotions:%d\r\nspilled_entries:%d\r\nspilled_bytes:%d\r\nspill_demotions:%d\r\nspill_hits:%d\r\nspill_misses:%d\r\nspill_compactions:%d\r\n",
+				st.Promotions, st.SpilledEntries, st.SpilledBytes,
+				st.Spill.Demotions, st.Spill.Hits, st.Spill.Misses, st.Spill.Compactions)
+		}
+		for i, sh := range st.PerShard {
+			info += fmt.Sprintf("shard%d_entries:%d\r\nshard%d_reclaimed:%d\r\nshard%d_soft_bytes:%d\r\n",
+				i, sh.Entries, i, sh.Reclaimed, i, sh.Heap.LiveBytes)
+		}
 		writeBulk(w, []byte(info))
 	default:
 		writeError(w, fmt.Sprintf("unknown command '%s'", args[0]))

@@ -1,0 +1,252 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+	"softmem/internal/spill"
+)
+
+func newSpillStore(t *testing.T, cfg Config) (*Store, *core.SMA, *spill.Store) {
+	t.Helper()
+	sp, err := spill.Open(spill.Config{Dir: t.TempDir(), CompactInterval: -1})
+	if err != nil {
+		t.Fatalf("spill.Open: %v", err)
+	}
+	t.Cleanup(sp.Close)
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	cfg.SMA = sma
+	cfg.Spill = sp
+	st := New(cfg)
+	t.Cleanup(st.Close)
+	return st, sma, sp
+}
+
+// TestSpillDemotionRecovery is the spill tier's end-to-end acceptance
+// test: fill the store, reclaim deterministically via HandleDemand so a
+// known set of keys is demoted, then GET every key and require >= 90%
+// of the demoted ones back via transparent promotion.
+func TestSpillDemotionRecovery(t *testing.T) {
+	var demoted []string
+	st, sma, sp := newSpillStore(t, Config{OnReclaim: func(k string) { demoted = append(demoted, k) }})
+
+	const keys = 64
+	val := func(i int) []byte { return []byte(fmt.Sprintf("value-%03d-%s", i, string(make([]byte, 900)))) }
+	for i := 0; i < keys; i++ {
+		if err := st.Set(fmt.Sprintf("k%03d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if released := sma.HandleDemand(8); released == 0 {
+		t.Fatal("demand released nothing")
+	}
+	if len(demoted) == 0 {
+		t.Fatal("no keys were reclaimed")
+	}
+	if sp.Stats().Demotions < int64(len(demoted)) {
+		t.Fatalf("demotions %d < reclaimed %d", sp.Stats().Demotions, len(demoted))
+	}
+
+	recovered := 0
+	for _, k := range demoted {
+		var i int
+		fmt.Sscanf(k, "k%03d", &i)
+		v, ok, err := st.Get(k)
+		if err != nil {
+			t.Fatalf("Get %s: %v", k, err)
+		}
+		if ok && string(v) == string(val(i)) {
+			recovered++
+		}
+	}
+	if recovered < (len(demoted)*9+9)/10 {
+		t.Fatalf("recovered %d of %d demoted keys, want >= 90%%", recovered, len(demoted))
+	}
+	stats := st.Stats()
+	if stats.Promotions < int64(recovered) {
+		t.Fatalf("Promotions = %d, recovered %d", stats.Promotions, recovered)
+	}
+	// Promoted values are hot again: a second read hits without touching
+	// the spill tier further.
+	before := sp.Stats().Promotions
+	for _, k := range demoted {
+		st.Get(k)
+	}
+	if got := sp.Stats().Promotions; got != before {
+		t.Fatalf("second reads promoted again (%d -> %d)", before, got)
+	}
+	// Undemoted keys never left the hot tier.
+	seen := map[string]bool{}
+	for _, k := range demoted {
+		seen[k] = true
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		if seen[k] {
+			continue
+		}
+		if v, ok, _ := st.Get(k); !ok || string(v) != string(val(i)) {
+			t.Fatalf("untouched key %s lost", k)
+		}
+	}
+}
+
+// TestSpillDisabledDropSemantics pins the default behavior: without a
+// spill store, reclaimed entries are dropped exactly as before — every
+// demoted key misses and nothing is written anywhere.
+func TestSpillDisabledDropSemantics(t *testing.T) {
+	var reclaimed []string
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(Config{SMA: sma, OnReclaim: func(k string) { reclaimed = append(reclaimed, k) }})
+	defer st.Close()
+
+	val := make([]byte, 1024)
+	for i := 0; i < 32; i++ {
+		if err := st.Set(fmt.Sprintf("k%03d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if released := sma.HandleDemand(4); released == 0 {
+		t.Fatal("demand released nothing")
+	}
+	if len(reclaimed) == 0 {
+		t.Fatal("no keys reclaimed")
+	}
+	for _, k := range reclaimed {
+		if _, ok, _ := st.Get(k); ok {
+			t.Fatalf("reclaimed key %s found with spill disabled", k)
+		}
+		if st.Exists(k) {
+			t.Fatalf("reclaimed key %s Exists with spill disabled", k)
+		}
+	}
+	stats := st.Stats()
+	if stats.Promotions != 0 || stats.SpilledEntries != 0 || stats.Spill != nil {
+		t.Fatalf("spill stats leaked into disabled store: %+v", stats)
+	}
+}
+
+// TestSpillWriteInvalidatesDemoted: a fresh SET and a DEL must both
+// supersede a demoted copy.
+func TestSpillWriteInvalidatesDemoted(t *testing.T) {
+	st, _, sp := newSpillStore(t, Config{})
+	if err := st.Set("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Demote directly through the sink namespace the store uses.
+	if err := st.Set("other", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	sink := sp.Sink("kvstore")
+	sink.OnReclaim("k", []byte("old")) // as if reclaimed
+	if _, err := st.table("k").Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite: GET must see the new value, not the spilled one.
+	if err := st.Set("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := st.Get("k"); !ok || string(v) != "new" {
+		t.Fatalf("Get after overwrite = %q, %v", v, ok)
+	}
+
+	// Delete: GET must miss even though a record was once spilled.
+	sink.OnReclaim("k", []byte("stale"))
+	if existed, _ := st.Del("k"); !existed {
+		t.Fatal("Del reported missing")
+	}
+	if _, ok, _ := st.Get("k"); ok {
+		t.Fatal("deleted key resurrected from spill")
+	}
+	if st.Exists("k") {
+		t.Fatal("deleted key Exists via spill")
+	}
+}
+
+// TestSpillTTLSurvivesDemotion: a TTL set before demotion still expires
+// the key — promotion cannot resurrect an expired entry.
+func TestSpillTTLSurvivesDemotion(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	var demoted []string
+	st, sma, _ := newSpillStore(t, Config{Clock: clock, OnReclaim: func(k string) { demoted = append(demoted, k) }})
+
+	val := make([]byte, 2048)
+	for i := 0; i < 16; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if err := st.Set(k, val); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Expire(k, 30*time.Second) {
+			t.Fatalf("Expire %s failed", k)
+		}
+	}
+	if sma.HandleDemand(2) == 0 {
+		t.Fatal("demand released nothing")
+	}
+	if len(demoted) == 0 {
+		t.Fatal("nothing demoted")
+	}
+	k := demoted[0]
+	// Before expiry the demoted key still answers (promotion) and keeps
+	// its TTL.
+	if _, exists, hasTTL := st.TTL(k); !exists || !hasTTL {
+		t.Fatalf("TTL lost across demotion: exists=%v hasTTL=%v", exists, hasTTL)
+	}
+	// After the deadline the key is gone — spill record included.
+	now = now.Add(31 * time.Second)
+	if _, ok, _ := st.Get(k); ok {
+		t.Fatalf("expired key %s served from spill", k)
+	}
+	if st.Exists(k) {
+		t.Fatalf("expired key %s still Exists", k)
+	}
+}
+
+// TestPerShardStatsAggregate pins the satellite requirement: with
+// Shards > 1, store-global totals equal the sum over PerShard.
+func TestPerShardStatsAggregate(t *testing.T) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(Config{SMA: sma, Shards: 4})
+	defer st.Close()
+
+	val := make([]byte, 512)
+	for i := 0; i < 100; i++ {
+		if err := st.Set(fmt.Sprintf("key-%03d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sma.HandleDemand(3) == 0 {
+		t.Fatal("demand released nothing")
+	}
+	stats := st.Stats()
+	if stats.Shards != 4 || len(stats.PerShard) != 4 {
+		t.Fatalf("shards = %d, PerShard len %d", stats.Shards, len(stats.PerShard))
+	}
+	entries, reclaimed, liveBytes := 0, int64(0), int64(0)
+	spread := 0
+	for _, sh := range stats.PerShard {
+		entries += sh.Entries
+		reclaimed += sh.Reclaimed
+		liveBytes += sh.Heap.LiveBytes
+		if sh.Entries > 0 {
+			spread++
+		}
+	}
+	if entries != stats.Entries {
+		t.Fatalf("PerShard entries sum %d != Entries %d", entries, stats.Entries)
+	}
+	if reclaimed != stats.Reclaimed {
+		t.Fatalf("PerShard reclaimed sum %d != Reclaimed %d", reclaimed, stats.Reclaimed)
+	}
+	if liveBytes > stats.Soft.LiveBytes {
+		t.Fatalf("PerShard live bytes %d exceed aggregate %d", liveBytes, stats.Soft.LiveBytes)
+	}
+	if spread < 2 {
+		t.Fatalf("keys landed in %d shards; routing broken", spread)
+	}
+}

@@ -31,7 +31,9 @@ import (
 
 	"softmem/internal/alloc"
 	"softmem/internal/core"
+	"softmem/internal/metrics"
 	"softmem/internal/sds"
+	"softmem/internal/spill"
 )
 
 // keyOverheadBytes approximates the traditional-memory cost of one index
@@ -65,6 +67,12 @@ type Config struct {
 	// Clock supplies the time for TTL expiry. Nil means time.Now;
 	// experiments inject virtual clocks.
 	Clock func() time.Time
+	// Spill, when non-nil, attaches a spill tier: string entries revoked
+	// under memory pressure are demoted to compressed disk records
+	// (namespace = Name) instead of dropped, and a GET miss transparently
+	// promotes the value back through the normal soft-allocation path.
+	// Nil preserves exact drop semantics.
+	Spill *spill.Store
 }
 
 // Stats is the store's unified observability snapshot: operation
@@ -80,9 +88,31 @@ type Stats struct {
 	Expired   int64 // entries collected by TTL expiry
 	Entries   int   // live string entries across all shards
 	Shards    int   // string-table shard count
+	// Promotions counts GET misses served by faulting a demoted value
+	// back in from the spill tier (0 without one).
+	Promotions int64 `json:",omitempty"`
+	// SpilledEntries / SpilledBytes describe the store's namespace in the
+	// spill tier (0 without one). SpilledBytes counts whole-store disk
+	// usage, shared with any other namespaces on the same spill store.
+	SpilledEntries int   `json:",omitempty"`
+	SpilledBytes   int64 `json:",omitempty"`
 	// Soft aggregates heap accounting over every SDS context the store
 	// owns (string shards, hash table, list table).
 	Soft alloc.Stats
+	// PerShard breaks the string table down by shard (entries, entries
+	// reclaimed from that shard, and its heap accounting), so INFO under
+	// Shards > 1 can report both correct totals and the distribution.
+	PerShard []ShardStats
+	// Spill is the spill store's full metric snapshot, nil when the
+	// store runs without a spill tier.
+	Spill *metrics.SpillSnapshot `json:",omitempty"`
+}
+
+// ShardStats describes one string-table shard.
+type ShardStats struct {
+	Entries   int
+	Reclaimed int64 // entries revoked from this shard under pressure
+	Heap      alloc.Stats
 }
 
 // Store is an embeddable soft-memory key-value store. All methods are
@@ -94,6 +124,7 @@ type Store struct {
 	hashes      *hashStore
 	lists       *listStore
 	ttl         *ttlTable
+	spill       *spill.Sink // nil without a spill tier
 	expired     atomic.Int64
 	sets        atomic.Int64
 	gets        atomic.Int64
@@ -101,6 +132,7 @@ type Store struct {
 	misses      atomic.Int64
 	dels        atomic.Int64
 	reclaimed   atomic.Int64
+	promotions  atomic.Int64
 	cleanupSink atomic.Int64
 }
 
@@ -121,9 +153,19 @@ func New(cfg Config) *Store {
 	}
 	s := &Store{ttl: newTTLTable(cfg.Clock)}
 	s.shardMask = uint64(nshards - 1)
-	onReclaim := func(key string, _ []byte) {
+	if cfg.Spill != nil {
+		s.spill = cfg.Spill.Sink(name)
+	}
+	onReclaim := func(key string, value []byte) {
 		s.reclaimed.Add(1)
-		s.ttl.clear(key)
+		if s.spill != nil {
+			// Demote instead of drop: the entry's value moves to disk
+			// (last chance to persist, §3.1) and the TTL deadline stays
+			// so a later promotion still respects expiry.
+			s.spill.OnReclaim(key, value)
+		} else {
+			s.ttl.clear(key)
+		}
 		// Synthetic traditional-memory cleanup, per the paper's
 		// observation that reclamation time "is spent almost
 		// exclusively in Redis code, invoked via the callback, that
@@ -190,20 +232,55 @@ func (s *Store) table(key string) *sds.SoftHashTable[string] {
 	return s.shards[h&s.shardMask]
 }
 
+// lookup reads key from the hot tier, faulting it in from the spill
+// tier on a miss (the transparent promotion path). A promoted value is
+// re-inserted through ht.Put — the normal soft-allocation/budget path —
+// so the spill tier never bypasses the daemon's arbitration; if the
+// re-insert fails under pressure, the value is demoted straight back so
+// it stays recoverable, and the caller still gets it either way.
+func (s *Store) lookup(ht *sds.SoftHashTable[string], key string) ([]byte, bool, error) {
+	v, ok, err := ht.Get(key)
+	if err != nil || ok || s.spill == nil {
+		return v, ok, err
+	}
+	sv, ok := s.spill.Promote(key)
+	if !ok {
+		return nil, false, nil
+	}
+	s.promotions.Add(1)
+	if perr := ht.Put(key, sv); perr != nil {
+		_ = s.spill.Demote(key, sv)
+	}
+	return sv, true, nil
+}
+
+// dropSpilled invalidates key's spill record so a stale demoted value
+// cannot shadow a fresh write or survive a deletion.
+func (s *Store) dropSpilled(key string) {
+	if s.spill != nil {
+		s.spill.Drop(key)
+	}
+}
+
 // Set stores value under key, replacing any existing value. It returns
 // core.ErrExhausted when soft memory cannot be obtained even after
 // machine-wide reclamation.
 func (s *Store) Set(key string, value []byte) error {
 	s.sets.Add(1)
+	// Drop before Put: the reverse order races with a reclamation that
+	// demotes the fresh value between the two steps, and the Drop would
+	// then destroy the only copy.
+	s.dropSpilled(key)
 	return s.table(key).Put(key, value)
 }
 
 // Get returns a copy of the value under key; ok is false on miss —
-// including entries revoked under memory pressure.
+// including entries revoked under memory pressure, unless a spill tier
+// holds the demoted value, in which case it is promoted back in.
 func (s *Store) Get(key string) (value []byte, ok bool, err error) {
 	s.expireIfDue(key)
 	s.gets.Add(1)
-	value, ok, err = s.table(key).Get(key)
+	value, ok, err = s.lookup(s.table(key), key)
 	if ok {
 		s.hits.Add(1)
 	} else {
@@ -216,13 +293,23 @@ func (s *Store) Get(key string) (value []byte, ok bool, err error) {
 func (s *Store) Del(key string) (bool, error) {
 	s.dels.Add(1)
 	s.ttl.clear(key)
-	return s.table(key).Delete(key)
+	existed, err := s.table(key).Delete(key)
+	if s.spill != nil {
+		if s.spill.Contains(key) {
+			existed = true
+		}
+		s.spill.Drop(key)
+	}
+	return existed, err
 }
 
-// Exists reports whether key is present.
+// Exists reports whether key is present (hot tier or spilled).
 func (s *Store) Exists(key string) bool {
 	s.expireIfDue(key)
-	return s.table(key).Contains(key)
+	if s.table(key).Contains(key) {
+		return true
+	}
+	return s.spill != nil && s.spill.Contains(key)
 }
 
 // Incr adjusts the integer stored at key by delta, creating it at delta
@@ -232,7 +319,7 @@ func (s *Store) Incr(key string, delta int64) (int64, error) {
 	s.expireIfDue(key)
 	s.gets.Add(1)
 	ht := s.table(key)
-	cur, ok, err := ht.Get(key)
+	cur, ok, err := s.lookup(ht, key)
 	if err != nil {
 		return 0, err
 	}
@@ -260,7 +347,7 @@ func (s *Store) Append(key string, data []byte) (int, error) {
 	s.expireIfDue(key)
 	s.gets.Add(1)
 	ht := s.table(key)
-	cur, ok, err := ht.Get(key)
+	cur, ok, err := s.lookup(ht, key)
 	if err != nil {
 		return 0, err
 	}
@@ -280,7 +367,7 @@ func (s *Store) Append(key string, data []byte) (int, error) {
 // StrLen returns the length of the value at key (0 if absent).
 func (s *Store) StrLen(key string) int {
 	s.expireIfDue(key)
-	v, ok, err := s.table(key).Get(key)
+	v, ok, err := s.lookup(s.table(key), key)
 	if err != nil || !ok {
 		return 0
 	}
@@ -334,23 +421,46 @@ func (s *Store) FlushAll() error {
 			}
 		}
 	}
+	if s.spill != nil {
+		for _, k := range s.spill.Keys() {
+			s.spill.Drop(k)
+		}
+	}
 	return nil
 }
 
-// Stats returns the unified observability snapshot.
+// Stats returns the unified observability snapshot. Totals (Entries,
+// Reclaimed, Soft) are store-global — the sum over every shard — and
+// PerShard carries the per-shard breakdown they aggregate.
 func (s *Store) Stats() Stats {
-	return Stats{
-		Sets:      s.sets.Load(),
-		Gets:      s.gets.Load(),
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Dels:      s.dels.Load(),
-		Reclaimed: s.reclaimed.Load(),
-		Expired:   s.expired.Load(),
-		Entries:   s.Len(),
-		Shards:    len(s.shards),
-		Soft:      s.HeapStats(),
+	st := Stats{
+		Sets:       s.sets.Load(),
+		Gets:       s.gets.Load(),
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Dels:       s.dels.Load(),
+		Reclaimed:  s.reclaimed.Load(),
+		Expired:    s.expired.Load(),
+		Entries:    s.Len(),
+		Shards:     len(s.shards),
+		Promotions: s.promotions.Load(),
+		Soft:       s.HeapStats(),
+		PerShard:   make([]ShardStats, len(s.shards)),
 	}
+	for i, ht := range s.shards {
+		st.PerShard[i] = ShardStats{
+			Entries:   ht.Len(),
+			Reclaimed: ht.Reclaimed(),
+			Heap:      ht.Context().HeapStats(),
+		}
+	}
+	if s.spill != nil {
+		st.SpilledEntries = s.spill.Len()
+		st.SpilledBytes = s.spill.Store().BytesOnDisk()
+		snap := s.spill.Store().Stats()
+		st.Spill = &snap
+	}
+	return st
 }
 
 // HeapStats aggregates heap accounting over every SDS context the store

@@ -94,20 +94,30 @@ func (t *ttlTable) expired() []string {
 	return out
 }
 
-// Expire sets key's time-to-live, reporting whether the key exists.
+// Expire sets key's time-to-live, reporting whether the key exists
+// (demoted-but-spilled keys count as existing).
 func (s *Store) Expire(key string, d time.Duration) bool {
-	if !s.table(key).Contains(key) {
+	if !s.present(key) {
 		return false
 	}
 	s.ttl.set(key, s.ttl.now().Add(d))
 	return true
 }
 
+// present reports whether key lives in the hot tier or the spill tier,
+// without promoting it.
+func (s *Store) present(key string) bool {
+	if s.table(key).Contains(key) {
+		return true
+	}
+	return s.spill != nil && s.spill.Contains(key)
+}
+
 // TTL reports key's remaining time-to-live. exists is false for missing
 // keys; hasTTL is false for keys without a deadline.
 func (s *Store) TTL(key string) (d time.Duration, exists, hasTTL bool) {
 	s.expireIfDue(key)
-	if !s.table(key).Contains(key) {
+	if !s.present(key) {
 		return 0, false, false
 	}
 	d, hasTTL = s.ttl.remaining(key)
@@ -116,17 +126,23 @@ func (s *Store) TTL(key string) (d time.Duration, exists, hasTTL bool) {
 
 // Persist removes key's time-to-live, reporting whether one was removed.
 func (s *Store) Persist(key string) bool {
-	if !s.table(key).Contains(key) {
+	if !s.present(key) {
 		return false
 	}
 	return s.ttl.clear(key)
 }
 
 // expireIfDue lazily removes an expired key, freeing its soft memory.
+// With a spill tier, an expired key's demoted record is purged too, so
+// expiry cannot be undone by a later promotion.
 func (s *Store) expireIfDue(key string) {
 	if s.ttl.due(key) {
 		s.ttl.clear(key)
-		if removed, _ := s.table(key).Delete(key); removed {
+		removed, _ := s.table(key).Delete(key)
+		if s.spill != nil {
+			removed = s.spill.Drop(key) || removed
+		}
+		if removed {
 			s.expired.Add(1)
 		}
 	}
@@ -139,7 +155,11 @@ func (s *Store) SweepExpired() int {
 	n := 0
 	for _, key := range s.ttl.expired() {
 		s.ttl.clear(key)
-		if removed, _ := s.table(key).Delete(key); removed {
+		removed, _ := s.table(key).Delete(key)
+		if s.spill != nil {
+			removed = s.spill.Drop(key) || removed
+		}
+		if removed {
 			s.expired.Add(1)
 			n++
 		}

@@ -1,0 +1,83 @@
+package metrics
+
+// Spill is the instrumentation registry for one spill store: the
+// demotion/promotion flow counters and the on-disk gauges the status
+// pages and smdctl surface. A zero Spill is ready to use; Store shares
+// one registry across all of its namespaces.
+type Spill struct {
+	// Demotions counts records written because soft memory revoked them;
+	// DemotedBytes is their uncompressed payload volume.
+	Demotions    Counter
+	DemotedBytes Counter
+	// Promotions counts records faulted back in on a miss;
+	// PromotedBytes is their uncompressed payload volume.
+	Promotions    Counter
+	PromotedBytes Counter
+	// Hits and Misses count spill lookups (a hit precedes a promotion; a
+	// miss means the data was never demoted or has been evicted).
+	Hits   Counter
+	Misses Counter
+	// Compactions counts segment rewrites; CompactedBytes is the stale
+	// volume they discarded.
+	Compactions    Counter
+	CompactedBytes Counter
+	// EvictedSegments and EvictedRecords count disk-budget evictions —
+	// the spill tier's own watermark pressure, where data is finally
+	// lost for real.
+	EvictedSegments Counter
+	EvictedRecords  Counter
+	// CorruptRecords counts CRC or framing failures detected on read or
+	// recovery scan.
+	CorruptRecords Counter
+	// WriteErrors counts demotions lost to I/O failures (disk full,
+	// permission); the data is dropped exactly as it would be without a
+	// spill tier.
+	WriteErrors Counter
+
+	// BytesOnDisk, LiveRecords, and Segments are instantaneous views of
+	// the store.
+	BytesOnDisk Gauge
+	LiveRecords Gauge
+	Segments    Gauge
+}
+
+// SpillSnapshot is a point-in-time copy of a Spill registry, JSON-ready
+// for statusz.
+type SpillSnapshot struct {
+	Demotions       int64
+	DemotedBytes    int64
+	Promotions      int64
+	PromotedBytes   int64
+	Hits            int64
+	Misses          int64
+	Compactions     int64
+	CompactedBytes  int64
+	EvictedSegments int64
+	EvictedRecords  int64
+	CorruptRecords  int64
+	WriteErrors     int64
+	BytesOnDisk     int64
+	LiveRecords     int64
+	Segments        int64
+}
+
+// Snapshot copies the registry's current values.
+func (s *Spill) Snapshot() SpillSnapshot {
+	return SpillSnapshot{
+		Demotions:       s.Demotions.Value(),
+		DemotedBytes:    s.DemotedBytes.Value(),
+		Promotions:      s.Promotions.Value(),
+		PromotedBytes:   s.PromotedBytes.Value(),
+		Hits:            s.Hits.Value(),
+		Misses:          s.Misses.Value(),
+		Compactions:     s.Compactions.Value(),
+		CompactedBytes:  s.CompactedBytes.Value(),
+		EvictedSegments: s.EvictedSegments.Value(),
+		EvictedRecords:  s.EvictedRecords.Value(),
+		CorruptRecords:  s.CorruptRecords.Value(),
+		WriteErrors:     s.WriteErrors.Value(),
+		BytesOnDisk:     int64(s.BytesOnDisk.Value()),
+		LiveRecords:     int64(s.LiveRecords.Value()),
+		Segments:        int64(s.Segments.Value()),
+	}
+}

@@ -1,0 +1,133 @@
+package sds
+
+import (
+	"sync/atomic"
+
+	"softmem/internal/core"
+	"softmem/internal/spill"
+)
+
+// SoftSpillTable is a string-keyed SoftHashTable coupled to a spill
+// tier: entries revoked under memory pressure are demoted to compressed
+// disk records instead of dropped, and a Get miss transparently promotes
+// the value back in through the normal soft-allocation path. Writes and
+// deletions invalidate any demoted copy, so with the sink's namespace
+// reserved for this table, readers never observe stale values.
+//
+// All methods are safe for concurrent use.
+type SoftSpillTable struct {
+	*SoftHashTable[string]
+	sink       *spill.Sink
+	promotions atomic.Int64
+}
+
+// NewSoftSpillTable builds the table. The sink's namespace must be
+// dedicated to this table. cfg.OnReclaim, if set, still runs for every
+// revoked entry — after the entry has been demoted.
+func NewSoftSpillTable(sma *core.SMA, name string, sink *spill.Sink, cfg HashTableConfig[string]) *SoftSpillTable {
+	user := cfg.OnReclaim
+	cfg.OnReclaim = func(key string, value []byte) {
+		sink.OnReclaim(key, value)
+		if user != nil {
+			user(key, value)
+		}
+	}
+	return &SoftSpillTable{
+		SoftHashTable: NewSoftHashTable[string](sma, name, cfg),
+		sink:          sink,
+	}
+}
+
+// Put stores value under key, first invalidating any demoted copy (in
+// that order: the reverse races with a reclamation demoting the fresh
+// value, and the Drop would then destroy the only copy).
+func (t *SoftSpillTable) Put(key string, value []byte) error {
+	t.sink.Drop(key)
+	return t.SoftHashTable.Put(key, value)
+}
+
+// Get returns the value under key, faulting it back in from the spill
+// tier on a miss. A promoted value is re-inserted through the normal
+// allocation/budget path; if that fails under pressure the value is
+// demoted straight back, and the caller gets it either way.
+func (t *SoftSpillTable) Get(key string) (value []byte, ok bool, err error) {
+	value, ok, err = t.SoftHashTable.Get(key)
+	if err != nil || ok {
+		return value, ok, err
+	}
+	sv, ok := t.sink.Promote(key)
+	if !ok {
+		return nil, false, nil
+	}
+	t.promotions.Add(1)
+	if perr := t.SoftHashTable.Put(key, sv); perr != nil {
+		_ = t.sink.Demote(key, sv)
+	}
+	return sv, true, nil
+}
+
+// Delete removes key from both tiers, reporting whether it existed in
+// either.
+func (t *SoftSpillTable) Delete(key string) (bool, error) {
+	existed, err := t.SoftHashTable.Delete(key)
+	if t.sink.Drop(key) {
+		existed = true
+	}
+	return existed, err
+}
+
+// Contains reports whether key is present in either tier, without
+// promoting it.
+func (t *SoftSpillTable) Contains(key string) bool {
+	return t.SoftHashTable.Contains(key) || t.sink.Contains(key)
+}
+
+// Promotions returns how many Get misses were served from the spill
+// tier.
+func (t *SoftSpillTable) Promotions() int64 { return t.promotions.Load() }
+
+// Spilled returns the number of this table's entries currently demoted.
+func (t *SoftSpillTable) Spilled() int { return t.sink.Len() }
+
+// Sink exposes the table's spill sink.
+func (t *SoftSpillTable) Sink() *spill.Sink { return t.sink }
+
+// ArraySpillReclaim adapts a spill sink to ArrayConfig.OnReclaim: each
+// element revoked with the array's block is encoded with codec and
+// demoted under its index. Encode failures degrade to drop semantics.
+func ArraySpillReclaim[T any](codec Codec[T], sink *spill.Sink) func(index int, v T) {
+	return func(index int, v T) {
+		data, err := codec.Encode(v)
+		if err != nil {
+			return
+		}
+		sink.OnReclaimIndexed(index, data)
+	}
+}
+
+// RestoreArrayFromSpill promotes every demoted element of a rebuilt
+// SoftArray back into it: the recovery half of ArraySpillReclaim. It
+// returns how many elements were restored; elements whose re-insert
+// fails are demoted back and not counted.
+func RestoreArrayFromSpill[T any](a *SoftArray[T], codec Codec[T], sink *spill.Sink) (int, error) {
+	restored := 0
+	for i := 0; i < a.Len(); i++ {
+		data, ok := sink.PromoteIndexed(i)
+		if !ok {
+			continue
+		}
+		v, err := codec.Decode(data)
+		if err != nil {
+			continue
+		}
+		if err := a.Set(i, v); err != nil {
+			sink.OnReclaimIndexed(i, data)
+			if err == ErrReclaimed {
+				return restored, err
+			}
+			continue
+		}
+		restored++
+	}
+	return restored, nil
+}

@@ -119,6 +119,11 @@ type Config struct {
 	// "who took my memory and why". Called with the daemon lock held;
 	// must not call back into the daemon and must be fast.
 	OnEvent func(Event)
+	// EventLog is the capacity of the daemon's in-memory audit ring,
+	// served by Events() (and `smdctl events`). Oldest entries are
+	// overwritten once full. Default 256; negative disables the ring
+	// (OnEvent still fires).
+	EventLog int
 }
 
 // EventKind classifies audit events.
@@ -154,7 +159,13 @@ func (k EventKind) String() string {
 
 // Event is one audit record.
 type Event struct {
+	// Seq numbers events monotonically from 1 (assigned when the event
+	// is recorded; 0 in events delivered before ring setup).
+	Seq  uint64 `json:",omitempty"`
 	Kind EventKind
+	// KindName is Kind.String(), populated in ring snapshots so JSON
+	// dumps (smdctl events) read without a decoder table.
+	KindName string `json:",omitempty"`
 	// Proc is the acting process: the requester for grants/denials, the
 	// source for slack harvests and demands.
 	Proc ProcID
@@ -167,11 +178,18 @@ type Event struct {
 	// Trigger is the requesting process whose need caused a slack
 	// harvest or demand (zero otherwise).
 	Trigger ProcID
+	// SpilledBytes is the acting process's spill-tier footprint at the
+	// time of the event (from its latest Usage self-report), so the
+	// audit trail shows demotion pressure alongside reclamation.
+	SpilledBytes int64 `json:",omitempty"`
 }
 
 func (c *Config) setDefaults() {
 	if c.TargetCap <= 0 {
 		c.TargetCap = 3
+	}
+	if c.EventLog == 0 {
+		c.EventLog = 256
 	}
 	if c.ReclaimFactor < 1 {
 		c.ReclaimFactor = 1.25
@@ -193,6 +211,9 @@ type Stats struct {
 	BudgetPages    int   // Σ budgets currently granted
 	FreePages      int   // TotalPages − Σ budgets
 	Procs          int
+	// SpilledBytes is Σ self-reported spill-tier footprints: reclaimed
+	// soft data the machine's processes are holding on local disk.
+	SpilledBytes int64
 }
 
 // ProcInfo describes one registered process, for observability.
@@ -220,6 +241,14 @@ type Daemon struct {
 	procs  map[ProcID]*procState
 	nextID ProcID
 	stats  Stats
+
+	// events is the audit ring (capacity cfg.EventLog, nil when
+	// disabled); eventSeq numbers every recorded event, so Events()
+	// readers can detect gaps when the ring wraps.
+	events   []Event
+	eventPos int
+	eventLen int
+	eventSeq uint64
 }
 
 // NewDaemon returns a daemon arbitrating cfg.TotalPages of soft memory.
@@ -228,7 +257,11 @@ func NewDaemon(cfg Config) *Daemon {
 		panic("smd: Config.TotalPages must be positive")
 	}
 	cfg.setDefaults()
-	return &Daemon{cfg: cfg, procs: make(map[ProcID]*procState)}
+	d := &Daemon{cfg: cfg, procs: make(map[ProcID]*procState)}
+	if cfg.EventLog > 0 {
+		d.events = make([]Event, cfg.EventLog)
+	}
+	return d
 }
 
 // TotalPages returns the soft memory partition size.
@@ -400,11 +433,47 @@ func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
 	return n, nil
 }
 
-// emitLocked delivers an audit event if a sink is configured.
+// emitLocked records an audit event in the ring and delivers it to the
+// OnEvent sink if one is configured. The acting process's latest
+// spill-tier self-report is stamped onto the event here so both
+// consumers see it.
 func (d *Daemon) emitLocked(ev Event) {
+	if ps, ok := d.procs[ev.Proc]; ok {
+		ev.SpilledBytes = ps.usage.SpilledBytes
+	}
+	if d.events != nil {
+		d.eventSeq++
+		ev.Seq = d.eventSeq
+		ev.KindName = ev.Kind.String()
+		d.events[d.eventPos] = ev
+		d.eventPos = (d.eventPos + 1) % len(d.events)
+		if d.eventLen < len(d.events) {
+			d.eventLen++
+		}
+	}
 	if d.cfg.OnEvent != nil {
 		d.cfg.OnEvent(ev)
 	}
+}
+
+// Events returns the audit ring's contents, oldest first. The ring
+// holds the last Config.EventLog events; consecutive Seq values mean no
+// events were lost between snapshots. Nil when the ring is disabled.
+func (d *Daemon) Events() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.events == nil || d.eventLen == 0 {
+		return nil
+	}
+	out := make([]Event, 0, d.eventLen)
+	start := d.eventPos - d.eventLen
+	if start < 0 {
+		start += len(d.events)
+	}
+	for i := 0; i < d.eventLen; i++ {
+		out = append(out, d.events[(start+i)%len(d.events)])
+	}
+	return out
 }
 
 // releaseBudget returns budget from a process.
@@ -446,6 +515,9 @@ func (d *Daemon) Stats() Stats {
 	st.BudgetPages = d.grantedLocked()
 	st.FreePages = d.cfg.TotalPages - st.BudgetPages
 	st.Procs = len(d.procs)
+	for _, ps := range d.procs {
+		st.SpilledBytes += ps.usage.SpilledBytes
+	}
 	return st
 }
 

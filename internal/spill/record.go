@@ -1,0 +1,196 @@
+package spill
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record framing errors.
+var (
+	// ErrCorrupt reports a record whose framing or checksum is invalid.
+	ErrCorrupt = errors.New("spill: corrupt record")
+	// ErrPartial reports a truncated record — the tail a crash leaves
+	// behind. Recovery treats it as end-of-segment.
+	ErrPartial = errors.New("spill: partial record")
+	// ErrTooLarge reports a namespace, key, or value that exceeds the
+	// record format's limits.
+	ErrTooLarge = errors.New("spill: record field too large")
+)
+
+// Record format limits and flags.
+const (
+	// recordHeaderSize is the fixed header prefix of every record.
+	recordHeaderSize = 16
+	// maxNamespaceLen and maxKeyLen bound the variable fields (uint8 and
+	// uint16 length prefixes).
+	maxNamespaceLen = 1<<8 - 1
+	maxKeyLen       = 1<<16 - 1
+	// maxBodyLen bounds a record body so a corrupt length prefix cannot
+	// drive a giant allocation during recovery or decode.
+	maxBodyLen = 1 << 30
+
+	flagCompressed = 1 << 0
+	flagTombstone  = 1 << 1
+)
+
+// record is one decoded spill record.
+//
+// On-disk layout (little-endian):
+//
+//	crc     uint32 // CRC-32 (IEEE) of header[4:16] + body
+//	bodyLen uint32 // bytes following the 16-byte header
+//	rawLen  uint32 // uncompressed value length
+//	flags   uint8  // flagCompressed | flagTombstone
+//	nsLen   uint8
+//	keyLen  uint16
+//	body    [bodyLen]byte // namespace ++ key ++ (possibly compressed) value
+type record struct {
+	Namespace string
+	Key       string
+	Value     []byte
+	Tombstone bool
+}
+
+// appendRecord encodes rec onto dst and returns the extended slice. The
+// value is flate-compressed when compressMin >= 0, the value is at least
+// compressMin bytes, and compression actually shrinks it.
+func appendRecord(dst []byte, rec record, compressMin int) ([]byte, error) {
+	if len(rec.Namespace) > maxNamespaceLen {
+		return dst, fmt.Errorf("%w: namespace %d bytes", ErrTooLarge, len(rec.Namespace))
+	}
+	if len(rec.Key) > maxKeyLen {
+		return dst, fmt.Errorf("%w: key %d bytes", ErrTooLarge, len(rec.Key))
+	}
+	value := rec.Value
+	var flags uint8
+	if rec.Tombstone {
+		flags |= flagTombstone
+		value = nil
+	} else if compressMin >= 0 && len(value) >= compressMin {
+		if cv, ok := compress(value); ok {
+			value = cv
+			flags |= flagCompressed
+		}
+	}
+	bodyLen := len(rec.Namespace) + len(rec.Key) + len(value)
+	if bodyLen > maxBodyLen {
+		return dst, fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
+	}
+
+	start := len(dst)
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(bodyLen))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(rec.Value)))
+	hdr[12] = flags
+	hdr[13] = uint8(len(rec.Namespace))
+	binary.LittleEndian.PutUint16(hdr[14:16], uint16(len(rec.Key)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, rec.Namespace...)
+	dst = append(dst, rec.Key...)
+	dst = append(dst, value...)
+
+	crc := crc32.ChecksumIEEE(dst[start+4:])
+	binary.LittleEndian.PutUint32(dst[start:start+4], crc)
+	return dst, nil
+}
+
+// decodeRecord parses one record from the front of b, returning the
+// record and the bytes it consumed. A short buffer returns ErrPartial; a
+// checksum or framing failure returns ErrCorrupt.
+func decodeRecord(b []byte) (record, int, error) {
+	if len(b) < recordHeaderSize {
+		return record{}, 0, ErrPartial
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(b[4:8]))
+	rawLen := int(binary.LittleEndian.Uint32(b[8:12]))
+	flags := b[12]
+	nsLen := int(b[13])
+	keyLen := int(binary.LittleEndian.Uint16(b[14:16]))
+	if bodyLen > maxBodyLen || rawLen > maxBodyLen {
+		return record{}, 0, ErrCorrupt
+	}
+	if nsLen+keyLen > bodyLen {
+		return record{}, 0, ErrCorrupt
+	}
+	total := recordHeaderSize + bodyLen
+	if len(b) < total {
+		return record{}, 0, ErrPartial
+	}
+	if crc32.ChecksumIEEE(b[4:total]) != binary.LittleEndian.Uint32(b[0:4]) {
+		return record{}, 0, ErrCorrupt
+	}
+	body := b[recordHeaderSize:total]
+	rec := record{
+		Namespace: string(body[:nsLen]),
+		Key:       string(body[nsLen : nsLen+keyLen]),
+		Tombstone: flags&flagTombstone != 0,
+	}
+	value := body[nsLen+keyLen:]
+	switch {
+	case rec.Tombstone:
+		if len(value) != 0 {
+			return record{}, 0, ErrCorrupt
+		}
+	case flags&flagCompressed != 0:
+		raw, err := decompress(value, rawLen)
+		if err != nil {
+			return record{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		rec.Value = raw
+	default:
+		if len(value) != rawLen {
+			return record{}, 0, ErrCorrupt
+		}
+		rec.Value = append([]byte(nil), value...)
+	}
+	return rec, total, nil
+}
+
+// compress flate-compresses v, reporting false when the result is not
+// smaller than the input (the record is then stored raw).
+func compress(v []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := w.Write(v); err != nil {
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(v) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// decompress inflates v, insisting on exactly rawLen output bytes.
+func decompress(v []byte, rawLen int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(v))
+	defer r.Close()
+	out := make([]byte, 0, rawLen)
+	// Read at most rawLen+1 bytes so a corrupt stream cannot balloon.
+	lr := io.LimitReader(r, int64(rawLen)+1)
+	buf := make([]byte, 4096)
+	for {
+		n, err := lr.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) != rawLen {
+		return nil, fmt.Errorf("inflated %d bytes, want %d", len(out), rawLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package spill
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment file framing.
+const (
+	segMagic      = "SOFTSPL1"
+	segHeaderSize = len(segMagic)
+	segPrefix     = "spill-"
+	segSuffix     = ".seg"
+)
+
+// segment is one append-only spill file. The Store's mutex guards all
+// fields; sealed segments never change except to be compacted away or
+// evicted.
+type segment struct {
+	id   uint64
+	path string
+	f    *os.File
+	// size is the file length in bytes (header included); stale counts
+	// the bytes of superseded records; live counts index entries still
+	// pointing into this segment.
+	size  int64
+	stale int64
+	live  int
+}
+
+func segName(id uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, id, segSuffix)
+}
+
+// parseSegName extracts the id from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// createSegment makes a fresh segment file with its magic header.
+func createSegment(dir string, id uint64) (*segment, error) {
+	path := filepath.Join(dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create segment: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("spill: write segment header: %w", err)
+	}
+	return &segment{id: id, path: path, f: f, size: int64(segHeaderSize)}, nil
+}
+
+// openSegment opens an existing segment for reads (recovery and lookups).
+func openSegment(dir string, id uint64) (*segment, error) {
+	path := filepath.Join(dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spill: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("spill: stat segment: %w", err)
+	}
+	return &segment{id: id, path: path, f: f, size: st.Size()}, nil
+}
+
+// appendBytes writes an encoded record at the segment's tail and returns
+// its offset.
+func (sg *segment) appendBytes(b []byte) (int64, error) {
+	off := sg.size
+	if _, err := sg.f.WriteAt(b, off); err != nil {
+		return 0, err
+	}
+	sg.size += int64(len(b))
+	return off, nil
+}
+
+// readRecord decodes the record stored at off, which spans length bytes.
+func (sg *segment) readRecord(off int64, length int32) (record, error) {
+	buf := make([]byte, length)
+	if _, err := sg.f.ReadAt(buf, off); err != nil {
+		return record{}, fmt.Errorf("%w: read: %v", ErrCorrupt, err)
+	}
+	rec, n, err := decodeRecord(buf)
+	if err != nil {
+		return record{}, err
+	}
+	if int32(n) != length {
+		return record{}, ErrCorrupt
+	}
+	return rec, nil
+}
+
+// close releases the file handle.
+func (sg *segment) close() {
+	if sg.f != nil {
+		sg.f.Close()
+		sg.f = nil
+	}
+}
+
+// remove closes and deletes the segment file.
+func (sg *segment) remove() {
+	sg.close()
+	os.Remove(sg.path)
+}
+
+// scanEntry is one live-looking record found during a segment scan.
+type scanEntry struct {
+	rec record
+	off int64
+	len int32
+}
+
+// scan reads the segment sequentially, invoking fn for every well-formed
+// record. It stops at the first torn or corrupt record and returns the
+// offset where valid data ends (the truncation point after a crash) plus
+// whether it stopped early.
+func (sg *segment) scan(fn func(e scanEntry)) (validEnd int64, clean bool, err error) {
+	buf := make([]byte, sg.size)
+	if _, err := sg.f.ReadAt(buf, 0); err != nil {
+		return int64(segHeaderSize), false, fmt.Errorf("spill: scan read: %w", err)
+	}
+	if len(buf) < segHeaderSize || string(buf[:segHeaderSize]) != segMagic {
+		return int64(segHeaderSize), false, fmt.Errorf("spill: %s: bad segment magic", sg.path)
+	}
+	off := int64(segHeaderSize)
+	for off < sg.size {
+		rec, n, derr := decodeRecord(buf[off:])
+		if derr != nil {
+			return off, false, nil
+		}
+		fn(scanEntry{rec: rec, off: off, len: int32(n)})
+		off += int64(n)
+	}
+	return off, true, nil
+}
+
+// truncate discards everything past validEnd — the torn tail a crash
+// left behind.
+func (sg *segment) truncate(validEnd int64) error {
+	if err := sg.f.Truncate(validEnd); err != nil {
+		return fmt.Errorf("spill: truncate: %w", err)
+	}
+	sg.size = validEnd
+	return nil
+}
+
+// listSegmentIDs returns the ids of every segment file in dir, ascending.
+func listSegmentIDs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spill: read dir: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if id, ok := parseSegName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// recordEnd is a tiny helper for tests: the total encoded length of the
+// record at the front of b, without decoding the value.
+func recordEnd(b []byte) (int, error) {
+	if len(b) < recordHeaderSize {
+		return 0, ErrPartial
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(b[4:8]))
+	if bodyLen > maxBodyLen {
+		return 0, ErrCorrupt
+	}
+	if len(b) < recordHeaderSize+bodyLen {
+		return 0, ErrPartial
+	}
+	return recordHeaderSize + bodyLen, nil
+}

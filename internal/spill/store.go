@@ -1,0 +1,630 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"softmem/internal/metrics"
+)
+
+// ErrStoreClosed reports use of a closed Store.
+var ErrStoreClosed = errors.New("spill: store closed")
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the spill directory (required); it is created if absent.
+	Dir string
+	// BudgetBytes is the disk budget — the high watermark. When total
+	// segment bytes exceed it, whole segments are evicted oldest-first
+	// until usage falls to the low watermark. Default 256 MiB.
+	BudgetBytes int64
+	// LowWatermark is the fraction of BudgetBytes eviction drains down
+	// to. Default 0.9.
+	LowWatermark float64
+	// SegmentBytes is the rotation threshold for the active segment.
+	// Default 4 MiB.
+	SegmentBytes int64
+	// CompactRatio is the stale-byte fraction above which a sealed
+	// segment is rewritten by compaction. Default 0.5.
+	CompactRatio float64
+	// CompactInterval is the background GC period. Zero selects the
+	// default 30 s; negative disables the background goroutine
+	// (Compact may still be called directly).
+	CompactInterval time.Duration
+	// CompressMin is the smallest value size worth flate-compressing;
+	// negative disables compression entirely. Zero selects the default
+	// 64 bytes.
+	CompressMin int
+	// Metrics receives the store's instrumentation. Nil allocates a
+	// private registry, exposed via Stats.
+	Metrics *metrics.Spill
+}
+
+func (c *Config) setDefaults() {
+	if c.BudgetBytes <= 0 {
+		c.BudgetBytes = 256 << 20
+	}
+	if c.LowWatermark <= 0 || c.LowWatermark > 1 {
+		c.LowWatermark = 0.9
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.CompactRatio <= 0 || c.CompactRatio > 1 {
+		c.CompactRatio = 0.5
+	}
+	if c.CompactInterval == 0 {
+		c.CompactInterval = 30 * time.Second
+	}
+	if c.CompressMin == 0 {
+		c.CompressMin = 64
+	}
+}
+
+// recordLoc locates one live record on disk.
+type recordLoc struct {
+	seg uint64
+	off int64
+	len int32
+}
+
+// Store is the spill tier: an append-only segment log plus a
+// traditional-memory index of the newest record per namespace/key. All
+// methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+	m   *metrics.Spill
+
+	mu     sync.Mutex
+	segs   map[uint64]*segment
+	order  []uint64 // ascending segment ids, active last
+	active *segment
+	index  map[string]map[string]recordLoc
+	nextID uint64
+	size   int64 // Σ segment sizes
+	lives  int   // Σ live index entries
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open creates or recovers a Store over cfg.Dir. Existing segments are
+// scanned record-by-record; a torn tail from a crash is truncated away
+// and every complete record is re-indexed.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("spill: Config.Dir is required")
+	}
+	cfg.setDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: mkdir: %w", err)
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &metrics.Spill{}
+	}
+	s := &Store{
+		cfg:   cfg,
+		m:     m,
+		segs:  make(map[uint64]*segment),
+		index: make(map[string]map[string]recordLoc),
+		stop:  make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if cfg.CompactInterval > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
+	return s, nil
+}
+
+// recover scans every existing segment in id order, rebuilding the index
+// (later records supersede earlier ones; tombstones erase). Segments
+// with torn tails are truncated to their last complete record.
+func (s *Store) recover() error {
+	ids, err := listSegmentIDs(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		sg, err := openSegment(s.cfg.Dir, id)
+		if err != nil {
+			return err
+		}
+		validEnd, clean, err := sg.scan(func(e scanEntry) {
+			s.applyRecovered(sg, e)
+		})
+		if err != nil {
+			sg.close()
+			return err
+		}
+		if !clean {
+			s.m.CorruptRecords.Inc()
+			if err := sg.truncate(validEnd); err != nil {
+				sg.close()
+				return err
+			}
+		}
+		s.segs[id] = sg
+		s.order = append(s.order, id)
+		s.size += sg.size
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	// Appends always go to a fresh segment; recovered segments are
+	// sealed (compaction will fold small ones forward).
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+	s.publishGauges()
+	return nil
+}
+
+// applyRecovered folds one scanned record into the index during
+// recovery.
+func (s *Store) applyRecovered(sg *segment, e scanEntry) {
+	ns := s.index[e.rec.Namespace]
+	if old, ok := ns[e.rec.Key]; ok {
+		if osg := s.segs[old.seg]; osg != nil {
+			osg.stale += int64(old.len)
+			osg.live--
+		} else if old.seg == sg.id {
+			sg.stale += int64(old.len)
+			sg.live--
+		}
+		delete(ns, e.rec.Key)
+		s.lives--
+	}
+	if e.rec.Tombstone {
+		// The tombstone itself is immediately stale weight.
+		sg.stale += int64(e.len)
+		return
+	}
+	if ns == nil {
+		ns = make(map[string]recordLoc)
+		s.index[e.rec.Namespace] = ns
+	}
+	ns[e.rec.Key] = recordLoc{seg: sg.id, off: e.off, len: e.len}
+	sg.live++
+	s.lives++
+}
+
+// gcLoop is the background segment GC: periodically compact sealed
+// segments whose stale fraction crossed the threshold.
+func (s *Store) gcLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Compact()
+		}
+	}
+}
+
+// Close stops background GC and releases every file handle. Data stays
+// on disk for the next Open.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	for _, sg := range s.segs {
+		sg.close()
+	}
+	s.mu.Unlock()
+}
+
+// Put demotes a value: it appends a record and points the index at it.
+// The previous record for the key, if any, becomes stale.
+func (s *Store) Put(namespace, key string, value []byte) error {
+	buf, err := appendRecord(nil, record{Namespace: namespace, Key: key, Value: value}, s.cfg.CompressMin)
+	if err != nil {
+		s.m.WriteErrors.Inc()
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	loc, err := s.appendLocked(buf)
+	if err != nil {
+		s.m.WriteErrors.Inc()
+		return err
+	}
+	s.indexPutLocked(namespace, key, loc)
+	s.m.Demotions.Inc()
+	s.m.DemotedBytes.Add(int64(len(value)))
+	s.evictLocked()
+	s.publishGauges()
+	return nil
+}
+
+// Get returns the value stored for namespace/key, decompressed and
+// CRC-verified. found is false when the key was never demoted or has
+// been dropped or evicted.
+func (s *Store) Get(namespace, key string) (value []byte, found bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrStoreClosed
+	}
+	loc, ok := s.index[namespace][key]
+	if !ok {
+		s.m.Misses.Inc()
+		return nil, false, nil
+	}
+	sg := s.segs[loc.seg]
+	if sg == nil {
+		s.m.Misses.Inc()
+		return nil, false, nil
+	}
+	rec, err := sg.readRecord(loc.off, loc.len)
+	if err != nil {
+		// A record that fails its checksum is dropped from the index so
+		// the failure is paid once.
+		s.m.CorruptRecords.Inc()
+		s.m.Misses.Inc()
+		s.indexDropLocked(namespace, key, loc)
+		return nil, false, err
+	}
+	s.m.Hits.Inc()
+	return rec.Value, true, nil
+}
+
+// Drop removes namespace/key from the tier, logging a tombstone so the
+// deletion survives a crash and restart. It reports whether the key was
+// present.
+func (s *Store) Drop(namespace, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	loc, ok := s.index[namespace][key]
+	if !ok {
+		return false
+	}
+	s.indexDropLocked(namespace, key, loc)
+	s.tombstoneLocked(namespace, key)
+	s.publishGauges()
+	return true
+}
+
+// Take atomically reads and removes namespace/key — the promotion
+// primitive. Unlike Get+Drop it holds the lock across both steps, so
+// two concurrent promoters cannot both win the same record.
+func (s *Store) Take(namespace, key string) (value []byte, found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	loc, ok := s.index[namespace][key]
+	if !ok {
+		s.m.Misses.Inc()
+		return nil, false
+	}
+	sg := s.segs[loc.seg]
+	if sg == nil {
+		s.m.Misses.Inc()
+		return nil, false
+	}
+	rec, err := sg.readRecord(loc.off, loc.len)
+	if err != nil {
+		s.m.CorruptRecords.Inc()
+		s.m.Misses.Inc()
+		s.indexDropLocked(namespace, key, loc)
+		s.publishGauges()
+		return nil, false
+	}
+	s.m.Hits.Inc()
+	s.indexDropLocked(namespace, key, loc)
+	s.tombstoneLocked(namespace, key)
+	s.m.Promotions.Inc()
+	s.m.PromotedBytes.Add(int64(len(rec.Value)))
+	s.publishGauges()
+	return rec.Value, true
+}
+
+// tombstoneLocked best-effort logs a deletion so it survives restart.
+func (s *Store) tombstoneLocked(namespace, key string) {
+	buf, err := appendRecord(nil, record{Namespace: namespace, Key: key, Tombstone: true}, -1)
+	if err != nil {
+		return
+	}
+	if tl, err := s.appendLocked(buf); err == nil {
+		// Tombstones are dead weight the moment they land.
+		if sg := s.segs[tl.seg]; sg != nil {
+			sg.stale += int64(tl.len)
+		}
+	}
+}
+
+// Contains reports whether namespace/key is currently spilled, without
+// touching hit/miss accounting.
+func (s *Store) Contains(namespace, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[namespace][key]
+	return ok
+}
+
+// Keys returns the live keys in a namespace, in unspecified order.
+func (s *Store) Keys(namespace string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns := s.index[namespace]
+	out := make([]string, 0, len(ns))
+	for k := range ns {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Len returns the number of live records in a namespace.
+func (s *Store) Len(namespace string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index[namespace])
+}
+
+// BytesOnDisk returns the tier's current disk footprint; the SMA's
+// spill reporter feeds this to the daemon.
+func (s *Store) BytesOnDisk() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Stats snapshots the store's instrumentation registry.
+func (s *Store) Stats() metrics.SpillSnapshot {
+	return s.m.Snapshot()
+}
+
+// Metrics exposes the live registry (shared when Config.Metrics was
+// set).
+func (s *Store) Metrics() *metrics.Spill { return s.m }
+
+// Sink binds a namespace of this store for one SDS.
+func (s *Store) Sink(namespace string) *Sink {
+	return &Sink{st: s, ns: namespace}
+}
+
+// Compact rewrites every sealed segment whose stale fraction is at
+// least Config.CompactRatio, copying live records into the active
+// segment, and returns the number of segments compacted. It is called
+// by the background GC and may be called directly (tests, smdctl-style
+// tools).
+func (s *Store) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	n := 0
+	// Snapshot candidates: compaction appends to the active segment and
+	// may rotate, mutating s.order.
+	var victims []uint64
+	for _, id := range s.order {
+		sg := s.segs[id]
+		if sg == nil || sg == s.active || sg.size <= int64(segHeaderSize) {
+			continue
+		}
+		if sg.live == 0 || float64(sg.stale)/float64(sg.size) >= s.cfg.CompactRatio {
+			victims = append(victims, id)
+		}
+	}
+	for _, id := range victims {
+		if s.compactSegmentLocked(id) {
+			n++
+		}
+	}
+	if n > 0 {
+		s.publishGauges()
+	}
+	return n
+}
+
+// compactSegmentLocked copies a segment's live records forward and
+// deletes the file. Caller holds s.mu.
+func (s *Store) compactSegmentLocked(id uint64) bool {
+	sg := s.segs[id]
+	if sg == nil || sg == s.active {
+		return false
+	}
+	reclaimed := sg.size
+	ok := true
+	_, _, err := sg.scan(func(e scanEntry) {
+		if !ok || e.rec.Tombstone {
+			return
+		}
+		ns := s.index[e.rec.Namespace]
+		cur, live := ns[e.rec.Key]
+		if !live || cur.seg != id || cur.off != e.off {
+			return // superseded — this is the stale weight being dropped
+		}
+		// Re-encode from the decoded record: the value re-compresses
+		// into the active segment unchanged in content.
+		buf, err := appendRecord(nil, e.rec, s.cfg.CompressMin)
+		if err != nil {
+			ok = false
+			return
+		}
+		loc, err := s.appendLocked(buf)
+		if err != nil {
+			ok = false
+			return
+		}
+		ns[e.rec.Key] = loc
+		if asg := s.segs[loc.seg]; asg != nil {
+			asg.live++
+		}
+		sg.live--
+		reclaimed -= int64(loc.len)
+	})
+	if err != nil || !ok {
+		return false
+	}
+	s.size -= sg.size
+	delete(s.segs, id)
+	s.dropOrderLocked(id)
+	sg.remove()
+	s.m.Compactions.Inc()
+	if reclaimed > 0 {
+		s.m.CompactedBytes.Add(reclaimed)
+	}
+	return true
+}
+
+// appendLocked writes an encoded record into the active segment,
+// rotating first when it would overflow. Caller holds s.mu.
+func (s *Store) appendLocked(buf []byte) (recordLoc, error) {
+	if s.active == nil || (s.active.size > int64(segHeaderSize) && s.active.size+int64(len(buf)) > s.cfg.SegmentBytes) {
+		if err := s.rotateLocked(); err != nil {
+			return recordLoc{}, err
+		}
+	}
+	off, err := s.active.appendBytes(buf)
+	if err != nil {
+		return recordLoc{}, fmt.Errorf("spill: append: %w", err)
+	}
+	s.size += int64(len(buf))
+	return recordLoc{seg: s.active.id, off: off, len: int32(len(buf))}, nil
+}
+
+// rotateLocked seals the active segment and starts a fresh one.
+func (s *Store) rotateLocked() error {
+	sg, err := createSegment(s.cfg.Dir, s.nextID)
+	if err != nil {
+		return err
+	}
+	s.nextID++
+	s.segs[sg.id] = sg
+	s.order = append(s.order, sg.id)
+	s.active = sg
+	s.size += sg.size
+	return nil
+}
+
+// indexPutLocked points the index at a new record, marking any previous
+// one stale.
+func (s *Store) indexPutLocked(namespace, key string, loc recordLoc) {
+	ns := s.index[namespace]
+	if ns == nil {
+		ns = make(map[string]recordLoc)
+		s.index[namespace] = ns
+	}
+	if old, ok := ns[key]; ok {
+		if osg := s.segs[old.seg]; osg != nil {
+			osg.stale += int64(old.len)
+			osg.live--
+		}
+		s.lives--
+	}
+	ns[key] = loc
+	if sg := s.segs[loc.seg]; sg != nil {
+		sg.live++
+	}
+	s.lives++
+}
+
+// indexDropLocked removes an index entry and accounts its record stale.
+func (s *Store) indexDropLocked(namespace, key string, loc recordLoc) {
+	ns := s.index[namespace]
+	if ns == nil {
+		return
+	}
+	delete(ns, key)
+	if len(ns) == 0 {
+		delete(s.index, namespace)
+	}
+	s.lives--
+	if sg := s.segs[loc.seg]; sg != nil {
+		sg.stale += int64(loc.len)
+		sg.live--
+	}
+}
+
+// evictLocked enforces the disk budget: above the high watermark
+// (BudgetBytes), whole sealed segments are evicted oldest-first until
+// usage reaches the low watermark. Live records in an evicted segment
+// are lost — exactly the drop the spill tier otherwise prevents, now
+// bounded by the budget instead of by DRAM.
+func (s *Store) evictLocked() {
+	if s.size <= s.cfg.BudgetBytes {
+		return
+	}
+	low := int64(float64(s.cfg.BudgetBytes) * s.cfg.LowWatermark)
+	for s.size > low {
+		var victim *segment
+		for _, id := range s.order {
+			if sg := s.segs[id]; sg != nil && sg != s.active {
+				victim = sg
+				break
+			}
+		}
+		if victim == nil {
+			return // only the active segment remains
+		}
+		s.evictSegmentLocked(victim)
+	}
+}
+
+// evictSegmentLocked drops one segment and every index entry into it.
+func (s *Store) evictSegmentLocked(sg *segment) {
+	dropped := 0
+	for nsName, ns := range s.index {
+		for k, loc := range ns {
+			if loc.seg == sg.id {
+				delete(ns, k)
+				s.lives--
+				dropped++
+			}
+		}
+		if len(ns) == 0 {
+			delete(s.index, nsName)
+		}
+	}
+	s.size -= sg.size
+	delete(s.segs, sg.id)
+	s.dropOrderLocked(sg.id)
+	sg.remove()
+	s.m.EvictedSegments.Inc()
+	s.m.EvictedRecords.Add(int64(dropped))
+}
+
+// dropOrderLocked removes an id from the ordered segment list.
+func (s *Store) dropOrderLocked(id uint64) {
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// publishGauges refreshes the instantaneous metrics. Caller holds s.mu
+// (or is single-threaded recovery).
+func (s *Store) publishGauges() {
+	s.m.BytesOnDisk.Set(float64(s.size))
+	s.m.LiveRecords.Set(float64(s.lives))
+	s.m.Segments.Set(float64(len(s.order)))
+}

@@ -31,14 +31,25 @@ type Server struct {
 // Serve starts serving fn's snapshots at http://addr/statusz (and /) in
 // a background goroutine, returning the bound address.
 func Serve(addr string, fn func() any) (*Server, net.Addr, error) {
+	return ServeMulti(addr, map[string]func() any{"statusz": fn})
+}
+
+// ServeMulti serves one JSON snapshot endpoint per entry, each at
+// http://addr/<name>. The "statusz" endpoint (if present) also serves
+// "/", preserving Serve's shape for existing scrapers.
+func ServeMulti(addr string, endpoints map[string]func() any) (*Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, fmt.Errorf("statusz: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	h := Handler(fn)
-	mux.Handle("/", h)
-	mux.Handle("/statusz", h)
+	for name, fn := range endpoints {
+		h := Handler(fn)
+		mux.Handle("/"+name, h)
+		if name == "statusz" {
+			mux.Handle("/", h)
+		}
+	}
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, ln.Addr(), nil

@@ -11,9 +11,11 @@ import (
 	"softmem/internal/alloc"
 	"softmem/internal/core"
 	"softmem/internal/kvstore"
+	"softmem/internal/metrics"
 	"softmem/internal/pages"
 	"softmem/internal/sds"
 	"softmem/internal/smd"
+	"softmem/internal/spill"
 )
 
 // PageSize is the soft memory page granularity in bytes.
@@ -80,6 +82,8 @@ type (
 	DaemonConfig = smd.Config
 	// DaemonStats is a snapshot of a Daemon's accounting.
 	DaemonStats = smd.Stats
+	// DaemonEvent is one audit record from the daemon's event ring.
+	DaemonEvent = smd.Event
 )
 
 // NewDaemon returns a Soft Memory Daemon arbitrating cfg.TotalPages of
@@ -172,3 +176,45 @@ type (
 // NewKVStore returns a Redis-like store whose values live in soft
 // memory.
 func NewKVStore(cfg KVConfig) *KVStore { return kvstore.New(cfg) }
+
+// Spill tier (internal/spill): compressed disk demotion for reclaimed
+// soft data, with transparent promotion on miss.
+type (
+	// SpillStore is an append-only, segment-based local spill store.
+	SpillStore = spill.Store
+	// SpillConfig parameterizes a SpillStore.
+	SpillConfig = spill.Config
+	// SpillSink is one SDS's namespace-scoped handle on a SpillStore;
+	// its methods plug directly into SDS reclaim callbacks.
+	SpillSink = spill.Sink
+	// SpillStats is a snapshot of a SpillStore's instrumentation.
+	SpillStats = metrics.SpillSnapshot
+	// SoftSpillTable is a string-keyed SoftHashTable whose revoked
+	// entries demote to a spill tier and promote back on Get misses.
+	SoftSpillTable = sds.SoftSpillTable
+)
+
+// Spill sentinel errors.
+var (
+	// ErrSpillCorrupt reports a spill record whose checksum or framing
+	// failed verification.
+	ErrSpillCorrupt = spill.ErrCorrupt
+	// ErrSpillClosed reports use of a closed SpillStore.
+	ErrSpillClosed = spill.ErrStoreClosed
+)
+
+// OpenSpillStore opens (or recovers) a spill store rooted at cfg.Dir.
+func OpenSpillStore(cfg SpillConfig) (*SpillStore, error) { return spill.Open(cfg) }
+
+// NewSpillSink scopes a namespace inside st, for wiring one SDS's
+// reclaim callbacks to the spill tier.
+func NewSpillSink(st *SpillStore, namespace string) *SpillSink {
+	return spill.NewSink(st, namespace)
+}
+
+// NewSoftSpillTable returns a string-keyed soft hash table coupled to a
+// spill sink: entries revoked under pressure demote to disk and fault
+// back in on Get misses.
+func NewSoftSpillTable(sma *SMA, name string, sink *SpillSink, cfg HashTableConfig[string]) *SoftSpillTable {
+	return sds.NewSoftSpillTable(sma, name, sink, cfg)
+}
