@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -164,6 +165,80 @@ func TestSpillWriteInvalidatesDemoted(t *testing.T) {
 	}
 	if st.Exists("k") {
 		t.Fatal("deleted key Exists via spill")
+	}
+}
+
+// TestSpillPromotionDeleteRollback walks the promotion/deletion
+// interleaving deterministically: a Del that lands while the value is
+// in flight between tiers (removed from spill, not yet re-inserted)
+// must flag the promotion so its re-insert is rolled back — otherwise
+// the deleted key resurrects in the hot tier.
+func TestSpillPromotionDeleteRollback(t *testing.T) {
+	st, _, sp := newSpillStore(t, Config{})
+	sink := sp.Sink("kvstore")
+	sink.OnReclaim("k", []byte("v")) // value lives only on disk
+
+	p := st.promoBegin("k")
+	sv, ok := st.spill.Promote("k")
+	if !ok {
+		t.Fatal("Promote missed a spilled key")
+	}
+	// The concurrent Del: the key is in neither tier right now.
+	if _, err := st.Del("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.table("k").Put("k", sv); err != nil {
+		t.Fatal(err)
+	}
+	if !st.promoEnd("k", p) {
+		t.Fatal("Del during in-flight promotion was not flagged")
+	}
+	// lookup's rollback path:
+	if _, err := st.table("k").Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.Get("k"); ok {
+		t.Fatal("deleted key resurrected by promotion re-insert")
+	}
+
+	// A Set that re-creates the key after the racing Del cancels the
+	// rollback: the newest write wins, not the stale deletion.
+	sink.OnReclaim("k2", []byte("v2"))
+	p2 := st.promoBegin("k2")
+	if _, ok := st.spill.Promote("k2"); !ok {
+		t.Fatal("Promote missed k2")
+	}
+	if _, err := st.Del("k2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set("k2", []byte("recreated")); err != nil {
+		t.Fatal(err)
+	}
+	if st.promoEnd("k2", p2) {
+		t.Fatal("Set after Del should cancel the promotion rollback")
+	}
+	if v, ok, _ := st.Get("k2"); !ok || string(v) != "recreated" {
+		t.Fatalf("re-created key lost: %q, %v", v, ok)
+	}
+}
+
+// TestSpillPromotionDeleteRace hammers concurrent GET/DEL over keys
+// that live only in the spill tier; whatever the interleaving, a key
+// must never survive its deletion.
+func TestSpillPromotionDeleteRace(t *testing.T) {
+	st, _, sp := newSpillStore(t, Config{})
+	sink := sp.Sink("kvstore")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		sink.OnReclaim(key, []byte("demoted"))
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); st.Get(key) }()
+		go func() { defer wg.Done(); st.Del(key) }()
+		wg.Wait()
+		if _, ok, _ := st.Get(key); ok {
+			t.Fatalf("iteration %d: key %q resurrected after Del", i, key)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"path"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -125,6 +126,8 @@ type Store struct {
 	lists       *listStore
 	ttl         *ttlTable
 	spill       *spill.Sink // nil without a spill tier
+	promoMu     sync.Mutex
+	promos      map[string]*promo // keys with an in-flight spill promotion
 	expired     atomic.Int64
 	sets        atomic.Int64
 	gets        atomic.Int64
@@ -155,6 +158,7 @@ func New(cfg Config) *Store {
 	s.shardMask = uint64(nshards - 1)
 	if cfg.Spill != nil {
 		s.spill = cfg.Spill.Sink(name)
+		s.promos = make(map[string]*promo)
 	}
 	onReclaim := func(key string, value []byte) {
 		s.reclaimed.Add(1)
@@ -232,23 +236,102 @@ func (s *Store) table(key string) *sds.SoftHashTable[string] {
 	return s.shards[h&s.shardMask]
 }
 
+// promo tracks one key's in-flight spill promotions so a concurrent
+// deletion is not lost while the value travels between tiers.
+type promo struct {
+	refs    int
+	deleted bool
+}
+
+// promoBegin registers an in-flight promotion for key. It must be
+// called before Sink.Promote removes the record: once the record is
+// taken, the key lives in neither tier and a concurrent Del would find
+// nothing to delete.
+func (s *Store) promoBegin(key string) *promo {
+	s.promoMu.Lock()
+	p := s.promos[key]
+	if p == nil {
+		p = &promo{}
+		s.promos[key] = p
+	}
+	p.refs++
+	s.promoMu.Unlock()
+	return p
+}
+
+// promoEnd deregisters a promotion and reports whether a deletion hit
+// the key while it was in flight.
+func (s *Store) promoEnd(key string, p *promo) bool {
+	s.promoMu.Lock()
+	deleted := p.deleted
+	p.refs--
+	if p.refs == 0 && s.promos[key] == p {
+		delete(s.promos, key)
+	}
+	s.promoMu.Unlock()
+	return deleted
+}
+
+// promoMarkDeleted flags any in-flight promotion of key so its
+// re-insert is rolled back; every deletion path (Del, expiry, flush)
+// calls it after clearing both tiers.
+func (s *Store) promoMarkDeleted(key string) {
+	if s.spill == nil {
+		return
+	}
+	s.promoMu.Lock()
+	if p := s.promos[key]; p != nil {
+		p.deleted = true
+	}
+	s.promoMu.Unlock()
+}
+
+// promoClearDeleted undoes a pending rollback: a Set that re-creates
+// the key after the racing Del means the key should exist again, so the
+// promotion must not delete it (the usual last-writer-wins between the
+// Set and the promotion's re-insert then applies).
+func (s *Store) promoClearDeleted(key string) {
+	if s.spill == nil {
+		return
+	}
+	s.promoMu.Lock()
+	if p := s.promos[key]; p != nil {
+		p.deleted = false
+	}
+	s.promoMu.Unlock()
+}
+
 // lookup reads key from the hot tier, faulting it in from the spill
 // tier on a miss (the transparent promotion path). A promoted value is
 // re-inserted through ht.Put — the normal soft-allocation/budget path —
 // so the spill tier never bypasses the daemon's arbitration; if the
 // re-insert fails under pressure, the value is demoted straight back so
 // it stays recoverable, and the caller still gets it either way.
+//
+// A Del that lands between Promote (which removes the spill record) and
+// the re-insert sees the key in neither tier; without coordination the
+// re-insert would resurrect the deleted key. The promo registration
+// closes that: the Del marks it, and the re-insert is rolled back —
+// this Get linearizes just before the Del, so the caller still gets the
+// value while the store stays deleted.
 func (s *Store) lookup(ht *sds.SoftHashTable[string], key string) ([]byte, bool, error) {
 	v, ok, err := ht.Get(key)
 	if err != nil || ok || s.spill == nil {
 		return v, ok, err
 	}
+	p := s.promoBegin(key)
 	sv, ok := s.spill.Promote(key)
 	if !ok {
+		s.promoEnd(key, p)
 		return nil, false, nil
 	}
 	s.promotions.Add(1)
-	if perr := ht.Put(key, sv); perr != nil {
+	perr := ht.Put(key, sv)
+	if s.promoEnd(key, p) {
+		_, _ = ht.Delete(key)
+		return sv, true, nil
+	}
+	if perr != nil {
 		_ = s.spill.Demote(key, sv)
 	}
 	return sv, true, nil
@@ -271,6 +354,7 @@ func (s *Store) Set(key string, value []byte) error {
 	// demotes the fresh value between the two steps, and the Drop would
 	// then destroy the only copy.
 	s.dropSpilled(key)
+	s.promoClearDeleted(key)
 	return s.table(key).Put(key, value)
 }
 
@@ -299,6 +383,9 @@ func (s *Store) Del(key string) (bool, error) {
 			existed = true
 		}
 		s.spill.Drop(key)
+		// A value mid-promotion is in neither tier right now; flag the
+		// in-flight promotion so its re-insert is rolled back.
+		s.promoMarkDeleted(key)
 	}
 	return existed, err
 }
@@ -425,6 +512,13 @@ func (s *Store) FlushAll() error {
 		for _, k := range s.spill.Keys() {
 			s.spill.Drop(k)
 		}
+		// Values mid-promotion are in neither tier nor the lists above;
+		// flag every in-flight promotion so the re-inserts roll back.
+		s.promoMu.Lock()
+		for _, p := range s.promos {
+			p.deleted = true
+		}
+		s.promoMu.Unlock()
 	}
 	return nil
 }

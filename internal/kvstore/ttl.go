@@ -141,6 +141,7 @@ func (s *Store) expireIfDue(key string) {
 		removed, _ := s.table(key).Delete(key)
 		if s.spill != nil {
 			removed = s.spill.Drop(key) || removed
+			s.promoMarkDeleted(key)
 		}
 		if removed {
 			s.expired.Add(1)
@@ -158,6 +159,7 @@ func (s *Store) SweepExpired() int {
 		removed, _ := s.table(key).Delete(key)
 		if s.spill != nil {
 			removed = s.spill.Drop(key) || removed
+			s.promoMarkDeleted(key)
 		}
 		if removed {
 			s.expired.Add(1)

@@ -151,6 +151,19 @@ func decodeRecord(b []byte) (record, int, error) {
 	return rec, total, nil
 }
 
+// decodeFull parses b as exactly one record — the shape Get and Take
+// read back through a recordLoc.
+func decodeFull(b []byte) (record, error) {
+	rec, n, err := decodeRecord(b)
+	if err != nil {
+		return record{}, err
+	}
+	if n != len(b) {
+		return record{}, ErrCorrupt
+	}
+	return rec, nil
+}
+
 // compress flate-compresses v, reporting false when the result is not
 // smaller than the input (the record is then stored raw).
 func compress(v []byte) ([]byte, bool) {

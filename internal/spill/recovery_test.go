@@ -176,6 +176,95 @@ func TestRecoverCorruptMiddleRecord(t *testing.T) {
 	}
 }
 
+// countSegs counts the segment files currently in dir.
+func countSegs(t *testing.T, dir string) int {
+	t.Helper()
+	ids, err := listSegmentIDs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ids)
+}
+
+// TestCompactPreservesTombstonesAcrossRestart pins the crash-durability
+// of deletions: compacting a segment that holds a tombstone must not
+// discard it while an older surviving segment still holds the shadowed
+// record — otherwise recovery re-indexes the old record and the deleted
+// key resurrects.
+func TestCompactPreservesTombstonesAcrossRestart(t *testing.T) {
+	// Geometry (CompressMin -1 keeps record sizes exact): value records
+	// are 16+1+1+80 = 98 bytes, tombstones 18, and SegmentBytes 210 fits
+	// two value records per segment.
+	cfg := Config{SegmentBytes: 210, CompactRatio: 0.9, CompressMin: -1}
+	st := newStore(t, cfg)
+	val := func(c byte) []byte { return bytes.Repeat([]byte{c}, 80) }
+	for _, k := range []string{"a", "b"} { // both land in segment 0
+		if err := st.Put("t", k, val(k[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put("t", "c", val('c')); err != nil { // rotates; segment 1
+		t.Fatal(err)
+	}
+	// Both tombstones land in segment 1, leaving it with zero live
+	// records — an immediate compaction victim. Segment 0 keeps "b" live
+	// and stays below CompactRatio, so "a"'s record survives on disk and
+	// only the tombstone keeps it dead.
+	st.Drop("t", "c")
+	st.Drop("t", "a")
+	if err := st.Put("t", "d", val('d')); err != nil { // rotates; seals segment 1
+		t.Fatal(err)
+	}
+	if n := st.Compact(); n != 1 {
+		t.Fatalf("Compact() = %d segments, want 1 (the tombstone segment)", n)
+	}
+
+	st2 := reopen(t, st, cfg)
+	for k, want := range map[string]bool{"a": false, "b": true, "c": false, "d": true} {
+		_, ok, err := st2.Get("t", k)
+		if err != nil {
+			t.Fatalf("Get %s: %v", k, err)
+		}
+		if ok != want {
+			t.Fatalf("after compact+restart, %s found=%v, want %v", k, ok, want)
+		}
+	}
+
+	// Convergence: once every older segment is gone, preserved tombstones
+	// are dropped instead of migrating forever, and the log drains to
+	// just the active segment.
+	st2.Drop("t", "b")
+	st2.Drop("t", "d")
+	st2.Compact()
+	st3 := reopen(t, st2, cfg)
+	st3.Compact()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if _, ok, _ := st3.Get("t", k); ok {
+			t.Fatalf("%s resurrected after drain", k)
+		}
+	}
+	if n := countSegs(t, st3.cfg.Dir); n != 1 {
+		t.Fatalf("log did not drain: %d segment files, want 1 (active)", n)
+	}
+}
+
+// TestReopenReclaimsEmptySegments: every Open rotates a fresh active
+// segment; the previous run's never-written one must be deleted at
+// recovery, not accumulate one file (and file descriptor) per restart.
+func TestReopenReclaimsEmptySegments(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		st, err := Open(Config{Dir: dir, CompactInterval: -1})
+		if err != nil {
+			t.Fatalf("Open #%d: %v", i+1, err)
+		}
+		st.Close()
+		if n := countSegs(t, dir); n != 1 {
+			t.Fatalf("after open/close #%d: %d segment files, want 1", i+1, n)
+		}
+	}
+}
+
 func TestRecoverEmptyDirAndForeignFiles(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignore me"), 0o644); err != nil {

@@ -90,20 +90,16 @@ func (sg *segment) appendBytes(b []byte) (int64, error) {
 	return off, nil
 }
 
-// readRecord decodes the record stored at off, which spans length bytes.
-func (sg *segment) readRecord(off int64, length int32) (record, error) {
+// readBytes returns the raw encoded record stored at off, spanning
+// length bytes. Decoding (decompression, CRC verification) is the
+// caller's job — Get and Take do it after releasing the store mutex so
+// slow decodes never serialize other spill traffic.
+func (sg *segment) readBytes(off int64, length int32) ([]byte, error) {
 	buf := make([]byte, length)
 	if _, err := sg.f.ReadAt(buf, off); err != nil {
-		return record{}, fmt.Errorf("%w: read: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: read: %v", ErrCorrupt, err)
 	}
-	rec, n, err := decodeRecord(buf)
-	if err != nil {
-		return record{}, err
-	}
-	if int32(n) != length {
-		return record{}, ErrCorrupt
-	}
-	return rec, nil
+	return buf, nil
 }
 
 // close releases the file handle.

@@ -196,6 +196,37 @@ func TestStoreBudgetEviction(t *testing.T) {
 	}
 }
 
+// TestDropEnforcesDiskBudget: tombstones appended by delete-heavy
+// bursts count against the budget too — Drop must trigger watermark
+// eviction, not wait for the next Put.
+func TestDropEnforcesDiskBudget(t *testing.T) {
+	// One 396-byte record per 400-byte segment; 146-byte tombstones. Six
+	// puts total ~2.4 KB (under budget); six drops push past 3000 and
+	// must evict.
+	st := newStore(t, Config{BudgetBytes: 3000, SegmentBytes: 400, LowWatermark: 0.9, CompressMin: -1})
+	longKey := func(i int) string {
+		return fmt.Sprintf("key-%03d-%s", i, bytes.Repeat([]byte("k"), 120))
+	}
+	val := bytes.Repeat([]byte("v"), 250)
+	for i := 0; i < 6; i++ {
+		if err := st.Put("ns", longKey(i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.BytesOnDisk(); got > 3000 {
+		t.Fatalf("puts alone exceeded budget: %d bytes", got)
+	}
+	for i := 0; i < 6; i++ {
+		st.Drop("ns", longKey(i))
+	}
+	if got := st.BytesOnDisk(); got > 3000 {
+		t.Fatalf("disk budget not enforced on Drop: %d bytes > 3000", got)
+	}
+	if st.Stats().EvictedSegments == 0 {
+		t.Fatal("drops crossed the budget but nothing was evicted")
+	}
+}
+
 func TestSinkAdapters(t *testing.T) {
 	st := newStore(t, Config{})
 	sink := st.Sink("sds")

@@ -137,6 +137,16 @@ func (s *Store) recover() error {
 		if err != nil {
 			return err
 		}
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+		if sg.size <= int64(segHeaderSize) {
+			// Header-only (a previous Open's never-written active segment)
+			// or torn mid-create: delete it now instead of carrying a dead
+			// file descriptor across every restart.
+			sg.remove()
+			continue
+		}
 		validEnd, clean, err := sg.scan(func(e scanEntry) {
 			s.applyRecovered(sg, e)
 		})
@@ -150,13 +160,14 @@ func (s *Store) recover() error {
 				sg.close()
 				return err
 			}
+			if sg.size <= int64(segHeaderSize) {
+				sg.remove()
+				continue
+			}
 		}
 		s.segs[id] = sg
 		s.order = append(s.order, id)
 		s.size += sg.size
-		if id >= s.nextID {
-			s.nextID = id + 1
-		}
 	}
 	// Appends always go to a fresh segment; recovered segments are
 	// sealed (compaction will fold small ones forward).
@@ -262,27 +273,45 @@ func (s *Store) Put(namespace, key string, value []byte) error {
 // been dropped or evicted.
 func (s *Store) Get(namespace, key string) (value []byte, found bool, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, false, ErrStoreClosed
 	}
 	loc, ok := s.index[namespace][key]
 	if !ok {
+		s.mu.Unlock()
 		s.m.Misses.Inc()
 		return nil, false, nil
 	}
 	sg := s.segs[loc.seg]
 	if sg == nil {
+		s.mu.Unlock()
 		s.m.Misses.Inc()
 		return nil, false, nil
 	}
-	rec, err := sg.readRecord(loc.off, loc.len)
+	buf, err := sg.readBytes(loc.off, loc.len)
 	if err != nil {
-		// A record that fails its checksum is dropped from the index so
+		// A record that fails to read back is dropped from the index so
 		// the failure is paid once.
+		s.indexDropLocked(namespace, key, loc)
+		s.mu.Unlock()
 		s.m.CorruptRecords.Inc()
 		s.m.Misses.Inc()
-		s.indexDropLocked(namespace, key, loc)
+		return nil, false, err
+	}
+	s.mu.Unlock()
+	// Decompression and CRC verification run outside the store mutex so
+	// slow decodes do not serialize other spill traffic (Put from reclaim
+	// callbacks in particular).
+	rec, err := decodeFull(buf)
+	if err != nil {
+		s.mu.Lock()
+		if cur, ok := s.index[namespace][key]; ok && cur == loc {
+			s.indexDropLocked(namespace, key, loc)
+		}
+		s.mu.Unlock()
+		s.m.CorruptRecords.Inc()
+		s.m.Misses.Inc()
 		return nil, false, err
 	}
 	s.m.Hits.Inc()
@@ -304,6 +333,9 @@ func (s *Store) Drop(namespace, key string) bool {
 	}
 	s.indexDropLocked(namespace, key, loc)
 	s.tombstoneLocked(namespace, key)
+	// Tombstones grow the log too: delete-heavy bursts (FlushAll over a
+	// large spilled set) must not push disk usage past the budget.
+	s.evictLocked()
 	s.publishGauges()
 	return true
 }
@@ -313,34 +345,50 @@ func (s *Store) Drop(namespace, key string) bool {
 // two concurrent promoters cannot both win the same record.
 func (s *Store) Take(namespace, key string) (value []byte, found bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, false
 	}
 	loc, ok := s.index[namespace][key]
 	if !ok {
+		s.mu.Unlock()
 		s.m.Misses.Inc()
 		return nil, false
 	}
 	sg := s.segs[loc.seg]
 	if sg == nil {
+		s.mu.Unlock()
 		s.m.Misses.Inc()
 		return nil, false
 	}
-	rec, err := sg.readRecord(loc.off, loc.len)
+	buf, err := sg.readBytes(loc.off, loc.len)
 	if err != nil {
-		s.m.CorruptRecords.Inc()
-		s.m.Misses.Inc()
 		s.indexDropLocked(namespace, key, loc)
 		s.publishGauges()
+		s.mu.Unlock()
+		s.m.CorruptRecords.Inc()
+		s.m.Misses.Inc()
+		return nil, false
+	}
+	// Raw bytes in hand, remove and tombstone under the same lock hold as
+	// the read: two concurrent promoters cannot both win the record.
+	s.indexDropLocked(namespace, key, loc)
+	s.tombstoneLocked(namespace, key)
+	s.evictLocked()
+	s.publishGauges()
+	s.mu.Unlock()
+	// Decode (decompress + CRC) outside the mutex; see Get.
+	rec, err := decodeFull(buf)
+	if err != nil {
+		// Already removed and tombstoned above — the corruption is paid
+		// once and the miss stands.
+		s.m.CorruptRecords.Inc()
+		s.m.Misses.Inc()
 		return nil, false
 	}
 	s.m.Hits.Inc()
-	s.indexDropLocked(namespace, key, loc)
-	s.tombstoneLocked(namespace, key)
 	s.m.Promotions.Inc()
 	s.m.PromotedBytes.Add(int64(len(rec.Value)))
-	s.publishGauges()
 	return rec.Value, true
 }
 
@@ -409,10 +457,10 @@ func (s *Store) Sink(namespace string) *Sink {
 }
 
 // Compact rewrites every sealed segment whose stale fraction is at
-// least Config.CompactRatio, copying live records into the active
-// segment, and returns the number of segments compacted. It is called
-// by the background GC and may be called directly (tests, smdctl-style
-// tools).
+// least Config.CompactRatio, copying live records (and any tombstones
+// whose deletions must stay durable) into the active segment, and
+// returns the number of segments compacted. It is called by the
+// background GC and may be called directly (tests, smdctl-style tools).
 func (s *Store) Compact() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -425,7 +473,7 @@ func (s *Store) Compact() int {
 	var victims []uint64
 	for _, id := range s.order {
 		sg := s.segs[id]
-		if sg == nil || sg == s.active || sg.size <= int64(segHeaderSize) {
+		if sg == nil || sg == s.active {
 			continue
 		}
 		if sg.live == 0 || float64(sg.stale)/float64(sg.size) >= s.cfg.CompactRatio {
@@ -443,7 +491,8 @@ func (s *Store) Compact() int {
 	return n
 }
 
-// compactSegmentLocked copies a segment's live records forward and
+// compactSegmentLocked copies a segment's live records — and every
+// tombstone still shadowing an older on-disk record — forward, then
 // deletes the file. Caller holds s.mu.
 func (s *Store) compactSegmentLocked(id uint64) bool {
 	sg := s.segs[id]
@@ -453,7 +502,30 @@ func (s *Store) compactSegmentLocked(id uint64) bool {
 	reclaimed := sg.size
 	ok := true
 	_, _, err := sg.scan(func(e scanEntry) {
-		if !ok || e.rec.Tombstone {
+		if !ok {
+			return
+		}
+		if e.rec.Tombstone {
+			if s.tombstoneObsoleteLocked(id, e.rec.Namespace, e.rec.Key) {
+				return // nothing left on disk for it to shadow
+			}
+			// Rewrite the tombstone into the active segment: the key's
+			// staleness otherwise exists only in the in-memory index, and
+			// a crash would resurrect the shadowed record at recovery.
+			buf, aerr := appendRecord(nil, e.rec, -1)
+			if aerr != nil {
+				ok = false
+				return
+			}
+			loc, aerr := s.appendLocked(buf)
+			if aerr != nil {
+				ok = false
+				return
+			}
+			if asg := s.segs[loc.seg]; asg != nil {
+				asg.stale += int64(loc.len) // dead weight wherever it lands
+			}
+			reclaimed -= int64(loc.len)
 			return
 		}
 		ns := s.index[e.rec.Namespace]
@@ -492,6 +564,27 @@ func (s *Store) compactSegmentLocked(id uint64) bool {
 		s.m.CompactedBytes.Add(reclaimed)
 	}
 	return true
+}
+
+// tombstoneObsoleteLocked reports whether a tombstone for namespace/key
+// found in segment id may be discarded during compaction. Recovery
+// replays segments in position order, so dropping a tombstone is only
+// safe when nothing it shadows can resurface after a crash:
+//
+//   - the index holds a live record for the key — that record is always
+//     at a newer position than any tombstone (a Put after the Drop), so
+//     replay lands on it last regardless; or
+//   - id is the oldest surviving segment, so every shadowed record in an
+//     earlier segment is already gone, and any earlier in this same
+//     segment is stale and dies in this same compaction.
+//
+// Otherwise the tombstone must be rewritten forward to keep the
+// deletion durable. Caller holds s.mu.
+func (s *Store) tombstoneObsoleteLocked(id uint64, namespace, key string) bool {
+	if _, live := s.index[namespace][key]; live {
+		return true
+	}
+	return len(s.order) > 0 && s.order[0] == id
 }
 
 // appendLocked writes an encoded record into the active segment,
