@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-hot soak-spill bench experiments cover fmt clean
+.PHONY: all check build vet test race race-hot metrics-lint soak-spill bench experiments cover fmt clean
 
 all: check
 
-# The default gate: build, vet, the full test suite, and the race
-# detector on the concurrency-critical packages.
-check: build vet test race-hot
+# The default gate: build, vet, the full test suite, the race detector
+# on the concurrency-critical packages, and the metric-name lint.
+check: build vet test race-hot metrics-lint
+
+# Verify metric registrations against docs/OBSERVABILITY.md: naming
+# convention, no duplicate registrations, catalogue complete both ways.
+metrics-lint:
+	$(GO) run ./cmd/metricslint
 
 build:
 	$(GO) build ./...

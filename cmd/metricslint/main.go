@@ -1,0 +1,175 @@
+// Command metricslint statically checks the repo's metric registrations
+// against each other and against the catalogue in docs/OBSERVABILITY.md:
+//
+//   - every softmem_* name passed to a registration call must match the
+//     naming convention ^softmem_[a-z0-9_]+$;
+//   - each name must be registered at exactly one call site (a family is
+//     shared by labeling one registration, not by re-declaring the name);
+//   - the code and the documentation catalogue must list the same set of
+//     names, in both directions.
+//
+// It scans non-test .go files that import softmem/internal/metrics and
+// treats a string literal starting with "softmem_" in the first argument
+// of any call as a registration (this also catches names routed through
+// local registration helpers). Exit status 1 on any finding, so it can
+// gate `make check`.
+//
+// Usage: metricslint [repo root, default "."]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	metricsImport = "softmem/internal/metrics"
+	docPath       = "docs/OBSERVABILITY.md"
+)
+
+var (
+	validName = regexp.MustCompile(`^softmem_[a-z0-9_]+$`)
+	docName   = regexp.MustCompile(`softmem_[a-z0-9_]+`)
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	sites, err := collect(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var problems []string
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !validName.MatchString(name) {
+			problems = append(problems, fmt.Sprintf("%s: invalid metric name %q (want %s)",
+				sites[name][0], name, validName))
+		}
+		if len(sites[name]) > 1 {
+			locs := make([]string, len(sites[name]))
+			for i, p := range sites[name] {
+				locs[i] = p.String()
+			}
+			problems = append(problems, fmt.Sprintf("metric %q registered at %d call sites: %s",
+				name, len(locs), strings.Join(locs, ", ")))
+		}
+	}
+
+	documented, err := docNames(filepath.Join(root, docPath))
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("cannot read metric catalogue: %v", err))
+	} else {
+		for _, name := range names {
+			if !documented[name] {
+				problems = append(problems, fmt.Sprintf("%s: metric %q is not documented in %s",
+					sites[name][0], name, docPath))
+			}
+		}
+		docSorted := make([]string, 0, len(documented))
+		for name := range documented {
+			docSorted = append(docSorted, name)
+		}
+		sort.Strings(docSorted)
+		for _, name := range docSorted {
+			if _, ok := sites[name]; !ok {
+				problems = append(problems, fmt.Sprintf("%s documents %q, which no code registers",
+					docPath, name))
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "metricslint: "+p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %d metric names consistent with %s\n", len(names), docPath)
+}
+
+// collect maps each softmem_* metric name to the positions of its
+// registration call sites.
+func collect(root string) (map[string][]token.Position, error) {
+	sites := make(map[string][]token.Position)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		if !importsMetrics(file) {
+			return nil
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(name, "softmem_") {
+				return true
+			}
+			sites[name] = append(sites[name], fset.Position(lit.Pos()))
+			return true
+		})
+		return nil
+	})
+	return sites, err
+}
+
+func importsMetrics(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == metricsImport {
+			return true
+		}
+	}
+	return false
+}
+
+// docNames extracts the softmem_* names mentioned by the catalogue.
+func docNames(path string) (map[string]bool, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	for _, m := range docName.FindAllString(string(body), -1) {
+		out[m] = true
+	}
+	return out, nil
+}

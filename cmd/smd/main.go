@@ -12,12 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"softmem/internal/ipc"
+	"softmem/internal/metrics"
 	"softmem/internal/pages"
 	"softmem/internal/smd"
 	"softmem/internal/statusz"
@@ -35,6 +37,7 @@ func main() {
 		statsSec = flag.Int("stats", 10, "seconds between stats lines (0 = quiet)")
 		httpAddr = flag.String("http", "", "serve JSON status at this address (empty = off)")
 		audit    = flag.Bool("audit", false, "log every grant/denial/demand decision")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
 	)
 	flag.Parse()
 
@@ -65,7 +68,15 @@ func main() {
 	}
 	daemon := smd.NewDaemon(cfg)
 	if *httpAddr != "" {
-		stSrv, stAddr, err := statusz.ServeMulti(*httpAddr, map[string]func() any{
+		reg := metrics.NewRegistry()
+		daemon.RegisterMetrics(reg)
+		raw := map[string]http.Handler{"metrics": reg.Handler()}
+		if *pprofOn {
+			for path, h := range statusz.PprofHandlers() {
+				raw[path] = h
+			}
+		}
+		stSrv, stAddr, err := statusz.ServeHandlers(*httpAddr, map[string]func() any{
 			"statusz": func() any {
 				return map[string]any{
 					"stats": daemon.Stats(),
@@ -75,12 +86,15 @@ func main() {
 			"events": func() any {
 				return map[string]any{"events": daemon.Events()}
 			},
-		})
+			"traces": func() any {
+				return map[string]any{"traces": daemon.Traces()}
+			},
+		}, raw)
 		if err != nil {
 			log.Fatalf("smd: %v", err)
 		}
 		defer stSrv.Close()
-		log.Printf("smd: status at http://%s/statusz, audit log at /events", stAddr)
+		log.Printf("smd: status at http://%s/statusz, audit log at /events, reclaim traces at /traces, metrics at /metrics", stAddr)
 	}
 	srv := ipc.NewServer(daemon, log.Printf)
 	addr, err := srv.Listen(*network, *listen)

@@ -9,6 +9,9 @@
 //	smdctl -http 127.0.0.1:7071 -json        # raw status JSON
 //	smdctl -http 127.0.0.1:7071 events       # audit event log
 //	smdctl -http 127.0.0.1:7071 -json events # raw event JSON
+//	smdctl -http 127.0.0.1:7071 top          # live ledger + rates from /metrics
+//	smdctl -http 127.0.0.1:7071 trace        # recent reclaim cycles
+//	smdctl -http 127.0.0.1:7071 trace 7      # one cycle, hop by hop
 package main
 
 import (
@@ -19,6 +22,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -69,6 +75,8 @@ func main() {
 		httpAddr = flag.String("http", "127.0.0.1:7071", "daemon status address")
 		raw      = flag.Bool("json", false, "print the raw JSON instead of the table")
 		timeout  = flag.Duration("timeout", 5*time.Second, "request timeout")
+		interval = flag.Duration("interval", 2*time.Second, "top refresh interval")
+		iters    = flag.Int("iterations", 0, "top iterations before exiting (0 = until interrupted)")
 	)
 	flag.Parse()
 
@@ -91,8 +99,25 @@ func main() {
 			return
 		}
 		printEvents(body)
+	case "traces", "trace":
+		body := fetch(*httpAddr, "/traces", *timeout)
+		if *raw {
+			os.Stdout.Write(body)
+			return
+		}
+		if flag.NArg() > 1 {
+			id, err := strconv.ParseUint(flag.Arg(1), 10, 64)
+			if err != nil {
+				log.Fatalf("smdctl: bad trace id %q", flag.Arg(1))
+			}
+			printTrace(body, id)
+		} else {
+			printTraceList(body)
+		}
+	case "top":
+		runTop(*httpAddr, *timeout, *interval, *iters)
 	default:
-		log.Fatalf("smdctl: unknown command %q (want status or events)", cmd)
+		log.Fatalf("smdctl: unknown command %q (want status, events, trace, or top)", cmd)
 	}
 }
 
@@ -145,5 +170,313 @@ func printEvents(body []byte) {
 	for _, ev := range el.Events {
 		fmt.Printf("%-8d %-8s %-6d %-20s %8d %10d %8d %12d\n",
 			ev.Seq, ev.KindName, ev.Proc, ev.Name, ev.Pages, ev.Released, ev.Trigger, ev.SpilledBytes)
+	}
+}
+
+// traceLog mirrors the daemon's /traces payload (smd.Trace).
+type traceLog struct {
+	Traces []struct {
+		ID        uint64    `json:"id"`
+		Requester int       `json:"requester"`
+		ReqName   string    `json:"req_name"`
+		Pages     int       `json:"pages"`
+		Need      int       `json:"need"`
+		Start     time.Time `json:"start"`
+		DurNs     int64     `json:"dur_ns"`
+		Outcome   string    `json:"outcome"`
+		Hops      []struct {
+			Kind     string `json:"kind"`
+			Proc     int    `json:"proc"`
+			Name     string `json:"name"`
+			Asked    int    `json:"asked"`
+			Released int    `json:"released"`
+			DurNs    int64  `json:"dur_ns"`
+			Spans    []struct {
+				Kind   string `json:"kind"`
+				Name   string `json:"name"`
+				Pages  int    `json:"pages"`
+				Allocs int64  `json:"allocs"`
+				Count  int    `json:"count"`
+				Bytes  int64  `json:"bytes"`
+				DurNs  int64  `json:"dur_ns"`
+			} `json:"spans"`
+		} `json:"hops"`
+	} `json:"traces"`
+}
+
+func decodeTraces(body []byte) traceLog {
+	var tl traceLog
+	if err := json.Unmarshal(body, &tl); err != nil {
+		log.Fatalf("smdctl: decode traces: %v", err)
+	}
+	return tl
+}
+
+// printTraceList renders one line per recorded reclaim cycle.
+func printTraceList(body []byte) {
+	tl := decodeTraces(body)
+	if len(tl.Traces) == 0 {
+		fmt.Println("no reclaim cycles recorded (every request was satisfied from free memory)")
+		return
+	}
+	fmt.Printf("%-6s %-20s %8s %8s %9s %-8s %5s  %s\n",
+		"id", "requester", "pages", "need", "dur", "outcome", "hops", "start")
+	for _, tr := range tl.Traces {
+		fmt.Printf("%-6d %-20s %8d %8d %9s %-8s %5d  %s\n",
+			tr.ID, fmt.Sprintf("%d(%s)", tr.Requester, tr.ReqName), tr.Pages, tr.Need,
+			fmtDur(tr.DurNs), tr.Outcome, len(tr.Hops), tr.Start.Format("15:04:05.000"))
+	}
+}
+
+// printTrace renders one reclaim cycle hop by hop, including the
+// process-side spans that rode back over IPC.
+func printTrace(body []byte, id uint64) {
+	tl := decodeTraces(body)
+	for _, tr := range tl.Traces {
+		if tr.ID != id {
+			continue
+		}
+		fmt.Printf("reclaim cycle %d: proc %d(%s) asked %d pages, %d short, %s in %s\n",
+			tr.ID, tr.Requester, tr.ReqName, tr.Pages, tr.Need, tr.Outcome, fmtDur(tr.DurNs))
+		for i, h := range tr.Hops {
+			switch h.Kind {
+			case "slack":
+				fmt.Printf("  hop %d: slack harvest from proc %d(%s): %d pages\n",
+					i+1, h.Proc, h.Name, h.Released)
+			default:
+				fmt.Printf("  hop %d: demand to proc %d(%s): asked %d, released %d in %s\n",
+					i+1, h.Proc, h.Name, h.Asked, h.Released, fmtDur(h.DurNs))
+			}
+			for _, sp := range h.Spans {
+				switch sp.Kind {
+				case "freepool":
+					fmt.Printf("        freepool: %d pages in %s\n", sp.Pages, fmtDur(sp.DurNs))
+				case "sds":
+					fmt.Printf("        sds %s: %d pages, %d allocs revoked in %s\n",
+						sp.Name, sp.Pages, sp.Allocs, fmtDur(sp.DurNs))
+				default:
+					fmt.Printf("        %s: %d records, %d bytes\n", sp.Kind, sp.Count, sp.Bytes)
+				}
+			}
+		}
+		return
+	}
+	log.Fatalf("smdctl: trace %d not found (ring holds the most recent cycles only)", id)
+}
+
+// fmtDur renders nanoseconds human-first.
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// promSample is one parsed line of Prometheus text exposition.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm parses the subset of the Prometheus text format the daemon
+// emits: `name value` and `name{k="v",...} value` lines, comments
+// skipped. Malformed lines are ignored rather than fatal, so a partial
+// scrape still renders.
+func parseProm(body []byte) []promSample {
+	var out []promSample
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var s promSample
+		rest := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				continue
+			}
+			s.name = line[:i]
+			s.labels = parsePromLabels(line[i+1 : j])
+			rest = strings.TrimSpace(line[j+1:])
+		} else {
+			k := strings.IndexByte(line, ' ')
+			if k < 0 {
+				continue
+			}
+			s.name = line[:k]
+			rest = strings.TrimSpace(line[k+1:])
+		}
+		v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+		if err != nil {
+			continue
+		}
+		s.value = v
+		out = append(out, s)
+	}
+	return out
+}
+
+// parsePromLabels parses `k="v",k2="v2"`, undoing the exposition's
+// escaping of backslash, quote, and newline.
+func parsePromLabels(s string) map[string]string {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return labels
+		}
+		name := s[:eq]
+		rest := s[eq+2:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		labels[name] = b.String()
+		s = rest[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels
+}
+
+// promView indexes a scrape for rendering.
+type promView struct {
+	byKey map[string]float64 // name + sorted labels -> value
+}
+
+func newPromView(samples []promSample) *promView {
+	v := &promView{byKey: make(map[string]float64, len(samples))}
+	for _, s := range samples {
+		v.byKey[sampleKey(s.name, s.labels)] = s.value
+	}
+	return v
+}
+
+func sampleKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte('|')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+func (v *promView) get(name string, labels ...string) float64 {
+	m := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		m[labels[i]] = labels[i+1]
+	}
+	return v.byKey[sampleKey(name, m)]
+}
+
+// runTop polls /metrics and redraws a live view: ledger gauges, counter
+// rates since the previous poll, latency quantiles, and the per-process
+// table. iters > 0 bounds the refresh count (mainly for scripting).
+func runTop(addr string, timeout, interval time.Duration, iters int) {
+	var prev *promView
+	var prevAt time.Time
+	for i := 0; ; i++ {
+		body := fetch(addr, "/metrics", timeout)
+		now := time.Now()
+		samples := parseProm(body)
+		view := newPromView(samples)
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		renderTop(addr, now, samples, view, prev, now.Sub(prevAt))
+		prev, prevAt = view, now
+		if iters > 0 && i+1 >= iters {
+			return
+		}
+		time.Sleep(interval)
+	}
+}
+
+func renderTop(addr string, now time.Time, samples []promSample, view, prev *promView, elapsed time.Duration) {
+	fmt.Printf("smd %s — %s\n\n", addr, now.Format("15:04:05"))
+	fmt.Printf("budget %.0f pages   free %.0f   procs %.0f   spilled %.0f B\n\n",
+		view.get("softmem_smd_budget_pages"),
+		view.get("softmem_smd_free_pages"),
+		view.get("softmem_smd_procs"),
+		view.get("softmem_smd_spilled_bytes"))
+
+	rate := func(name string) string {
+		cur := view.get(name)
+		if prev == nil || elapsed <= 0 {
+			return fmt.Sprintf("%8.0f", cur)
+		}
+		return fmt.Sprintf("%8.1f/s", (cur-prev.get(name))/elapsed.Seconds())
+	}
+	fmt.Printf("requests %s   granted %s   denied %s   cycles %s\n",
+		rate("softmem_smd_requests_total"), rate("softmem_smd_granted_total"),
+		rate("softmem_smd_denied_total"), rate("softmem_smd_reclaim_cycles_total"))
+	fmt.Printf("pages: slack %s   demanded %s   reclaimed %s\n\n",
+		rate("softmem_smd_slack_pages_total"), rate("softmem_smd_demanded_pages_total"),
+		rate("softmem_smd_reclaimed_pages_total"))
+
+	q := func(name, quantile string) string {
+		v := view.get(name, "quantile", quantile)
+		if view.get(name+"_count") == 0 {
+			return "-"
+		}
+		return fmtDur(int64(v))
+	}
+	fmt.Printf("latency p50/p99: request %s/%s   demand rtt %s/%s   reclaim cycle %s/%s\n\n",
+		q("softmem_smd_request_ns", "0.5"), q("softmem_smd_request_ns", "0.99"),
+		q("softmem_smd_demand_rtt_ns", "0.5"), q("softmem_smd_demand_rtt_ns", "0.99"),
+		q("softmem_smd_reclaim_cycle_ns", "0.5"), q("softmem_smd_reclaim_cycle_ns", "0.99"))
+
+	// Per-process table, driven by the labeled per-proc gauges.
+	type procRow struct {
+		id   int
+		name string
+	}
+	seen := map[int]procRow{}
+	for _, s := range samples {
+		if s.name != "softmem_smd_proc_budget_pages" {
+			continue
+		}
+		id, err := strconv.Atoi(s.labels["proc"])
+		if err != nil {
+			continue
+		}
+		seen[id] = procRow{id: id, name: s.labels["name"]}
+	}
+	rows := make([]procRow, 0, len(seen))
+	for _, r := range seen {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	fmt.Printf("%-6s %-20s %10s %10s %8s %12s\n", "proc", "name", "budget", "used", "weight", "spilled")
+	for _, r := range rows {
+		p := strconv.Itoa(r.id)
+		fmt.Printf("%-6d %-20s %10.0f %10.0f %8.1f %12.0f\n",
+			r.id, r.name,
+			view.get("softmem_smd_proc_budget_pages", "proc", p, "name", r.name),
+			view.get("softmem_smd_proc_used_pages", "proc", p, "name", r.name),
+			view.get("softmem_smd_proc_weight", "proc", p, "name", r.name),
+			view.get("softmem_smd_proc_spilled_bytes", "proc", p, "name", r.name))
 	}
 }

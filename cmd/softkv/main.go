@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -28,6 +29,7 @@ import (
 	"softmem/internal/core"
 	"softmem/internal/ipc"
 	"softmem/internal/kvstore"
+	"softmem/internal/metrics"
 	"softmem/internal/pages"
 	"softmem/internal/sds"
 	"softmem/internal/spill"
@@ -48,11 +50,20 @@ func main() {
 		sweepSec   = flag.Int("sweep", 10, "seconds between TTL expiry sweeps (0 = lazy only)")
 		spillDir   = flag.String("spill-dir", "", "spill tier directory: demote reclaimed entries to compressed disk records (empty = drop, the default semantics)")
 		spillMiB   = flag.Int("spill-budget", 256, "spill tier disk budget in MiB (oldest segments evicted beyond it)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
 	)
 	flag.Parse()
 
 	pool := pages.NewPool(*localMiB << 20 / pages.Size)
 	sma := core.New(core.Config{Machine: pool})
+
+	// The metrics registry only exists when something will serve it;
+	// without it every hot path keeps its uninstrumented fast path.
+	var reg *metrics.Registry
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		sma.RegisterMetrics(reg)
+	}
 
 	policy := sds.EvictOldest
 	if *lru {
@@ -73,6 +84,9 @@ func main() {
 		// Report the spill footprint to the daemon with every budget
 		// interaction, so SMD sees demotion pressure machine-wide.
 		sma.SetSpillReporter(spillStore.BytesOnDisk)
+		if reg != nil {
+			spillStore.RegisterMetrics(reg)
+		}
 		log.Printf("softkv: spill tier at %s (budget %d MiB, %d records recovered)",
 			*spillDir, *spillMiB, spillStore.Stats().LiveRecords)
 	}
@@ -85,6 +99,9 @@ func main() {
 		OnReclaim:   func(string) {},
 		Spill:       spillStore,
 	})
+	if reg != nil {
+		store.RegisterMetrics(reg)
+	}
 
 	if *smdAddr != "" {
 		// The resilient client survives daemon restarts: it re-registers
@@ -95,6 +112,9 @@ func main() {
 			log.Fatalf("softkv: daemon: %v", err)
 		}
 		sma.AttachDaemon(cli)
+		if reg != nil {
+			cli.RegisterMetrics(reg)
+		}
 		log.Printf("softkv: registered with daemon at %s as %q", *smdAddr, *name)
 	} else {
 		log.Printf("softkv: standalone (no daemon); soft memory bounded only by -local-mib")
@@ -125,12 +145,18 @@ func main() {
 				}
 			}
 		}
-		stSrv, stAddr, err := statusz.ServeMulti(*httpAddr, endpoints)
+		raw := map[string]http.Handler{"metrics": reg.Handler()}
+		if *pprofOn {
+			for path, h := range statusz.PprofHandlers() {
+				raw[path] = h
+			}
+		}
+		stSrv, stAddr, err := statusz.ServeHandlers(*httpAddr, endpoints, raw)
 		if err != nil {
 			log.Fatalf("softkv: %v", err)
 		}
 		defer stSrv.Close()
-		log.Printf("softkv: status at http://%s/statusz", stAddr)
+		log.Printf("softkv: status at http://%s/statusz, metrics at /metrics", stAddr)
 	}
 
 	if *sweepSec > 0 {
@@ -144,6 +170,9 @@ func main() {
 	}
 
 	srv := kvstore.NewServer(store, log.Printf)
+	if reg != nil {
+		srv.RegisterMetrics(reg)
+	}
 	addr, err := srv.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("softkv: %v", err)

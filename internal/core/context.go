@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"softmem/internal/alloc"
 	"softmem/internal/pages"
@@ -72,6 +73,18 @@ func pagesNeeded(size int) int {
 // through the daemon as needed. It returns ErrExhausted when machine-wide
 // pressure cannot be relieved.
 func (c *Context) Alloc(size int) (alloc.Ref, error) {
+	if m := c.sma.met.Load(); m != nil {
+		t0 := time.Now()
+		ref, err := c.allocRetry(size)
+		m.alloc.ObserveDuration(time.Since(t0))
+		return ref, err
+	}
+	return c.allocRetry(size)
+}
+
+// allocRetry is the allocation loop: try the heap, and on budget or page
+// shortfalls drop the heap lock, consult the daemon, and retry.
+func (c *Context) allocRetry(size int) (alloc.Ref, error) {
 	const maxRetries = 10
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
@@ -123,6 +136,16 @@ func (c *Context) AllocData(data []byte) (alloc.Ref, error) {
 // budget to the daemon. Freeing a pinned allocation fails with
 // ErrPinned.
 func (c *Context) Free(ref alloc.Ref) error {
+	if m := c.sma.met.Load(); m != nil {
+		t0 := time.Now()
+		err := c.free(ref)
+		m.free.ObserveDuration(time.Since(t0))
+		return err
+	}
+	return c.free(ref)
+}
+
+func (c *Context) free(ref alloc.Ref) error {
 	c.mu.Lock()
 	if c.pinnedLocked(ref) {
 		c.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"softmem/internal/alloc"
 	"softmem/internal/pages"
@@ -187,6 +188,17 @@ type SMA struct {
 	// poolMu guards the process-local free pool.
 	poolMu   sync.Mutex
 	freePool []*pages.Page
+
+	// met holds the hot-path latency histograms once RegisterMetrics has
+	// run; nil keeps uninstrumented paths free of timing calls.
+	met atomic.Pointer[smaMetrics]
+
+	// noteMu guards activeTrace, the span accumulator for the demand in
+	// flight (demandMu guarantees at most one). It is a leaf lock:
+	// NoteDemand is callable from reclaim callbacks that already hold a
+	// Context lock.
+	noteMu      sync.Mutex
+	activeTrace *demandTrace
 
 	c counters
 }
@@ -562,6 +574,20 @@ func (s *SMA) releasePages(pgs []*pages.Page) {
 	}
 }
 
+// requestBudget performs one daemon budget round-trip, timing it into
+// the budget-RTT histogram when instrumented.
+func (s *SMA) requestBudget(d DaemonClient, ask int, u Usage) (int, error) {
+	s.c.budgetRequests.Add(1)
+	m := s.met.Load()
+	if m == nil {
+		return d.RequestBudget(ask, u)
+	}
+	t0 := time.Now()
+	granted, err := d.RequestBudget(ask, u)
+	m.budgetRTT.ObserveDuration(time.Since(t0))
+	return granted, err
+}
+
 // ensureBudget grows the budget by at least need pages via the daemon.
 // Called WITHOUT any heap lock. budgetMu single-flights the round-trip:
 // a goroutine that arrives while another is mid-request blocks here, then
@@ -582,16 +608,14 @@ func (s *SMA) ensureBudget(need int) error {
 		ask = need
 	}
 	u := s.usage()
-	s.c.budgetRequests.Add(1)
-	granted, err := d.RequestBudget(ask, u)
+	granted, err := s.requestBudget(d, ask, u)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrExhausted, err)
 	}
 	if granted == 0 && ask > need {
 		// The chunk was denied under pressure; retry with the exact need
 		// before giving up, to avoid spurious failures near the limit.
-		s.c.budgetRequests.Add(1)
-		granted, err = d.RequestBudget(need, u)
+		granted, err = s.requestBudget(d, need, u)
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrExhausted, err)
 		}
@@ -621,8 +645,7 @@ func (s *SMA) forcePressureRound(need int) error {
 	}
 	s.budgetMu.Lock()
 	defer s.budgetMu.Unlock()
-	s.c.budgetRequests.Add(1)
-	granted, err := d.RequestBudget(need, s.usage())
+	granted, err := s.requestBudget(d, need, s.usage())
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrExhausted, err)
 	}
@@ -661,6 +684,9 @@ type PressureEvent struct {
 	AllocsReclaimed int64
 	// UsedPages is the process's soft footprint after the demand.
 	UsedPages int
+	// ReclaimID is the daemon's reclaim-cycle identifier carried on the
+	// demand, or 0 when the demand was untraced.
+	ReclaimID uint64
 }
 
 // OnPressure registers a listener invoked after every served reclamation
@@ -683,14 +709,31 @@ func (s *SMA) OnPressure(fn func(PressureEvent)) {
 // demandMu and take each context's heap lock one at a time, so allocation
 // on other heaps proceeds while one SDS is being squeezed.
 func (s *SMA) HandleDemand(demandPages int) int {
+	released, _, _ := s.HandleDemandTraced(demandPages, 0)
+	return released
+}
+
+// HandleDemandTraced is HandleDemand carrying the daemon's reclaim-cycle
+// ID: it additionally returns the ordered spans of the demand (free-pool
+// draw, per-SDS reclaims, application notes such as spill demotions) and
+// a post-demand usage self-report, which transports ship back to the
+// daemon for `smdctl trace` and a fresh ledger view.
+func (s *SMA) HandleDemandTraced(demandPages int, reclaimID uint64) (int, []DemandSpan, *Usage) {
 	if demandPages <= 0 {
-		return 0
+		return 0, nil, nil
 	}
+	m := s.met.Load()
+	start := time.Now()
 	s.demandMu.Lock()
+	tr := &demandTrace{}
+	s.noteMu.Lock()
+	s.activeTrace = tr
+	s.noteMu.Unlock()
 	released := 0
 	var allocsFreed int64
 
 	// Tier 0: the free pool — zero-disturbance pages (§3.1).
+	poolStart := time.Now()
 	s.poolMu.Lock()
 	if n := len(s.freePool); n > 0 {
 		take := n
@@ -705,6 +748,9 @@ func (s *SMA) HandleDemand(demandPages int) int {
 		s.poolMu.Unlock()
 		s.machine.Release(cut...)
 		released += take
+		tr.spans = append(tr.spans, DemandSpan{
+			Kind: "freepool", Pages: take, DurNs: time.Since(poolStart).Nanoseconds(),
+		})
 	} else {
 		s.poolMu.Unlock()
 	}
@@ -719,7 +765,18 @@ func (s *SMA) HandleDemand(demandPages int) int {
 			if ctx.reclaimer == nil {
 				continue
 			}
+			t0 := time.Now()
 			pgs, frees := s.reclaimFromContext(ctx, demandPages-released)
+			d := time.Since(t0)
+			if m != nil {
+				m.sdsReclaim.ObserveDuration(d)
+			}
+			if pgs > 0 || frees > 0 {
+				tr.spans = append(tr.spans, DemandSpan{
+					Kind: "sds", Name: ctx.name, Pages: pgs, Allocs: frees,
+					DurNs: d.Nanoseconds(),
+				})
+			}
 			released += pgs
 			allocsFreed += frees
 		}
@@ -736,7 +793,12 @@ func (s *SMA) HandleDemand(demandPages int) int {
 		ReleasedPages:   released,
 		AllocsReclaimed: allocsFreed,
 		UsedPages:       int(s.used.Load()),
+		ReclaimID:       reclaimID,
 	}
+	s.noteMu.Lock()
+	s.activeTrace = nil
+	s.noteMu.Unlock()
+	spans := tr.finish()
 	s.demandMu.Unlock()
 	s.regMu.Lock()
 	listeners := append([]func(PressureEvent){}, s.pressureFns...)
@@ -744,7 +806,14 @@ func (s *SMA) HandleDemand(demandPages int) int {
 	for _, fn := range listeners {
 		fn(ev)
 	}
-	return released
+	if m != nil {
+		m.demand.ObserveDuration(time.Since(start))
+	}
+	// Sample usage after the pressure listeners: they run application
+	// reactions (spill bookkeeping, resizing) that belong in the
+	// self-report the daemon's ledger will adopt.
+	u := s.usage()
+	return released, spans, &u
 }
 
 // reclaimFromContext asks one SDS to free allocations until quota pages

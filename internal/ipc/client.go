@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"softmem/internal/core"
+	"softmem/internal/metrics"
 )
 
 // Client connects a process's SMA to a remote Soft Memory Daemon. It
@@ -20,11 +23,49 @@ import (
 type Client struct {
 	conn   *Conn
 	procID int
+	// met holds the per-kind RPC round-trip histograms once
+	// RegisterMetrics has run; nil skips timing.
+	met atomic.Pointer[ipcMetrics]
 }
 
 // DemandTarget receives reclamation demands; *core.SMA satisfies it.
 type DemandTarget interface {
 	HandleDemand(pages int) int
+}
+
+// TracedDemandTarget is the optional extension of DemandTarget that
+// accepts the daemon's reclaim-cycle ID and returns per-hop spans plus
+// a post-demand usage self-report; *core.SMA satisfies it. Clients use
+// it when the daemon sends a traced demand, falling back to
+// HandleDemand otherwise.
+type TracedDemandTarget interface {
+	HandleDemandTraced(pages int, reclaimID uint64) (released int, spans []core.DemandSpan, usage *core.Usage)
+}
+
+// ipcMetrics holds the client's RPC round-trip histograms, one per
+// outbound message kind under a shared metric name.
+type ipcMetrics struct {
+	requestRTT *metrics.Histogram
+	releaseRTT *metrics.Histogram
+	usageRTT   *metrics.Histogram
+}
+
+func newIPCMetrics(r *metrics.Registry) *ipcMetrics {
+	h := func(kind string) *metrics.Histogram {
+		return r.Histogram("softmem_ipc_rtt_ns", "daemon RPC round-trip latency in ns by message kind",
+			metrics.Label{Name: "kind", Value: kind})
+	}
+	return &ipcMetrics{
+		requestRTT: h(KindRequestBudget),
+		releaseRTT: h(KindReleaseBudget),
+		usageRTT:   h(KindReportUsage),
+	}
+}
+
+// RegisterMetrics registers the client's RPC latency instruments into r
+// and switches on round-trip timing.
+func (c *Client) RegisterMetrics(r *metrics.Registry) {
+	c.met.Store(newIPCMetrics(r))
 }
 
 // Dial connects to the daemon at network/addr, registers under name, and
@@ -54,6 +95,10 @@ func Dial(network, addr, name string, target DemandTarget, opts ...DialOption) (
 			if target == nil {
 				return DemandResp{Released: 0}, nil
 			}
+			if tt, ok := target.(TracedDemandTarget); ok {
+				released, spans, u := tt.HandleDemandTraced(req.Pages, req.ReclaimID)
+				return DemandResp{Released: released, Spans: spans, Usage: u}, nil
+			}
 			return DemandResp{Released: target.HandleDemand(req.Pages)}, nil
 		default:
 			return nil, fmt.Errorf("ipc: unknown request %q", kind)
@@ -75,8 +120,17 @@ func (c *Client) ProcID() int { return c.procID }
 
 // RequestBudget implements core.DaemonClient.
 func (c *Client) RequestBudget(pages int, u core.Usage) (int, error) {
+	m := c.met.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	var resp BudgetResp
-	if err := c.conn.Call(KindRequestBudget, BudgetReq{Pages: pages, Usage: u}, &resp); err != nil {
+	err := c.conn.Call(KindRequestBudget, BudgetReq{Pages: pages, Usage: u}, &resp)
+	if m != nil {
+		m.requestRTT.ObserveDuration(time.Since(t0))
+	}
+	if err != nil {
 		return 0, err
 	}
 	return resp.Granted, nil
@@ -84,12 +138,30 @@ func (c *Client) RequestBudget(pages int, u core.Usage) (int, error) {
 
 // ReleaseBudget implements core.DaemonClient.
 func (c *Client) ReleaseBudget(pages int, u core.Usage) error {
-	return c.conn.Call(KindReleaseBudget, BudgetReq{Pages: pages, Usage: u}, nil)
+	m := c.met.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	err := c.conn.Call(KindReleaseBudget, BudgetReq{Pages: pages, Usage: u}, nil)
+	if m != nil {
+		m.releaseRTT.ObserveDuration(time.Since(t0))
+	}
+	return err
 }
 
 // ReportUsage refreshes the daemon's view outside budget traffic.
 func (c *Client) ReportUsage(u core.Usage) error {
-	return c.conn.Call(KindReportUsage, UsageReq{Usage: u}, nil)
+	m := c.met.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	err := c.conn.Call(KindReportUsage, UsageReq{Usage: u}, nil)
+	if m != nil {
+		m.usageRTT.ObserveDuration(time.Since(t0))
+	}
+	return err
 }
 
 // Close tears down the connection; the daemon unregisters the process.

@@ -317,3 +317,75 @@ func TestHungDemandDoesNotStallDaemon(t *testing.T) {
 type demandTargetFunc func(int) int
 
 func (f demandTargetFunc) HandleDemand(n int) int { return f(n) }
+
+// tracedRecorder extends demandRecorder with the traced interface,
+// recording the reclaim ID and returning spans for the wire.
+type tracedRecorder struct {
+	demandRecorder
+	ids []uint64
+}
+
+func (d *tracedRecorder) HandleDemandTraced(pages int, reclaimID uint64) (int, []core.DemandSpan, *core.Usage) {
+	d.mu.Lock()
+	d.ids = append(d.ids, reclaimID)
+	d.mu.Unlock()
+	released := d.demandRecorder.HandleDemand(pages)
+	spans := []core.DemandSpan{{Kind: "sds", Name: "wire-store", Pages: released, Allocs: 7}}
+	return released, spans, &core.Usage{UsedPages: 80 - released, SpilledBytes: 4096}
+}
+
+// TestTracedDemandOverSocket proves the reclaim-cycle ID reaches the
+// process over IPC and its spans ride the response back into the
+// daemon's trace.
+func TestTracedDemandOverSocket(t *testing.T) {
+	daemon, addr := startServer(t, smd.Config{TotalPages: 100, ReclaimFactor: 1.0})
+	victim := &tracedRecorder{demandRecorder: demandRecorder{avail: 80}}
+	vcli, err := Dial("tcp", addr, "victim", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vcli.Close()
+	if g, err := vcli.RequestBudget(80, core.Usage{UsedPages: 80}); err != nil || g != 80 {
+		t.Fatalf("victim setup: %d, %v", g, err)
+	}
+
+	needy, err := Dial("tcp", addr, "needy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer needy.Close()
+	if g, err := needy.RequestBudget(50, core.Usage{}); err != nil || g != 50 {
+		t.Fatalf("needy RequestBudget = %d, %v", g, err)
+	}
+
+	traces := daemon.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.ID == 0 || tr.Outcome != "granted" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if len(tr.Hops) != 1 || tr.Hops[0].Kind != "demand" {
+		t.Fatalf("hops = %+v", tr.Hops)
+	}
+	spans := tr.Hops[0].Spans
+	if len(spans) != 1 || spans[0].Kind != "sds" || spans[0].Name != "wire-store" ||
+		spans[0].Pages != 30 || spans[0].Allocs != 7 {
+		t.Fatalf("spans did not survive the socket round-trip: %+v", spans)
+	}
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	if len(victim.ids) != 1 || victim.ids[0] != tr.ID {
+		t.Fatalf("victim saw reclaim IDs %v, trace ID %d", victim.ids, tr.ID)
+	}
+	// The usage self-report rode the demand response over the socket and
+	// refreshed the daemon's ledger, spill footprint included.
+	for _, p := range daemon.Snapshot() {
+		if p.Name == "victim" {
+			if p.Usage.UsedPages != 50 || p.Usage.SpilledBytes != 4096 {
+				t.Fatalf("ledger did not adopt wire demand usage: %+v", p.Usage)
+			}
+		}
+	}
+}

@@ -38,12 +38,23 @@ type UsageReq struct {
 	Usage core.Usage `json:"usage"`
 }
 
-// DemandReq asks a process to release pages.
+// DemandReq asks a process to release pages. ReclaimID carries the
+// daemon's reclaim-cycle identifier (0 = untraced) so the process can
+// attribute its reclaim work — SDS callbacks, spill demotions — to the
+// cycle; both fields are omitempty-compatible with older peers.
 type DemandReq struct {
-	Pages int `json:"pages"`
+	Pages     int    `json:"pages"`
+	ReclaimID uint64 `json:"reclaim_id,omitempty"`
 }
 
-// DemandResp reports pages actually released.
+// DemandResp reports pages actually released, plus the process-side
+// spans of the demand for the daemon's reclaim trace and a fresh usage
+// self-report so the daemon's ledger (weights, statusz, `smdctl top`)
+// reflects post-reclaim state — e.g. bytes demoted to the spill tier —
+// without waiting for the process's next budget request. Both extras
+// are absent from older peers; the daemon tolerates nil.
 type DemandResp struct {
-	Released int `json:"released"`
+	Released int               `json:"released"`
+	Spans    []core.DemandSpan `json:"spans,omitempty"`
+	Usage    *core.Usage       `json:"usage,omitempty"`
 }

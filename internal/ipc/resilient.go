@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"softmem/internal/core"
+	"softmem/internal/metrics"
 )
 
 // ErrReconnecting reports a budget call attempted while the connection
@@ -56,6 +57,9 @@ type Resilient struct {
 	mu     sync.Mutex
 	cli    *Client
 	closed bool
+	// met is attached to every client this Resilient dials, so RPC
+	// round-trip histograms survive reconnects.
+	met *ipcMetrics
 
 	reconnects int
 }
@@ -88,7 +92,29 @@ func DialResilientConfig(cfg ResilientConfig, proc Process) (*Resilient, error) 
 
 // dial performs one connection attempt with the client's options.
 func (r *Resilient) dial() (*Client, error) {
-	return Dial(r.network, r.addr, r.name, r.proc, WithDialTimeout(r.opt.timeout))
+	cli, err := Dial(r.network, r.addr, r.name, r.proc, WithDialTimeout(r.opt.timeout))
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.met != nil {
+		cli.met.Store(r.met)
+	}
+	r.mu.Unlock()
+	return cli, nil
+}
+
+// RegisterMetrics registers RPC round-trip instruments into reg and
+// attaches them to the current connection and every reconnect.
+func (r *Resilient) RegisterMetrics(reg *metrics.Registry) {
+	m := newIPCMetrics(reg)
+	r.mu.Lock()
+	r.met = m
+	cli := r.cli
+	r.mu.Unlock()
+	if cli != nil {
+		cli.met.Store(m)
+	}
 }
 
 // watch waits for the connection to die and then reconnects.

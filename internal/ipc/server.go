@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"softmem/internal/core"
 	"softmem/internal/smd"
 )
 
@@ -109,12 +110,23 @@ type connTarget struct {
 // HandleDemand implements smd.Target over the wire. A dead or hung peer
 // releases nothing; its unregistration returns the budget anyway.
 func (t *connTarget) HandleDemand(pages int) int {
-	var resp DemandResp
-	if err := t.conn.CallTimeout(KindDemand, DemandReq{Pages: pages}, &resp, t.timeout); err != nil {
-		return 0
-	}
-	return resp.Released
+	released, _, _ := t.HandleDemandTraced(pages, 0)
+	return released
 }
+
+// HandleDemandTraced implements smd.TracedTarget: the reclaim-cycle ID
+// rides the demand request, and the process's per-hop spans and fresh
+// usage self-report ride the response, so daemon-side traces span
+// process boundaries and the ledger stays current.
+func (t *connTarget) HandleDemandTraced(pages int, reclaimID uint64) (int, []core.DemandSpan, *core.Usage) {
+	var resp DemandResp
+	if err := t.conn.CallTimeout(KindDemand, DemandReq{Pages: pages, ReclaimID: reclaimID}, &resp, t.timeout); err != nil {
+		return 0, nil, nil
+	}
+	return resp.Released, resp.Spans, resp.Usage
+}
+
+var _ smd.TracedTarget = (*connTarget)(nil)
 
 // serveConn drives one process's session.
 func (s *Server) serveConn(nc net.Conn) {

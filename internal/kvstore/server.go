@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softmem/internal/pages"
@@ -21,6 +22,9 @@ import (
 type Server struct {
 	store *Store
 	logf  func(string, ...any)
+	// met holds the per-command latency instruments once RegisterMetrics
+	// has run; nil skips timing.
+	met atomic.Pointer[cmdMetrics]
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -134,6 +138,10 @@ func (s *Server) serveConn(nc net.Conn) {
 // connection should close.
 func (s *Server) execute(w *bufio.Writer, args []string) (quit bool) {
 	cmd := strings.ToUpper(args[0])
+	if m := s.met.Load(); m != nil {
+		t0 := time.Now()
+		defer func() { m.observe(cmd, time.Since(t0)) }()
+	}
 	switch cmd {
 	case "PING":
 		writeSimple(w, "PONG")

@@ -19,6 +19,7 @@ func newSpillStore(t *testing.T, cfg Config) (*Store, *core.SMA, *spill.Store) {
 	}
 	t.Cleanup(sp.Close)
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	sma.SetSpillReporter(sp.BytesOnDisk)
 	cfg.SMA = sma
 	cfg.Spill = sp
 	st := New(cfg)
@@ -323,5 +324,50 @@ func TestPerShardStatsAggregate(t *testing.T) {
 	}
 	if spread < 2 {
 		t.Fatalf("keys landed in %d shards; routing broken", spread)
+	}
+}
+
+// TestSpillDemoteSpanOnTracedDemand asserts the store's reclaim callback
+// tags demotions onto the active demand trace: a traced demand returns a
+// "spill_demote" span with the demoted record count and payload bytes.
+func TestSpillDemoteSpanOnTracedDemand(t *testing.T) {
+	st, sma, _ := newSpillStore(t, Config{})
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		if err := st.Set(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("value-%03d-%s", i, string(make([]byte, 900))))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	released, spans, usage := sma.HandleDemandTraced(8, 123)
+	if usage == nil || usage.SpilledBytes == 0 {
+		t.Fatalf("traced demand returned no post-demand spill usage: %+v", usage)
+	}
+	if released == 0 {
+		t.Fatal("demand released nothing")
+	}
+	var demote *core.DemandSpan
+	for i := range spans {
+		if spans[i].Kind == "spill_demote" {
+			demote = &spans[i]
+		}
+	}
+	if demote == nil {
+		t.Fatalf("no spill_demote span in %+v", spans)
+	}
+	if demote.Count == 0 || demote.Bytes == 0 {
+		t.Fatalf("empty spill_demote span: %+v", demote)
+	}
+	if int64(st.Stats().Reclaimed) < int64(demote.Count) {
+		t.Fatalf("span counts %d demotions, store reclaimed %d", demote.Count, st.Stats().Reclaimed)
+	}
+	// Outside a demand, notes are dropped, not leaked into the next trace.
+	if err := st.Set("fresh", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	_, spans, _ = sma.HandleDemandTraced(0, 124)
+	for _, sp := range spans {
+		if sp.Kind == "spill_demote" && sp.Count > int(st.Stats().Reclaimed) {
+			t.Fatalf("stale note leaked into next trace: %+v", sp)
+		}
 	}
 }

@@ -167,6 +167,8 @@ func New(cfg Config) *Store {
 			// (last chance to persist, §3.1) and the TTL deadline stays
 			// so a later promotion still respects expiry.
 			s.spill.OnReclaim(key, value)
+			// Tag the demotion onto the active reclaim trace, if any.
+			cfg.SMA.NoteDemand("spill_demote", 1, int64(len(value)))
 		} else {
 			s.ttl.clear(key)
 		}

@@ -1,0 +1,75 @@
+package kvstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softmem/internal/metrics"
+)
+
+// RegisterMetrics registers the store's operation counters and occupancy
+// gauges into r, bridging the existing atomic counters so /metrics and
+// Stats() always agree.
+func (s *Store) RegisterMetrics(r *metrics.Registry) {
+	counter := func(name, help string, v *atomic.Int64) {
+		r.CounterFunc(name, help, v.Load)
+	}
+	counter("softmem_kv_sets_total", "SET-family writes", &s.sets)
+	counter("softmem_kv_gets_total", "GET-family reads", &s.gets)
+	counter("softmem_kv_hits_total", "reads that found the key", &s.hits)
+	counter("softmem_kv_misses_total", "reads that missed", &s.misses)
+	counter("softmem_kv_dels_total", "deletions", &s.dels)
+	counter("softmem_kv_reclaimed_total", "entries revoked under memory pressure", &s.reclaimed)
+	counter("softmem_kv_expired_total", "entries collected by TTL expiry", &s.expired)
+	counter("softmem_kv_promotions_total", "reads served by faulting a value in from the spill tier", &s.promotions)
+	r.GaugeFunc("softmem_kv_entries", "live string entries across all shards",
+		func() float64 { return float64(s.Len()) })
+	r.GaugeFunc("softmem_kv_soft_live_bytes", "live soft-heap bytes across the store's SDS contexts",
+		func() float64 { return float64(s.HeapStats().LiveBytes) })
+	r.GaugeFunc("softmem_kv_soft_pages", "soft pages held across the store's SDS contexts",
+		func() float64 { return float64(s.HeapStats().PagesHeld) })
+}
+
+// cmdMetrics lazily materializes one latency histogram per RESP command
+// under a shared metric name, so label cardinality tracks the command
+// set actually exercised.
+type cmdMetrics struct {
+	reg *metrics.Registry
+	m   sync.Map // command -> *metrics.Histogram
+}
+
+// knownCommands bounds the cmd label's cardinality: client-supplied
+// command names that the server does not implement collapse to "OTHER"
+// instead of minting a time series each.
+var knownCommands = map[string]bool{
+	"PING": true, "QUIT": true, "SET": true, "GET": true, "MSET": true,
+	"MGET": true, "INCR": true, "DECR": true, "INCRBY": true, "DECRBY": true,
+	"APPEND": true, "EXPIRE": true, "TTL": true, "PERSIST": true, "STRLEN": true,
+	"LPUSH": true, "RPUSH": true, "LPOP": true, "RPOP": true, "LLEN": true,
+	"LRANGE": true, "HSET": true, "HGET": true, "HDEL": true, "HLEN": true,
+	"HEXISTS": true, "HGETALL": true, "DEL": true, "EXISTS": true, "KEYS": true,
+	"DBSIZE": true, "FLUSHALL": true, "INFO": true,
+}
+
+func (c *cmdMetrics) observe(cmd string, d time.Duration) {
+	if !knownCommands[cmd] {
+		cmd = "OTHER"
+	}
+	if h, ok := c.m.Load(cmd); ok {
+		h.(*metrics.Histogram).ObserveDuration(d)
+		return
+	}
+	// Registry instruments are get-or-create, so a racing double-create
+	// lands on the same histogram either way.
+	h := c.reg.Histogram("softmem_kv_cmd_ns", "RESP command latency in ns by command",
+		metrics.Label{Name: "cmd", Value: cmd})
+	c.m.Store(cmd, h)
+	h.ObserveDuration(d)
+}
+
+// RegisterMetrics switches on per-command latency histograms, registered
+// into r as they are first exercised.
+func (s *Server) RegisterMetrics(r *metrics.Registry) {
+	s.met.Store(&cmdMetrics{reg: r})
+}

@@ -1,7 +1,8 @@
-// Package metrics provides the small measurement toolkit used by the
-// experiment harness: counters, time series (for the Figure 2 timeline),
-// and log-bucketed histograms with percentile summaries (for latency
-// distributions in the KV store and cluster simulator).
+// Package metrics provides the measurement toolkit shared by the
+// experiment harness and the live system: atomic counters and gauges,
+// time series (for the Figure 2 timeline), log-bucketed histograms with
+// percentile summaries (for latency distributions), and a named, labeled
+// Registry with Prometheus text-format exposition (registry.go).
 package metrics
 
 import (
@@ -10,13 +11,15 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counter is a monotonically increasing counter safe for concurrent use.
+// Increments are a single atomic add, so counters can sit on allocation
+// and request hot paths.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increases the counter by delta, which must be non-negative.
@@ -24,46 +27,40 @@ func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		panic("metrics: Counter.Add with negative delta")
 	}
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
+	c.n.Add(delta)
 }
 
 // Inc increases the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
-// Gauge is a settable instantaneous value safe for concurrent use.
+// Gauge is a settable instantaneous value safe for concurrent use. The
+// float64 is stored as its IEEE-754 bits in a single atomic word.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set replaces the gauge's value.
 func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Add adjusts the gauge's value by delta (which may be negative).
 func (g *Gauge) Add(delta float64) {
-	g.mu.Lock()
-	g.v += delta
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Value returns the gauge's current value.
 func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Point is one sample in a time series.
@@ -165,19 +162,33 @@ func Table(series ...*TimeSeries) string {
 	return b.String()
 }
 
+// histMaxValue bounds the value range the bucket array must cover; larger
+// observations are clamped into the last bucket (and still tracked exactly
+// by max). 1e15 ns is ~11.5 days — beyond any latency worth bucketing.
+const histMaxValue = 1e15
+
+// histMaxBuckets bounds the bucket array for growth factors very close to
+// 1, where the geometric ladder to histMaxValue would get long.
+const histMaxBuckets = 1 << 14
+
 // Histogram is a log-bucketed histogram of non-negative values (typically
 // nanosecond latencies). Buckets grow geometrically by growth per bucket
 // starting at 1.0, giving bounded relative error on percentile estimates.
-// It is safe for concurrent use.
+//
+// The observation path is lock-free: the bucket array is sized at
+// construction and every update (bucket, count, sum, min, max) is an
+// atomic operation, so histograms can sit on allocation and request hot
+// paths. Readers see a slightly torn view under heavy concurrency —
+// acceptable for monitoring, where the error is bounded by in-flight
+// observations.
 type Histogram struct {
-	mu      sync.Mutex
 	growth  float64
 	logG    float64
-	buckets []int64
-	count   int64
-	sum     float64
-	min     float64
-	max     float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits
+	min     atomic.Uint64 // float64 bits; +Inf when empty
+	max     atomic.Uint64 // float64 bits; -Inf when empty
 }
 
 // NewHistogram returns a histogram with the given per-bucket growth factor.
@@ -186,10 +197,55 @@ func NewHistogram(growth float64) *Histogram {
 	if growth <= 1 {
 		panic("metrics: histogram growth must be > 1")
 	}
-	return &Histogram{growth: growth, logG: math.Log(growth), min: math.Inf(1), max: math.Inf(-1)}
+	logG := math.Log(growth)
+	n := 2 + int(math.Log(histMaxValue)/logG)
+	if n > histMaxBuckets {
+		n = histMaxBuckets
+	}
+	h := &Histogram{growth: growth, logG: logG, buckets: make([]atomic.Int64, n)}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
 }
 
-// Observe records a single non-negative value.
+// atomicFloatMin lowers a (stored as float64 bits) to v if v is smaller.
+func atomicFloatMin(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// atomicFloatMax raises a to v if v is larger.
+func atomicFloatMax(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// atomicFloatAdd adds delta to a.
+func atomicFloatAdd(a *atomic.Uint64, delta float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Observe records a single non-negative value. Lock-free.
 func (h *Histogram) Observe(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		return
@@ -197,94 +253,82 @@ func (h *Histogram) Observe(v float64) {
 	idx := 0
 	if v >= 1 {
 		idx = 1 + int(math.Log(v)/h.logG)
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
 	}
-	h.mu.Lock()
-	for len(h.buckets) <= idx {
-		h.buckets = append(h.buckets, 0)
-	}
-	h.buckets[idx]++
-	h.count++
-	h.sum += v
-	if v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.mu.Unlock()
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	atomicFloatAdd(&h.sum, v)
+	atomicFloatMin(&h.min, v)
+	atomicFloatMax(&h.max, v)
 }
 
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // Mean returns the arithmetic mean of all observations, or 0 if empty.
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return h.Sum() / float64(n)
 }
 
 // Min returns the smallest observation, or 0 if empty.
 func (h *Histogram) Min() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	if h.count.Load() == 0 {
 		return 0
 	}
-	return h.min
+	return math.Float64frombits(h.min.Load())
 }
 
 // Max returns the largest observation, or 0 if empty.
 func (h *Histogram) Max() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	if h.count.Load() == 0 {
 		return 0
 	}
-	return h.max
+	return math.Float64frombits(h.max.Load())
 }
 
 // Quantile returns an estimate of the q-th quantile (0 <= q <= 1). The
 // estimate is the upper bound of the bucket containing the target rank, so
 // it overestimates by at most the bucket's growth factor.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.count.Load()
+	if count == 0 {
 		return 0
 	}
 	if q <= 0 {
-		return h.min
+		return h.Min()
 	}
 	if q >= 1 {
-		return h.max
+		return h.Max()
 	}
-	rank := int64(math.Ceil(q * float64(h.count)))
+	max := math.Float64frombits(h.max.Load())
+	rank := int64(math.Ceil(q * float64(count)))
 	var cum int64
-	for i, n := range h.buckets {
-		cum += n
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
 		if cum >= rank {
 			if i == 0 {
 				return 1
 			}
 			upper := math.Pow(h.growth, float64(i))
-			if upper > h.max {
-				upper = h.max
+			if upper > max {
+				upper = max
 			}
 			return upper
 		}
 	}
-	return h.max
+	return max
 }
 
 // Summary renders count/mean/p50/p95/p99/max on one line.

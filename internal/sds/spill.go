@@ -28,6 +28,8 @@ func NewSoftSpillTable(sma *core.SMA, name string, sink *spill.Sink, cfg HashTab
 	user := cfg.OnReclaim
 	cfg.OnReclaim = func(key string, value []byte) {
 		sink.OnReclaim(key, value)
+		// Tag the demotion onto the active reclaim trace, if any.
+		sma.NoteDemand("spill_demote", 1, int64(len(value)))
 		if user != nil {
 			user(key, value)
 		}

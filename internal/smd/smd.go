@@ -24,6 +24,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"softmem/internal/core"
 	"softmem/internal/pages"
@@ -124,6 +126,10 @@ type Config struct {
 	// overwritten once full. Default 256; negative disables the ring
 	// (OnEvent still fires).
 	EventLog int
+	// TraceLog is the capacity of the reclaim-cycle trace ring, served
+	// by Traces() (and `smdctl trace`). Default 64; negative disables
+	// tracing (reclaim IDs are still minted and stamped on events).
+	TraceLog int
 }
 
 // EventKind classifies audit events.
@@ -182,6 +188,9 @@ type Event struct {
 	// time of the event (from its latest Usage self-report), so the
 	// audit trail shows demotion pressure alongside reclamation.
 	SpilledBytes int64 `json:",omitempty"`
+	// ReclaimID links the event to its reclaim cycle (`smdctl trace`);
+	// 0 for grants served from free memory, which have no cycle.
+	ReclaimID uint64 `json:",omitempty"`
 }
 
 func (c *Config) setDefaults() {
@@ -190,6 +199,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.EventLog == 0 {
 		c.EventLog = 256
+	}
+	if c.TraceLog == 0 {
+		c.TraceLog = 64
 	}
 	if c.ReclaimFactor < 1 {
 		c.ReclaimFactor = 1.25
@@ -249,6 +261,18 @@ type Daemon struct {
 	eventPos int
 	eventLen int
 	eventSeq uint64
+
+	// traces is the reclaim-cycle ring (capacity cfg.TraceLog, nil when
+	// disabled); reclaimSeq mints the cycle IDs stamped on events and
+	// propagated to processes over IPC.
+	traces     []Trace
+	tracePos   int
+	traceLen   int
+	reclaimSeq uint64
+
+	// met holds the arbitration latency histograms once RegisterMetrics
+	// has run; nil keeps the arbitration path free of timing calls.
+	met atomic.Pointer[smdMetrics]
 }
 
 // NewDaemon returns a daemon arbitrating cfg.TotalPages of soft memory.
@@ -260,6 +284,9 @@ func NewDaemon(cfg Config) *Daemon {
 	d := &Daemon{cfg: cfg, procs: make(map[ProcID]*procState)}
 	if cfg.EventLog > 0 {
 		d.events = make([]Event, cfg.EventLog)
+	}
+	if cfg.TraceLog > 0 {
+		d.traces = make([]Trace, cfg.TraceLog)
 	}
 	return d
 }
@@ -326,8 +353,24 @@ func (d *Daemon) candidatesLocked(requester ProcID) []*procState {
 	return out
 }
 
-// requestBudget is the core arbitration path.
+// requestBudget is the core arbitration path, timed into the request
+// histogram when instrumented.
 func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
+	m := d.met.Load()
+	if m == nil {
+		return d.arbitrate(id, n, u, nil)
+	}
+	t0 := time.Now()
+	granted, err := d.arbitrate(id, n, u, m)
+	m.request.ObserveDuration(time.Since(t0))
+	return granted, err
+}
+
+// arbitrate approves a budget request from free memory when it can;
+// otherwise it runs a reclaim cycle: mint a reclaim ID, harvest slack,
+// demand reclamation, and grant or deny. The cycle is recorded in the
+// trace ring and its ID stamped on every event and demand it issues.
+func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("smd: non-positive budget request %d", n)
 	}
@@ -350,6 +393,22 @@ func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
 	}
 	need := n - free
 	d.stats.ReclaimEvents++
+	d.reclaimSeq++
+	rid := d.reclaimSeq
+	cycleStart := time.Now()
+	tr := Trace{ID: rid, Requester: id, ReqName: ps.name, Pages: n, Need: need, Start: cycleStart}
+
+	// finish seals the cycle: stamps duration and outcome, records the
+	// trace, and observes the cycle histogram. Caller still holds d.mu.
+	finish := func(outcome string) {
+		dur := time.Since(cycleStart)
+		tr.DurNs = dur.Nanoseconds()
+		tr.Outcome = outcome
+		d.recordTraceLocked(tr)
+		if m != nil {
+			m.cycle.ObserveDuration(dur)
+		}
+	}
 
 	// Phase 1 — harvest slack: unused budget in other processes costs
 	// nothing to take ("minimal disturbance", §3.3; the prototype's bias
@@ -370,12 +429,14 @@ func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
 		c.budget -= take
 		need -= take
 		d.stats.SlackPages += int64(take)
-		d.emitLocked(Event{Kind: EventSlack, Proc: c.id, Name: c.name, Pages: take, Trigger: id})
+		tr.Hops = append(tr.Hops, TraceHop{Kind: "slack", Proc: c.id, Name: c.name, Released: take})
+		d.emitLocked(Event{Kind: EventSlack, Proc: c.id, Name: c.name, Pages: take, Trigger: id, ReclaimID: rid})
 	}
 	if need <= 0 {
 		ps.budget += n
 		d.stats.Granted++
-		d.emitLocked(Event{Kind: EventGrant, Proc: id, Name: ps.name, Pages: n})
+		finish("granted")
+		d.emitLocked(Event{Kind: EventGrant, Proc: id, Name: ps.name, Pages: n, ReclaimID: rid})
 		d.mu.Unlock()
 		return n, nil
 	}
@@ -400,7 +461,19 @@ func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
 		// The daemon lock is held across the demand. Lock ordering is
 		// one-way (daemon → process): processes never call the daemon
 		// while holding per-Context heap locks, so this cannot deadlock.
-		released := c.target.HandleDemand(want)
+		demandStart := time.Now()
+		var released int
+		var spans []core.DemandSpan
+		var fresh *core.Usage
+		if tt, ok := c.target.(TracedTarget); ok {
+			released, spans, fresh = tt.HandleDemandTraced(want, rid)
+		} else {
+			released = c.target.HandleDemand(want)
+		}
+		demandDur := time.Since(demandStart)
+		if m != nil {
+			m.demandRTT.ObserveDuration(demandDur)
+		}
 		if released < 0 {
 			released = 0
 		}
@@ -408,27 +481,39 @@ func (d *Daemon) requestBudget(id ProcID, n int, u core.Usage) (int, error) {
 			released = c.budget
 		}
 		c.budget -= released
-		c.usage.UsedPages -= released
-		if c.usage.UsedPages < 0 {
-			c.usage.UsedPages = 0
+		if fresh != nil {
+			// The demand response carried a post-reclaim self-report:
+			// adopt it (spill footprint included) instead of estimating.
+			c.usage = *fresh
+		} else {
+			c.usage.UsedPages -= released
+			if c.usage.UsedPages < 0 {
+				c.usage.UsedPages = 0
+			}
 		}
 		quota -= released
 		need -= released
 		d.stats.PagesReclaimed += int64(released)
-		d.emitLocked(Event{Kind: EventDemand, Proc: c.id, Name: c.name, Pages: want, Released: released, Trigger: id})
+		tr.Hops = append(tr.Hops, TraceHop{
+			Kind: "demand", Proc: c.id, Name: c.name, Asked: want,
+			Released: released, DurNs: demandDur.Nanoseconds(), Spans: spans,
+		})
+		d.emitLocked(Event{Kind: EventDemand, Proc: c.id, Name: c.name, Pages: want, Released: released, Trigger: id, ReclaimID: rid})
 	}
 
 	if need > 0 {
 		// Quota unmet within the target cap: deny the triggering request.
 		// Pages already reclaimed stay free (§3.3).
 		d.stats.Denied++
-		d.emitLocked(Event{Kind: EventDeny, Proc: id, Name: ps.name, Pages: n})
+		finish("denied")
+		d.emitLocked(Event{Kind: EventDeny, Proc: id, Name: ps.name, Pages: n, ReclaimID: rid})
 		d.mu.Unlock()
 		return 0, nil
 	}
 	ps.budget += n
 	d.stats.Granted++
-	d.emitLocked(Event{Kind: EventGrant, Proc: id, Name: ps.name, Pages: n})
+	finish("granted")
+	d.emitLocked(Event{Kind: EventGrant, Proc: id, Name: ps.name, Pages: n, ReclaimID: rid})
 	d.mu.Unlock()
 	return n, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softmem/internal/metrics"
@@ -77,6 +78,9 @@ type recordLoc struct {
 type Store struct {
 	cfg Config
 	m   *metrics.Spill
+	// lat holds operation latency histograms once RegisterMetrics has
+	// run; nil skips timing.
+	lat atomic.Pointer[spillLatency]
 
 	mu     sync.Mutex
 	segs   map[uint64]*segment
@@ -245,6 +249,16 @@ func (s *Store) Close() {
 // Put demotes a value: it appends a record and points the index at it.
 // The previous record for the key, if any, becomes stale.
 func (s *Store) Put(namespace, key string, value []byte) error {
+	if lat := s.lat.Load(); lat != nil {
+		t0 := time.Now()
+		err := s.put(namespace, key, value)
+		lat.put.ObserveDuration(time.Since(t0))
+		return err
+	}
+	return s.put(namespace, key, value)
+}
+
+func (s *Store) put(namespace, key string, value []byte) error {
 	buf, err := appendRecord(nil, record{Namespace: namespace, Key: key, Value: value}, s.cfg.CompressMin)
 	if err != nil {
 		s.m.WriteErrors.Inc()
@@ -272,6 +286,16 @@ func (s *Store) Put(namespace, key string, value []byte) error {
 // CRC-verified. found is false when the key was never demoted or has
 // been dropped or evicted.
 func (s *Store) Get(namespace, key string) (value []byte, found bool, err error) {
+	if lat := s.lat.Load(); lat != nil {
+		t0 := time.Now()
+		value, found, err = s.get(namespace, key)
+		lat.get.ObserveDuration(time.Since(t0))
+		return value, found, err
+	}
+	return s.get(namespace, key)
+}
+
+func (s *Store) get(namespace, key string) (value []byte, found bool, err error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -344,6 +368,16 @@ func (s *Store) Drop(namespace, key string) bool {
 // primitive. Unlike Get+Drop it holds the lock across both steps, so
 // two concurrent promoters cannot both win the same record.
 func (s *Store) Take(namespace, key string) (value []byte, found bool) {
+	if lat := s.lat.Load(); lat != nil {
+		t0 := time.Now()
+		value, found = s.take(namespace, key)
+		lat.promote.ObserveDuration(time.Since(t0))
+		return value, found
+	}
+	return s.take(namespace, key)
+}
+
+func (s *Store) take(namespace, key string) (value []byte, found bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -480,9 +514,14 @@ func (s *Store) Compact() int {
 			victims = append(victims, id)
 		}
 	}
+	lat := s.lat.Load()
 	for _, id := range victims {
+		t0 := time.Now()
 		if s.compactSegmentLocked(id) {
 			n++
+			if lat != nil {
+				lat.compact.ObserveDuration(time.Since(t0))
+			}
 		}
 	}
 	if n > 0 {
