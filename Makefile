@@ -2,13 +2,20 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-hot metrics-lint soak-spill bench experiments cover fmt clean
+.PHONY: all check build vet test race race-hot metrics-lint fmt-check chaos soak-spill bench experiments cover fmt clean
 
 all: check
 
-# The default gate: build, vet, the full test suite, the race detector
-# on the concurrency-critical packages, and the metric-name lint.
-check: build vet test race-hot metrics-lint
+# The full PR gate — the exact set CI runs (.github/workflows/ci.yml
+# invokes this one target, so local `make check` and CI cannot drift):
+# formatting, build, vet, the full test suite, the race detector across
+# every package, and the metric-name lint.
+check: fmt-check build vet test race metrics-lint
+
+# Fail (listing the files) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Verify metric registrations against docs/OBSERVABILITY.md: naming
 # convention, no duplicate registrations, catalogue complete both ways.
@@ -31,6 +38,13 @@ race:
 # of `make race`, wired into `make check`).
 race-hot:
 	$(GO) test -race ./internal/core ./internal/sds ./internal/kvstore ./internal/spill
+
+# Crash-recovery chaos suite (DESIGN.md "Chaos invariants"): real smd
+# and softkv processes, the daemon killed by an armed fault point
+# mid-reclaim, a torn spill write, and a kill -9 of the KV server.
+# Three consecutive runs — the schedule is seeded, so a flake is a bug.
+chaos:
+	$(GO) test -tags chaos -run TestChaosKillMidReclaim -count=3 -v -timeout 10m .
 
 # Soak the spill tier: the YCSB-style load generator against a real
 # RESP server with disk demotion enabled, squeezed continuously by a

@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"softmem/internal/faultinject"
 	"softmem/internal/ipc"
 	"softmem/internal/metrics"
 	"softmem/internal/pages"
@@ -38,8 +39,22 @@ func main() {
 		httpAddr = flag.String("http", "", "serve JSON status at this address (empty = off)")
 		audit    = flag.Bool("audit", false, "log every grant/denial/demand decision")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
+		faults   = flag.String("faults", "", "fault-injection spec (chaos testing; also read from $"+faultinject.EnvVar+")")
 	)
 	flag.Parse()
+
+	if err := faultinject.ArmFromEnv(); err != nil {
+		log.Fatalf("smd: %s: %v", faultinject.EnvVar, err)
+	}
+	if *faults != "" {
+		if err := faultinject.Arm(*faults); err != nil {
+			log.Fatalf("smd: -faults: %v", err)
+		}
+	}
+	if faultinject.Enabled() {
+		faultinject.SetLogf(log.Printf)
+		log.Printf("smd: FAULT INJECTION ARMED: %d point(s)", len(faultinject.Snapshot()))
+	}
 
 	var pol smd.WeightPolicy
 	switch *policy {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"softmem/internal/core"
+	"softmem/internal/faultinject"
 	"softmem/internal/ipc"
 	"softmem/internal/kvstore"
 	"softmem/internal/metrics"
@@ -50,9 +51,27 @@ func main() {
 		sweepSec   = flag.Int("sweep", 10, "seconds between TTL expiry sweeps (0 = lazy only)")
 		spillDir   = flag.String("spill-dir", "", "spill tier directory: demote reclaimed entries to compressed disk records (empty = drop, the default semantics)")
 		spillMiB   = flag.Int("spill-budget", 256, "spill tier disk budget in MiB (oldest segments evicted beyond it)")
+		spillSeg   = flag.Int("spill-segment-kib", 0, "spill segment rotation threshold in KiB (0 = default 4 MiB; small values confine torn tails in chaos runs)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
+		faults     = flag.String("faults", "", "fault-injection spec (chaos testing; also read from $"+faultinject.EnvVar+")")
+		backoffMs  = flag.Int("smd-backoff-ms", 100, "initial daemon reconnect backoff in ms (doubles with jitter up to -smd-backoff-max-ms)")
+		backoffMax = flag.Int("smd-backoff-max-ms", 5000, "maximum daemon reconnect backoff in ms")
+		jitterSeed = flag.Int64("smd-jitter-seed", 0, "reconnect jitter seed (0 = seeded from the clock; fix it for deterministic chaos runs)")
 	)
 	flag.Parse()
+
+	if err := faultinject.ArmFromEnv(); err != nil {
+		log.Fatalf("softkv: %s: %v", faultinject.EnvVar, err)
+	}
+	if *faults != "" {
+		if err := faultinject.Arm(*faults); err != nil {
+			log.Fatalf("softkv: -faults: %v", err)
+		}
+	}
+	if faultinject.Enabled() {
+		faultinject.SetLogf(log.Printf)
+		log.Printf("softkv: FAULT INJECTION ARMED: %d point(s)", len(faultinject.Snapshot()))
+	}
 
 	pool := pages.NewPool(*localMiB << 20 / pages.Size)
 	sma := core.New(core.Config{Machine: pool})
@@ -74,8 +93,9 @@ func main() {
 	if *spillDir != "" {
 		var err error
 		spillStore, err = spill.Open(spill.Config{
-			Dir:         *spillDir,
-			BudgetBytes: int64(*spillMiB) << 20,
+			Dir:          *spillDir,
+			BudgetBytes:  int64(*spillMiB) << 20,
+			SegmentBytes: int64(*spillSeg) << 10,
 		})
 		if err != nil {
 			log.Fatalf("softkv: spill: %v", err)
@@ -107,7 +127,9 @@ func main() {
 		// The resilient client survives daemon restarts: it re-registers
 		// and resyncs the budget ledger automatically.
 		cli, err := ipc.DialResilient(*smdNetwork, *smdAddr, *name, sma,
-			ipc.WithDialTimeout(5*time.Second))
+			ipc.WithDialTimeout(5*time.Second),
+			ipc.WithBackoff(time.Duration(*backoffMs)*time.Millisecond, time.Duration(*backoffMax)*time.Millisecond),
+			ipc.WithJitterSeed(*jitterSeed))
 		if err != nil {
 			log.Fatalf("softkv: daemon: %v", err)
 		}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"softmem/internal/faultinject"
+)
+
+// TestReclaimPanicContained proves a panicking SDS reclaim callback
+// cannot wedge the demand path: the panic is recovered inside
+// reclaimFromContext (demandMu and the context lock both release), the
+// panic is counted, and the next demand proceeds normally.
+func TestReclaimPanicContained(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	s, _, _ := newSMA(0, 1000)
+	sds := &stackSDS{}
+	ctx := s.Register("panicky", 0, sds)
+	sds.ctx = ctx
+	for i := 0; i < 64; i++ {
+		sds.push(t, 1024)
+	}
+	if err := faultinject.Arm("core.reclaim.sds:on=1:panic"); err != nil {
+		t.Fatal(err)
+	}
+	released := s.HandleDemand(4) // must not propagate the panic
+	if released < 0 {
+		t.Fatalf("released = %d", released)
+	}
+	if got := s.Stats().ReclaimPanics; got != 1 {
+		t.Fatalf("ReclaimPanics = %d, want 1", got)
+	}
+	faultinject.Reset()
+	// The demand path survived: demandMu was released, the context's
+	// drain flag was restored, and reclamation works again.
+	if released := s.HandleDemand(4); released != 4 {
+		t.Fatalf("post-panic demand released %d of 4", released)
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatalf("integrity after contained panic: %v", err)
+	}
+}
+
+// TestReclaimErrorFaultSkipsContext checks the error action at the SDS
+// fault point: the context is abandoned mid-drain without damage.
+func TestReclaimErrorFaultSkipsContext(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	s, _, _ := newSMA(0, 1000)
+	sds := &stackSDS{}
+	ctx := s.Register("flaky", 0, sds)
+	sds.ctx = ctx
+	for i := 0; i < 64; i++ {
+		sds.push(t, 1024)
+	}
+	if err := faultinject.Arm("core.reclaim.sds:on=1:error"); err != nil {
+		t.Fatal(err)
+	}
+	s.HandleDemand(4)
+	faultinject.Reset()
+	if released := s.HandleDemand(4); released != 4 {
+		t.Fatalf("demand after error fault released %d of 4", released)
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBudgetRequestFaultDegradesToExhausted checks that an injected
+// budget-RPC failure surfaces as ErrExhausted — the graceful-degradation
+// contract soft allocations promise under daemon trouble.
+func TestBudgetRequestFaultDegradesToExhausted(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	s, _, _ := newSMA(0, 1000)
+	ctx := s.Register("data", 0, nil)
+	if err := faultinject.Arm("core.budget.request:always:error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Alloc(1024); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("alloc under budget fault = %v, want ErrExhausted", err)
+	}
+	faultinject.Reset()
+	if _, err := ctx.Alloc(1024); err != nil {
+		t.Fatalf("alloc after disarm: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"softmem/internal/alloc"
+	"softmem/internal/faultinject"
 	"softmem/internal/pages"
 )
 
@@ -118,6 +119,7 @@ type Stats struct {
 	AllocsReclaimed int64 // allocations freed by SDS reclaim
 	ReleasedVirtual int64 // cumulative unbacked virtual pages (released under demand)
 	RebackedPages   int64 // previously released pages re-backed on growth
+	ReclaimPanics   int64 // SDS reclaim callbacks that panicked and were contained
 }
 
 // daemonBox wraps the attached DaemonClient so it can live in an
@@ -213,6 +215,7 @@ type counters struct {
 	allocsReclaimed atomic.Int64
 	releasedVirtual atomic.Int64
 	rebackedPages   atomic.Int64
+	reclaimPanics   atomic.Int64
 }
 
 // New returns an SMA drawing pages from cfg.Machine under cfg.Daemon's
@@ -444,6 +447,7 @@ func (s *SMA) Stats() Stats {
 		AllocsReclaimed: s.c.allocsReclaimed.Load(),
 		ReleasedVirtual: s.c.releasedVirtual.Load(),
 		RebackedPages:   s.c.rebackedPages.Load(),
+		ReclaimPanics:   s.c.reclaimPanics.Load(),
 	}
 }
 
@@ -578,6 +582,9 @@ func (s *SMA) releasePages(pgs []*pages.Page) {
 // the budget-RTT histogram when instrumented.
 func (s *SMA) requestBudget(d DaemonClient, ask int, u Usage) (int, error) {
 	s.c.budgetRequests.Add(1)
+	if err := faultinject.FireErr("core.budget.request"); err != nil {
+		return 0, err
+	}
 	m := s.met.Load()
 	if m == nil {
 		return d.RequestBudget(ask, u)
@@ -823,7 +830,7 @@ func (s *SMA) HandleDemandTraced(demandPages int, reclaimID uint64) (int, []Dema
 // goes straight to the machine and is counted via ctx.drainReleased. It
 // returns the pages drained and the allocations freed (counted per
 // demand, so concurrent observers never see another demand's frees).
-func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (int, int64) {
+func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (drained int, frees int64) {
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()
 	if ctx.closed {
@@ -832,7 +839,21 @@ func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (int, int64) {
 	tx := &Tx{ctx: ctx}
 	ctx.demandDrain = true
 	ctx.drainReleased = 0
-	var frees int64
+	// A Reclaimer is application code running inside the demand path; if
+	// it panics, containment matters more than its remaining quota. The
+	// recover below keeps whatever pages had already drained, restores the
+	// context's drain flag, and lets the demand move on to the next SDS —
+	// without it the panic would unwind through HandleDemandTraced with
+	// demandMu still held, wedging every future demand.
+	defer func() {
+		ctx.demandDrain = false
+		if r := recover(); r != nil {
+			frees += int64(tx.frees)
+			s.c.reclaimPanics.Add(1)
+			drained = ctx.drainReleased
+		}
+		s.c.allocsReclaimed.Add(frees)
+	}()
 	// Bounded rounds guard against a misbehaving Reclaimer that reports
 	// progress without ever emptying pages.
 	for round := 0; round < 64; round++ {
@@ -844,6 +865,12 @@ func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (int, int64) {
 			break
 		}
 		wantBytes := (quotaPages - ctx.drainReleased) * pages.Size
+		// The callback fault point: delay= holds the demand cycle open
+		// (the daemon's CallTimeout bounds the damage), panic exercises
+		// the containment above, error abandons this SDS mid-drain.
+		if faultinject.Fire("core.reclaim.sds") == faultinject.Error {
+			break
+		}
 		freed := ctx.reclaimer.Reclaim(tx, wantBytes)
 		frees += int64(tx.frees)
 		tx.frees = 0
@@ -855,8 +882,6 @@ func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (int, int64) {
 			break
 		}
 	}
-	ctx.demandDrain = false
-	s.c.allocsReclaimed.Add(frees)
 	return ctx.drainReleased, frees
 }
 

@@ -1,0 +1,460 @@
+// Package faultinject is the repo's deterministic fault-injection
+// registry: a set of named fault points threaded through the layers
+// where real failures bite (IPC framing, spill writes, SDS reclaim
+// callbacks, SMD reclaim cycles), armed by tests and chaos harnesses
+// with seeded trigger schedules — "fail the 3rd spill append", "sever
+// every IPC frame for 2s after the 5th", "delay each reclaim callback
+// 500ms", "crash the daemon after the 2nd demand completes".
+//
+// Disarmed (the production state) a fault point is one atomic load and
+// a predicted branch — nothing is allocated, locked, or timed. Points
+// are armed programmatically (Arm) or from the SOFTMEM_FAULTS
+// environment variable / the daemons' -faults flag (ArmFromEnv).
+//
+// # Spec grammar
+//
+// A spec is a semicolon-separated list of point rules:
+//
+//	point:trigger:action[;point:trigger:action...]
+//
+// point is the fault-point name (see the naming convention in
+// DESIGN.md: <package>.<operation>[.<phase>], e.g. "spill.append",
+// "ipc.frame.write", "smd.demand.post").
+//
+// trigger is a comma-separated list of:
+//
+//	on=N       fire on exactly the Nth hit of the point (1-based)
+//	after=N    fire on every hit after the Nth
+//	first=N    fire on the first N hits
+//	every=N    fire on every Nth hit
+//	always     fire on every hit
+//	p=F        fire with probability F per hit (requires seed=)
+//	seed=N     seed for p= (deterministic schedule given the seed)
+//	for=DUR    window: once the trigger first selects, keep firing for
+//	           DUR of wall time, then disarm the point
+//
+// action is a comma-separated list of at most one delay and one kind:
+//
+//	delay=DUR  sleep DUR before continuing (the "slow callback" fault)
+//	error      the site returns ErrInjected
+//	drop       site-specific: swallow the operation, pretend success
+//	short      site-specific: torn write — half the bytes land
+//	corrupt    site-specific: flip bits so checksums fail
+//	panic      panic at the site (tests the caller's recovery)
+//	crash      exit the process immediately with CrashExitCode —
+//	           the kill -9 a chaos harness cannot time precisely
+//	crash=N    same, with exit code N
+//
+// Example: arm a daemon to die between issuing its second reclamation
+// demand and granting the cycle's request:
+//
+//	SOFTMEM_FAULTS='smd.demand.post:on=2:crash' smd -mib 8
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error fault sites return for error-kind actions.
+// Callers that can fail anyway (a spill append, a dial) surface it like
+// any other I/O error; tests match it with errors.Is.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// CrashExitCode is the default exit status of a crash action — chosen
+// to be distinguishable from a clean exit and from Go's panic exit (2).
+const CrashExitCode = 43
+
+// EnvVar is the environment variable ArmFromEnv reads.
+const EnvVar = "SOFTMEM_FAULTS"
+
+// Action is what a fired fault point tells its site to do. Delay,
+// panic, and crash actions are performed by Fire itself; the returned
+// Action covers the site-specific behaviours only.
+type Action int
+
+// Site-visible actions.
+const (
+	// None: the point is disarmed or its schedule did not select this
+	// hit — the site proceeds normally.
+	None Action = iota
+	// Error: return ErrInjected from the operation.
+	Error
+	// Drop: swallow the operation and report success (a lost frame, a
+	// write acknowledged but never performed).
+	Drop
+	// Short: perform a torn write — part of the bytes land, the rest
+	// are lost, as when a process dies mid-write.
+	Short
+	// Corrupt: damage the payload so checksum verification fails.
+	Corrupt
+)
+
+// String names the action for logs and snapshots.
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Drop:
+		return "drop"
+	case Short:
+		return "short"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// rule is one armed point's trigger schedule and action.
+type rule struct {
+	// Trigger.
+	on     uint64
+	after  uint64
+	first  uint64
+	every  uint64
+	always bool
+	prob   float64
+	rng    *rand.Rand
+	window time.Duration
+	// windowEnd is set when the trigger first selects; after it passes
+	// the point disarms itself.
+	windowEnd time.Time
+	expired   bool
+
+	// Action.
+	act       Action
+	delay     time.Duration
+	doPanic   bool
+	doCrash   bool
+	crashCode int
+
+	// Accounting.
+	hits  uint64
+	fired uint64
+}
+
+var (
+	// armedCount gates the hot path: zero means every Fire is a single
+	// atomic load and an untaken branch.
+	armedCount atomic.Int64
+
+	mu     sync.Mutex
+	points = map[string]*rule{}
+	logf   func(string, ...any)
+
+	// exit is swapped out by tests of the crash action.
+	exit = os.Exit
+)
+
+// Enabled reports whether any fault point is armed.
+func Enabled() bool { return armedCount.Load() != 0 }
+
+// SetLogf routes a line per injected fault (nil silences, the default).
+func SetLogf(f func(string, ...any)) {
+	mu.Lock()
+	logf = f
+	mu.Unlock()
+}
+
+// Reset disarms every point and clears all hit accounting.
+func Reset() {
+	mu.Lock()
+	points = map[string]*rule{}
+	armedCount.Store(0)
+	mu.Unlock()
+}
+
+// Arm parses a spec (see the package comment for the grammar) and arms
+// its points, replacing any existing rule for the same name.
+func Arm(spec string) error {
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, r, err := parseRule(part)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		if _, exists := points[name]; !exists {
+			armedCount.Add(1)
+		}
+		points[name] = r
+		mu.Unlock()
+	}
+	return nil
+}
+
+// ArmFromEnv arms the spec in $SOFTMEM_FAULTS, if any. The daemons call
+// it at startup so chaos harnesses can inject faults into real
+// processes without new plumbing.
+func ArmFromEnv() error {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return nil
+	}
+	return Arm(spec)
+}
+
+// parseRule parses one "name:trigger:action" clause.
+func parseRule(s string) (string, *rule, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return "", nil, fmt.Errorf("faultinject: %q: want name:trigger:action", s)
+	}
+	name := strings.TrimSpace(parts[0])
+	if name == "" {
+		return "", nil, fmt.Errorf("faultinject: %q: empty point name", s)
+	}
+	r := &rule{crashCode: CrashExitCode}
+
+	var seed int64
+	seenTrigger := false
+	for _, t := range strings.Split(parts[1], ",") {
+		t = strings.TrimSpace(t)
+		key, val, hasVal := strings.Cut(t, "=")
+		switch key {
+		case "on", "after", "first", "every":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || !hasVal || n == 0 {
+				return "", nil, fmt.Errorf("faultinject: %q: bad trigger %q", s, t)
+			}
+			switch key {
+			case "on":
+				r.on = n
+			case "after":
+				r.after = n
+			case "first":
+				r.first = n
+			case "every":
+				r.every = n
+			}
+			seenTrigger = true
+		case "always":
+			r.always = true
+			seenTrigger = true
+		case "p":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || !hasVal || f <= 0 || f > 1 {
+				return "", nil, fmt.Errorf("faultinject: %q: bad probability %q", s, t)
+			}
+			r.prob = f
+			seenTrigger = true
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || !hasVal {
+				return "", nil, fmt.Errorf("faultinject: %q: bad seed %q", s, t)
+			}
+			seed = n
+		case "for":
+			d, err := time.ParseDuration(val)
+			if err != nil || !hasVal || d <= 0 {
+				return "", nil, fmt.Errorf("faultinject: %q: bad window %q", s, t)
+			}
+			r.window = d
+		default:
+			return "", nil, fmt.Errorf("faultinject: %q: unknown trigger %q", s, t)
+		}
+	}
+	if !seenTrigger {
+		return "", nil, fmt.Errorf("faultinject: %q: no trigger (on=/after=/first=/every=/always/p=)", s)
+	}
+	if r.prob > 0 {
+		// Seeded even when seed=0 so schedules are reproducible runs.
+		r.rng = rand.New(rand.NewSource(seed))
+	}
+
+	seenKind := false
+	for _, a := range strings.Split(parts[2], ",") {
+		a = strings.TrimSpace(a)
+		key, val, _ := strings.Cut(a, "=")
+		switch key {
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return "", nil, fmt.Errorf("faultinject: %q: bad delay %q", s, a)
+			}
+			r.delay = d
+		case "error":
+			r.act, seenKind = Error, true
+		case "drop":
+			r.act, seenKind = Drop, true
+		case "short":
+			r.act, seenKind = Short, true
+		case "corrupt":
+			r.act, seenKind = Corrupt, true
+		case "panic":
+			r.doPanic, seenKind = true, true
+		case "crash":
+			r.doCrash, seenKind = true, true
+			if val != "" {
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 || n > 255 {
+					return "", nil, fmt.Errorf("faultinject: %q: bad crash code %q", s, a)
+				}
+				r.crashCode = n
+			}
+		case "none", "":
+			// delay-only rules: sleep and proceed.
+		default:
+			return "", nil, fmt.Errorf("faultinject: %q: unknown action %q", s, a)
+		}
+	}
+	if !seenKind && r.delay == 0 {
+		return "", nil, fmt.Errorf("faultinject: %q: no action (error/drop/short/corrupt/panic/crash/delay=)", s)
+	}
+	return name, r, nil
+}
+
+// selectsLocked decides whether this hit (already counted) fires, and
+// maintains the for= window. Caller holds mu.
+func (r *rule) selectsLocked(now time.Time) bool {
+	if r.expired {
+		return false
+	}
+	sel := false
+	switch {
+	case r.always:
+		sel = true
+	case r.on != 0:
+		sel = r.hits == r.on
+	case r.after != 0:
+		sel = r.hits > r.after
+	case r.first != 0:
+		sel = r.hits <= r.first
+	case r.every != 0:
+		sel = r.hits%r.every == 0
+	}
+	if r.prob > 0 {
+		sel = r.rng.Float64() < r.prob
+	}
+	if r.window > 0 {
+		if !sel && r.windowEnd.IsZero() {
+			return false
+		}
+		if r.windowEnd.IsZero() {
+			r.windowEnd = now.Add(r.window)
+		}
+		if now.After(r.windowEnd) {
+			r.expired = true
+			return false
+		}
+		// Inside the window every hit fires, whatever the base trigger
+		// says — "sever every frame for 2s after the Nth".
+		sel = true
+	}
+	return sel
+}
+
+// Fire evaluates the named point for one hit. When the point is
+// disarmed or its schedule does not select this hit it returns None at
+// the cost of one atomic load. When it fires, Fire performs the generic
+// actions itself — sleeps the delay, panics, or exits the process — and
+// returns the site-specific Action (Error, Drop, Short, Corrupt) for
+// the caller to interpret.
+func Fire(name string) Action {
+	if armedCount.Load() == 0 {
+		return None
+	}
+	return fire(name)
+}
+
+// FireErr is Fire for sites whose only failure mode is an error: any
+// site-visible action maps to ErrInjected, None maps to nil.
+func FireErr(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	if fire(name) != None {
+		return ErrInjected
+	}
+	return nil
+}
+
+func fire(name string) Action {
+	mu.Lock()
+	r, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return None
+	}
+	r.hits++
+	sel := r.selectsLocked(time.Now())
+	if !sel {
+		mu.Unlock()
+		return None
+	}
+	r.fired++
+	act, delay, doPanic, doCrash, code := r.act, r.delay, r.doPanic, r.doCrash, r.crashCode
+	lf := logf
+	mu.Unlock()
+
+	if lf != nil {
+		lf("faultinject: %s fired (action=%s delay=%v panic=%v crash=%v)", name, act, delay, doPanic, doCrash)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if doPanic {
+		panic(fmt.Sprintf("faultinject: %s: injected panic", name))
+	}
+	if doCrash {
+		// Flush nothing, run no deferred functions: the closest a
+		// process can get to receiving SIGKILL from itself.
+		exit(code)
+	}
+	return act
+}
+
+// Hits reports how many times the named point was evaluated and how
+// many of those evaluations fired. Zeroes for unknown points.
+func Hits(name string) (hits, fired uint64) {
+	mu.Lock()
+	defer mu.Unlock()
+	if r, ok := points[name]; ok {
+		return r.hits, r.fired
+	}
+	return 0, 0
+}
+
+// PointStatus describes one armed point for diagnostics.
+type PointStatus struct {
+	Name    string
+	Action  string
+	Hits    uint64
+	Fired   uint64
+	Expired bool
+}
+
+// Snapshot lists every armed point, sorted by name.
+func Snapshot() []PointStatus {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]PointStatus, 0, len(points))
+	for name, r := range points {
+		act := r.act.String()
+		switch {
+		case r.doPanic:
+			act = "panic"
+		case r.doCrash:
+			act = "crash"
+		case r.act == None && r.delay > 0:
+			act = "delay"
+		}
+		out = append(out, PointStatus{Name: name, Action: act, Hits: r.hits, Fired: r.fired, Expired: r.expired})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

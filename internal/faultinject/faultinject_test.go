@@ -1,0 +1,222 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNone(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with no points armed")
+	}
+	if got := Fire("spill.append"); got != None {
+		t.Fatalf("disarmed Fire = %v", got)
+	}
+	if err := FireErr("spill.append"); err != nil {
+		t.Fatalf("disarmed FireErr = %v", err)
+	}
+}
+
+func TestOnNthHit(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("spill.append:on=3:error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not enabled after Arm")
+	}
+	for i := 1; i <= 5; i++ {
+		got := Fire("spill.append")
+		want := None
+		if i == 3 {
+			want = Error
+		}
+		if got != want {
+			t.Fatalf("hit %d: Fire = %v, want %v", i, got, want)
+		}
+	}
+	hits, fired := Hits("spill.append")
+	if hits != 5 || fired != 1 {
+		t.Fatalf("hits=%d fired=%d, want 5/1", hits, fired)
+	}
+}
+
+func TestTriggerShapes(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []bool // fires on hit i+1?
+	}{
+		{"x:after=2:drop", []bool{false, false, true, true, true}},
+		{"x:first=2:drop", []bool{true, true, false, false, false}},
+		{"x:every=2:drop", []bool{false, true, false, true, false}},
+		{"x:always:drop", []bool{true, true, true, true, true}},
+	}
+	for _, tc := range cases {
+		Reset()
+		if err := Arm(tc.spec); err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		for i, want := range tc.want {
+			got := Fire("x") == Drop
+			if got != want {
+				t.Fatalf("%s: hit %d fired=%v, want %v", tc.spec, i+1, got, want)
+			}
+		}
+	}
+	Reset()
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []bool {
+		Reset()
+		if err := Arm("x:p=0.5,seed=42:error"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire("x") == Error
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at hit %d", i+1)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestWindowFiresEverythingThenExpires(t *testing.T) {
+	defer Reset()
+	Reset()
+	// After the 2nd hit, fire every hit for 50ms, then disarm.
+	if err := Arm("x:on=2,for=50ms:drop"); err != nil {
+		t.Fatal(err)
+	}
+	if Fire("x") != None {
+		t.Fatal("hit 1 fired before window opened")
+	}
+	if Fire("x") != Drop || Fire("x") != Drop {
+		t.Fatal("hits inside window did not fire")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if Fire("x") != None {
+		t.Fatal("fired after window expired")
+	}
+	st := Snapshot()
+	if len(st) != 1 || !st[0].Expired {
+		t.Fatalf("snapshot = %+v, want expired point", st)
+	}
+}
+
+func TestDelayAndErrorCompose(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm("x:always:delay=30ms,error"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := FireErr("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("FireErr = %v", err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm("x:always:panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Fire("x")
+}
+
+func TestCrashAction(t *testing.T) {
+	defer Reset()
+	Reset()
+	code := -1
+	exit = func(c int) { code = c; panic("exited") }
+	defer func() {
+		exit = os.Exit
+		if recover() == nil {
+			t.Fatal("exit not called")
+		}
+		if code != 7 {
+			t.Fatalf("exit code = %d, want 7", code)
+		}
+	}()
+	if err := Arm("x:on=1:crash=7"); err != nil {
+		t.Fatal(err)
+	}
+	Fire("x")
+}
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	defer Reset()
+	bad := []string{
+		"noparts",
+		"x:always",
+		"x:always:frobnicate",
+		"x:on=0:error",
+		"x:on=x:error",
+		"x:p=2:error",
+		"x:always:crash=9999",
+		"x:always:delay=bogus",
+		":always:error",
+		"x:for=1s:error", // window without a base trigger
+	}
+	for _, spec := range bad {
+		Reset()
+		if err := Arm(spec); err == nil {
+			t.Fatalf("Arm(%q) accepted", spec)
+		}
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	defer Reset()
+	Reset()
+	t.Setenv(EnvVar, "a:on=1:error;b:always:drop")
+	if err := ArmFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if Fire("a") != Error || Fire("b") != Drop {
+		t.Fatal("env-armed points did not fire")
+	}
+	Reset()
+	t.Setenv(EnvVar, "")
+	if err := ArmFromEnv(); err != nil || Enabled() {
+		t.Fatalf("empty env armed something: %v", err)
+	}
+}
+
+// BenchmarkDisarmedFire is the zero-cost claim: a disarmed fault point
+// must be one atomic load, invisible next to any hot path it guards.
+func BenchmarkDisarmedFire(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Fire("spill.append") != None {
+			b.Fatal("fired")
+		}
+	}
+}

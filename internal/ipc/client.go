@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"softmem/internal/core"
+	"softmem/internal/faultinject"
 	"softmem/internal/metrics"
 )
 
@@ -74,6 +75,9 @@ func (c *Client) RegisterMetrics(r *metrics.Registry) {
 // WithDialTimeout); reconnect options only apply to DialResilient.
 func Dial(network, addr, name string, target DemandTarget, opts ...DialOption) (*Client, error) {
 	o := resolveOptions(opts)
+	if err := faultinject.FireErr("ipc.dial"); err != nil {
+		return nil, fmt.Errorf("ipc: dial %s %s: %w", network, addr, err)
+	}
 	var nc net.Conn
 	var err error
 	if o.timeout > 0 {
@@ -91,6 +95,15 @@ func Dial(network, addr, name string, target DemandTarget, opts ...DialOption) (
 			var req DemandReq
 			if err := json.Unmarshal(body, &req); err != nil {
 				return nil, err
+			}
+			switch faultinject.Fire("ipc.demand") {
+			case faultinject.Error:
+				return nil, faultinject.ErrInjected
+			case faultinject.Drop:
+				// Mid-demand disconnect: the daemon issued the demand and
+				// now loses the process before any response arrives.
+				_ = c.conn.Close()
+				return nil, faultinject.ErrInjected
 			}
 			if target == nil {
 				return DemandResp{Released: 0}, nil

@@ -19,6 +19,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"softmem/internal/faultinject"
 )
 
 // ErrClosed reports an operation on a closed connection.
@@ -76,6 +78,12 @@ func (c *Conn) Serve() error {
 		if err != nil {
 			c.teardown()
 			return err
+		}
+		if faultinject.Fire("ipc.frame.read") == faultinject.Drop {
+			// The frame was read off the wire and swallowed: the peer
+			// believes it was delivered, so a dropped response strands its
+			// caller until the call times out or the connection dies.
+			continue
 		}
 		if f.Resp {
 			c.mu.Lock()
@@ -212,6 +220,21 @@ func (c *Conn) writeFrame(f frame) error {
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	switch faultinject.Fire("ipc.frame.write") {
+	case faultinject.Error:
+		return fmt.Errorf("ipc: write frame: %w", faultinject.ErrInjected)
+	case faultinject.Drop:
+		// Lost frame: report success without touching the wire.
+		return nil
+	case faultinject.Short:
+		// Torn frame: the header promises len(payload) bytes but only half
+		// arrive before the connection dies — the peer's io.ReadFull sees
+		// an unexpected EOF, exactly as when a process is killed mid-write.
+		_, _ = c.nc.Write(hdr[:])
+		_, _ = c.nc.Write(payload[:len(payload)/2])
+		_ = c.nc.Close()
+		return fmt.Errorf("ipc: write payload: %w", faultinject.ErrInjected)
+	}
 	if _, err := c.nc.Write(hdr[:]); err != nil {
 		return fmt.Errorf("ipc: write header: %w", err)
 	}

@@ -15,6 +15,7 @@ type dialOptions struct {
 	timeout    time.Duration
 	backoff    time.Duration
 	maxBackoff time.Duration
+	jitterSeed int64
 	logf       func(string, ...any)
 }
 
@@ -48,6 +49,15 @@ func WithBackoff(initial, max time.Duration) DialOption {
 			o.maxBackoff = max
 		}
 	}
+}
+
+// WithJitterSeed fixes the seed of the resilient client's reconnect
+// jitter so tests get reproducible backoff schedules. Zero (the default)
+// seeds from the clock, which is what production wants: when a daemon
+// restart severs every process on the machine at once, distinct seeds
+// are what keep their retries from arriving in lockstep.
+func WithJitterSeed(seed int64) DialOption {
+	return func(o *dialOptions) { o.jitterSeed = seed }
 }
 
 // WithLogf routes connection lifecycle messages (default log.Printf).

@@ -3,6 +3,7 @@ package ipc
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -53,6 +54,9 @@ type Resilient struct {
 	network, addr, name string
 	opt                 dialOptions
 	proc                Process
+	// rng jitters reconnect backoff; only the (single, sequential) watch
+	// goroutine touches it after construction.
+	rng *rand.Rand
 
 	mu     sync.Mutex
 	cli    *Client
@@ -73,6 +77,7 @@ func DialResilient(network, addr, name string, proc Process, opts ...DialOption)
 		return nil, errors.New("ipc: DialResilient needs a Process")
 	}
 	r := &Resilient{network: network, addr: addr, name: name, opt: resolveOptions(opts), proc: proc}
+	r.rng = newJitterRNG(r.opt)
 	cli, err := r.dial()
 	if err != nil {
 		return nil, err
@@ -154,11 +159,33 @@ func (r *Resilient) watch(cli *Client) {
 			go r.watch(next)
 			return
 		}
-		time.Sleep(delay)
+		time.Sleep(r.jitteredSleep(delay))
 		if delay *= 2; delay > r.opt.maxBackoff {
 			delay = r.opt.maxBackoff
 		}
 	}
+}
+
+// newJitterRNG builds the reconnect jitter source: seeded from the
+// option when fixed (deterministic tests), from the clock otherwise.
+func newJitterRNG(o dialOptions) *rand.Rand {
+	seed := o.jitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// jitteredSleep maps one exponential-backoff step to the actual sleep:
+// uniform in [delay/2, delay] (equal jitter). Every process on the
+// machine loses its connection at the same instant when the daemon
+// restarts; without jitter their doubling schedules stay phase-locked
+// and each retry round hits the fresh daemon as one thundering herd.
+func (r *Resilient) jitteredSleep(delay time.Duration) time.Duration {
+	if half := delay / 2; half > 0 {
+		return half + time.Duration(r.rng.Int63n(int64(half)+1))
+	}
+	return delay
 }
 
 // resync re-reserves the process's held soft memory with the daemon. A
@@ -223,6 +250,10 @@ func (r *Resilient) Reconnects() int {
 	defer r.mu.Unlock()
 	return r.reconnects
 }
+
+// ReconnectCount is the canonical name for Reconnects, for tests and
+// metrics surfaces that expect the *Count convention.
+func (r *Resilient) ReconnectCount() int { return r.Reconnects() }
 
 // Connected reports whether a live daemon connection exists right now.
 func (r *Resilient) Connected() bool {

@@ -32,6 +32,7 @@ import (
 
 	"softmem/internal/alloc"
 	"softmem/internal/core"
+	"softmem/internal/faultinject"
 	"softmem/internal/metrics"
 	"softmem/internal/sds"
 	"softmem/internal/spill"
@@ -162,7 +163,7 @@ func New(cfg Config) *Store {
 	}
 	onReclaim := func(key string, value []byte) {
 		s.reclaimed.Add(1)
-		if s.spill != nil {
+		if s.spill != nil && faultinject.Fire("kv.demote") == faultinject.None {
 			// Demote instead of drop: the entry's value moves to disk
 			// (last chance to persist, §3.1) and the TTL deadline stays
 			// so a later promotion still respects expiry.
@@ -170,6 +171,9 @@ func New(cfg Config) *Store {
 			// Tag the demotion onto the active reclaim trace, if any.
 			cfg.SMA.NoteDemand("spill_demote", 1, int64(len(value)))
 		} else {
+			// No spill tier, or the fault point vetoed the demotion (a
+			// revocation whose last-chance persist never happens): the
+			// value is simply gone, which is soft memory's contract.
 			s.ttl.clear(key)
 		}
 		// Synthetic traditional-memory cleanup, per the paper's

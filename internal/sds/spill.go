@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"softmem/internal/core"
+	"softmem/internal/faultinject"
 	"softmem/internal/spill"
 )
 
@@ -27,9 +28,11 @@ type SoftSpillTable struct {
 func NewSoftSpillTable(sma *core.SMA, name string, sink *spill.Sink, cfg HashTableConfig[string]) *SoftSpillTable {
 	user := cfg.OnReclaim
 	cfg.OnReclaim = func(key string, value []byte) {
-		sink.OnReclaim(key, value)
-		// Tag the demotion onto the active reclaim trace, if any.
-		sma.NoteDemand("spill_demote", 1, int64(len(value)))
+		if faultinject.Fire("sds.spill.demote") == faultinject.None {
+			sink.OnReclaim(key, value)
+			// Tag the demotion onto the active reclaim trace, if any.
+			sma.NoteDemand("spill_demote", 1, int64(len(value)))
+		}
 		if user != nil {
 			user(key, value)
 		}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"softmem/internal/core"
+	"softmem/internal/faultinject"
 	"softmem/internal/pages"
 )
 
@@ -395,6 +396,9 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 	d.stats.ReclaimEvents++
 	d.reclaimSeq++
 	rid := d.reclaimSeq
+	// A reclaim cycle has begun: targets are about to be selected. A
+	// crash armed here dies with the cycle ID minted but no demand issued.
+	faultinject.Fire("smd.cycle")
 	cycleStart := time.Now()
 	tr := Trace{ID: rid, Requester: id, ReqName: ps.name, Pages: n, Need: need, Start: cycleStart}
 
@@ -499,6 +503,11 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 			Released: released, DurNs: demandDur.Nanoseconds(), Spans: spans,
 		})
 		d.emitLocked(Event{Kind: EventDemand, Proc: c.id, Name: c.name, Pages: want, Released: released, Trigger: id, ReclaimID: rid})
+		// The chaos suite's kill point: the process has surrendered pages
+		// but the requester's grant has not happened — a crash here leaves
+		// the machine's ledger mid-cycle, and recovery must come entirely
+		// from process-side resync.
+		faultinject.Fire("smd.demand.post")
 	}
 
 	if need > 0 {

@@ -1,0 +1,121 @@
+package spill
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"softmem/internal/faultinject"
+)
+
+// TestTornAppendRecoveredByTruncation drives the acceptance scenario:
+// an injected torn spill write is acknowledged in full, fails CRC on
+// read-back, and a restart truncates the segment to the last valid
+// record — reporting the damage through the corrupt-records metric.
+func TestTornAppendRecoveredByTruncation(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("ns", "good", []byte("survives the crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Arm("spill.append:on=1:short"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("ns", "torn", bytes.Repeat([]byte("x"), 256)); err != nil {
+		t.Fatalf("torn write must be acknowledged (the page cache's lie): %v", err)
+	}
+	faultinject.Reset()
+
+	// In-process, the damage surfaces on first read and is paid once.
+	if _, _, err := st.Get("ns", "torn"); err == nil {
+		t.Fatal("torn record read back clean")
+	}
+	if _, found, _ := st.Get("ns", "torn"); found {
+		t.Fatal("torn record still indexed after a failed read")
+	}
+	if n := st.Stats().CorruptRecords; n == 0 {
+		t.Fatal("corruption not reported via metrics")
+	}
+	st.Close()
+
+	// Restart: recovery truncates the torn tail and counts it.
+	st2, err := Open(Config{Dir: dir, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if n := st2.Stats().CorruptRecords; n != 1 {
+		t.Fatalf("recovery reported %d corrupt records, want 1", n)
+	}
+	v, found, err := st2.Get("ns", "good")
+	if err != nil || !found || string(v) != "survives the crash" {
+		t.Fatalf("record before the tear lost: v=%q found=%v err=%v", v, found, err)
+	}
+	if _, found, _ := st2.Get("ns", "torn"); found {
+		t.Fatal("torn record resurrected by recovery")
+	}
+}
+
+// TestCorruptReadPaidOnce injects bit rot on a read: the CRC must catch
+// it, the index entry must drop so the failure is paid exactly once.
+func TestCorruptReadPaidOnce(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	st, err := Open(Config{Dir: t.TempDir(), CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put("ns", "k", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Arm("spill.read:on=1:corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get("ns", "k"); err == nil {
+		t.Fatal("bit rot not caught by CRC")
+	}
+	if _, found, err := st.Get("ns", "k"); found || err != nil {
+		t.Fatalf("corrupt record not dropped: found=%v err=%v", found, err)
+	}
+	if n := st.Stats().CorruptRecords; n != 1 {
+		t.Fatalf("CorruptRecords = %d, want 1", n)
+	}
+}
+
+// TestSealSyncFaultFailsPut injects an fsync error at segment seal: the
+// Put that forced the rotation must fail and the error must be counted.
+func TestSealSyncFaultFailsPut(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	st, err := Open(Config{Dir: t.TempDir(), SegmentBytes: 512, CompressMin: -1, CompactInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := faultinject.Arm("spill.sync:on=1:error"); err != nil {
+		t.Fatal(err)
+	}
+	sawErr := false
+	for i := 0; i < 64; i++ {
+		if err := st.Put("ns", fmt.Sprintf("k%d", i), bytes.Repeat([]byte("v"), 200)); err != nil {
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("no rotation within 64 puts against a 512-byte segment cap")
+	}
+	if st.Stats().WriteErrors == 0 {
+		t.Fatal("sync failure not counted as a write error")
+	}
+}

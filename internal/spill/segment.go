@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"softmem/internal/faultinject"
 )
 
 // Segment file framing.
@@ -95,6 +97,18 @@ func (sg *segment) appendBytes(b []byte) (int64, error) {
 // caller's job — Get and Take do it after releasing the store mutex so
 // slow decodes never serialize other spill traffic.
 func (sg *segment) readBytes(off int64, length int32) ([]byte, error) {
+	switch faultinject.Fire("spill.read") {
+	case faultinject.Error:
+		return nil, fmt.Errorf("%w: read: %v", ErrCorrupt, faultinject.ErrInjected)
+	case faultinject.Corrupt:
+		buf := make([]byte, length)
+		if _, err := sg.f.ReadAt(buf, off); err != nil {
+			return nil, fmt.Errorf("%w: read: %v", ErrCorrupt, err)
+		}
+		// Bit rot: the record's CRC verification must catch this.
+		buf[len(buf)-1] ^= 0xFF
+		return buf, nil
+	}
 	buf := make([]byte, length)
 	if _, err := sg.f.ReadAt(buf, off); err != nil {
 		return nil, fmt.Errorf("%w: read: %v", ErrCorrupt, err)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"softmem/internal/faultinject"
 	"softmem/internal/metrics"
 )
 
@@ -634,6 +635,22 @@ func (s *Store) appendLocked(buf []byte) (recordLoc, error) {
 			return recordLoc{}, err
 		}
 	}
+	switch faultinject.Fire("spill.append") {
+	case faultinject.Error:
+		return recordLoc{}, fmt.Errorf("spill: append: %w", faultinject.ErrInjected)
+	case faultinject.Short:
+		// Torn write: half the record reaches the file but the append is
+		// acknowledged in full — the page cache's lie when a machine dies
+		// before writeback. The index points at a record whose tail is
+		// zeros; reads fail its CRC and recovery truncates it away.
+		off, err := s.active.appendBytes(buf[:len(buf)/2])
+		if err != nil {
+			return recordLoc{}, fmt.Errorf("spill: append: %w", err)
+		}
+		s.active.size = off + int64(len(buf))
+		s.size += int64(len(buf))
+		return recordLoc{seg: s.active.id, off: off, len: int32(len(buf))}, nil
+	}
 	off, err := s.active.appendBytes(buf)
 	if err != nil {
 		return recordLoc{}, fmt.Errorf("spill: append: %w", err)
@@ -642,8 +659,21 @@ func (s *Store) appendLocked(buf []byte) (recordLoc, error) {
 	return recordLoc{seg: s.active.id, off: off, len: int32(len(buf))}, nil
 }
 
-// rotateLocked seals the active segment and starts a fresh one.
+// rotateLocked seals the active segment and starts a fresh one. Sealing
+// fsyncs the outgoing segment: it will never be written again, so this
+// is the one point where durability is bought once per SegmentBytes
+// instead of once per record.
 func (s *Store) rotateLocked() error {
+	if s.active != nil && s.active.f != nil {
+		err := faultinject.FireErr("spill.sync")
+		if err == nil {
+			err = s.active.f.Sync()
+		}
+		if err != nil {
+			s.m.WriteErrors.Inc()
+			return fmt.Errorf("spill: sync sealed segment: %w", err)
+		}
+	}
 	sg, err := createSegment(s.cfg.Dir, s.nextID)
 	if err != nil {
 		return err
