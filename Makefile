@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-hot metrics-lint fmt-check chaos soak-spill bench experiments cover fmt clean
+.PHONY: all check build vet test race race-hot metrics-lint fmt-check chaos soak-spill bench bench-all experiments cover fmt clean
 
 all: check
 
@@ -60,7 +60,18 @@ experiments:
 stress-paper:
 	$(GO) run ./cmd/softbench -experiment stress -allocs 977000 -extra 500000
 
+# RESP hot-path benchmarks: the zero-allocation parse/reply/dispatch
+# microbenchmarks, then kvbench against an in-process loopback server
+# at pipeline depths 1 and 32. Writes BENCH_kvstore.json with the
+# committed pre-PR baseline embedded, so the before/after comparison
+# survives regeneration.
 bench:
+	$(GO) test ./internal/kvstore -run '^$$' -bench 'BenchmarkParse|BenchmarkReply|BenchmarkDispatchGET' -benchmem
+	$(GO) run ./cmd/kvbench -inproc -conns 1 -requests 400000 -read 1.0 -pipeline 1,32 \
+		-baseline BENCH_kvstore_baseline.json -json BENCH_kvstore.json
+
+# The historical catch-all benchmark sweep.
+bench-all:
 	$(GO) test -bench=. -benchmem
 
 cover:

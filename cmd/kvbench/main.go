@@ -6,41 +6,180 @@
 // Usage:
 //
 //	kvbench -addr 127.0.0.1:6380 -requests 100000 -conns 8 -read 0.9
+//	kvbench -inproc -pipeline 1,32 -json BENCH_kvstore.json
+//
+// -pipeline takes a comma-separated list of depths; each runs the full
+// workload. -inproc spins up a loopback server backed by an unlimited
+// soft-memory store, so CI can measure the RESP hot path with no
+// external process. -json additionally writes the machine-readable
+// result (throughput, latency percentiles, and the parse/reply
+// allocs-per-op probes) to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
+	"testing"
 
+	"softmem/internal/core"
 	"softmem/internal/kvstore"
+	"softmem/internal/pages"
 )
+
+// runJSON is one workload execution in the -json report.
+type runJSON struct {
+	Pipeline   int     `json:"pipeline"`
+	Requests   int     `json:"requests"`
+	Conns      int     `json:"conns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	HitRate    float64 `json:"hit_rate"`
+	GetP50Ns   float64 `json:"get_p50_ns"`
+	GetP99Ns   float64 `json:"get_p99_ns"`
+	SetP50Ns   float64 `json:"set_p50_ns"`
+	SetP99Ns   float64 `json:"set_p99_ns"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// reportJSON is the BENCH_kvstore.json payload for one kvbench
+// invocation.
+type reportJSON struct {
+	Benchmark        string  `json:"benchmark"`
+	ValueBytes       int     `json:"value_bytes"`
+	ReadFraction     float64 `json:"read_fraction"`
+	Keys             uint64  `json:"keys"`
+	Skew             float64 `json:"skew"`
+	ParseAllocsPerOp float64 `json:"parse_allocs_per_op"`
+	ReplyAllocsPerOp float64 `json:"reply_allocs_per_op"`
+	// Baseline is the -baseline file embedded verbatim: the committed
+	// "before" side of a before/after record, so regenerating the
+	// report keeps the comparison.
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+	Runs     []runJSON       `json:"runs"`
+}
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:6380", "softkv server address")
-		conns = flag.Int("conns", 4, "concurrent connections")
-		reqs  = flag.Int("requests", 100000, "total operations")
-		read  = flag.Float64("read", 0.9, "GET fraction (rest are SETs)")
-		keys  = flag.Uint64("keys", 10000, "keyspace size")
-		skew  = flag.Float64("skew", 1.2, "Zipf skew (>1)")
-		value = flag.Int("value", 256, "value size in bytes")
-		seed  = flag.Int64("seed", 1, "workload seed")
+		addr     = flag.String("addr", "127.0.0.1:6380", "softkv server address")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		reqs     = flag.Int("requests", 100000, "total operations")
+		read     = flag.Float64("read", 0.9, "GET fraction (rest are SETs)")
+		keys     = flag.Uint64("keys", 10000, "keyspace size")
+		skew     = flag.Float64("skew", 1.2, "Zipf skew (>1)")
+		value    = flag.Int("value", 256, "value size in bytes")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		pipeline = flag.String("pipeline", "1", "comma-separated pipeline depths to run (1 = no pipelining)")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
+		baseline = flag.String("baseline", "", "JSON file embedded verbatim as the report's baseline field")
+		inproc   = flag.Bool("inproc", false, "benchmark an in-process loopback server instead of -addr")
 	)
 	flag.Parse()
 
-	res, err := kvstore.RunLoad(kvstore.LoadGenConfig{
-		Addr:         *addr,
-		Conns:        *conns,
-		Requests:     *reqs,
-		ReadFraction: *read,
-		Keys:         *keys,
-		Skew:         *skew,
-		ValueBytes:   *value,
-		Seed:         *seed,
-	})
+	depths, err := parseDepths(*pipeline)
 	if err != nil {
 		log.Fatalf("kvbench: %v", err)
 	}
-	res.Fprint(os.Stdout)
+
+	target := *addr
+	if *inproc {
+		sma := core.New(core.Config{Machine: pages.NewPool(0)})
+		store := kvstore.New(kvstore.Config{SMA: sma})
+		defer store.Close()
+		srv := kvstore.NewServer(store, func(string, ...any) {})
+		bound, err := srv.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("kvbench: inproc listen: %v", err)
+		}
+		go func() { _ = srv.Serve() }()
+		defer srv.Close()
+		target = bound.String()
+	}
+
+	var base json.RawMessage
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatalf("kvbench: %v", err)
+		}
+		if !json.Valid(buf) {
+			log.Fatalf("kvbench: -baseline %s is not valid JSON", *baseline)
+		}
+		base = buf
+	}
+
+	report := reportJSON{
+		Benchmark:        "kvstore-resp-hotpath",
+		Baseline:         base,
+		ValueBytes:       *value,
+		ReadFraction:     *read,
+		Keys:             *keys,
+		Skew:             *skew,
+		ParseAllocsPerOp: testing.AllocsPerRun(200, kvstore.ParseProbe()),
+		ReplyAllocsPerOp: testing.AllocsPerRun(200, kvstore.ReplyProbe()),
+	}
+	for _, depth := range depths {
+		res, err := kvstore.RunLoad(kvstore.LoadGenConfig{
+			Addr:         target,
+			Conns:        *conns,
+			Requests:     *reqs,
+			ReadFraction: *read,
+			Keys:         *keys,
+			Skew:         *skew,
+			ValueBytes:   *value,
+			Pipeline:     depth,
+			Seed:         *seed,
+		})
+		if err != nil {
+			log.Fatalf("kvbench: pipeline=%d: %v", depth, err)
+		}
+		fmt.Printf("pipeline=%d ", depth)
+		res.Fprint(os.Stdout)
+		report.Runs = append(report.Runs, runJSON{
+			Pipeline:   depth,
+			Requests:   res.Requests,
+			Conns:      *conns,
+			OpsPerSec:  res.Throughput,
+			HitRate:    res.HitRate(),
+			GetP50Ns:   res.GetLatency.Quantile(0.5),
+			GetP99Ns:   res.GetLatency.Quantile(0.99),
+			SetP50Ns:   res.SetLatency.Quantile(0.5),
+			SetP99Ns:   res.SetLatency.Quantile(0.99),
+			ElapsedSec: res.Elapsed.Seconds(),
+		})
+	}
+	fmt.Printf("allocs/op: parse=%.1f reply=%.1f\n", report.ParseAllocsPerOp, report.ReplyAllocsPerOp)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("kvbench: marshal: %v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			log.Fatalf("kvbench: write %s: %v", *jsonPath, err)
+		}
+	}
+}
+
+func parseDepths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -pipeline depth %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-pipeline needs at least one depth")
+	}
+	return out, nil
 }

@@ -39,6 +39,8 @@ type Context struct {
 	// drainReleased counts them for the demand's accounting.
 	demandDrain   bool
 	drainReleased int
+	// doTx is Do's reusable transaction (guarded by mu); see Do.
+	doTx Tx
 }
 
 // Name returns the context's diagnostic name.
@@ -222,8 +224,11 @@ func (c *Context) Do(fn func(tx *Tx) error) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	tx := &Tx{ctx: c}
-	err := fn(tx)
+	// The Tx is reused across Do calls (guarded by mu) because a fresh
+	// &Tx{} escapes through fn and would put one heap allocation on
+	// every soft-memory operation. fn must not retain it past return.
+	c.doTx = Tx{ctx: c}
+	err := fn(&c.doTx)
 	c.trimHeapLocked()
 	c.mu.Unlock()
 	c.sma.flushTrim()

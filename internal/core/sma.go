@@ -385,6 +385,20 @@ func (s *SMA) ResetBudget(n int) {
 	s.budget.Store(int64(n))
 }
 
+// ShrinkBudget revokes n pages of budget the daemon has harvested as
+// slack, clamping at zero. Without this the SMA would keep allocating
+// against its cached (now stale) budget, silently over-committing the
+// machine by the harvested amount. used may transiently exceed budget
+// afterwards; the next allocation that needs pages then hits the CAS
+// ceiling and renegotiates with the daemon instead of succeeding
+// locally against revoked budget.
+func (s *SMA) ShrinkBudget(n int) {
+	if n <= 0 {
+		return
+	}
+	atomicSubClamp(&s.budget, int64(n))
+}
+
 // VerifyIntegrity checks the SMA's internal accounting invariants and
 // returns a descriptive error on the first violation. Tests and soak
 // harnesses call it after churn; it is cheap enough to call in

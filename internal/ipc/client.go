@@ -43,6 +43,15 @@ type TracedDemandTarget interface {
 	HandleDemandTraced(pages int, reclaimID uint64) (released int, spans []core.DemandSpan, usage *core.Usage)
 }
 
+// BudgetShrinkTarget is the optional extension of DemandTarget for
+// targets that cache their granted budget; *core.SMA satisfies it. The
+// daemon notifies it when a slack harvest revokes budget, keeping the
+// cached ledger coherent. Targets without it silently miss the
+// notification (pre-fix behavior).
+type BudgetShrinkTarget interface {
+	ShrinkBudget(pages int)
+}
+
 // ipcMetrics holds the client's RPC round-trip histograms, one per
 // outbound message kind under a shared metric name.
 type ipcMetrics struct {
@@ -106,6 +115,14 @@ func Dial(network, addr, name string, target DemandTarget, opts ...DialOption) (
 				return nil, faultinject.ErrInjected
 			}
 			if target == nil {
+				return DemandResp{Released: 0}, nil
+			}
+			if req.Shrink > 0 {
+				// Budget-shrink notification: decrement the cached
+				// ledger; nothing is released.
+				if bs, ok := target.(BudgetShrinkTarget); ok {
+					bs.ShrinkBudget(req.Shrink)
+				}
 				return DemandResp{Released: 0}, nil
 			}
 			if tt, ok := target.(TracedDemandTarget); ok {

@@ -88,6 +88,57 @@ func (d *demandRecorder) HandleDemand(pages int) int {
 	return take
 }
 
+// shrinkingRecorder extends demandRecorder with the BudgetShrinkTarget
+// optional interface, mirroring how *core.SMA caches its budget.
+type shrinkingRecorder struct {
+	demandRecorder
+	shrinks []int
+}
+
+func (d *shrinkingRecorder) ShrinkBudget(pages int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.shrinks = append(d.shrinks, pages)
+}
+
+// TestShrinkNotificationFlowsToClient drives a slack harvest through
+// the socket transport: the daemon-side connTarget must turn the
+// harvest into a zero-page shrink demand, and the client must route it
+// to the target's ShrinkBudget — the wire half of the budget-coherence
+// fix.
+func TestShrinkNotificationFlowsToClient(t *testing.T) {
+	_, addr := startServer(t, smd.Config{TotalPages: 100, ReclaimFactor: 1.0})
+	victim := &shrinkingRecorder{}
+	vcli, err := Dial("tcp", addr, "victim", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vcli.Close()
+	// 80 granted, 30 used: 50 pages of slack the daemon may harvest.
+	if g, err := vcli.RequestBudget(80, core.Usage{UsedPages: 30}); err != nil || g != 80 {
+		t.Fatalf("victim setup: %d, %v", g, err)
+	}
+
+	needy, err := Dial("tcp", addr, "needy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer needy.Close()
+	// 20 free + 30 of the victim's slack covers the request without any
+	// reclamation demand.
+	if g, err := needy.RequestBudget(50, core.Usage{}); err != nil || g != 50 {
+		t.Fatalf("needy RequestBudget = %d, %v", g, err)
+	}
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	if len(victim.shrinks) != 1 || victim.shrinks[0] != 30 {
+		t.Fatalf("victim shrink notifications = %v, want [30]", victim.shrinks)
+	}
+	if len(victim.demands) != 0 {
+		t.Fatalf("slack-covered harvest sent a reclamation demand: %v", victim.demands)
+	}
+}
+
 func TestDemandFlowsToClient(t *testing.T) {
 	_, addr := startServer(t, smd.Config{TotalPages: 100, ReclaimFactor: 1.0})
 	victim := &demandRecorder{avail: 80}

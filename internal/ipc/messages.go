@@ -41,10 +41,15 @@ type UsageReq struct {
 // DemandReq asks a process to release pages. ReclaimID carries the
 // daemon's reclaim-cycle identifier (0 = untraced) so the process can
 // attribute its reclaim work — SDS callbacks, spill demotions — to the
-// cycle; both fields are omitempty-compatible with older peers.
+// cycle. Shrink > 0 turns the message into a budget-shrink
+// notification instead: the daemon harvested that many pages of the
+// process's slack and the process must decrement its cached budget
+// (nothing is released; Pages is 0). All non-Pages fields are
+// omitempty-compatible with older peers.
 type DemandReq struct {
 	Pages     int    `json:"pages"`
 	ReclaimID uint64 `json:"reclaim_id,omitempty"`
+	Shrink    int    `json:"shrink,omitempty"`
 }
 
 // DemandResp reports pages actually released, plus the process-side

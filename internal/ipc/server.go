@@ -126,7 +126,18 @@ func (t *connTarget) HandleDemandTraced(pages int, reclaimID uint64) (int, []cor
 	return resp.Released, resp.Spans, resp.Usage
 }
 
+// ShrinkBudget implements smd.BudgetShrinker over the wire: a slack
+// harvest becomes a zero-page demand carrying the shrink amount, so the
+// process's cached budget ledger stays coherent with the daemon's. A
+// dead or hung peer misses the notification; its unregistration returns
+// the budget anyway.
+func (t *connTarget) ShrinkBudget(pages int) {
+	var resp DemandResp
+	_ = t.conn.CallTimeout(KindDemand, DemandReq{Shrink: pages}, &resp, t.timeout)
+}
+
 var _ smd.TracedTarget = (*connTarget)(nil)
+var _ smd.BudgetShrinker = (*connTarget)(nil)
 
 // serveConn drives one process's session.
 func (s *Server) serveConn(nc net.Conn) {

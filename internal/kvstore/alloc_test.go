@@ -1,0 +1,110 @@
+//go:build !race
+
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+// These tests pin the steady-state RESP parse and reply paths at zero
+// heap allocations per operation — the tentpole property the hot-path
+// rework exists to provide. They are excluded under -race because race
+// instrumentation itself allocates.
+
+func TestParseZeroAllocs(t *testing.T) {
+	probe := ParseProbe()
+	if n := testing.AllocsPerRun(200, probe); n != 0 {
+		t.Fatalf("parse path allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestReplyZeroAllocs(t *testing.T) {
+	probe := ReplyProbe()
+	if n := testing.AllocsPerRun(200, probe); n != 0 {
+		t.Fatalf("reply path allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestDispatchZeroAllocsGET pins the whole server-side GET hot path
+// (parse + dispatch + reply) minus the store lookup's own allocations
+// at the documented floor: the only allocation is the key's
+// string(args[1]) conversion inside dispatch.
+func TestDispatchZeroAllocsGET(t *testing.T) {
+	st, _ := newStore(t, 0)
+	if err := st.Set("bench-key", bytes.Repeat([]byte("v"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st, func(string, ...any) {})
+	payload := appendCommand(nil, "GET", "bench-key")
+	rd := bytes.NewReader(payload)
+	cr := newCmdReader(bufio.NewReader(rd))
+	rw := newRespWriter(bufio.NewWriterSize(io.Discard, 4096))
+	n := testing.AllocsPerRun(200, func() {
+		rd.Reset(payload)
+		cr.lr.r.Reset(rd)
+		args, err := cr.ReadCommand()
+		if err != nil {
+			panic(err)
+		}
+		srv.execute(rw, args)
+		if err := rw.flush(); err != nil {
+			panic(err)
+		}
+	})
+	// The value comes out of the store via GetAppend into the
+	// connection's scratch, so the whole round trip's only allocation
+	// is the key's string(args[1]) conversion.
+	if n > 1 {
+		t.Fatalf("GET round trip allocates %.1f allocs/op, want <= 1", n)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	probe := ParseProbe()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		probe()
+	}
+}
+
+func BenchmarkReply(b *testing.B) {
+	probe := ReplyProbe()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		probe()
+	}
+}
+
+func BenchmarkDispatchGET(b *testing.B) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(Config{SMA: sma})
+	b.Cleanup(st.Close)
+	if err := st.Set("bench-key", bytes.Repeat([]byte("v"), 256)); err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(st, func(string, ...any) {})
+	payload := appendCommand(nil, "GET", "bench-key")
+	rd := bytes.NewReader(payload)
+	cr := newCmdReader(bufio.NewReader(rd))
+	rw := newRespWriter(bufio.NewWriterSize(io.Discard, 4096))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(payload)
+		cr.lr.r.Reset(rd)
+		args, err := cr.ReadCommand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.execute(rw, args)
+		if err := rw.flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

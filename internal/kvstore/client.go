@@ -5,18 +5,19 @@ import (
 	"fmt"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 )
 
 // Client is a minimal RESP client for the Server, used by the examples
-// and integration tests. It pipelines nothing: one request, one reply.
-// Safe for concurrent use (calls serialize).
+// and integration tests. Single calls are one request, one reply; use
+// Pipeline to batch many commands into one write. Safe for concurrent
+// use (calls serialize).
 type Client struct {
-	mu sync.Mutex
-	nc net.Conn
-	r  *bufio.Reader
-	w  *bufio.Writer
+	mu  sync.Mutex
+	nc  net.Conn
+	rr  replyReader
+	w   *bufio.Writer
+	enc []byte // request encoding scratch, reused across calls
 }
 
 // DialClient connects to a kvstore server.
@@ -25,25 +26,30 @@ func DialClient(network, addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: dial: %w", err)
 	}
-	return &Client{nc: nc, r: bufio.NewReader(nc), w: bufio.NewWriter(nc)}, nil
+	return &Client{
+		nc: nc,
+		rr: replyReader{lr: lineReader{r: bufio.NewReaderSize(nc, connBufSize)}},
+		w:  bufio.NewWriterSize(nc, connBufSize),
+	}, nil
 }
 
-// do sends one command as a RESP array and reads the reply.
+// do sends one command as a RESP array and reads the reply. The value
+// is a caller-owned copy (it must survive past the mutex).
 func (c *Client) do(args ...string) ([]byte, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.w.WriteString("*" + strconv.Itoa(len(args)) + "\r\n"); err != nil {
+	c.enc = appendCommand(c.enc[:0], args...)
+	if _, err := c.w.Write(c.enc); err != nil {
 		return nil, false, err
-	}
-	for _, a := range args {
-		if _, err := c.w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n" + a + "\r\n"); err != nil {
-			return nil, false, err
-		}
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, false, err
 	}
-	return readReply(c.r)
+	v, ok, err := c.rr.read()
+	if v != nil {
+		v = append([]byte(nil), v...)
+	}
+	return v, ok, err
 }
 
 // Ping checks liveness.
@@ -93,33 +99,27 @@ func (c *Client) MGet(keys ...string) ([]Value, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	args := append([]string{"MGET"}, keys...)
-	if _, err := c.w.WriteString("*" + strconv.Itoa(len(args)) + "\r\n"); err != nil {
+	c.enc = appendCommand(c.enc[:0], append([]string{"MGET"}, keys...)...)
+	if _, err := c.w.Write(c.enc); err != nil {
 		return nil, err
-	}
-	for _, a := range args {
-		if _, err := c.w.WriteString("$" + strconv.Itoa(len(a)) + "\r\n" + a + "\r\n"); err != nil {
-			return nil, err
-		}
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
-	hdr, err := c.r.ReadString('\n')
+	hdr, err := c.rr.lr.readLine()
 	if err != nil {
 		return nil, err
 	}
-	hdr = strings.TrimRight(hdr, "\r\n")
 	if len(hdr) == 0 || hdr[0] != '*' {
 		return nil, fmt.Errorf("kvstore: expected array reply, got %q", hdr)
 	}
-	n, err := strconv.Atoi(hdr[1:])
-	if err != nil || n < 0 {
+	n, convOK := asciiInt(hdr[1:])
+	if !convOK || n < 0 {
 		return nil, fmt.Errorf("kvstore: bad array header %q", hdr)
 	}
 	out := make([]Value, 0, n)
 	for i := 0; i < n; i++ {
-		v, ok, err := readReply(c.r)
+		v, ok, err := c.rr.read()
 		if err != nil {
 			return nil, err
 		}
@@ -184,6 +184,60 @@ func (c *Client) Info() (string, error) {
 func (c *Client) FlushAll() error {
 	_, _, err := c.do("FLUSHALL")
 	return err
+}
+
+// Pipeline accumulates commands and sends them in one batch, reading
+// the replies in order — the client-side half of the server's flush
+// coalescing. Not safe for concurrent use; Exec serializes against the
+// owning client's other calls.
+type Pipeline struct {
+	c   *Client
+	buf []byte
+	n   int
+}
+
+// Pipeline returns a reusable batch bound to c.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Command queues one command. Nothing is written until Exec.
+func (p *Pipeline) Command(args ...string) {
+	p.buf = appendCommand(p.buf, args...)
+	p.n++
+}
+
+// Len reports how many commands are queued.
+func (p *Pipeline) Len() int { return p.n }
+
+// Exec writes every queued command in a single batch, then streams each
+// reply to fn in queue order and resets the pipeline for reuse. The
+// value passed to fn aliases the client's scratch and is only valid for
+// the duration of the callback. Per-command server errors arrive as a
+// ReplyError and do not stop the batch; transport or protocol failures
+// abort and are returned.
+func (p *Pipeline) Exec(fn func(i int, value []byte, ok bool, err error)) error {
+	c := p.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(p.buf); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	for i := 0; i < p.n; i++ {
+		v, ok, err := c.rr.read()
+		if err != nil {
+			if _, isReply := err.(ReplyError); !isReply {
+				return err
+			}
+		}
+		if fn != nil {
+			fn(i, v, ok, err)
+		}
+	}
+	p.buf = p.buf[:0]
+	p.n = 0
+	return nil
 }
 
 // Close tears down the connection.

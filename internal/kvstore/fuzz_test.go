@@ -18,14 +18,17 @@ func FuzzReadCommand(f *testing.F) {
 	f.Add([]byte("*2\r\n$3\r\nGET\r\n$1000000000\r\nx\r\n"))
 	f.Add([]byte("\r\n\r\n\r\n"))
 	f.Add([]byte{0xff, 0x00, '*', '9'})
+	// A long newline-free stream must hit the line cap, not grow memory
+	// without bound.
+	f.Add(bytes.Repeat([]byte{'A'}, maxLine+100))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r := bufio.NewReader(bytes.NewReader(data))
+		cr := newCmdReader(bufio.NewReader(bytes.NewReader(data)))
 		for i := 0; i < 8; i++ { // parse a few commands per input
-			args, err := readCommand(r)
+			args, err := cr.ReadCommand()
 			if err != nil {
 				return
 			}
-			if len(args) > 1024 {
+			if len(args) > maxArgs {
 				t.Fatalf("parser returned %d args", len(args))
 			}
 		}
@@ -62,14 +65,18 @@ func FuzzServerCommand(f *testing.F) {
 	f.Fuzz(func(t *testing.T, line string) {
 		st, _ := newStore(t, 64)
 		srv := NewServer(st, func(string, ...any) {})
-		args := strings.Fields(line)
-		if len(args) == 0 {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
 			return
 		}
+		args := make([][]byte, len(fields))
+		for i, a := range fields {
+			args[i] = []byte(a)
+		}
 		var out bytes.Buffer
-		w := bufio.NewWriter(&out)
-		srv.execute(w, args)
-		w.Flush()
+		rw := newRespWriter(bufio.NewWriter(&out))
+		srv.execute(rw, args)
+		rw.flush()
 		if out.Len() == 0 {
 			t.Fatal("command produced no reply")
 		}

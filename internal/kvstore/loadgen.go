@@ -11,7 +11,10 @@ import (
 )
 
 // LoadGenConfig parameterizes a YCSB-style workload against a kvstore
-// server.
+// server. Numeric fields treat a negative value as "use the default";
+// zero is an honored, explicit setting where it is meaningful
+// (ReadFraction: 0 is a write-only workload, Skew: 0 asks for the
+// default because the Zipf parameter must be > 1).
 type LoadGenConfig struct {
 	// Addr is the server's RESP address.
 	Addr string
@@ -19,21 +22,36 @@ type LoadGenConfig struct {
 	Conns int
 	// Requests is the total operation count. Default 10000.
 	Requests int
-	// ReadFraction is the GET share; the rest are SETs. Default 0.9.
+	// ReadFraction is the GET share in [0, 1]; the rest are SETs.
+	// Negative means the default, 0.9. An explicit 0 is honored as a
+	// write-only workload.
 	ReadFraction float64
 	// Keys is the keyspace size; keys are Zipf-distributed. Default
 	// 10000.
 	Keys uint64
-	// Skew is the Zipf parameter (>1). Default 1.2.
+	// Skew is the Zipf parameter and must be > 1; values in (0, 1] are
+	// rejected rather than silently rewritten. Zero or negative means
+	// the default, 1.2.
 	Skew float64
 	// ValueBytes is the SET payload size. Default 256.
 	ValueBytes int
+	// Pipeline is the number of commands batched per round-trip on each
+	// connection. Values <= 1 mean no pipelining (one request, one
+	// reply).
+	Pipeline int
 	// RefillOnMiss re-SETs a key after a GET miss, modelling a cache in
 	// front of a database. Default true (set NoRefill to disable).
 	NoRefill bool
 	// Seed drives the key streams.
 	Seed int64
 }
+
+// DefaultReadFraction and DefaultSkew are what negative (and, for Skew,
+// zero) config values resolve to.
+const (
+	DefaultReadFraction = 0.9
+	DefaultSkew         = 1.2
+)
 
 func (c *LoadGenConfig) setDefaults() {
 	if c.Conns <= 0 {
@@ -42,18 +60,33 @@ func (c *LoadGenConfig) setDefaults() {
 	if c.Requests <= 0 {
 		c.Requests = 10000
 	}
-	if c.ReadFraction <= 0 {
-		c.ReadFraction = 0.9
+	if c.ReadFraction < 0 {
+		c.ReadFraction = DefaultReadFraction
 	}
 	if c.Keys == 0 {
 		c.Keys = 10000
 	}
-	if c.Skew <= 1 {
-		c.Skew = 1.2
+	if c.Skew <= 0 {
+		c.Skew = DefaultSkew
 	}
 	if c.ValueBytes <= 0 {
 		c.ValueBytes = 256
 	}
+	if c.Pipeline < 1 {
+		c.Pipeline = 1
+	}
+}
+
+// validate rejects settings the generator cannot honor. It runs after
+// setDefaults, so only explicit out-of-range values reach it.
+func (c *LoadGenConfig) validate() error {
+	if c.ReadFraction > 1 {
+		return fmt.Errorf("kvstore: ReadFraction %v out of range [0, 1]", c.ReadFraction)
+	}
+	if c.Skew <= 1 {
+		return fmt.Errorf("kvstore: Zipf skew %v must be > 1", c.Skew)
+	}
+	return nil
 }
 
 // LoadGenResult summarizes a workload run.
@@ -65,7 +98,8 @@ type LoadGenResult struct {
 	Sets       int64
 	Hits       int64
 	Misses     int64
-	// GetLatency and SetLatency are in nanoseconds.
+	// GetLatency and SetLatency are in nanoseconds. Under pipelining
+	// each operation observes its batch's round-trip time.
 	GetLatency *metrics.Histogram
 	SetLatency *metrics.Histogram
 }
@@ -92,6 +126,58 @@ func (r LoadGenResult) Fprint(w io.Writer) {
 
 func nsDur(ns float64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
 
+// connTallies carries one connection's op counts back to the
+// aggregator.
+type connTallies struct {
+	gets, sets, hits, misses int64
+}
+
+// genOp is one pregenerated operation.
+type genOp struct {
+	key   string
+	isGet bool
+}
+
+// maxKeyTable bounds the precomputed key-name table; larger keyspaces
+// fall back to formatting keys during generation.
+const maxKeyTable = 1 << 20
+
+// keyNames precomputes the formatted key strings for small keyspaces so
+// every occurrence of a key shares one string instead of reformatting
+// it per operation.
+func keyNames(keys uint64) []string {
+	if keys == 0 || keys > maxKeyTable {
+		return nil
+	}
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = trace.Key(uint64(i))
+	}
+	return names
+}
+
+// genOps synthesizes one connection's operation sequence. Workload
+// synthesis (Zipf sampling and key formatting) runs before RunLoad
+// starts its clock, so the measurement covers client/server protocol
+// work rather than generator arithmetic — on small machines the Zipf
+// exp/log and fmt calls otherwise dominate the timed region.
+func genOps(cfg LoadGenConfig, id, n int, names []string) []genOp {
+	keys := trace.NewZipfKeys(cfg.Seed+int64(id), cfg.Keys, cfg.Skew)
+	opPick := trace.NewUniformKeys(cfg.Seed+1000+int64(id), 1000)
+	ops := make([]genOp, n)
+	for i := range ops {
+		k := keys.Next()
+		var name string
+		if names != nil {
+			name = names[k]
+		} else {
+			name = trace.Key(k)
+		}
+		ops[i] = genOp{key: name, isGet: float64(opPick.Next()) < cfg.ReadFraction*1000}
+	}
+	return ops
+}
+
 // RunLoad drives the configured workload and reports latency and hit
 // statistics. It is the measurement harness behind cmd/kvbench.
 func RunLoad(cfg LoadGenConfig) (LoadGenResult, error) {
@@ -101,10 +187,18 @@ func RunLoad(cfg LoadGenConfig) (LoadGenResult, error) {
 		GetLatency: metrics.NewHistogram(1.1),
 		SetLatency: metrics.NewHistogram(1.1),
 	}
-	var gets, sets, hits, misses int64
+	if err := cfg.validate(); err != nil {
+		return res, err
+	}
+	var total connTallies
 	var mu sync.Mutex
 
 	perConn := cfg.Requests / cfg.Conns
+	names := keyNames(cfg.Keys)
+	streams := make([][]genOp, cfg.Conns)
+	for c := range streams {
+		streams[c] = genOps(cfg, c, perConn, names)
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.Conns)
 	start := time.Now()
@@ -118,50 +212,21 @@ func RunLoad(cfg LoadGenConfig) (LoadGenResult, error) {
 				return
 			}
 			defer cli.Close()
-			keys := trace.NewZipfKeys(cfg.Seed+int64(id), cfg.Keys, cfg.Skew)
-			opPick := trace.NewUniformKeys(cfg.Seed+1000+int64(id), 1000)
-			value := string(make([]byte, cfg.ValueBytes))
-			var g, s, h, m int64
-			for i := 0; i < perConn; i++ {
-				key := trace.Key(keys.Next())
-				if float64(opPick.Next()) < cfg.ReadFraction*1000 {
-					g++
-					t0 := time.Now()
-					_, ok, err := cli.Get(key)
-					res.GetLatency.ObserveDuration(time.Since(t0))
-					if err != nil {
-						errs <- err
-						return
-					}
-					if ok {
-						h++
-						continue
-					}
-					m++
-					if !cfg.NoRefill {
-						s++
-						t0 = time.Now()
-						if err := cli.Set(key, value); err != nil {
-							errs <- err
-							return
-						}
-						res.SetLatency.ObserveDuration(time.Since(t0))
-					}
-				} else {
-					s++
-					t0 := time.Now()
-					if err := cli.Set(key, value); err != nil {
-						errs <- err
-						return
-					}
-					res.SetLatency.ObserveDuration(time.Since(t0))
-				}
+			var t connTallies
+			if cfg.Pipeline > 1 {
+				err = runConnPipelined(cli, cfg, streams[id], &res, &t)
+			} else {
+				err = runConnSerial(cli, cfg, streams[id], &res, &t)
+			}
+			if err != nil {
+				errs <- err
+				return
 			}
 			mu.Lock()
-			gets += g
-			sets += s
-			hits += h
-			misses += m
+			total.gets += t.gets
+			total.sets += t.sets
+			total.hits += t.hits
+			total.misses += t.misses
 			mu.Unlock()
 		}(c)
 	}
@@ -171,9 +236,118 @@ func RunLoad(cfg LoadGenConfig) (LoadGenResult, error) {
 		return res, err
 	}
 	res.Elapsed = time.Since(start)
-	res.Gets, res.Sets, res.Hits, res.Misses = gets, sets, hits, misses
+	res.Gets, res.Sets, res.Hits, res.Misses = total.gets, total.sets, total.hits, total.misses
 	if res.Elapsed > 0 {
-		res.Throughput = float64(gets+sets) / res.Elapsed.Seconds()
+		res.Throughput = float64(total.gets+total.sets) / res.Elapsed.Seconds()
 	}
 	return res, nil
+}
+
+// runConnSerial is the one-request-one-reply path, preserving true
+// per-op latency.
+func runConnSerial(cli *Client, cfg LoadGenConfig, ops []genOp, res *LoadGenResult, t *connTallies) error {
+	value := string(make([]byte, cfg.ValueBytes))
+	for _, o := range ops {
+		if o.isGet {
+			t.gets++
+			t0 := time.Now()
+			_, ok, err := cli.Get(o.key)
+			res.GetLatency.ObserveDuration(time.Since(t0))
+			if err != nil {
+				return err
+			}
+			if ok {
+				t.hits++
+				continue
+			}
+			t.misses++
+			if !cfg.NoRefill {
+				t.sets++
+				t0 = time.Now()
+				if err := cli.Set(o.key, value); err != nil {
+					return err
+				}
+				res.SetLatency.ObserveDuration(time.Since(t0))
+			}
+		} else {
+			t.sets++
+			t0 := time.Now()
+			if err := cli.Set(o.key, value); err != nil {
+				return err
+			}
+			res.SetLatency.ObserveDuration(time.Since(t0))
+		}
+	}
+	return nil
+}
+
+// runConnPipelined batches cfg.Pipeline commands per round-trip.
+// GET-miss refills are queued into the next batch (they are extra
+// operations on top of perConn, as in the serial path). Each op records
+// the whole batch's round-trip time, which is the latency a pipelining
+// client actually experiences.
+func runConnPipelined(cli *Client, cfg LoadGenConfig, ops []genOp, res *LoadGenResult, t *connTallies) error {
+	value := string(make([]byte, cfg.ValueBytes))
+	pl := cli.Pipeline()
+
+	batch := make([]genOp, 0, cfg.Pipeline)
+	var refills []string
+	next := 0
+	for next < len(ops) || len(refills) > 0 {
+		batch = batch[:0]
+		for _, k := range refills {
+			batch = append(batch, genOp{isGet: false, key: k})
+			pl.Command("SET", k, value)
+		}
+		refills = refills[:0]
+		for len(batch) < cfg.Pipeline && next < len(ops) {
+			o := ops[next]
+			next++
+			batch = append(batch, o)
+			if o.isGet {
+				pl.Command("GET", o.key)
+			} else {
+				pl.Command("SET", o.key, value)
+			}
+		}
+		var opErr error
+		t0 := time.Now()
+		err := pl.Exec(func(i int, _ []byte, ok bool, err error) {
+			if err != nil && opErr == nil {
+				opErr = err
+				return
+			}
+			if batch[i].isGet {
+				t.gets++
+				if ok {
+					t.hits++
+				} else {
+					t.misses++
+					if !cfg.NoRefill {
+						refills = append(refills, batch[i].key)
+					}
+				}
+			} else {
+				t.sets++
+			}
+		})
+		rtt := time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if opErr != nil {
+			return opErr
+		}
+		var batchGets, batchSets int64
+		for _, o := range batch {
+			if o.isGet {
+				batchGets++
+			} else {
+				batchSets++
+			}
+		}
+		res.GetLatency.ObserveDurationN(rtt, batchGets)
+		res.SetLatency.ObserveDurationN(rtt, batchSets)
+	}
+	return nil
 }

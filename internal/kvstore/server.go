@@ -7,14 +7,17 @@ import (
 	"log"
 	"net"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"softmem/internal/pages"
 )
+
+// connBufSize sizes each connection's read and write buffers. Large
+// enough that a deep pipeline batch usually fits in one read and its
+// replies coalesce into one write.
+const connBufSize = 16 << 10
 
 // Server exposes a Store over the RESP protocol. Mutations serialize
 // inside the Store (the paper's Redis is single-threaded); the server
@@ -25,6 +28,10 @@ type Server struct {
 	// met holds the per-command latency instruments once RegisterMetrics
 	// has run; nil skips timing.
 	met atomic.Pointer[cmdMetrics]
+	// flushCoalesced counts replies whose flush was deferred because more
+	// pipelined input was already buffered — each is a write syscall the
+	// coalescing policy saved.
+	flushCoalesced atomic.Int64
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -112,108 +119,158 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// serveConn runs one connection's read-execute-reply loop. Flushes are
+// coalesced: after a command, the reply buffer is only flushed when no
+// further pipelined input is already buffered, so a burst of N
+// pipelined commands costs one write syscall instead of N. Input still
+// in the kernel socket buffer (not yet pulled into the bufio.Reader)
+// does not defer a flush — the client is guaranteed a response batch no
+// later than the moment the reader would block.
 func (s *Server) serveConn(nc net.Conn) {
 	defer nc.Close()
-	r := bufio.NewReader(nc)
-	w := bufio.NewWriter(nc)
+	cr := newCmdReader(bufio.NewReaderSize(nc, connBufSize))
+	rw := newRespWriter(bufio.NewWriterSize(nc, connBufSize))
 	for {
-		args, err := readCommand(r)
+		args, err := cr.ReadCommand()
 		if err != nil {
 			return // EOF or protocol failure: drop the connection
 		}
 		if len(args) == 0 {
 			continue
 		}
-		quit := s.execute(w, args)
-		if err := w.Flush(); err != nil {
-			return
-		}
-		if quit {
-			return
+		quit := s.execute(rw, args)
+		if quit || cr.buffered() == 0 {
+			if err := rw.flush(); err != nil {
+				return
+			}
+			if quit {
+				return
+			}
+		} else {
+			s.flushCoalesced.Add(1)
 		}
 	}
 }
 
-// execute runs one command, writing its reply. It reports whether the
-// connection should close.
-func (s *Server) execute(w *bufio.Writer, args []string) (quit bool) {
-	cmd := strings.ToUpper(args[0])
-	if m := s.met.Load(); m != nil {
-		t0 := time.Now()
-		defer func() { m.observe(cmd, time.Since(t0)) }()
+// commandNames interns the canonical uppercase command names so dispatch
+// can map a case-folded byte-slice command to one shared string without
+// allocating (the m[string(b)] lookup compiles without a copy).
+var commandNames = func() map[string]string {
+	m := make(map[string]string, len(knownCommands))
+	for c := range knownCommands {
+		m[c] = c
 	}
+	return m
+}()
+
+// canonicalCommand resolves args[0] to its canonical uppercase name
+// ("" when unknown) without mutating the argument or allocating.
+func canonicalCommand(name []byte) string {
+	var up [32]byte // longer than every known command
+	if len(name) > len(up) {
+		return ""
+	}
+	for i, c := range name {
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		up[i] = c
+	}
+	return commandNames[string(up[:len(name)])]
+}
+
+// execute runs one command, writing its reply, and reports whether the
+// connection should close. The argument slices are owned by the caller's
+// cmdReader and are only valid for the duration of the call: values are
+// copied into soft memory by the store, and keys are copied by their
+// string conversion at each store call site.
+func (s *Server) execute(rw *respWriter, args [][]byte) (quit bool) {
+	cmd := canonicalCommand(args[0])
+	m := s.met.Load()
+	if m == nil {
+		return s.dispatch(rw, cmd, args)
+	}
+	t0 := time.Now()
+	quit = s.dispatch(rw, cmd, args)
+	m.observe(cmd, time.Since(t0))
+	return quit
+}
+
+func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool) {
 	switch cmd {
 	case "PING":
-		writeSimple(w, "PONG")
+		rw.simple("PONG")
 	case "QUIT":
-		writeSimple(w, "OK")
+		rw.simple("OK")
 		return true
 	case "SET":
 		if len(args) != 3 {
-			writeError(w, "wrong number of arguments for 'set'")
+			rw.error("wrong number of arguments for 'set'")
 			return false
 		}
-		if err := s.store.Set(args[1], []byte(args[2])); err != nil {
-			writeError(w, "soft memory exhausted: "+err.Error())
+		if err := s.store.Set(string(args[1]), args[2]); err != nil {
+			rw.error("soft memory exhausted: " + err.Error())
 			return false
 		}
-		writeSimple(w, "OK")
+		rw.simple("OK")
 	case "GET":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'get'")
+			rw.error("wrong number of arguments for 'get'")
 			return false
 		}
-		v, ok, err := s.store.Get(args[1])
+		v, ok, err := s.store.GetAppend(rw.val[:0], string(args[1]))
+		rw.val = v[:0]
 		switch {
 		case err != nil:
-			writeError(w, err.Error())
+			rw.error(err.Error())
 		case !ok:
-			writeNil(w)
+			rw.nilReply()
 		default:
-			writeBulk(w, v)
+			rw.bulk(v)
 		}
 	case "MSET":
 		if len(args) < 3 || len(args)%2 != 1 {
-			writeError(w, "wrong number of arguments for 'mset'")
+			rw.error("wrong number of arguments for 'mset'")
 			return false
 		}
 		for i := 1; i < len(args); i += 2 {
-			if err := s.store.Set(args[i], []byte(args[i+1])); err != nil {
-				writeError(w, "soft memory exhausted: "+err.Error())
+			if err := s.store.Set(string(args[i]), args[i+1]); err != nil {
+				rw.error("soft memory exhausted: " + err.Error())
 				return false
 			}
 		}
-		writeSimple(w, "OK")
+		rw.simple("OK")
 	case "MGET":
 		if len(args) < 2 {
-			writeError(w, "wrong number of arguments for 'mget'")
+			rw.error("wrong number of arguments for 'mget'")
 			return false
 		}
-		writeArrayHeader(w, len(args)-1)
+		rw.arrayHeader(len(args) - 1)
 		for _, k := range args[1:] {
-			v, ok, err := s.store.Get(k)
+			v, ok, err := s.store.GetAppend(rw.val[:0], string(k))
+			rw.val = v[:0]
 			if err != nil || !ok {
-				writeNil(w)
+				rw.nilReply()
 				continue
 			}
-			writeBulk(w, v)
+			rw.bulk(v)
 		}
 	case "INCR", "DECR", "INCRBY", "DECRBY":
-		delta := int64(1)
+		delta := 1
 		switch {
 		case cmd == "INCR" || cmd == "DECR":
 			if len(args) != 2 {
-				writeError(w, "wrong number of arguments")
+				rw.error("wrong number of arguments")
 				return false
 			}
 		default:
 			if len(args) != 3 {
-				writeError(w, "wrong number of arguments")
+				rw.error("wrong number of arguments")
 				return false
 			}
-			n, err := strconv.ParseInt(args[2], 10, 64)
-			if err != nil {
-				writeError(w, "value is not an integer or out of range")
+			n, ok := asciiInt(args[2])
+			if !ok {
+				rw.error("value is not an integer or out of range")
 				return false
 			}
 			delta = n
@@ -221,201 +278,201 @@ func (s *Server) execute(w *bufio.Writer, args []string) (quit bool) {
 		if cmd == "DECR" || cmd == "DECRBY" {
 			delta = -delta
 		}
-		n, err := s.store.Incr(args[1], delta)
+		n, err := s.store.Incr(string(args[1]), int64(delta))
 		if err != nil {
-			writeError(w, err.Error())
+			rw.error(err.Error())
 			return false
 		}
-		writeInt(w, n)
+		rw.integer(n)
 	case "APPEND":
 		if len(args) != 3 {
-			writeError(w, "wrong number of arguments for 'append'")
+			rw.error("wrong number of arguments for 'append'")
 			return false
 		}
-		n, err := s.store.Append(args[1], []byte(args[2]))
+		n, err := s.store.Append(string(args[1]), args[2])
 		if err != nil {
-			writeError(w, err.Error())
+			rw.error(err.Error())
 			return false
 		}
-		writeInt(w, int64(n))
+		rw.integer(int64(n))
 	case "EXPIRE":
 		if len(args) != 3 {
-			writeError(w, "wrong number of arguments for 'expire'")
+			rw.error("wrong number of arguments for 'expire'")
 			return false
 		}
-		secs, err := strconv.ParseInt(args[2], 10, 64)
-		if err != nil || secs < 0 {
-			writeError(w, "invalid expire time")
+		secs, ok := asciiInt(args[2])
+		if !ok || secs < 0 {
+			rw.error("invalid expire time")
 			return false
 		}
-		if s.store.Expire(args[1], time.Duration(secs)*time.Second) {
-			writeInt(w, 1)
+		if s.store.Expire(string(args[1]), time.Duration(secs)*time.Second) {
+			rw.integer(1)
 		} else {
-			writeInt(w, 0)
+			rw.integer(0)
 		}
 	case "TTL":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'ttl'")
+			rw.error("wrong number of arguments for 'ttl'")
 			return false
 		}
-		d, exists, hasTTL := s.store.TTL(args[1])
+		d, exists, hasTTL := s.store.TTL(string(args[1]))
 		switch {
 		case !exists:
-			writeInt(w, -2)
+			rw.integer(-2)
 		case !hasTTL:
-			writeInt(w, -1)
+			rw.integer(-1)
 		default:
 			// Round up, as Redis does: a fresh EXPIRE k 100 reports 100.
-			writeInt(w, int64((d+time.Second-1)/time.Second))
+			rw.integer(int64((d + time.Second - 1) / time.Second))
 		}
 	case "PERSIST":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'persist'")
+			rw.error("wrong number of arguments for 'persist'")
 			return false
 		}
-		if s.store.Persist(args[1]) {
-			writeInt(w, 1)
+		if s.store.Persist(string(args[1])) {
+			rw.integer(1)
 		} else {
-			writeInt(w, 0)
+			rw.integer(0)
 		}
 	case "STRLEN":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'strlen'")
+			rw.error("wrong number of arguments for 'strlen'")
 			return false
 		}
-		writeInt(w, int64(s.store.StrLen(args[1])))
+		rw.integer(int64(s.store.StrLen(string(args[1]))))
 	case "LPUSH", "RPUSH":
 		if len(args) < 3 {
-			writeError(w, "wrong number of arguments")
+			rw.error("wrong number of arguments")
 			return false
-		}
-		values := make([][]byte, 0, len(args)-2)
-		for _, v := range args[2:] {
-			values = append(values, []byte(v))
 		}
 		var n int
 		var err error
 		if cmd == "LPUSH" {
-			n, err = s.store.LPush(args[1], values...)
+			n, err = s.store.LPush(string(args[1]), args[2:]...)
 		} else {
-			n, err = s.store.RPush(args[1], values...)
+			n, err = s.store.RPush(string(args[1]), args[2:]...)
 		}
 		if err != nil {
-			writeError(w, "soft memory exhausted: "+err.Error())
+			rw.error("soft memory exhausted: " + err.Error())
 			return false
 		}
-		writeInt(w, int64(n))
+		rw.integer(int64(n))
 	case "LPOP", "RPOP":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments")
+			rw.error("wrong number of arguments")
 			return false
 		}
 		var v []byte
 		var ok bool
 		var err error
 		if cmd == "LPOP" {
-			v, ok, err = s.store.LPop(args[1])
+			v, ok, err = s.store.LPop(string(args[1]))
 		} else {
-			v, ok, err = s.store.RPop(args[1])
+			v, ok, err = s.store.RPop(string(args[1]))
 		}
 		switch {
 		case err != nil:
-			writeError(w, err.Error())
+			rw.error(err.Error())
 		case !ok:
-			writeNil(w)
+			rw.nilReply()
 		default:
-			writeBulk(w, v)
+			rw.bulk(v)
 		}
 	case "LLEN":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'llen'")
+			rw.error("wrong number of arguments for 'llen'")
 			return false
 		}
-		writeInt(w, int64(s.store.LLen(args[1])))
+		rw.integer(int64(s.store.LLen(string(args[1]))))
 	case "LRANGE":
 		if len(args) != 4 {
-			writeError(w, "wrong number of arguments for 'lrange'")
+			rw.error("wrong number of arguments for 'lrange'")
 			return false
 		}
-		start, err1 := strconv.Atoi(args[2])
-		stop, err2 := strconv.Atoi(args[3])
-		if err1 != nil || err2 != nil {
-			writeError(w, "value is not an integer or out of range")
+		start, ok1 := asciiInt(args[2])
+		stop, ok2 := asciiInt(args[3])
+		if !ok1 || !ok2 {
+			rw.error("value is not an integer or out of range")
 			return false
 		}
-		vals, err := s.store.LRange(args[1], start, stop)
+		vals, err := s.store.LRange(string(args[1]), start, stop)
 		if err != nil {
-			writeError(w, err.Error())
+			rw.error(err.Error())
 			return false
 		}
-		writeArrayHeader(w, len(vals))
+		rw.arrayHeader(len(vals))
 		for _, v := range vals {
-			writeBulk(w, v)
+			rw.bulk(v)
 		}
 	case "HSET":
 		if len(args) != 4 {
-			writeError(w, "wrong number of arguments for 'hset'")
+			rw.error("wrong number of arguments for 'hset'")
 			return false
 		}
-		created, err := s.store.HSet(args[1], args[2], []byte(args[3]))
+		created, err := s.store.HSet(string(args[1]), string(args[2]), args[3])
 		if err != nil {
-			writeError(w, "soft memory exhausted: "+err.Error())
+			rw.error("soft memory exhausted: " + err.Error())
 			return false
 		}
 		if created {
-			writeInt(w, 1)
+			rw.integer(1)
 		} else {
-			writeInt(w, 0)
+			rw.integer(0)
 		}
 	case "HGET":
 		if len(args) != 3 {
-			writeError(w, "wrong number of arguments for 'hget'")
+			rw.error("wrong number of arguments for 'hget'")
 			return false
 		}
-		v, ok, err := s.store.HGet(args[1], args[2])
+		v, ok, err := s.store.HGet(string(args[1]), string(args[2]))
 		switch {
 		case err != nil:
-			writeError(w, err.Error())
+			rw.error(err.Error())
 		case !ok:
-			writeNil(w)
+			rw.nilReply()
 		default:
-			writeBulk(w, v)
+			rw.bulk(v)
 		}
 	case "HDEL":
 		if len(args) < 3 {
-			writeError(w, "wrong number of arguments for 'hdel'")
+			rw.error("wrong number of arguments for 'hdel'")
 			return false
 		}
-		n, err := s.store.HDel(args[1], args[2:]...)
+		fields := make([]string, 0, len(args)-2)
+		for _, f := range args[2:] {
+			fields = append(fields, string(f))
+		}
+		n, err := s.store.HDel(string(args[1]), fields...)
 		if err != nil {
-			writeError(w, err.Error())
+			rw.error(err.Error())
 			return false
 		}
-		writeInt(w, int64(n))
+		rw.integer(int64(n))
 	case "HLEN":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'hlen'")
+			rw.error("wrong number of arguments for 'hlen'")
 			return false
 		}
-		writeInt(w, int64(s.store.HLen(args[1])))
+		rw.integer(int64(s.store.HLen(string(args[1]))))
 	case "HEXISTS":
 		if len(args) != 3 {
-			writeError(w, "wrong number of arguments for 'hexists'")
+			rw.error("wrong number of arguments for 'hexists'")
 			return false
 		}
-		if s.store.HExists(args[1], args[2]) {
-			writeInt(w, 1)
+		if s.store.HExists(string(args[1]), string(args[2])) {
+			rw.integer(1)
 		} else {
-			writeInt(w, 0)
+			rw.integer(0)
 		}
 	case "HGETALL":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'hgetall'")
+			rw.error("wrong number of arguments for 'hgetall'")
 			return false
 		}
-		all, err := s.store.HGetAll(args[1])
+		all, err := s.store.HGetAll(string(args[1]))
 		if err != nil {
-			writeError(w, err.Error())
+			rw.error(err.Error())
 			return false
 		}
 		fields := make([]string, 0, len(all))
@@ -423,69 +480,70 @@ func (s *Server) execute(w *bufio.Writer, args []string) (quit bool) {
 			fields = append(fields, f)
 		}
 		sort.Strings(fields)
-		writeArrayHeader(w, 2*len(fields))
+		rw.arrayHeader(2 * len(fields))
 		for _, f := range fields {
-			writeBulk(w, []byte(f))
-			writeBulk(w, all[f])
+			rw.bulkString(f)
+			rw.bulk(all[f])
 		}
 	case "DEL":
 		if len(args) < 2 {
-			writeError(w, "wrong number of arguments for 'del'")
+			rw.error("wrong number of arguments for 'del'")
 			return false
 		}
 		n := int64(0)
 		for _, k := range args[1:] {
-			removed, err := s.store.Del(k)
+			removed, err := s.store.Del(string(k))
 			if err != nil {
-				writeError(w, err.Error())
+				rw.error(err.Error())
 				return false
 			}
 			if removed {
 				n++
 			}
 		}
-		writeInt(w, n)
+		rw.integer(n)
 	case "EXISTS":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'exists'")
+			rw.error("wrong number of arguments for 'exists'")
 			return false
 		}
-		if s.store.Exists(args[1]) {
-			writeInt(w, 1)
+		if s.store.Exists(string(args[1])) {
+			rw.integer(1)
 		} else {
-			writeInt(w, 0)
+			rw.integer(0)
 		}
 	case "KEYS":
 		if len(args) != 2 {
-			writeError(w, "wrong number of arguments for 'keys'")
+			rw.error("wrong number of arguments for 'keys'")
 			return false
 		}
-		keys, err := s.store.Keys(args[1])
+		keys, err := s.store.Keys(string(args[1]))
 		if err != nil {
-			writeError(w, err.Error())
+			rw.error(err.Error())
 			return false
 		}
-		writeArrayHeader(w, len(keys))
+		rw.arrayHeader(len(keys))
 		for _, k := range keys {
-			writeBulk(w, []byte(k))
+			rw.bulkString(k)
 		}
 	case "DBSIZE":
-		writeInt(w, int64(s.store.Len()))
+		rw.integer(int64(s.store.Len()))
 	case "FLUSHALL":
 		if err := s.store.FlushAll(); err != nil {
-			writeError(w, err.Error())
+			rw.error(err.Error())
 			return false
 		}
-		writeSimple(w, "OK")
+		rw.simple("OK")
 	case "INFO":
 		st := s.store.Stats()
 		hs := st.Soft
 		// Totals are store-global aggregates over every shard; the
 		// per-shard breakdown follows so operators can see skew.
 		info := fmt.Sprintf(
-			"entries:%d\r\nshards:%d\r\nsets:%d\r\ngets:%d\r\nhits:%d\r\nmisses:%d\r\nreclaimed:%d\r\nexpired:%d\r\nsoft_bytes:%d\r\nsoft_slot_bytes:%d\r\nsoft_pages:%d\r\nsoft_free_pages:%d\r\ntotal_allocs:%d\r\ntotal_frees:%d\r\n",
+			"entries:%d\r\nshards:%d\r\nsets:%d\r\ngets:%d\r\nhits:%d\r\nmisses:%d\r\nreclaimed:%d\r\nexpired:%d\r\nsoft_bytes:%d\r\nsoft_slot_bytes:%d\r\nsoft_pages:%d\r\nsoft_free_pages:%d\r\ntotal_allocs:%d\r\ntotal_frees:%d\r\nflush_coalesced:%d\r\n",
 			st.Entries, st.Shards, st.Sets, st.Gets, st.Hits, st.Misses, st.Reclaimed, st.Expired,
-			hs.LiveBytes, hs.SlotBytes, hs.PagesHeld, hs.FreePages, hs.TotalAllocs, hs.TotalFrees)
+			hs.LiveBytes, hs.SlotBytes, hs.PagesHeld, hs.FreePages, hs.TotalAllocs, hs.TotalFrees,
+			s.flushCoalesced.Load())
 		if st.Spill != nil {
 			info += fmt.Sprintf(
 				"promotions:%d\r\nspilled_entries:%d\r\nspilled_bytes:%d\r\nspill_demotions:%d\r\nspill_hits:%d\r\nspill_misses:%d\r\nspill_compactions:%d\r\n",
@@ -496,9 +554,9 @@ func (s *Server) execute(w *bufio.Writer, args []string) (quit bool) {
 			info += fmt.Sprintf("shard%d_entries:%d\r\nshard%d_reclaimed:%d\r\nshard%d_soft_bytes:%d\r\n",
 				i, sh.Entries, i, sh.Reclaimed, i, sh.Heap.LiveBytes)
 		}
-		writeBulk(w, []byte(info))
+		rw.bulkString(info)
 	default:
-		writeError(w, fmt.Sprintf("unknown command '%s'", args[0]))
+		rw.error(fmt.Sprintf("unknown command '%s'", args[0]))
 	}
 	return false
 }

@@ -61,12 +61,13 @@ func TestSoakSpill(t *testing.T) {
 	}()
 
 	res, err := RunLoad(LoadGenConfig{
-		Addr:       addr.String(),
-		Conns:      8,
-		Requests:   200000,
-		Keys:       20000,
-		ValueBytes: 1024,
-		Seed:       1,
+		Addr:         addr.String(),
+		Conns:        8,
+		Requests:     200000,
+		ReadFraction: DefaultReadFraction,
+		Keys:         20000,
+		ValueBytes:   1024,
+		Seed:         1,
 	})
 	close(stop)
 	<-done

@@ -321,7 +321,14 @@ func (s *Store) promoClearDeleted(key string) {
 // this Get linearizes just before the Del, so the caller still gets the
 // value while the store stays deleted.
 func (s *Store) lookup(ht *sds.SoftHashTable[string], key string) ([]byte, bool, error) {
-	v, ok, err := ht.Get(key)
+	return s.lookupAppend(nil, ht, key)
+}
+
+// lookupAppend is lookup appending into dst (nil dst allocates as
+// lookup always did). The hot in-memory hit avoids a per-call value
+// allocation by reusing dst's capacity.
+func (s *Store) lookupAppend(dst []byte, ht *sds.SoftHashTable[string], key string) ([]byte, bool, error) {
+	v, ok, err := ht.GetAppend(dst, key)
 	if err != nil || ok || s.spill == nil {
 		return v, ok, err
 	}
@@ -329,18 +336,19 @@ func (s *Store) lookup(ht *sds.SoftHashTable[string], key string) ([]byte, bool,
 	sv, ok := s.spill.Promote(key)
 	if !ok {
 		s.promoEnd(key, p)
-		return nil, false, nil
+		return dst, false, nil
 	}
 	s.promotions.Add(1)
 	perr := ht.Put(key, sv)
 	if s.promoEnd(key, p) {
 		_, _ = ht.Delete(key)
-		return sv, true, nil
-	}
-	if perr != nil {
+	} else if perr != nil {
 		_ = s.spill.Demote(key, sv)
 	}
-	return sv, true, nil
+	if dst == nil {
+		return sv, true, nil
+	}
+	return append(dst, sv...), true, nil
 }
 
 // dropSpilled invalidates key's spill record so a stale demoted value
@@ -371,6 +379,22 @@ func (s *Store) Get(key string) (value []byte, ok bool, err error) {
 	s.expireIfDue(key)
 	s.gets.Add(1)
 	value, ok, err = s.lookup(s.table(key), key)
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return value, ok, err
+}
+
+// GetAppend is Get appending the value to dst and returning the
+// extended slice. The RESP hot path calls it with a per-connection
+// scratch so a cache hit allocates nothing; the result aliases dst's
+// backing array and is only valid until dst's next reuse.
+func (s *Store) GetAppend(dst []byte, key string) (value []byte, ok bool, err error) {
+	s.expireIfDue(key)
+	s.gets.Add(1)
+	value, ok, err = s.lookupAppend(dst, s.table(key), key)
 	if ok {
 		s.hits.Add(1)
 	} else {

@@ -69,7 +69,11 @@ func (c *cmdMetrics) observe(cmd string, d time.Duration) {
 }
 
 // RegisterMetrics switches on per-command latency histograms, registered
-// into r as they are first exercised.
+// into r as they are first exercised, and the server's flush-coalescing
+// counter.
 func (s *Server) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("softmem_kv_flush_coalesced_total",
+		"replies whose flush was deferred because more pipelined input was buffered (write syscalls saved)",
+		s.flushCoalesced.Load)
 	s.met.Store(&cmdMetrics{reg: r})
 }

@@ -264,8 +264,35 @@ func (h *Histogram) Observe(v float64) {
 	atomicFloatMax(&h.max, v)
 }
 
+// ObserveN records n identical non-negative values with a single
+// bucket computation and one set of atomic updates. Pipelining load
+// generators use it to attribute one batch round-trip to every
+// operation in the batch without paying per-operation histogram cost.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 || v < 0 || math.IsNaN(v) {
+		return
+	}
+	idx := 0
+	if v >= 1 {
+		idx = 1 + int(math.Log(v)/h.logG)
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
+	}
+	h.buckets[idx].Add(n)
+	h.count.Add(n)
+	atomicFloatAdd(&h.sum, v*float64(n))
+	atomicFloatMin(&h.min, v)
+	atomicFloatMax(&h.max, v)
+}
+
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
+
+// ObserveDurationN records n identical durations in nanoseconds.
+func (h *Histogram) ObserveDurationN(d time.Duration, n int64) {
+	h.ObserveN(float64(d.Nanoseconds()), n)
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }

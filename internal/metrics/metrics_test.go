@@ -146,6 +146,28 @@ func TestHistogramMeanMinMax(t *testing.T) {
 	}
 }
 
+func TestHistogramObserveN(t *testing.T) {
+	a, b := NewHistogram(1.1), NewHistogram(1.1)
+	for i := 0; i < 7; i++ {
+		a.Observe(1234)
+	}
+	b.ObserveN(1234, 7)
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("ObserveN(v, 7) != 7×Observe(v): count %d/%d sum %v/%v",
+			a.Count(), b.Count(), a.Sum(), b.Sum())
+	}
+	if q := a.Quantile(0.5); q != b.Quantile(0.5) {
+		t.Fatalf("quantiles diverge: %v vs %v", q, b.Quantile(0.5))
+	}
+	b.ObserveN(5, 0)
+	b.ObserveN(5, -3)
+	b.ObserveN(-1, 2)
+	b.ObserveN(math.NaN(), 2)
+	if b.Count() != 7 {
+		t.Fatalf("invalid ObserveN calls changed count to %d", b.Count())
+	}
+}
+
 func TestHistogramIgnoresNegativeAndNaN(t *testing.T) {
 	h := NewHistogram(1.1)
 	h.Observe(-5)

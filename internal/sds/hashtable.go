@@ -146,6 +146,31 @@ func (t *SoftHashTable[K]) Get(key K) (value []byte, ok bool, err error) {
 	return value, ok, err
 }
 
+// GetAppend appends the value under key to dst and returns the
+// extended slice, reusing dst's capacity. Hot read paths use it with a
+// per-caller scratch to avoid a fresh value allocation on every
+// lookup; the result aliases dst's backing array.
+func (t *SoftHashTable[K]) GetAppend(dst []byte, key K) (value []byte, ok bool, err error) {
+	value = dst
+	err = t.ctx.Do(func(tx *core.Tx) error {
+		e, present := t.entries[key]
+		if !present {
+			return nil
+		}
+		b, err := tx.Bytes(e.ref)
+		if err != nil {
+			return err
+		}
+		value = append(value, b...)
+		ok = true
+		if t.policy == EvictLRU {
+			t.touch(e)
+		}
+		return nil
+	})
+	return value, ok, err
+}
+
 // GetPinned returns zero-copy access to the value under key, pinned
 // against reclamation until the caller's Unpin. Use for large values on
 // hot read paths; prefer Get (which copies) elsewhere — pinned entries

@@ -1,0 +1,129 @@
+package smd
+
+import (
+	"testing"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+// TestSlackHarvestShrinksVictimBudget is the budget-coherence
+// regression: when the daemon harvests slack from a victim, the
+// victim's SMA must see its cached budget shrink, so its next
+// allocation renegotiates with the daemon instead of succeeding
+// locally against revoked budget. Before the BudgetShrinker
+// notification existed, the victim kept its stale ledger and silently
+// over-committed the machine by the harvested amount.
+func TestSlackHarvestShrinksVictimBudget(t *testing.T) {
+	const totalPages = 256
+	machine := pages.NewPool(totalPages)
+	d := NewDaemon(Config{TotalPages: totalPages, ReclaimFactor: 1.0})
+
+	// Victim: allocates 10 pages; its SMA requests budget in chunks
+	// (default 64), leaving 54 pages of slack.
+	smaA := core.New(core.Config{Machine: machine})
+	sdsA := &e2eSDS{}
+	sdsA.ctx = smaA.Register("store", 0, sdsA)
+	smaA.AttachDaemon(d.Register("A", smaA))
+	for i := 0; i < 10; i++ {
+		if err := sdsA.push(4096); err != nil {
+			t.Fatalf("A fill: %v", err)
+		}
+	}
+	budgetBefore := smaA.BudgetPages()
+	if budgetBefore <= 10 {
+		t.Fatalf("victim budget = %d, want a chunked grant with slack", budgetBefore)
+	}
+
+	// Requester: allocates enough that the daemon exhausts free pages
+	// and must harvest the victim's slack.
+	smaB := core.New(core.Config{Machine: machine})
+	sdsB := &e2eSDS{}
+	sdsB.ctx = smaB.Register("batch", 0, sdsB)
+	smaB.AttachDaemon(d.Register("B", smaB))
+	for i := 0; i < 200; i++ {
+		if err := sdsB.push(4096); err != nil {
+			t.Fatalf("B alloc %d: %v", i, err)
+		}
+	}
+	if d.Stats().SlackPages == 0 {
+		t.Fatal("scenario did not trigger a slack harvest")
+	}
+
+	// The victim's cached ledger must agree with the daemon's
+	// post-harvest view.
+	var daemonView, found = 0, false
+	for _, pi := range d.Snapshot() {
+		if pi.Name == "A" {
+			daemonView, found = pi.BudgetPages, true
+		}
+	}
+	if !found {
+		t.Fatal("victim missing from daemon snapshot")
+	}
+	if got := smaA.BudgetPages(); got != daemonView {
+		t.Fatalf("victim caches %d budget pages, daemon granted %d — stale ledger after harvest", got, daemonView)
+	}
+	if smaA.BudgetPages() >= budgetBefore {
+		t.Fatalf("victim budget %d did not shrink from %d", smaA.BudgetPages(), budgetBefore)
+	}
+
+	// The victim's next allocation must renegotiate with the daemon (a
+	// budget round-trip), not succeed locally against revoked budget.
+	br0 := smaA.Stats().BudgetRequests
+	if err := sdsA.push(4096); err != nil {
+		t.Fatalf("A post-harvest alloc: %v", err)
+	}
+	if got := smaA.Stats().BudgetRequests; got == br0 {
+		t.Fatalf("victim allocated locally against harvested budget (BudgetRequests stayed %d)", got)
+	}
+
+	// And the machine must never be over-committed by stale ledgers.
+	if machine.InUse() > totalPages {
+		t.Fatalf("machine over-committed: %d in use of %d", machine.InUse(), totalPages)
+	}
+}
+
+// shrinkRecorder is a Target that also records BudgetShrinker calls.
+type shrinkRecorder struct {
+	demands []int
+	shrinks []int
+}
+
+func (r *shrinkRecorder) HandleDemand(pages int) int {
+	r.demands = append(r.demands, pages)
+	return pages
+}
+
+func (r *shrinkRecorder) ShrinkBudget(pages int) {
+	r.shrinks = append(r.shrinks, pages)
+}
+
+// TestSlackHarvestNotifiesBudgetShrinker pins the notification contract
+// at the daemon layer: a harvest invokes ShrinkBudget with exactly the
+// harvested amount and issues no reclamation demand when slack covers
+// the need; plain Targets without the optional interface still work.
+func TestSlackHarvestNotifiesBudgetShrinker(t *testing.T) {
+	d := NewDaemon(Config{TotalPages: 100, ReclaimFactor: 1.0})
+	victim := &shrinkRecorder{}
+	pv := d.Register("victim", victim)
+	if _, err := pv.RequestBudget(80, core.Usage{UsedPages: 30}); err != nil {
+		t.Fatal(err)
+	}
+	plain := d.Register("plain", nil) // no target at all: must not panic
+	if _, err := plain.RequestBudget(10, core.Usage{}); err != nil {
+		t.Fatal(err)
+	}
+
+	needy := d.Register("needy", nil)
+	// 10 pages free, so 30 of the victim's 50 slack pages are harvested.
+	if g, err := needy.RequestBudget(40, core.Usage{}); err != nil || g != 40 {
+		t.Fatalf("needy grant = %d, %v", g, err)
+	}
+	if len(victim.shrinks) != 1 || victim.shrinks[0] != 30 {
+		t.Fatalf("victim shrink notifications = %v, want [30]", victim.shrinks)
+	}
+	if len(victim.demands) != 0 {
+		t.Fatalf("slack-covered request still demanded reclamation: %v", victim.demands)
+	}
+}

@@ -47,6 +47,18 @@ type Target interface {
 	HandleDemand(pages int) int
 }
 
+// BudgetShrinker is the optional extension of Target for processes that
+// cache their granted budget locally (*core.SMA keeps it in an atomic
+// ledger; the socket server forwards over the wire). The daemon calls it
+// when it harvests slack from the process so the cached ledger shrinks
+// in step — without the notification the victim would keep allocating
+// against revoked budget, over-committing the machine by up to the
+// harvested amount.
+type BudgetShrinker interface {
+	// ShrinkBudget revokes pages of previously granted budget.
+	ShrinkBudget(pages int)
+}
+
 // WeightPolicy computes a process's reclamation weight from its
 // traditional footprint and soft usage. Higher weight = reclaimed sooner.
 type WeightPolicy interface {
@@ -433,6 +445,12 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 		c.budget -= take
 		need -= take
 		d.stats.SlackPages += int64(take)
+		// Tell the victim its cached budget shrank, or it will keep
+		// allocating against the harvested pages. Lock ordering matches
+		// the phase-2 demands below: one-way daemon → process.
+		if bs, ok := c.target.(BudgetShrinker); ok {
+			bs.ShrinkBudget(take)
+		}
 		tr.Hops = append(tr.Hops, TraceHop{Kind: "slack", Proc: c.id, Name: c.name, Released: take})
 		d.emitLocked(Event{Kind: EventSlack, Proc: c.id, Name: c.name, Pages: take, Trigger: id, ReclaimID: rid})
 	}
