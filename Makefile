@@ -62,12 +62,15 @@ stress-paper:
 
 # RESP hot-path benchmarks: the zero-allocation parse/reply/dispatch
 # microbenchmarks, then kvbench against an in-process loopback server
-# at pipeline depths 1 and 32. Writes BENCH_kvstore.json with the
-# committed pre-PR baseline embedded, so the before/after comparison
-# survives regeneration.
+# at pipeline depths 1 and 32, plus the GOMAXPROCS core-scaling sweep
+# (one shard owner per core; throughput must be monotonically
+# non-decreasing). Writes BENCH_kvstore.json with the committed pre-PR
+# baseline embedded, so the before/after comparison survives
+# regeneration.
 bench:
 	$(GO) test ./internal/kvstore -run '^$$' -bench 'BenchmarkParse|BenchmarkReply|BenchmarkDispatchGET' -benchmem
 	$(GO) run ./cmd/kvbench -inproc -conns 1 -requests 400000 -read 1.0 -pipeline 1,32 \
+		-sweep-cores 1,2,4 \
 		-baseline BENCH_kvstore_baseline.json -json BENCH_kvstore.json
 
 # The historical catch-all benchmark sweep.

@@ -111,14 +111,13 @@ func main() {
 			*spillDir, *spillMiB, spillStore.Stats().LiveRecords)
 	}
 
-	store := kvstore.New(kvstore.Config{
-		SMA:         sma,
-		Policy:      policy,
-		Shards:      *shards,
-		CleanupWork: *cleanup,
-		OnReclaim:   func(string) {},
-		Spill:       spillStore,
-	})
+	store := kvstore.New(sma,
+		kvstore.WithPolicy(policy),
+		kvstore.WithShards(*shards),
+		kvstore.WithCleanupWork(*cleanup),
+		kvstore.WithOnReclaim(func(string) {}),
+		kvstore.WithSpill(spillStore),
+	)
 	if reg != nil {
 		store.RegisterMetrics(reg)
 	}

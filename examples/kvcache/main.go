@@ -44,7 +44,7 @@ func main() {
 	// The cache server process.
 	machine := pages.NewPool(0) // daemon budgets are authoritative
 	sma := core.New(core.Config{Machine: machine})
-	store := kvstore.New(kvstore.Config{SMA: sma, Policy: sds.EvictLRU})
+	store := kvstore.New(sma, kvstore.WithPolicy(sds.EvictLRU))
 	dcli, err := ipc.Dial("tcp", daddr.String(), "kv-cache", sma)
 	if err != nil {
 		log.Fatal(err)

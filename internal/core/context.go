@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softmem/internal/alloc"
@@ -28,9 +29,19 @@ type Context struct {
 
 	// mu guards the heap and everything below it. The allocation slow
 	// path (daemon round-trips) runs with mu dropped and retries.
-	mu     sync.Mutex
-	heap   *alloc.Heap
-	closed bool
+	//
+	// lockers counts goroutines currently waiting in lock(). An Owned
+	// holder that retains mu across many operations polls it (Contended)
+	// and yields, so external lockers — reclamation demands above all —
+	// are never starved by a busy owner.
+	mu      sync.Mutex
+	lockers atomic.Int32
+	// ownedAcquires totals heap-lock acquisitions made through any Owned
+	// handle on this context (owner goroutines and caller-runs batches
+	// alike) — the denominator of the lock-amortization evidence.
+	ownedAcquires atomic.Int64
+	heap          *alloc.Heap
+	closed        bool
 	// pins counts active Pins per allocation; pinned allocations cannot
 	// be freed or reclaimed.
 	pins map[alloc.Ref]int
@@ -62,6 +73,16 @@ func (c *Context) SetPriority(p int) {
 	c.sma.regMu.Unlock()
 }
 
+// lock acquires the heap lock the waiter-visible way: the pending
+// acquisition is advertised through lockers so a shard owner holding the
+// lock across a command batch knows to yield. Every path that is not the
+// owner itself must come through here.
+func (c *Context) lock() {
+	c.lockers.Add(1)
+	c.mu.Lock()
+	c.lockers.Add(-1)
+}
+
 // pagesNeeded is the worst-case page cost of an allocation, used to size
 // budget requests.
 func pagesNeeded(size int) int {
@@ -89,7 +110,7 @@ func (c *Context) Alloc(size int) (alloc.Ref, error) {
 func (c *Context) allocRetry(size int) (alloc.Ref, error) {
 	const maxRetries = 10
 	for attempt := 0; ; attempt++ {
-		c.mu.Lock()
+		c.lock()
 		if c.closed {
 			c.mu.Unlock()
 			return alloc.Ref{}, ErrClosed
@@ -148,7 +169,7 @@ func (c *Context) Free(ref alloc.Ref) error {
 }
 
 func (c *Context) free(ref alloc.Ref) error {
-	c.mu.Lock()
+	c.lock()
 	if c.pinnedLocked(ref) {
 		c.mu.Unlock()
 		return ErrPinned
@@ -171,21 +192,21 @@ func (c *Context) trimHeapLocked() {
 
 // Write copies data into the allocation at offset off.
 func (c *Context) Write(ref alloc.Ref, data []byte, off int) error {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	return c.heap.WriteAt(ref, data, off)
 }
 
 // Read copies from the allocation at offset off into buf.
 func (c *Context) Read(ref alloc.Ref, buf []byte, off int) error {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	return c.heap.ReadAt(ref, buf, off)
 }
 
 // ReadAll returns a copy of the allocation's contents.
 func (c *Context) ReadAll(ref alloc.Ref) ([]byte, error) {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	size, err := c.heap.Size(ref)
 	if err != nil {
@@ -200,7 +221,7 @@ func (c *Context) ReadAll(ref alloc.Ref) ([]byte, error) {
 
 // Size returns the allocation's size in bytes.
 func (c *Context) Size(ref alloc.Ref) (int, error) {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	return c.heap.Size(ref)
 }
@@ -208,7 +229,7 @@ func (c *Context) Size(ref alloc.Ref) (int, error) {
 // Live reports whether ref names a live allocation (false after free or
 // reclamation).
 func (c *Context) Live(ref alloc.Ref) bool {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	return c.heap.Live(ref)
 }
@@ -219,7 +240,7 @@ func (c *Context) Live(ref alloc.Ref) bool {
 // so an index observed inside Do is never half-reclaimed. fn must not
 // call the Context's public methods (deadlock) nor block.
 func (c *Context) Do(fn func(tx *Tx) error) error {
-	c.mu.Lock()
+	c.lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
@@ -240,7 +261,7 @@ func (c *Context) Do(fn func(tx *Tx) error) error {
 // captured bytes readable (Go memory safety) but the data is no longer
 // soft-memory-backed.
 func (c *Context) Close() {
-	c.mu.Lock()
+	c.lock()
 	already := c.closed
 	if !already {
 		c.heap.Reset()
@@ -257,7 +278,7 @@ func (c *Context) Close() {
 
 // HeapStats returns the context's heap accounting.
 func (c *Context) HeapStats() alloc.Stats {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	return c.heap.Stats()
 }
@@ -290,7 +311,7 @@ func (p *Pin) Unpin() {
 	}
 	p.done = true
 	c := p.ctx
-	c.mu.Lock()
+	c.lock()
 	if c.pins != nil {
 		if n := c.pins[p.ref]; n > 1 {
 			c.pins[p.ref] = n - 1
@@ -306,7 +327,7 @@ func (p *Pin) Unpin() {
 // access to its bytes. Multi-page allocations cannot be pinned for
 // zero-copy access (use Read); they return an error.
 func (c *Context) Pin(ref alloc.Ref) (*Pin, error) {
-	c.mu.Lock()
+	c.lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed

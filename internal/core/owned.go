@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"softmem/internal/alloc"
+)
+
+// Owned is a single-goroutine ownership handle on a Context's heap lock,
+// built for shard-owner execution engines: the owner acquires the lock
+// once, runs a whole batch of operations against the SDS with zero
+// per-operation mutex traffic, and releases it when the ring drains.
+//
+// Cooperation instead of starvation: everything else in the process —
+// reclamation demands above all — still takes the lock through
+// Context.lock(), which advertises the waiter in a counter the owner
+// polls (Contended/Yield). The owner hands the lock over between
+// commands, so "eviction never races command execution": reclaim runs
+// only in the windows the owner explicitly opens, never mid-operation.
+//
+// An Owned is NOT safe for concurrent use; it belongs to exactly one
+// owner goroutine.
+type Owned struct {
+	ctx  *Context
+	held bool
+	// acquires counts lock acquisitions (read concurrently by stats, so
+	// atomic); comparing it against commands executed is the evidence
+	// that batch execution amortizes locking.
+	acquires atomic.Int64
+	tx       Tx
+}
+
+// Own returns an ownership handle on the context's heap lock. The
+// handle starts unheld.
+func (c *Context) Own() *Owned { return &Owned{ctx: c} }
+
+// OwnedAcquisitions returns how many times any Owned handle has taken
+// this context's heap lock, across all handles.
+func (c *Context) OwnedAcquisitions() int64 { return c.ownedAcquires.Load() }
+
+// Context returns the owned context.
+func (o *Owned) Context() *Context { return o.ctx }
+
+// Held reports whether the owner currently holds the heap lock.
+func (o *Owned) Held() bool { return o.held }
+
+// Acquisitions returns how many times the owner has taken the lock.
+func (o *Owned) Acquisitions() int64 { return o.acquires.Load() }
+
+// Acquire takes the heap lock. It fails with ErrClosed once the context
+// is closed (the lock is not held on failure).
+func (o *Owned) Acquire() error {
+	c := o.ctx
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	o.tx = Tx{ctx: c}
+	o.held = true
+	o.acquires.Add(1)
+	c.ownedAcquires.Add(1)
+	return nil
+}
+
+// TryAcquire takes the heap lock only if it is immediately free,
+// reporting whether it now holds it. A false return means the lock is
+// contended (or the context closed) — callers fall back to queueing
+// work for the context's owner instead of blocking.
+func (o *Owned) TryAcquire() bool {
+	c := o.ctx
+	if !c.mu.TryLock() {
+		return false
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	o.tx = Tx{ctx: c}
+	o.held = true
+	o.acquires.Add(1)
+	c.ownedAcquires.Add(1)
+	return true
+}
+
+// Release gives the heap lock back, trimming surplus free pages exactly
+// as Context.Do does on exit. No-op when not held.
+func (o *Owned) Release() {
+	if !o.held {
+		return
+	}
+	o.held = false
+	c := o.ctx
+	c.trimHeapLocked()
+	c.mu.Unlock()
+	c.sma.flushTrim()
+}
+
+// Contended reports whether another goroutine is waiting for the lock
+// (one atomic load; called before every command).
+func (o *Owned) Contended() bool { return o.ctx.lockers.Load() != 0 }
+
+// Yield ensures the lock is held, handing it over first if someone is
+// waiting. Owners call it between commands: uncontended it is a single
+// atomic load; contended it releases, reschedules, and re-acquires, so a
+// reclamation demand (or any legacy locker) gets its turn. It fails with
+// ErrClosed when the context closed while the lock was away.
+func (o *Owned) Yield() error {
+	if !o.held {
+		return o.Acquire()
+	}
+	if o.ctx.lockers.Load() == 0 {
+		return nil
+	}
+	o.Release()
+	runtime.Gosched()
+	return o.Acquire()
+}
+
+// Tx returns the handle's transaction for heap access under the held
+// lock. It panics when the lock is not held or ctx is not the owned
+// context — both are ownership bugs, not runtime conditions.
+func (o *Owned) Tx(ctx *Context) *Tx {
+	if !o.held || ctx != o.ctx {
+		panic("core: Owned.Tx without the matching held context")
+	}
+	return &o.tx
+}
+
+// AllocData reserves len(data) bytes and copies data in, like
+// Context.AllocData but from an owner already holding the lock. The
+// fast path allocates without any lock traffic; budget and page
+// shortfalls drop the lock for the daemon round-trip (demands may then
+// reclaim from this very shard) and re-take it, mirroring allocRetry.
+// On return the lock is held again unless the context closed, which
+// surfaces as ErrClosed.
+func (o *Owned) AllocData(data []byte) (alloc.Ref, error) {
+	if m := o.ctx.sma.met.Load(); m != nil {
+		t0 := time.Now()
+		ref, err := o.allocData(data)
+		m.alloc.ObserveDuration(time.Since(t0))
+		return ref, err
+	}
+	return o.allocData(data)
+}
+
+func (o *Owned) allocData(data []byte) (alloc.Ref, error) {
+	c := o.ctx
+	const maxRetries = 10
+	for attempt := 0; ; attempt++ {
+		if !o.held {
+			if err := o.Acquire(); err != nil {
+				return alloc.Ref{}, err
+			}
+		}
+		ref, err := c.heap.Alloc(len(data))
+		if err == nil {
+			if werr := c.heap.WriteAt(ref, data, 0); werr != nil {
+				return alloc.Ref{}, werr
+			}
+			return ref, nil
+		}
+		if err != errNeedBudget && err != errNeedPages {
+			return alloc.Ref{}, err
+		}
+		if attempt >= maxRetries {
+			return alloc.Ref{}, fmt.Errorf("%w: contention after %d retries", ErrExhausted, attempt)
+		}
+		o.Release()
+		if err == errNeedPages {
+			// Machine empty despite budget: force a daemon round so it
+			// reclaims physical pages (its slack view was stale).
+			err = c.sma.forcePressureRound(pagesNeeded(len(data)))
+		} else {
+			err = c.sma.ensureBudget(pagesNeeded(len(data)))
+		}
+		if err != nil {
+			// Best-effort re-take so the caller's lock invariant holds
+			// even on the error path; a closed context stays unheld.
+			_ = o.Acquire()
+			return alloc.Ref{}, err
+		}
+	}
+}

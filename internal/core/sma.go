@@ -413,7 +413,7 @@ func (s *SMA) VerifyIntegrity() error {
 	ctxs := append([]*Context(nil), s.contexts...)
 	sort.Slice(ctxs, func(i, j int) bool { return ctxs[i].seq < ctxs[j].seq })
 	for _, c := range ctxs {
-		c.mu.Lock()
+		c.lock()
 		defer c.mu.Unlock()
 	}
 	s.poolMu.Lock()
@@ -486,7 +486,7 @@ func (s *SMA) Contexts() []ContextInfo {
 	defer s.regMu.Unlock()
 	out := make([]ContextInfo, 0, len(s.contexts))
 	for _, c := range s.contexts {
-		c.mu.Lock()
+		c.lock()
 		out = append(out, ContextInfo{
 			Name:     c.name,
 			Priority: c.priority,
@@ -845,7 +845,7 @@ func (s *SMA) HandleDemandTraced(demandPages int, reclaimID uint64) (int, []Dema
 // returns the pages drained and the allocations freed (counted per
 // demand, so concurrent observers never see another demand's frees).
 func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (drained int, frees int64) {
-	ctx.mu.Lock()
+	ctx.lock()
 	defer ctx.mu.Unlock()
 	if ctx.closed {
 		return 0, 0

@@ -115,7 +115,7 @@ func Fig2(cfg Fig2Config) Fig2Result {
 
 	// Process A: the KV store, preloaded with StoreMiB of 64-byte values.
 	smaA := core.New(core.Config{Machine: machine})
-	store := kvstore.New(kvstore.Config{SMA: smaA})
+	store := kvstore.New(smaA)
 	smaA.AttachDaemon(daemon.Register("redis-like", smaA))
 	value := make([]byte, 64)
 	slotsPerPage := pages.Size / 64

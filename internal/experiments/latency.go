@@ -83,7 +83,7 @@ func ReclaimLatency(cfg LatencyConfig) LatencyResult {
 			var entries int64
 			for trial := 0; trial < cfg.Trials; trial++ {
 				sma := core.New(core.Config{Machine: pages.NewPool(0)})
-				store := kvstore.New(kvstore.Config{SMA: sma, CleanupWork: work})
+				store := kvstore.New(sma, kvstore.WithCleanupWork(work))
 				keys := trace.NewSequentialKeys(uint64(cfg.Entries))
 				for i := 0; i < cfg.Entries; i++ {
 					if err := store.Set(trace.Key(keys.Next()), value); err != nil {

@@ -77,7 +77,7 @@ func Restart(cfg RestartConfig) RestartResult {
 	cfg.setDefaults()
 	machine := pages.NewPool(0)
 	sma := core.New(core.Config{Machine: machine})
-	store := kvstore.New(kvstore.Config{SMA: sma, CleanupWork: cfg.CleanupWork})
+	store := kvstore.New(sma, kvstore.WithCleanupWork(cfg.CleanupWork))
 	defer store.Close()
 
 	value := make([]byte, 64)

@@ -4,6 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"io"
+	"runtime"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
 )
 
 // Alloc probes: closures exercising the steady-state RESP parse and
@@ -46,4 +50,66 @@ func ReplyProbe() func() {
 			panic(err)
 		}
 	}
+}
+
+// DispatchProbe returns a closure that routes one two-key GET batch
+// through the shard-owner dispatch path (Batch route, ring submit,
+// owner execute, rejoin) with fully reusable state, plus a cleanup
+// func. Shaped for testing.AllocsPerRun: with premade key strings and a
+// recycled Batch, a routed GET performs no per-op heap allocation.
+func DispatchProbe() (probe, cleanup func()) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(sma, WithName("dispatch-probe"), WithShards(2))
+	k1, k2 := "probe:key:a", "probe:key:b"
+	if err := st.Set(k1, []byte("probe-value-0123456789")); err != nil {
+		panic(err)
+	}
+	if err := st.Set(k2, []byte("probe-value-9876543210")); err != nil {
+		panic(err)
+	}
+	b := st.NewBatch()
+	return func() {
+			b.Get(k1)
+			b.Get(k2)
+			if err := b.Exec(); err != nil {
+				panic(err)
+			}
+			for i := 0; i < b.Len(); i++ {
+				if c := b.Cmd(i); c.Err != nil || !c.Ok {
+					panic("dispatch probe: lost key")
+				}
+			}
+			b.Reset()
+		}, func() {
+			st.Close()
+		}
+}
+
+// MutexContentionProbe runs fn under runtime mutex profiling and
+// returns how many mutex contention events fn added. The shard-owner
+// hot path holds the shard heap lock across whole batches and never
+// takes a per-command mutex, so a single-connection run reports zero
+// contention events in store code.
+func MutexContentionProbe(fn func()) (events int64) {
+	prev := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(prev)
+	before := mutexEventCount()
+	fn()
+	after := mutexEventCount()
+	if d := after - before; d > 0 {
+		return d
+	}
+	return 0
+}
+
+func mutexEventCount() int64 {
+	var recs []runtime.BlockProfileRecord
+	n, _ := runtime.MutexProfile(nil)
+	recs = make([]runtime.BlockProfileRecord, n+64)
+	n, _ = runtime.MutexProfile(recs)
+	var total int64
+	for _, r := range recs[:n] {
+		total += r.Count
+	}
+	return total
 }

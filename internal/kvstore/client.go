@@ -33,6 +33,15 @@ func DialClient(network, addr string) (*Client, error) {
 	}, nil
 }
 
+// IsOverloaded reports whether err is the server's -BUSY shed-load
+// reply: the addressed shard owner's command ring was full, so the
+// store refused the command instead of queueing it. The command did not
+// execute; back off and retry.
+func IsOverloaded(err error) bool {
+	re, ok := err.(ReplyError)
+	return ok && len(re) >= 4 && re[:4] == "BUSY"
+}
+
 // do sends one command as a RESP array and reads the reply. The value
 // is a caller-owned copy (it must survive past the mutex).
 func (c *Client) do(args ...string) ([]byte, bool, error) {

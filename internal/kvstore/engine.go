@@ -1,0 +1,373 @@
+package kvstore
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/sds"
+)
+
+// defaultOwnerQueue is the per-shard command ring capacity (in shard
+// batches, not commands). Sized so a deep pipeline across many
+// connections queues without shedding, while a stalled shard sheds load
+// as -BUSY instead of absorbing unbounded memory: at the default, a
+// shard can hold 256 in-flight batch slices before submitters see
+// ErrOverloaded.
+const defaultOwnerQueue = 256
+
+// shard is one string-table shard plus its execution state: the soft
+// hash table, the shard-local TTL table, and the owner's bounded MPSC
+// command ring. The owner goroutine is the only executor of ring work,
+// so per-shard command execution is single-writer (shared-nothing); the
+// shard's heap lock is held by the owner across whole batches and
+// yielded cooperatively to reclamation demands and legacy callers.
+type shard struct {
+	ht    *sds.SoftHashTable[string]
+	ttl   *ttlTable
+	ring  chan *shardBatch
+	owned *core.Owned
+
+	// Owner-side telemetry (read by EngineStats/metrics).
+	cmds    atomic.Int64 // commands executed by the owner
+	batches atomic.Int64 // shard batches drained from the ring
+	busyNs  atomic.Int64 // cumulative wall time the owner spent executing
+}
+
+// EngineStats is a snapshot of the execution engine's own accounting,
+// aggregated over every shard owner.
+type EngineStats struct {
+	// Commands and Batches are ring work executed by owners; their ratio
+	// is the realized batching factor.
+	Commands int64
+	Batches  int64
+	// LockAcquisitions counts shard heap-lock acquisitions by executors
+	// (owner goroutines and caller-runs batches alike).
+	// Commands/LockAcquisitions is the lock-amortization evidence: a
+	// single-key GET or SET executed under an owned lock acquires no
+	// mutex of its own.
+	LockAcquisitions int64
+	// BusyNs is cumulative owner execution time; divided by wall time and
+	// shard count it is owner utilization.
+	BusyNs int64
+	// Overloaded counts commands shed with ErrOverloaded.
+	Overloaded int64
+	// Queued is the current total ring depth (shard batches waiting);
+	// RingCap is the per-shard capacity.
+	Queued  int
+	RingCap int
+}
+
+// EngineStats returns the engine's current counters.
+func (s *Store) EngineStats() EngineStats {
+	st := EngineStats{Overloaded: s.overloaded.Load(), RingCap: s.ringSize}
+	for _, sh := range s.shards {
+		st.Commands += sh.cmds.Load()
+		st.Batches += sh.batches.Load()
+		st.LockAcquisitions += sh.ht.Context().OwnedAcquisitions()
+		st.BusyNs += sh.busyNs.Load()
+		st.Queued += len(sh.ring)
+	}
+	return st
+}
+
+// submit offers one shard batch to a shard's ring without ever blocking
+// the submitter: a full ring returns ErrOverloaded (the caller sheds
+// the commands), a closed store returns ErrClosed. The RWMutex is
+// submitter-side only — owners never touch it — so it cannot appear on
+// the owner's execution path.
+func (s *Store) submit(si int, g *shardBatch) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed {
+		return core.ErrClosed
+	}
+	select {
+	case s.shards[si].ring <- g:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// startOwners launches one owner goroutine per shard.
+func (s *Store) startOwners() {
+	s.stopOwners = make(chan struct{})
+	for i := range s.shards {
+		s.ownerWG.Add(1)
+		go s.ownerLoop(s.shards[i])
+	}
+}
+
+// stopEngine shuts the engine down: no new submissions, then owners
+// drain their rings (completing every in-flight batch) and exit.
+func (s *Store) stopEngine() {
+	s.submitMu.Lock()
+	if s.closed {
+		s.submitMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.submitMu.Unlock()
+	close(s.stopOwners)
+	s.ownerWG.Wait()
+}
+
+// ownerLoop is one shard's owner: it blocks on the ring, then acquires
+// the shard's heap lock once and executes every queued batch
+// run-to-completion, draining opportunistically while work keeps
+// arriving so the lock is amortized over as many commands as possible.
+// Between commands it yields the lock to any waiter (reclamation
+// demands, stats, legacy direct calls) via the context's contention
+// counter — one atomic load when uncontended.
+func (s *Store) ownerLoop(sh *shard) {
+	defer s.ownerWG.Done()
+	o := sh.owned
+	for {
+		var g *shardBatch
+		select {
+		case g = <-sh.ring:
+		case <-s.stopOwners:
+			// Drain: every batch already submitted completes, so no
+			// Exec is left waiting.
+			for {
+				select {
+				case g := <-sh.ring:
+					s.runShardBatch(o, sh, g)
+				default:
+					o.Release()
+					return
+				}
+			}
+		}
+		start := time.Now()
+		s.runShardBatch(o, sh, g)
+		for {
+			select {
+			case g = <-sh.ring:
+				s.runShardBatch(o, sh, g)
+				continue
+			default:
+			}
+			break
+		}
+		o.Release()
+		sh.busyNs.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// runShardBatch executes one shard batch's commands in order and
+// completes it against the owning Batch. The heap lock is taken at most
+// once for the whole slice (Yield re-takes it only when contended or
+// dropped by a slow path).
+func (s *Store) runShardBatch(o *core.Owned, sh *shard, g *shardBatch) {
+	b := g.b
+	ran := 0
+	for _, ci := range g.idxs {
+		c := &b.cmds[ci]
+		if err := o.Yield(); err != nil {
+			c.Err = err
+			continue
+		}
+		s.execOwned(o, sh, c)
+		ran++
+	}
+	g.idxs = g.idxs[:0]
+	sh.cmds.Add(int64(ran))
+	sh.batches.Add(1)
+	if b.pending.Add(-1) == 0 {
+		b.done <- struct{}{}
+	}
+}
+
+// ownedExpireIfDue handles lazy TTL expiry from the owner. The check is
+// one atomic load while the shard has no TTLs; an actually-due key takes
+// the legacy expiry path (spill purge included) with the lock dropped,
+// since that path re-enters the shard through its public methods.
+func (s *Store) ownedExpireIfDue(o *core.Owned, sh *shard, key string) error {
+	if !sh.ttl.due(key) {
+		return nil
+	}
+	o.Release()
+	s.expireIfDue(key)
+	return o.Acquire()
+}
+
+// ownedLookup reads key under the owned lock, falling back to the spill
+// promotion path (lock dropped — it re-enters via ht.Put) on a miss.
+func (s *Store) ownedLookup(o *core.Owned, sh *shard, dst []byte, key string) ([]byte, bool, error) {
+	v, ok, err := sh.ht.GetAppendOwned(o, dst, key)
+	if err != nil || ok || s.spill == nil {
+		return v, ok, err
+	}
+	o.Release()
+	v, ok, err = s.lookupAppend(dst, sh.ht, key)
+	if aerr := o.Acquire(); aerr != nil && err == nil {
+		err = aerr
+	}
+	return v, ok, err
+}
+
+// execOwned executes one command on its shard owner. Single-key GET and
+// SET stay entirely under the batch-held heap lock: no mutex is
+// acquired per command (TTL checks are one atomic load while the shard
+// has no deadlines; counters are atomics). Spill interactions take the
+// sink's own locks in the same ctx→spill order the reclaim path uses.
+func (s *Store) execOwned(o *core.Owned, sh *shard, c *Command) {
+	switch c.Op {
+	case OpGet:
+		if err := s.ownedExpireIfDue(o, sh, c.Key); err != nil {
+			c.Err = err
+			return
+		}
+		s.gets.Add(1)
+		c.Val, c.Ok, c.Err = s.ownedLookup(o, sh, c.Val[:0], c.Key)
+		if c.Ok {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+	case OpSet:
+		s.sets.Add(1)
+		// Drop before Put, as Store.Set does; under the owned lock no
+		// reclamation can demote the fresh value in between.
+		s.dropSpilled(c.Key)
+		s.promoClearDeleted(c.Key)
+		c.Err = sh.ht.PutOwned(o, c.Key, c.Arg)
+	case OpDel:
+		s.dels.Add(1)
+		sh.ttl.clear(c.Key)
+		removed, err := sh.ht.DeleteOwned(o, c.Key)
+		if s.spill != nil {
+			if s.spill.Contains(c.Key) {
+				removed = true
+			}
+			s.spill.Drop(c.Key)
+			s.promoMarkDeleted(c.Key)
+		}
+		c.Ok, c.Err = removed, err
+		if removed {
+			c.N = 1
+		}
+	case OpIncr:
+		if err := s.ownedExpireIfDue(o, sh, c.Key); err != nil {
+			c.Err = err
+			return
+		}
+		s.gets.Add(1)
+		cur, ok, err := s.ownedLookup(o, sh, c.Val[:0], c.Key)
+		c.Val = cur[:0]
+		if err != nil {
+			c.Err = err
+			return
+		}
+		n := int64(0)
+		if ok {
+			s.hits.Add(1)
+			n, err = strconv.ParseInt(string(cur), 10, 64)
+			if err != nil {
+				c.Err = errNotInteger(c.Key)
+				return
+			}
+		} else {
+			s.misses.Add(1)
+		}
+		n += c.Delta
+		s.sets.Add(1)
+		var nb [20]byte
+		c.Err = sh.ht.PutOwned(o, c.Key, strconv.AppendInt(nb[:0], n, 10))
+		c.N = n
+	case OpAppend:
+		if err := s.ownedExpireIfDue(o, sh, c.Key); err != nil {
+			c.Err = err
+			return
+		}
+		s.gets.Add(1)
+		cur, ok, err := s.ownedLookup(o, sh, c.Val[:0], c.Key)
+		if err != nil {
+			c.Val = cur[:0]
+			c.Err = err
+			return
+		}
+		if ok {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+		next := append(cur, c.Arg...)
+		c.Val = next[:0] // keep the (possibly grown) scratch
+		s.sets.Add(1)
+		if err := sh.ht.PutOwned(o, c.Key, next); err != nil {
+			c.Err = err
+			return
+		}
+		c.N = int64(len(next))
+	case OpStrLen:
+		if err := s.ownedExpireIfDue(o, sh, c.Key); err != nil {
+			c.Err = err
+			return
+		}
+		v, ok, err := s.ownedLookup(o, sh, c.Val[:0], c.Key)
+		c.Val = v[:0]
+		if err != nil || !ok {
+			c.N = 0
+			return
+		}
+		c.N = int64(len(v))
+	case OpExists:
+		if err := s.ownedExpireIfDue(o, sh, c.Key); err != nil {
+			c.Err = err
+			return
+		}
+		c.Ok = sh.ht.ContainsOwned(o, c.Key) || (s.spill != nil && s.spill.Contains(c.Key))
+	case OpExpire:
+		if sh.ht.ContainsOwned(o, c.Key) || (s.spill != nil && s.spill.Contains(c.Key)) {
+			sh.ttl.set(c.Key, s.now().Add(time.Duration(c.Delta)))
+			c.Ok = true
+		}
+	case OpTTL:
+		if err := s.ownedExpireIfDue(o, sh, c.Key); err != nil {
+			c.Err = err
+			return
+		}
+		if !sh.ht.ContainsOwned(o, c.Key) && !(s.spill != nil && s.spill.Contains(c.Key)) {
+			c.Ok = false
+			return
+		}
+		c.Ok = true
+		if d, hasTTL := sh.ttl.remaining(c.Key); hasTTL {
+			c.N = int64(d)
+		} else {
+			c.N = -1
+		}
+	case OpPersist:
+		if sh.ht.ContainsOwned(o, c.Key) || (s.spill != nil && s.spill.Contains(c.Key)) {
+			c.Ok = sh.ttl.clear(c.Key)
+		}
+	case opSweep:
+		c.N = int64(s.sweepShardOwned(o, sh))
+	default:
+		c.Err = errUnknownOp(c.Op)
+	}
+}
+
+// sweepShardOwned collects the shard's expired keys under the owned
+// lock; delivered through the ring, so expiry never races the shard's
+// command stream.
+func (s *Store) sweepShardOwned(o *core.Owned, sh *shard) int {
+	n := 0
+	for _, key := range sh.ttl.expired() {
+		sh.ttl.clear(key)
+		removed, _ := sh.ht.DeleteOwned(o, key)
+		if s.spill != nil {
+			removed = s.spill.Drop(key) || removed
+			s.promoMarkDeleted(key)
+		}
+		if removed {
+			s.expired.Add(1)
+			n++
+		}
+	}
+	return n
+}

@@ -16,7 +16,7 @@ import (
 func newStore(t *testing.T, machinePages int) (*Store, *core.SMA) {
 	t.Helper()
 	sma := core.New(core.Config{Machine: pages.NewPool(machinePages)})
-	st := New(Config{SMA: sma})
+	st := NewFromConfig(Config{SMA: sma})
 	t.Cleanup(st.Close)
 	return st, sma
 }
@@ -62,7 +62,7 @@ func TestStoreFlushAll(t *testing.T) {
 func TestStoreReclaimReturnsNotFound(t *testing.T) {
 	st, sma := newStore(t, 0)
 	var evicted []string
-	st2 := New(Config{SMA: sma, Name: "second", OnReclaim: func(k string) { evicted = append(evicted, k) }})
+	st2 := NewFromConfig(Config{SMA: sma, Name: "second", OnReclaim: func(k string) { evicted = append(evicted, k) }})
 	defer st2.Close()
 	_ = st
 	val := make([]byte, 4096)
@@ -257,7 +257,7 @@ func TestServerReclamationVisibleToClients(t *testing.T) {
 
 func TestCleanupWorkRuns(t *testing.T) {
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, CleanupWork: 1000})
+	st := NewFromConfig(Config{SMA: sma, CleanupWork: 1000})
 	defer st.Close()
 	st.Set("k", make([]byte, 4096))
 	if released := sma.HandleDemand(1); released != 1 {
@@ -270,7 +270,7 @@ func TestCleanupWorkRuns(t *testing.T) {
 
 func TestStoreLRUPolicy(t *testing.T) {
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, Policy: sds.EvictLRU})
+	st := NewFromConfig(Config{SMA: sma, Policy: sds.EvictLRU})
 	defer st.Close()
 	val := make([]byte, 4096)
 	st.Set("old", val)
@@ -442,7 +442,7 @@ func TestTTLExpiry(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, Clock: clock})
+	st := NewFromConfig(Config{SMA: sma, Clock: clock})
 	defer st.Close()
 
 	st.Set("k", []byte("v"))
@@ -476,7 +476,7 @@ func TestTTLExpiry(t *testing.T) {
 func TestTTLPersist(t *testing.T) {
 	now := time.Unix(1000, 0)
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, Clock: func() time.Time { return now }})
+	st := NewFromConfig(Config{SMA: sma, Clock: func() time.Time { return now }})
 	defer st.Close()
 	st.Set("k", []byte("v"))
 	st.Expire("k", 5*time.Second)
@@ -502,7 +502,7 @@ func TestTTLPersist(t *testing.T) {
 func TestTTLSweep(t *testing.T) {
 	now := time.Unix(1000, 0)
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, Clock: func() time.Time { return now }})
+	st := NewFromConfig(Config{SMA: sma, Clock: func() time.Time { return now }})
 	defer st.Close()
 	for i := 0; i < 10; i++ {
 		key := string(rune('a' + i))
@@ -523,7 +523,7 @@ func TestTTLSweep(t *testing.T) {
 func TestTTLClearedOnDeleteAndReclaim(t *testing.T) {
 	now := time.Unix(1000, 0)
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, Clock: func() time.Time { return now }})
+	st := NewFromConfig(Config{SMA: sma, Clock: func() time.Time { return now }})
 	defer st.Close()
 	st.Set("k", make([]byte, 4096))
 	st.Expire("k", time.Second)
@@ -665,7 +665,7 @@ func TestHashFieldOps(t *testing.T) {
 
 func TestHashReclamationCleansFieldIndex(t *testing.T) {
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma})
+	st := NewFromConfig(Config{SMA: sma})
 	defer st.Close()
 	val := make([]byte, 4096)
 	for i := 0; i < 8; i++ {
@@ -778,7 +778,7 @@ func TestListOps(t *testing.T) {
 
 func TestListReclaimDropsOldestInsertions(t *testing.T) {
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma})
+	st := NewFromConfig(Config{SMA: sma})
 	defer st.Close()
 	val := make([]byte, 4096)
 	for i := 0; i < 8; i++ {

@@ -98,6 +98,10 @@ type LoadGenResult struct {
 	Sets       int64
 	Hits       int64
 	Misses     int64
+	// Overloaded counts commands the server shed with -BUSY (full shard
+	// owner ring). Shed commands did not execute; the generator counts
+	// them and moves on rather than aborting the run.
+	Overloaded int64
 	// GetLatency and SetLatency are in nanoseconds. Under pipelining
 	// each operation observes its batch's round-trip time.
 	GetLatency *metrics.Histogram
@@ -116,6 +120,9 @@ func (r LoadGenResult) HitRate() float64 {
 func (r LoadGenResult) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "requests=%d elapsed=%v throughput=%.0f ops/s hitrate=%.1f%%\n",
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput, 100*r.HitRate())
+	if r.Overloaded > 0 {
+		fmt.Fprintf(w, "  overloaded (BUSY, shed): %d\n", r.Overloaded)
+	}
 	fmt.Fprintf(w, "  GET p50=%s p95=%s p99=%s max=%s\n",
 		nsDur(r.GetLatency.Quantile(0.5)), nsDur(r.GetLatency.Quantile(0.95)),
 		nsDur(r.GetLatency.Quantile(0.99)), nsDur(r.GetLatency.Max()))
@@ -129,7 +136,7 @@ func nsDur(ns float64) time.Duration { return time.Duration(ns).Round(time.Micro
 // connTallies carries one connection's op counts back to the
 // aggregator.
 type connTallies struct {
-	gets, sets, hits, misses int64
+	gets, sets, hits, misses, overloaded int64
 }
 
 // genOp is one pregenerated operation.
@@ -227,6 +234,7 @@ func RunLoad(cfg LoadGenConfig) (LoadGenResult, error) {
 			total.sets += t.sets
 			total.hits += t.hits
 			total.misses += t.misses
+			total.overloaded += t.overloaded
 			mu.Unlock()
 		}(c)
 	}
@@ -237,6 +245,7 @@ func RunLoad(cfg LoadGenConfig) (LoadGenResult, error) {
 	}
 	res.Elapsed = time.Since(start)
 	res.Gets, res.Sets, res.Hits, res.Misses = total.gets, total.sets, total.hits, total.misses
+	res.Overloaded = total.overloaded
 	if res.Elapsed > 0 {
 		res.Throughput = float64(total.gets+total.sets) / res.Elapsed.Seconds()
 	}
@@ -254,7 +263,11 @@ func runConnSerial(cli *Client, cfg LoadGenConfig, ops []genOp, res *LoadGenResu
 			_, ok, err := cli.Get(o.key)
 			res.GetLatency.ObserveDuration(time.Since(t0))
 			if err != nil {
-				return err
+				if !IsOverloaded(err) {
+					return err
+				}
+				t.overloaded++
+				continue
 			}
 			if ok {
 				t.hits++
@@ -265,7 +278,11 @@ func runConnSerial(cli *Client, cfg LoadGenConfig, ops []genOp, res *LoadGenResu
 				t.sets++
 				t0 = time.Now()
 				if err := cli.Set(o.key, value); err != nil {
-					return err
+					if !IsOverloaded(err) {
+						return err
+					}
+					t.overloaded++
+					continue
 				}
 				res.SetLatency.ObserveDuration(time.Since(t0))
 			}
@@ -273,7 +290,11 @@ func runConnSerial(cli *Client, cfg LoadGenConfig, ops []genOp, res *LoadGenResu
 			t.sets++
 			t0 := time.Now()
 			if err := cli.Set(o.key, value); err != nil {
-				return err
+				if !IsOverloaded(err) {
+					return err
+				}
+				t.overloaded++
+				continue
 			}
 			res.SetLatency.ObserveDuration(time.Since(t0))
 		}
@@ -313,8 +334,16 @@ func runConnPipelined(cli *Client, cfg LoadGenConfig, ops []genOp, res *LoadGenR
 		var opErr error
 		t0 := time.Now()
 		err := pl.Exec(func(i int, _ []byte, ok bool, err error) {
-			if err != nil && opErr == nil {
-				opErr = err
+			if err != nil {
+				// A -BUSY shed is load-shedding working as designed:
+				// count it and move on. Anything else fails the run.
+				if IsOverloaded(err) {
+					t.overloaded++
+					return
+				}
+				if opErr == nil {
+					opErr = err
+				}
 				return
 			}
 			if batch[i].isGet {

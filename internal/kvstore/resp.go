@@ -269,6 +269,14 @@ func (rw *respWriter) error(msg string) error {
 	return err
 }
 
+// busy writes the -BUSY shed-load reply: the addressed shard owner's
+// command ring was full, so the store refused the command rather than
+// block the connection reader. Clients back off and retry.
+func (rw *respWriter) busy() error {
+	_, err := rw.w.WriteString("-BUSY kvstore overloaded; retry later\r\n")
+	return err
+}
+
 func (rw *respWriter) integer(n int64) error {
 	rw.w.WriteByte(':')
 	rw.num = strconv.AppendInt(rw.num[:0], n, 10)

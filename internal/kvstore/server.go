@@ -119,17 +119,23 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// serveConn runs one connection's read-execute-reply loop. Flushes are
-// coalesced: after a command, the reply buffer is only flushed when no
-// further pipelined input is already buffered, so a burst of N
-// pipelined commands costs one write syscall instead of N. Input still
-// in the kernel socket buffer (not yet pulled into the bufio.Reader)
-// does not defer a flush — the client is guaranteed a response batch no
-// later than the moment the reader would block.
+// serveConn runs one connection's read-route-reply loop. Keyed string
+// commands are not executed inline: the reader parses RESP, routes each
+// command by key hash into a per-connection Batch (multi-key MGET/MSET/
+// DEL split per shard), and settles the batch — submit to the shard
+// owner rings, wait, write the rejoined replies in command order — only
+// when the pipeline runs dry or the batch fills. Non-keyed commands
+// (PING, INFO, KEYS, hash/list ops, ...) settle first, then execute
+// inline, so per-connection reply order is always the request order.
+//
+// Flushes stay coalesced exactly as before: the reply buffer goes out
+// when no further pipelined input is already buffered, so a burst of N
+// pipelined commands costs one batch settle and one write syscall.
 func (s *Server) serveConn(nc net.Conn) {
 	defer nc.Close()
 	cr := newCmdReader(bufio.NewReaderSize(nc, connBufSize))
 	rw := newRespWriter(bufio.NewWriterSize(nc, connBufSize))
+	ce := &connExec{s: s, batch: s.store.NewBatch()}
 	for {
 		args, err := cr.ReadCommand()
 		if err != nil {
@@ -138,8 +144,18 @@ func (s *Server) serveConn(nc net.Conn) {
 		if len(args) == 0 {
 			continue
 		}
-		quit := s.execute(rw, args)
+		quit := false
+		if len(ce.specs) == 0 && cr.buffered() == 0 {
+			// Serial client (no pipelined input, nothing queued): skip
+			// the batch machinery and execute inline — the unpipelined
+			// round trip stays identical to the pre-engine hot path.
+			quit = s.execute(rw, args)
+		} else if !ce.enqueue(canonicalCommand(args[0]), args) {
+			ce.settle(rw)
+			quit = s.execute(rw, args)
+		}
 		if quit || cr.buffered() == 0 {
+			ce.settle(rw)
 			if err := rw.flush(); err != nil {
 				return
 			}
@@ -147,8 +163,334 @@ func (s *Server) serveConn(nc net.Conn) {
 				return
 			}
 		} else {
+			if ce.full() {
+				ce.settle(rw)
+			}
 			s.flushCoalesced.Add(1)
 		}
+	}
+}
+
+// Batch-settle thresholds: a batch settles early once it holds this
+// many commands or its value arena grows past this many bytes, bounding
+// per-connection memory under an adversarially deep pipeline.
+const (
+	maxBatchCommands = 256
+	maxBatchArena    = 1 << 20
+)
+
+// replySpec reply kinds: how one RESP command's reply is rebuilt from
+// its slice of batch command slots.
+const (
+	rkStatus uint8 = iota // +OK unless the command failed (SET)
+	rkBulk                // nil or bulk value (GET)
+	rkInt                 // integer from N (INCR family, APPEND, STRLEN)
+	rkBool                // :0/:1 from Ok (EXISTS, EXPIRE, PERSIST)
+	rkTTL                 // Redis TTL semantics from Ok/N
+	rkMGet                // array of bulks over the range (MGET)
+	rkMSet                // +OK when every Set in the range succeeded
+	rkDelSum              // sum of per-key removals (DEL)
+	rkErr                 // pre-formed parse/arity error, no commands
+)
+
+// replySpec maps one pipelined RESP command onto the batch: the command
+// slots [start, start+n) and the reply shape to rebuild from them.
+type replySpec struct {
+	kind   uint8
+	cmd    string // canonical name, for per-command latency metrics
+	errMsg string // rkErr only
+	start  int32
+	n      int32
+}
+
+// connExec is one connection's routing state: the reusable Batch, the
+// reply specs rejoining batch results into RESP replies in request
+// order, and the arena that copies SET values out of the cmdReader's
+// reused argument buffers (a batch outlives the read of the next
+// pipelined command, so values cannot alias the parser's scratch; keys
+// are copied by their string conversion anyway). All three recycle
+// their capacity across settles, so a steady pipelined workload
+// allocates only the per-key string conversions.
+type connExec struct {
+	s     *Server
+	batch *Batch
+	specs []replySpec
+	arena []byte
+}
+
+// copyVal copies a parser-owned value into the arena, returning a slice
+// that stays valid until the next settle.
+func (ce *connExec) copyVal(v []byte) []byte {
+	off := len(ce.arena)
+	ce.arena = append(ce.arena, v...)
+	return ce.arena[off:len(ce.arena):len(ce.arena)]
+}
+
+func (ce *connExec) spec(kind uint8, cmd string, start, n int) bool {
+	ce.specs = append(ce.specs, replySpec{kind: kind, cmd: cmd, start: int32(start), n: int32(n)})
+	return true
+}
+
+func (ce *connExec) errSpec(cmd, msg string) bool {
+	ce.specs = append(ce.specs, replySpec{kind: rkErr, cmd: cmd, errMsg: msg, start: int32(ce.batch.Len())})
+	return true
+}
+
+// full reports whether the batch should settle before more input.
+func (ce *connExec) full() bool {
+	return ce.batch.Len() >= maxBatchCommands || len(ce.arena) >= maxBatchArena
+}
+
+// enqueue routes one parsed command into the batch, reporting false for
+// commands that must run inline (non-keyed, list/hash, admin). Arity
+// and argument errors are recorded as pre-formed error specs so they
+// hold their place in the reply order without touching the engine.
+func (ce *connExec) enqueue(cmd string, args [][]byte) bool {
+	b := ce.batch
+	switch cmd {
+	case "SET":
+		if len(args) != 3 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'set'")
+		}
+		i := b.Set(string(args[1]), ce.copyVal(args[2]))
+		return ce.spec(rkStatus, cmd, i, 1)
+	case "GET":
+		if len(args) != 2 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'get'")
+		}
+		i := b.Get(string(args[1]))
+		return ce.spec(rkBulk, cmd, i, 1)
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'mset'")
+		}
+		start := b.Len()
+		for i := 1; i < len(args); i += 2 {
+			b.Set(string(args[i]), ce.copyVal(args[i+1]))
+		}
+		return ce.spec(rkMSet, cmd, start, (len(args)-1)/2)
+	case "MGET":
+		if len(args) < 2 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'mget'")
+		}
+		start := b.Len()
+		for _, k := range args[1:] {
+			b.Get(string(k))
+		}
+		return ce.spec(rkMGet, cmd, start, len(args)-1)
+	case "DEL":
+		if len(args) < 2 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'del'")
+		}
+		start := b.Len()
+		for _, k := range args[1:] {
+			b.Del(string(k))
+		}
+		return ce.spec(rkDelSum, cmd, start, len(args)-1)
+	case "INCR", "DECR", "INCRBY", "DECRBY":
+		delta := 1
+		switch {
+		case cmd == "INCR" || cmd == "DECR":
+			if len(args) != 2 {
+				return ce.errSpec(cmd, "wrong number of arguments")
+			}
+		default:
+			if len(args) != 3 {
+				return ce.errSpec(cmd, "wrong number of arguments")
+			}
+			n, ok := asciiInt(args[2])
+			if !ok {
+				return ce.errSpec(cmd, "value is not an integer or out of range")
+			}
+			delta = n
+		}
+		if cmd == "DECR" || cmd == "DECRBY" {
+			delta = -delta
+		}
+		i := b.Add(OpIncr, string(args[1]))
+		b.Cmd(i).Delta = int64(delta)
+		return ce.spec(rkInt, cmd, i, 1)
+	case "APPEND":
+		if len(args) != 3 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'append'")
+		}
+		i := b.Add(OpAppend, string(args[1]))
+		b.Cmd(i).Arg = ce.copyVal(args[2])
+		return ce.spec(rkInt, cmd, i, 1)
+	case "STRLEN":
+		if len(args) != 2 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'strlen'")
+		}
+		i := b.Add(OpStrLen, string(args[1]))
+		return ce.spec(rkInt, cmd, i, 1)
+	case "EXISTS":
+		if len(args) != 2 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'exists'")
+		}
+		i := b.Add(OpExists, string(args[1]))
+		return ce.spec(rkBool, cmd, i, 1)
+	case "EXPIRE":
+		if len(args) != 3 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'expire'")
+		}
+		secs, ok := asciiInt(args[2])
+		if !ok || secs < 0 {
+			return ce.errSpec(cmd, "invalid expire time")
+		}
+		i := b.Add(OpExpire, string(args[1]))
+		b.Cmd(i).Delta = int64(secs) * int64(time.Second)
+		return ce.spec(rkBool, cmd, i, 1)
+	case "TTL":
+		if len(args) != 2 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'ttl'")
+		}
+		i := b.Add(OpTTL, string(args[1]))
+		return ce.spec(rkTTL, cmd, i, 1)
+	case "PERSIST":
+		if len(args) != 2 {
+			return ce.errSpec(cmd, "wrong number of arguments for 'persist'")
+		}
+		i := b.Add(OpPersist, string(args[1]))
+		return ce.spec(rkBool, cmd, i, 1)
+	}
+	return false
+}
+
+// settle executes the queued batch against the shard owners and writes
+// the rejoined replies in request order, then resets for reuse.
+func (ce *connExec) settle(rw *respWriter) {
+	if len(ce.specs) == 0 {
+		return
+	}
+	m := ce.s.met.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	_ = ce.batch.Exec()
+	if m != nil {
+		// The settle's wall time is shared evenly across its commands —
+		// the per-command service time a pipelining client experiences.
+		per := time.Since(t0) / time.Duration(len(ce.specs))
+		for i := range ce.specs {
+			m.observe(ce.specs[i].cmd, per)
+		}
+	}
+	for i := range ce.specs {
+		ce.writeReply(rw, &ce.specs[i])
+	}
+	ce.specs = ce.specs[:0]
+	ce.batch.Reset()
+	ce.arena = ce.arena[:0]
+}
+
+// cmdError maps a command failure to its RESP reply: ErrOverloaded
+// becomes -BUSY (shed load, retry), everything else the -ERR text the
+// inline dispatch would have produced.
+func cmdError(rw *respWriter, err error, isSet bool) {
+	if err == ErrOverloaded {
+		rw.busy()
+		return
+	}
+	if isSet {
+		rw.error("soft memory exhausted: " + err.Error())
+		return
+	}
+	rw.error(err.Error())
+}
+
+// writeReply rebuilds one RESP command's reply from its batch slots.
+func (ce *connExec) writeReply(rw *respWriter, sp *replySpec) {
+	cmds := ce.batch.cmds
+	switch sp.kind {
+	case rkErr:
+		rw.error(sp.errMsg)
+	case rkStatus:
+		if c := &cmds[sp.start]; c.Err != nil {
+			cmdError(rw, c.Err, true)
+		} else {
+			rw.simple("OK")
+		}
+	case rkBulk:
+		c := &cmds[sp.start]
+		switch {
+		case c.Err == ErrOverloaded:
+			rw.busy()
+		case c.Err != nil:
+			rw.error(c.Err.Error())
+		case !c.Ok:
+			rw.nilReply()
+		default:
+			rw.bulk(c.Val)
+		}
+	case rkInt:
+		if c := &cmds[sp.start]; c.Err != nil {
+			cmdError(rw, c.Err, false)
+		} else {
+			rw.integer(c.N)
+		}
+	case rkBool:
+		c := &cmds[sp.start]
+		switch {
+		case c.Err != nil:
+			cmdError(rw, c.Err, false)
+		case c.Ok:
+			rw.integer(1)
+		default:
+			rw.integer(0)
+		}
+	case rkTTL:
+		c := &cmds[sp.start]
+		switch {
+		case c.Err != nil:
+			cmdError(rw, c.Err, false)
+		case !c.Ok:
+			rw.integer(-2)
+		case c.N < 0:
+			rw.integer(-1)
+		default:
+			// Round up, as Redis does: a fresh EXPIRE k 100 reports 100.
+			rw.integer((c.N + int64(time.Second) - 1) / int64(time.Second))
+		}
+	case rkMGet:
+		// A shed sub-command fails the whole MGET as -BUSY (an array
+		// with silently-absent values would be indistinguishable from
+		// misses); other per-key errors degrade to nil like the inline
+		// path always did.
+		for i := sp.start; i < sp.start+sp.n; i++ {
+			if cmds[i].Err == ErrOverloaded {
+				rw.busy()
+				return
+			}
+		}
+		rw.arrayHeader(int(sp.n))
+		for i := sp.start; i < sp.start+sp.n; i++ {
+			c := &cmds[i]
+			if c.Err != nil || !c.Ok {
+				rw.nilReply()
+				continue
+			}
+			rw.bulk(c.Val)
+		}
+	case rkMSet:
+		for i := sp.start; i < sp.start+sp.n; i++ {
+			if cmds[i].Err != nil {
+				cmdError(rw, cmds[i].Err, true)
+				return
+			}
+		}
+		rw.simple("OK")
+	case rkDelSum:
+		n := int64(0)
+		for i := sp.start; i < sp.start+sp.n; i++ {
+			c := &cmds[i]
+			if c.Err != nil {
+				cmdError(rw, c.Err, false)
+				return
+			}
+			n += c.N
+		}
+		rw.integer(n)
 	}
 }
 

@@ -31,7 +31,7 @@ func TestSoakSpill(t *testing.T) {
 	defer sp.Close()
 
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, Shards: 4, Spill: sp})
+	st := NewFromConfig(Config{SMA: sma, Shards: 4, Spill: sp})
 	defer st.Close()
 
 	srv := NewServer(st, t.Logf)

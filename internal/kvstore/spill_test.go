@@ -22,7 +22,7 @@ func newSpillStore(t *testing.T, cfg Config) (*Store, *core.SMA, *spill.Store) {
 	sma.SetSpillReporter(sp.BytesOnDisk)
 	cfg.SMA = sma
 	cfg.Spill = sp
-	st := New(cfg)
+	st := NewFromConfig(cfg)
 	t.Cleanup(st.Close)
 	return st, sma, sp
 }
@@ -102,7 +102,7 @@ func TestSpillDemotionRecovery(t *testing.T) {
 func TestSpillDisabledDropSemantics(t *testing.T) {
 	var reclaimed []string
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, OnReclaim: func(k string) { reclaimed = append(reclaimed, k) }})
+	st := NewFromConfig(Config{SMA: sma, OnReclaim: func(k string) { reclaimed = append(reclaimed, k) }})
 	defer st.Close()
 
 	val := make([]byte, 1024)
@@ -287,7 +287,7 @@ func TestSpillTTLSurvivesDemotion(t *testing.T) {
 // Shards > 1, store-global totals equal the sum over PerShard.
 func TestPerShardStatsAggregate(t *testing.T) {
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(Config{SMA: sma, Shards: 4})
+	st := NewFromConfig(Config{SMA: sma, Shards: 4})
 	defer st.Close()
 
 	val := make([]byte, 512)

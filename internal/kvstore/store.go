@@ -75,6 +75,10 @@ type Config struct {
 	// promotes the value back through the normal soft-allocation path.
 	// Nil preserves exact drop semantics.
 	Spill *spill.Store
+	// OwnerQueue bounds each shard owner's command ring (in shard
+	// batches). 0 means the default; a full ring sheds submissions with
+	// ErrOverloaded instead of blocking connection readers.
+	OwnerQueue int
 }
 
 // Stats is the store's unified observability snapshot: operation
@@ -118,14 +122,16 @@ type ShardStats struct {
 }
 
 // Store is an embeddable soft-memory key-value store. All methods are
-// safe for concurrent use; with Shards > 1, operations on different keys
-// contend only on their shard's heap lock.
+// safe for concurrent use. String commands execute on per-shard owner
+// goroutines (see engine.go) when submitted through the Batch dispatch
+// interface; the direct methods below serialize against the owners
+// through each shard's heap lock.
 type Store struct {
-	shards      []*sds.SoftHashTable[string]
+	shards      []*shard
 	shardMask   uint64
 	hashes      *hashStore
 	lists       *listStore
-	ttl         *ttlTable
+	now         func() time.Time
 	spill       *spill.Sink // nil without a spill tier
 	promoMu     sync.Mutex
 	promos      map[string]*promo // keys with an in-flight spill promotion
@@ -138,10 +144,35 @@ type Store struct {
 	reclaimed   atomic.Int64
 	promotions  atomic.Int64
 	cleanupSink atomic.Int64
+	overloaded  atomic.Int64
+
+	// Execution engine lifecycle: submitMu (submitter-side only)
+	// excludes submissions against Close; stopOwners stops the owner
+	// goroutines, which drain their rings before exiting.
+	ringSize   int
+	stopOwners chan struct{}
+	ownerWG    sync.WaitGroup
+	submitMu   sync.RWMutex
+	closed     bool
 }
 
-// New creates a store backed by soft hash tables in cfg.SMA.
-func New(cfg Config) *Store {
+// New creates a store backed by soft hash tables in sma, tuned by
+// functional options — kvstore.New(sma, kvstore.WithShards(8),
+// kvstore.WithSpill(sp)) — mirroring ipc.Dial's DialOptions pattern.
+func New(sma *core.SMA, opts ...Option) *Store {
+	cfg := Config{SMA: sma}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewFromConfig(cfg)
+}
+
+// NewFromConfig creates a store from a literal Config.
+//
+// Deprecated: use New with functional options. NewFromConfig remains so
+// existing callers migrate incrementally; it will not grow new fields'
+// validation beyond what the options enforce.
+func NewFromConfig(cfg Config) *Store {
 	if cfg.SMA == nil {
 		panic("kvstore: Config.SMA is required")
 	}
@@ -155,7 +186,15 @@ func New(cfg Config) *Store {
 	} else if nshards&(nshards-1) != 0 {
 		nshards = 1 << bits.Len(uint(nshards))
 	}
-	s := &Store{ttl: newTTLTable(cfg.Clock)}
+	ringSize := cfg.OwnerQueue
+	if ringSize <= 0 {
+		ringSize = defaultOwnerQueue
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	s := &Store{now: now, ringSize: ringSize}
 	s.shardMask = uint64(nshards - 1)
 	if cfg.Spill != nil {
 		s.spill = cfg.Spill.Sink(name)
@@ -174,7 +213,7 @@ func New(cfg Config) *Store {
 			// No spill tier, or the fault point vetoed the demotion (a
 			// revocation whose last-chance persist never happens): the
 			// value is simply gone, which is soft memory's contract.
-			s.ttl.clear(key)
+			s.shard(key).ttl.clear(key)
 		}
 		// Synthetic traditional-memory cleanup, per the paper's
 		// observation that reclamation time "is spent almost
@@ -189,18 +228,24 @@ func New(cfg Config) *Store {
 			cfg.OnReclaim(key)
 		}
 	}
-	s.shards = make([]*sds.SoftHashTable[string], nshards)
+	s.shards = make([]*shard, nshards)
 	for i := range s.shards {
 		shardName := name
 		if nshards > 1 {
 			shardName = fmt.Sprintf("%s/%d", name, i)
 		}
-		s.shards[i] = sds.NewSoftHashTable[string](cfg.SMA, shardName, sds.HashTableConfig[string]{
+		ht := sds.NewSoftHashTable[string](cfg.SMA, shardName, sds.HashTableConfig[string]{
 			Policy:    cfg.Policy,
 			Priority:  cfg.Priority,
 			KeyBytes:  func(k string) int { return len(k) + keyOverheadBytes },
 			OnReclaim: onReclaim,
 		})
+		s.shards[i] = &shard{
+			ht:    ht,
+			ttl:   newTTLTable(cfg.Clock),
+			ring:  make(chan *shardBatch, ringSize),
+			owned: ht.Context().Own(),
+		}
 	}
 	hashTable := sds.NewSoftHashTable[hashField](cfg.SMA, name+"-hashes", sds.HashTableConfig[hashField]{
 		Policy:   cfg.Policy,
@@ -222,13 +267,14 @@ func New(cfg Config) *Store {
 		},
 	})
 	s.lists = newListStore(listTable)
+	s.startOwners()
 	return s
 }
 
-// table routes a key to its shard (FNV-1a over the key).
-func (s *Store) table(key string) *sds.SoftHashTable[string] {
+// shardIdx routes a key to its shard index (FNV-1a over the key).
+func (s *Store) shardIdx(key string) int {
 	if s.shardMask == 0 {
-		return s.shards[0]
+		return 0
 	}
 	const (
 		offset64 = 14695981039346656037
@@ -239,8 +285,14 @@ func (s *Store) table(key string) *sds.SoftHashTable[string] {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return s.shards[h&s.shardMask]
+	return int(h & s.shardMask)
 }
+
+// shard routes a key to its shard.
+func (s *Store) shard(key string) *shard { return s.shards[s.shardIdx(key)] }
+
+// table routes a key to its shard's hash table.
+func (s *Store) table(key string) *sds.SoftHashTable[string] { return s.shard(key).ht }
 
 // promo tracks one key's in-flight spill promotions so a concurrent
 // deletion is not lost while the value travels between tiers.
@@ -406,8 +458,9 @@ func (s *Store) GetAppend(dst []byte, key string) (value []byte, ok bool, err er
 // Del removes key, reporting whether it existed.
 func (s *Store) Del(key string) (bool, error) {
 	s.dels.Add(1)
-	s.ttl.clear(key)
-	existed, err := s.table(key).Delete(key)
+	sh := s.shard(key)
+	sh.ttl.clear(key)
+	existed, err := sh.ht.Delete(key)
 	if s.spill != nil {
 		if s.spill.Contains(key) {
 			existed = true
@@ -445,7 +498,7 @@ func (s *Store) Incr(key string, delta int64) (int64, error) {
 		s.hits.Add(1)
 		n, err = strconv.ParseInt(string(cur), 10, 64)
 		if err != nil {
-			return 0, fmt.Errorf("kvstore: value at %q is not an integer", key)
+			return 0, errNotInteger(key)
 		}
 	} else {
 		s.misses.Add(1)
@@ -499,8 +552,8 @@ func (s *Store) Keys(pattern string) ([]string, error) {
 		return nil, fmt.Errorf("kvstore: bad pattern %q: %w", pattern, err)
 	}
 	var out []string
-	for _, ht := range s.shards {
-		if err := ht.Range(func(k string, _ []byte) bool {
+	for _, sh := range s.shards {
+		if err := sh.ht.Range(func(k string, _ []byte) bool {
 			if ok, _ := path.Match(pattern, k); ok {
 				out = append(out, k)
 			}
@@ -516,24 +569,24 @@ func (s *Store) Keys(pattern string) ([]string, error) {
 // Len returns the number of live entries.
 func (s *Store) Len() int {
 	n := 0
-	for _, ht := range s.shards {
-		n += ht.Len()
+	for _, sh := range s.shards {
+		n += sh.ht.Len()
 	}
 	return n
 }
 
 // FlushAll removes every entry.
 func (s *Store) FlushAll() error {
-	for _, ht := range s.shards {
+	for _, sh := range s.shards {
 		var keys []string
-		if err := ht.Range(func(k string, _ []byte) bool {
+		if err := sh.ht.Range(func(k string, _ []byte) bool {
 			keys = append(keys, k)
 			return true
 		}); err != nil {
 			return err
 		}
 		for _, k := range keys {
-			if _, err := ht.Delete(k); err != nil {
+			if _, err := sh.ht.Delete(k); err != nil {
 				return err
 			}
 		}
@@ -571,11 +624,11 @@ func (s *Store) Stats() Stats {
 		Soft:       s.HeapStats(),
 		PerShard:   make([]ShardStats, len(s.shards)),
 	}
-	for i, ht := range s.shards {
+	for i, sh := range s.shards {
 		st.PerShard[i] = ShardStats{
-			Entries:   ht.Len(),
-			Reclaimed: ht.Reclaimed(),
-			Heap:      ht.Context().HeapStats(),
+			Entries:   sh.ht.Len(),
+			Reclaimed: sh.ht.Reclaimed(),
+			Heap:      sh.ht.Context().HeapStats(),
 		}
 	}
 	if s.spill != nil {
@@ -601,8 +654,8 @@ func (s *Store) HeapStats() alloc.Stats {
 		sum.TotalFrees += h.TotalFrees
 		sum.FailedAllocs += h.FailedAllocs
 	}
-	for _, ht := range s.shards {
-		add(ht.Context().HeapStats())
+	for _, sh := range s.shards {
+		add(sh.ht.Context().HeapStats())
 	}
 	add(s.hashes.ht.Context().HeapStats())
 	add(s.lists.ht.Context().HeapStats())
@@ -612,12 +665,14 @@ func (s *Store) HeapStats() alloc.Stats {
 // Context exposes the store's first string-shard SDS context (for stats
 // and priority). With Shards > 1 use HeapStats for whole-store heap
 // accounting.
-func (s *Store) Context() *core.Context { return s.shards[0].Context() }
+func (s *Store) Context() *core.Context { return s.shards[0].ht.Context() }
 
-// Close frees the store's soft memory.
+// Close stops the execution engine (in-flight batches complete, new
+// submissions fail with ErrClosed) and frees the store's soft memory.
 func (s *Store) Close() {
-	for _, ht := range s.shards {
-		ht.Close()
+	s.stopEngine()
+	for _, sh := range s.shards {
+		sh.ht.Close()
 	}
 	s.hashes.ht.Close()
 	s.lists.ht.Close()

@@ -29,6 +29,32 @@ func (s *Store) RegisterMetrics(r *metrics.Registry) {
 		func() float64 { return float64(s.HeapStats().LiveBytes) })
 	r.GaugeFunc("softmem_kv_soft_pages", "soft pages held across the store's SDS contexts",
 		func() float64 { return float64(s.HeapStats().PagesHeld) })
+
+	// Shard-owner engine instrumentation: queue depth and owner
+	// utilization, summed across shards from the per-shard atomics.
+	counter("softmem_kv_overloaded_total",
+		"commands shed with ErrOverloaded because a shard owner's ring was full", &s.overloaded)
+	r.CounterFunc("softmem_kv_owner_commands_total",
+		"commands executed by shard owner goroutines",
+		func() int64 { return s.EngineStats().Commands })
+	r.CounterFunc("softmem_kv_owner_batches_total",
+		"shard batches executed by shard owner goroutines",
+		func() int64 { return s.EngineStats().Batches })
+	r.CounterFunc("softmem_kv_owner_busy_ns_total",
+		"nanoseconds shard owners spent executing (vs blocked on their rings)",
+		func() int64 { return s.EngineStats().BusyNs })
+	r.CounterFunc("softmem_kv_owner_lock_acquisitions_total",
+		"times shard owners (re)took their heap lock; commands-per-acquisition is the lock-amortization factor",
+		func() int64 { return s.EngineStats().LockAcquisitions })
+	r.GaugeFunc("softmem_kv_ring_depth",
+		"shard batches queued in owner command rings, summed across shards",
+		func() float64 {
+			depth := 0
+			for _, sh := range s.shards {
+				depth += len(sh.ring)
+			}
+			return float64(depth)
+		})
 }
 
 // cmdMetrics lazily materializes one latency histogram per RESP command

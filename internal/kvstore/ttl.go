@@ -100,7 +100,7 @@ func (s *Store) Expire(key string, d time.Duration) bool {
 	if !s.present(key) {
 		return false
 	}
-	s.ttl.set(key, s.ttl.now().Add(d))
+	s.shard(key).ttl.set(key, s.now().Add(d))
 	return true
 }
 
@@ -120,7 +120,7 @@ func (s *Store) TTL(key string) (d time.Duration, exists, hasTTL bool) {
 	if !s.present(key) {
 		return 0, false, false
 	}
-	d, hasTTL = s.ttl.remaining(key)
+	d, hasTTL = s.shard(key).ttl.remaining(key)
 	return d, true, hasTTL
 }
 
@@ -129,16 +129,17 @@ func (s *Store) Persist(key string) bool {
 	if !s.present(key) {
 		return false
 	}
-	return s.ttl.clear(key)
+	return s.shard(key).ttl.clear(key)
 }
 
 // expireIfDue lazily removes an expired key, freeing its soft memory.
 // With a spill tier, an expired key's demoted record is purged too, so
 // expiry cannot be undone by a later promotion.
 func (s *Store) expireIfDue(key string) {
-	if s.ttl.due(key) {
-		s.ttl.clear(key)
-		removed, _ := s.table(key).Delete(key)
+	sh := s.shard(key)
+	if sh.ttl.due(key) {
+		sh.ttl.clear(key)
+		removed, _ := sh.ht.Delete(key)
 		if s.spill != nil {
 			removed = s.spill.Drop(key) || removed
 			s.promoMarkDeleted(key)
@@ -149,14 +150,15 @@ func (s *Store) expireIfDue(key string) {
 	}
 }
 
-// SweepExpired removes every expired key, returning how many were
-// collected. Servers call it periodically so idle expired entries do not
-// linger in soft memory.
-func (s *Store) SweepExpired() int {
+// sweepShardDirect is one shard's sweep through the store's direct
+// methods — the single-shard fallback when the sweep does not go
+// through the owner ring.
+func (s *Store) sweepShardDirect(si int) int {
+	sh := s.shards[si]
 	n := 0
-	for _, key := range s.ttl.expired() {
-		s.ttl.clear(key)
-		removed, _ := s.table(key).Delete(key)
+	for _, key := range sh.ttl.expired() {
+		sh.ttl.clear(key)
+		removed, _ := sh.ht.Delete(key)
 		if s.spill != nil {
 			removed = s.spill.Drop(key) || removed
 			s.promoMarkDeleted(key)
@@ -165,6 +167,31 @@ func (s *Store) SweepExpired() int {
 			s.expired.Add(1)
 			n++
 		}
+	}
+	return n
+}
+
+// SweepExpired removes every expired key, returning how many were
+// collected. Servers call it periodically so idle expired entries do
+// not linger in soft memory. The sweep is submitted through the shard
+// owner rings (one internal command per shard holding TTLs), so expiry
+// executes run-to-completion on each owner and never races that shard's
+// command stream; shards with no deadlines cost one atomic load.
+func (s *Store) SweepExpired() int {
+	b := s.NewBatch()
+	for i, sh := range s.shards {
+		if sh.ttl.n.Load() == 0 {
+			continue
+		}
+		b.addSweep(i)
+	}
+	if b.Len() == 0 {
+		return 0
+	}
+	_ = b.Exec()
+	n := 0
+	for i := 0; i < b.Len(); i++ {
+		n += int(b.Cmd(i).N)
 	}
 	return n
 }

@@ -273,6 +273,84 @@ func (t *SoftHashTable[K]) Context() *core.Context { return t.ctx }
 // Close frees the table's heap; the table must not be used afterwards.
 func (t *SoftHashTable[K]) Close() { t.ctx.Close() }
 
+// Owned variants: the shard-owner execution engine in internal/kvstore
+// holds the table's heap lock across whole command batches through a
+// core.Owned and calls these instead of the Do-based methods above, so a
+// single-key operation costs zero mutex acquisitions. Each validates the
+// handle against the table's own context (o.Tx panics on a mismatch) and
+// runs the same index logic as its locked counterpart.
+
+// PutOwned is Put under an already-owned heap lock. The allocation slow
+// path may drop and re-take the lock (daemon round-trips); the index
+// update itself runs in one critical section, so a reclamation that
+// slips into the window is observed as a plain replace-vs-insert.
+func (t *SoftHashTable[K]) PutOwned(o *core.Owned, key K, value []byte) error {
+	ref, err := o.AllocData(value)
+	if err != nil {
+		return err
+	}
+	tx := o.Tx(t.ctx)
+	if e, ok := t.entries[key]; ok {
+		replaced := e.ref
+		e.ref = ref
+		t.touch(e)
+		return tx.Free(replaced)
+	}
+	e := &htEntry[K]{key: key, ref: ref}
+	t.entries[key] = e
+	t.linkTail(e)
+	if t.keyBytes != nil {
+		t.sma.AddTraditionalBytes(int64(t.keyBytes(key)))
+	}
+	return nil
+}
+
+// GetAppendOwned is GetAppend under an already-owned heap lock: zero
+// mutex traffic, value appended into dst's capacity.
+func (t *SoftHashTable[K]) GetAppendOwned(o *core.Owned, dst []byte, key K) (value []byte, ok bool, err error) {
+	tx := o.Tx(t.ctx)
+	value = dst
+	e, present := t.entries[key]
+	if !present {
+		return value, false, nil
+	}
+	b, err := tx.Bytes(e.ref)
+	if err != nil {
+		return value, false, err
+	}
+	value = append(value, b...)
+	if t.policy == EvictLRU {
+		t.touch(e)
+	}
+	return value, true, nil
+}
+
+// DeleteOwned is Delete under an already-owned heap lock.
+func (t *SoftHashTable[K]) DeleteOwned(o *core.Owned, key K) (bool, error) {
+	tx := o.Tx(t.ctx)
+	e, ok := t.entries[key]
+	if !ok {
+		return false, nil
+	}
+	t.unlink(e)
+	delete(t.entries, key)
+	err := tx.Free(e.ref)
+	if err != nil {
+		return false, err
+	}
+	if t.keyBytes != nil {
+		t.sma.AddTraditionalBytes(-int64(t.keyBytes(key)))
+	}
+	return true, nil
+}
+
+// ContainsOwned is Contains under an already-owned heap lock.
+func (t *SoftHashTable[K]) ContainsOwned(o *core.Owned, key K) bool {
+	_ = o.Tx(t.ctx) // ownership check only
+	_, found := t.entries[key]
+	return found
+}
+
 // linkTail appends e at the tail (most recent / newest position).
 func (t *SoftHashTable[K]) linkTail(e *htEntry[K]) {
 	e.prev = t.tail

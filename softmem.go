@@ -171,11 +171,60 @@ type (
 	KVConfig = kvstore.Config
 	// KVStats is a KVStore's unified observability snapshot.
 	KVStats = kvstore.Stats
+	// KVOption tunes a KVStore at construction (see NewKV).
+	KVOption = kvstore.Option
+	// KVOp identifies a KVStore dispatch operation (KVOpGet, ...).
+	KVOp = kvstore.Op
+	// KVCommand is one typed command in the store's dispatch API. See
+	// kvstore.Command for the aliasing rules on Key/Arg/Val.
+	KVCommand = kvstore.Command
+	// KVBatch routes typed commands to shard owners and rejoins their
+	// results in submission order; obtain one from KVStore.NewBatch.
+	KVBatch = kvstore.Batch
 )
+
+// Dispatch operations for KVCommand.
+const (
+	KVOpGet     = kvstore.OpGet
+	KVOpSet     = kvstore.OpSet
+	KVOpDel     = kvstore.OpDel
+	KVOpIncr    = kvstore.OpIncr
+	KVOpAppend  = kvstore.OpAppend
+	KVOpStrLen  = kvstore.OpStrLen
+	KVOpExists  = kvstore.OpExists
+	KVOpExpire  = kvstore.OpExpire
+	KVOpTTL     = kvstore.OpTTL
+	KVOpPersist = kvstore.OpPersist
+)
+
+// ErrKVOverloaded reports a command shed because its shard owner's ring
+// was full; back off and retry.
+var ErrKVOverloaded = kvstore.ErrOverloaded
+
+// KVStore construction options, forwarded from internal/kvstore.
+var (
+	KVWithName        = kvstore.WithName
+	KVWithPolicy      = kvstore.WithPolicy
+	KVWithPriority    = kvstore.WithPriority
+	KVWithShards      = kvstore.WithShards
+	KVWithOnReclaim   = kvstore.WithOnReclaim
+	KVWithCleanupWork = kvstore.WithCleanupWork
+	KVWithClock       = kvstore.WithClock
+	KVWithSpill       = kvstore.WithSpill
+	KVWithOwnerQueue  = kvstore.WithOwnerQueue
+)
+
+// NewKV returns a Redis-like store whose values live in soft memory,
+// tuned by functional options:
+//
+//	store := softmem.NewKV(sma, softmem.KVWithShards(8))
+func NewKV(sma *SMA, opts ...KVOption) *KVStore { return kvstore.New(sma, opts...) }
 
 // NewKVStore returns a Redis-like store whose values live in soft
 // memory.
-func NewKVStore(cfg KVConfig) *KVStore { return kvstore.New(cfg) }
+//
+// Deprecated: use NewKV with functional options.
+func NewKVStore(cfg KVConfig) *KVStore { return kvstore.NewFromConfig(cfg) }
 
 // Spill tier (internal/spill): compressed disk demotion for reclaimed
 // soft data, with transparent promotion on miss.
