@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-hot metrics-lint fmt-check chaos soak-spill bench bench-all experiments cover fmt clean
+.PHONY: all check build vet test race race-hot metrics-lint fmt-check chaos chaos-cluster cluster-smoke soak-spill bench bench-all experiments cover fmt clean
 
 all: check
 
@@ -45,6 +45,18 @@ race-hot:
 # Three consecutive runs — the schedule is seeded, so a flake is a bug.
 chaos:
 	$(GO) test -tags chaos -run TestChaosKillMidReclaim -count=3 -v -timeout 10m .
+
+# Cluster chaos: three real softkv nodes, one killed mid-load by the
+# armed clusterkv.node.crash point; the survivors must heal the ring,
+# redirects must converge, and no acked eventual-mode write may be
+# lost. Three consecutive seeded runs, as above.
+chaos-cluster:
+	$(GO) test -tags chaos -run TestChaosClusterNodeKill -count=3 -v -timeout 10m .
+
+# The 3-process cluster smoke (also run nightly): form a ring, write
+# and MGET across slots, shut down cleanly.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke3Proc -count=1 -v -timeout 5m .
 
 # Soak the spill tier: the YCSB-style load generator against a real
 # RESP server with disk demotion enabled, squeezed continuously by a

@@ -21,7 +21,7 @@ import (
 	"time"
 
 	"softmem/internal/alloc"
-	"softmem/internal/cluster"
+	"softmem/internal/clustersim"
 	"softmem/internal/core"
 	"softmem/internal/experiments"
 	"softmem/internal/kvstore"
@@ -175,9 +175,9 @@ func clusterTrace() []trace.Job {
 // trace, reporting evictions and wasted CPU hours.
 func BenchmarkClusterBaseline(b *testing.B) {
 	jobs := clusterTrace()
-	var res cluster.Result
+	var res clustersim.Result
 	for i := 0; i < b.N; i++ {
-		res = cluster.New(cluster.Config{Kind: cluster.Baseline, Machines: 4, PagesPerMachine: 1200}, jobs).Run()
+		res = clustersim.New(clustersim.Config{Kind: clustersim.Baseline, Machines: 4, PagesPerMachine: 1200}, jobs).Run()
 	}
 	b.ReportMetric(float64(res.Evictions), "evictions")
 	b.ReportMetric(res.WastedCPU.Hours(), "wastedCPUh")
@@ -187,9 +187,9 @@ func BenchmarkClusterBaseline(b *testing.B) {
 // trace.
 func BenchmarkClusterSoft(b *testing.B) {
 	jobs := clusterTrace()
-	var res cluster.Result
+	var res clustersim.Result
 	for i := 0; i < b.N; i++ {
-		res = cluster.New(cluster.Config{Kind: cluster.Soft, Machines: 4, PagesPerMachine: 1200}, jobs).Run()
+		res = clustersim.New(clustersim.Config{Kind: clustersim.Soft, Machines: 4, PagesPerMachine: 1200}, jobs).Run()
 	}
 	b.ReportMetric(float64(res.Evictions), "evictions")
 	b.ReportMetric(res.WastedCPU.Hours(), "wastedCPUh")

@@ -12,6 +12,7 @@
 //	smdctl -http 127.0.0.1:7071 top          # live ledger + rates from /metrics
 //	smdctl -http 127.0.0.1:7071 trace        # recent reclaim cycles
 //	smdctl -http 127.0.0.1:7071 trace 7      # one cycle, hop by hop
+//	smdctl -http 127.0.0.1:8081 cluster      # a cluster node's ring + federation view
 package main
 
 import (
@@ -116,8 +117,15 @@ func main() {
 		}
 	case "top":
 		runTop(*httpAddr, *timeout, *interval, *iters)
+	case "cluster":
+		body := fetch(*httpAddr, "/cluster", *timeout)
+		if *raw {
+			os.Stdout.Write(body)
+			return
+		}
+		printCluster(body)
 	default:
-		log.Fatalf("smdctl: unknown command %q (want status, events, trace, or top)", cmd)
+		log.Fatalf("smdctl: unknown command %q (want status, events, trace, top, or cluster)", cmd)
 	}
 }
 
@@ -262,6 +270,71 @@ func printTrace(body []byte, id uint64) {
 		return
 	}
 	log.Fatalf("smdctl: trace %d not found (ring holds the most recent cycles only)", id)
+}
+
+// clusterStatus mirrors a cluster node's /cluster payload
+// (clusterkv.Status).
+type clusterStatus struct {
+	Self        string `json:"Self"`
+	PeerAddr    string `json:"PeerAddr"`
+	RingVersion uint64 `json:"RingVersion"`
+	Nodes       []struct {
+		Addr string `json:"Addr"`
+		Peer string `json:"Peer"`
+	} `json:"Nodes"`
+	SlotsOwned int `json:"SlotsOwned"`
+	Peers      []struct {
+		Addr     string       `json:"Addr"`
+		Peer     string       `json:"Peer"`
+		Misses   int          `json:"Misses"`
+		Pressure peerPressure `json:"Pressure"`
+	} `json:"Peers"`
+
+	GossipRounds   int64 `json:"GossipRounds"`
+	GossipFailures int64 `json:"GossipFailures"`
+	Moved          int64 `json:"Moved"`
+	ReplSent       int64 `json:"ReplSent"`
+	ReplAcked      int64 `json:"ReplAcked"`
+	ReplDropped    int64 `json:"ReplDropped"`
+	ReplApplied    int64 `json:"ReplApplied"`
+
+	FedCededPages    int64        `json:"FedCededPages"`
+	FedReceivedPages int64        `json:"FedReceivedPages"`
+	Pressure         peerPressure `json:"Pressure"`
+}
+
+type peerPressure struct {
+	TotalPages int `json:"TotalPages"`
+	FreePages  int `json:"FreePages"`
+	SlackPages int `json:"SlackPages"`
+}
+
+// printCluster renders a node's ring membership, replication counters,
+// and the federated soft-budget view.
+func printCluster(body []byte) {
+	var st clusterStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		log.Fatalf("smdctl: decode cluster: %v", err)
+	}
+	fmt.Printf("node %s (peer %s): ring v%d, %d nodes, %d slots owned\n",
+		st.Self, st.PeerAddr, st.RingVersion, len(st.Nodes), st.SlotsOwned)
+	fmt.Printf("gossip: %d rounds, %d failures   redirects: %d MOVED\n",
+		st.GossipRounds, st.GossipFailures, st.Moved)
+	fmt.Printf("replication: %d sent, %d acked, %d dropped, %d applied here\n",
+		st.ReplSent, st.ReplAcked, st.ReplDropped, st.ReplApplied)
+	fmt.Printf("federation: %d pages ceded, %d received; local partition %d pages (%d free, %d slack)\n\n",
+		st.FedCededPages, st.FedReceivedPages,
+		st.Pressure.TotalPages, st.Pressure.FreePages, st.Pressure.SlackPages)
+	fmt.Printf("%-22s %-22s %-6s %8s %8s %8s %8s\n",
+		"addr", "peer", "role", "misses", "total", "free", "slack")
+	fmt.Printf("%-22s %-22s %-6s %8s %8d %8d %8d\n",
+		st.Self, st.PeerAddr, "self", "-",
+		st.Pressure.TotalPages, st.Pressure.FreePages, st.Pressure.SlackPages)
+	for _, p := range st.Peers {
+		fmt.Printf("%-22s %-22s %-6s %8d %8d %8d %8d\n",
+			p.Addr, p.Peer, "peer", p.Misses,
+			p.Pressure.TotalPages, p.Pressure.FreePages, p.Pressure.SlackPages)
+	}
 }
 
 // fmtDur renders nanoseconds human-first.

@@ -13,7 +13,16 @@
 // to compressed disk records instead of dropped, and a GET miss faults
 // the value back into soft memory transparently.
 //
-// Speak to it with the RESP subset: SET/GET/DEL/EXISTS/DBSIZE/INFO/PING.
+// Cluster mode shards the keyspace across nodes by consistent hashing
+// (-MOVED redirects), replicates writes to the ring successor, and
+// federates soft memory budget between the nodes' embedded daemons:
+//
+//	softkv -listen :6380 -cluster-peer :16380 -cluster-mib 20
+//	softkv -listen :6381 -cluster-peer :16381 -cluster-mib 20 -cluster-seeds 127.0.0.1:16380
+//	softkv -listen :6382 -cluster-peer :16382 -cluster-mib 20 -cluster-seeds 127.0.0.1:16380
+//
+// Speak to it with the RESP subset: SET/GET/DEL/EXISTS/DBSIZE/INFO/PING,
+// plus CLUSTER INFO/NODES/SLOT and WAIT in cluster mode.
 package main
 
 import (
@@ -23,9 +32,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"softmem/internal/clusterkv"
 	"softmem/internal/core"
 	"softmem/internal/faultinject"
 	"softmem/internal/ipc"
@@ -33,6 +44,7 @@ import (
 	"softmem/internal/metrics"
 	"softmem/internal/pages"
 	"softmem/internal/sds"
+	"softmem/internal/smd"
 	"softmem/internal/spill"
 	"softmem/internal/statusz"
 )
@@ -57,8 +69,21 @@ func main() {
 		backoffMs  = flag.Int("smd-backoff-ms", 100, "initial daemon reconnect backoff in ms (doubles with jitter up to -smd-backoff-max-ms)")
 		backoffMax = flag.Int("smd-backoff-max-ms", 5000, "maximum daemon reconnect backoff in ms")
 		jitterSeed = flag.Int64("smd-jitter-seed", 0, "reconnect jitter seed (0 = seeded from the clock; fix it for deterministic chaos runs)")
+
+		clusterPeer      = flag.String("cluster-peer", "", "inter-node listen address; non-empty enables cluster mode")
+		clusterSeeds     = flag.String("cluster-seeds", "", "comma-separated peer addresses of existing members to join through")
+		clusterAdvertise = flag.String("cluster-advertise", "", "RESP address advertised in the ring (default: the bound -listen address)")
+		clusterHeartbeat = flag.Int("cluster-heartbeat-ms", 250, "cluster gossip period in ms")
+		clusterMiB       = flag.Int("cluster-mib", 0, "embed a per-node soft memory daemon with this partition in MiB, federating budget across the cluster (conflicts with -smd)")
 	)
 	flag.Parse()
+
+	if *clusterPeer == "" && (*clusterSeeds != "" || *clusterMiB > 0) {
+		log.Fatalf("softkv: -cluster-seeds and -cluster-mib require -cluster-peer")
+	}
+	if *clusterMiB > 0 && *smdAddr != "" {
+		log.Fatalf("softkv: -cluster-mib embeds a per-node daemon and conflicts with -smd; pick one")
+	}
 
 	if err := faultinject.ArmFromEnv(); err != nil {
 		log.Fatalf("softkv: %s: %v", faultinject.EnvVar, err)
@@ -122,7 +147,19 @@ func main() {
 		store.RegisterMetrics(reg)
 	}
 
-	if *smdAddr != "" {
+	var daemon *smd.Daemon
+	switch {
+	case *clusterMiB > 0:
+		// Cluster mode embeds this machine's daemon in-process: the SMA's
+		// budget is arbitrated locally and the cluster node federates the
+		// partition with its peers (borrowing and ceding pages).
+		daemon = smd.NewDaemon(smd.Config{TotalPages: *clusterMiB << 20 / pages.Size})
+		sma.AttachDaemon(daemon.Register(*name, sma))
+		if reg != nil {
+			daemon.RegisterMetrics(reg)
+		}
+		log.Printf("softkv: embedded soft memory daemon arbitrating %d MiB", *clusterMiB)
+	case *smdAddr != "":
 		// The resilient client survives daemon restarts: it re-registers
 		// and resyncs the budget ledger automatically.
 		cli, err := ipc.DialResilient(*smdNetwork, *smdAddr, *name, sma,
@@ -137,7 +174,7 @@ func main() {
 			cli.RegisterMetrics(reg)
 		}
 		log.Printf("softkv: registered with daemon at %s as %q", *smdAddr, *name)
-	} else {
+	default:
 		log.Printf("softkv: standalone (no daemon); soft memory bounded only by -local-mib")
 	}
 
@@ -148,6 +185,52 @@ func main() {
 			ev.ReleasedPages, ev.DemandedPages, ev.AllocsReclaimed, ev.UsedPages)
 	})
 
+	// The RESP listener binds before the status server so cluster mode
+	// knows the advertised address, and so /cluster can serve the node.
+	srv := kvstore.NewServer(store, log.Printf)
+	if reg != nil {
+		srv.RegisterMetrics(reg)
+	}
+	addr, err := srv.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("softkv: %v", err)
+	}
+	log.Printf("softkv: serving RESP on %s", addr)
+
+	var node *clusterkv.Node
+	if *clusterPeer != "" {
+		advertise := *clusterAdvertise
+		if advertise == "" {
+			advertise = addr.String()
+		}
+		var seeds []string
+		for _, s := range strings.Split(*clusterSeeds, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		var err error
+		node, err = clusterkv.Start(clusterkv.Config{
+			Addr:       advertise,
+			PeerAddr:   *clusterPeer,
+			Store:      store,
+			Server:     srv,
+			Daemon:     daemon,
+			Seeds:      seeds,
+			Heartbeat:  time.Duration(*clusterHeartbeat) * time.Millisecond,
+			JitterSeed: *jitterSeed,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("softkv: cluster: %v", err)
+		}
+		defer node.Close()
+		if reg != nil {
+			node.RegisterMetrics(reg)
+		}
+		log.Printf("softkv: cluster node %s gossiping on %s (%d seeds)", advertise, node.PeerAddr(), len(seeds))
+	}
+
 	if *httpAddr != "" {
 		endpoints := map[string]func() any{
 			"statusz": func() any {
@@ -157,6 +240,17 @@ func main() {
 					"contexts": sma.Contexts(),
 				}
 			},
+		}
+		if node != nil {
+			endpoints["cluster"] = func() any { return node.Status() }
+		}
+		if daemon != nil {
+			endpoints["smd"] = func() any {
+				return map[string]any{
+					"stats": daemon.Stats(),
+					"procs": daemon.Snapshot(),
+				}
+			}
 		}
 		if spillStore != nil {
 			endpoints["spill"] = func() any {
@@ -190,21 +284,14 @@ func main() {
 		}()
 	}
 
-	srv := kvstore.NewServer(store, log.Printf)
-	if reg != nil {
-		srv.RegisterMetrics(reg)
-	}
-	addr, err := srv.Listen("tcp", *listen)
-	if err != nil {
-		log.Fatalf("softkv: %v", err)
-	}
-	log.Printf("softkv: serving RESP on %s", addr)
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		log.Printf("softkv: shutting down")
+		if node != nil {
+			node.Close()
+		}
 		srv.Close()
 		os.Exit(0)
 	}()

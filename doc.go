@@ -14,7 +14,7 @@
 //   - internal/smd — the machine-wide Soft Memory Daemon
 //   - internal/ipc — the daemon's socket protocol
 //   - internal/kvstore — the Redis-like integration from §5
-//   - internal/cluster, internal/mlcache — the §2 motivating workloads
+//   - internal/clustersim, internal/mlcache — the §2 motivating workloads
 //   - internal/experiments — regenerates every table and figure (E1–E9)
 //
 // See README.md for a tour, DESIGN.md for the system inventory and

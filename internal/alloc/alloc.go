@@ -344,6 +344,29 @@ func (h *Heap) Bytes(ref Ref) ([]byte, error) {
 	return m.page.Bytes()[off : off+int(m.userSizes[ref.slot])], nil
 }
 
+// AppendTo appends the live allocation's contents to dst and returns
+// the extended slice. Unlike Bytes it works for every allocation size:
+// multi-page spans are assembled page by page into dst, so read paths
+// that copy anyway (SDS Get/GetAppend) stay valid for large values.
+func (h *Heap) AppendTo(dst []byte, ref Ref) ([]byte, error) {
+	if sm, ok := h.spans[ref.page]; ok && sm.gen == ref.gen && len(sm.pgs) > 1 {
+		off := len(dst)
+		if cap(dst)-off < sm.userSize {
+			grown := make([]byte, off, off+sm.userSize)
+			copy(grown, dst)
+			dst = grown
+		}
+		dst = dst[:off+sm.userSize]
+		copySpan(sm, dst[off:], 0, false)
+		return dst, nil
+	}
+	b, err := h.Bytes(ref)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, b...), nil
+}
+
 // WriteAt copies p into the allocation at the given offset. It works for
 // all allocation sizes, including multi-page spans.
 func (h *Heap) WriteAt(ref Ref, p []byte, off int) error {

@@ -534,3 +534,58 @@ func TestFragmentationStats(t *testing.T) {
 		t.Fatalf("External = %v after opening a second page, want large", fs.External)
 	}
 }
+
+func TestAppendToAllSizes(t *testing.T) {
+	h, _ := newHeap(0)
+	// Small allocation: AppendTo matches Bytes and reuses dst capacity.
+	small, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteAt(small, []byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, 256)
+	out, err := h.AppendTo(dst[:3], small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 103 || string(out[3:8]) != "hello" {
+		t.Fatalf("AppendTo small = len %d, %q", len(out), out[3:8])
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("AppendTo did not reuse dst capacity")
+	}
+
+	// Multi-page span: Bytes refuses, AppendTo assembles the pages.
+	const size = 2*pages.Size + 9
+	span, err := h.Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := make([]byte, size)
+	for i := range pattern {
+		pattern[i] = byte(i * 7)
+	}
+	if err := h.WriteAt(span, pattern, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Bytes(span); err == nil {
+		t.Fatal("Bytes on span should error")
+	}
+	got, err := h.AppendTo([]byte("p:"), span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != size+2 || string(got[:2]) != "p:" || !bytes.Equal(got[2:], pattern) {
+		t.Fatalf("AppendTo span = len %d", len(got))
+	}
+
+	// Dead refs still error.
+	if err := h.Free(span); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AppendTo(nil, span); err == nil {
+		t.Fatal("AppendTo on freed span should error")
+	}
+}

@@ -1,0 +1,239 @@
+package clusterkv
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"softmem/internal/kvstore"
+)
+
+// The node implements kvstore.ClusterHook: it claims cluster-admin
+// commands (CLUSTER, WAIT), replica applies (RSET, RDEL), and any keyed
+// command whose key this node does not own (answered with -MOVED), and
+// it observes locally applied writes to feed the replication fan-out.
+
+var _ kvstore.ClusterHook = (*Node)(nil)
+
+// Key-argument schemes for routed commands.
+const (
+	keySingle = iota + 1 // key at args[1]
+	keyAll               // every arg after the command is a key
+	keyPairs             // alternating key value pairs from args[1]
+)
+
+// keyedCmds maps each routable command to where its keys live. Node-
+// local commands (PING, INFO, KEYS, DBSIZE, FLUSHALL, ...) are absent:
+// they execute wherever the client is connected.
+var keyedCmds = map[string]int{
+	"SET": keySingle, "GET": keySingle, "INCR": keySingle, "DECR": keySingle,
+	"INCRBY": keySingle, "DECRBY": keySingle, "APPEND": keySingle,
+	"STRLEN": keySingle, "EXISTS": keySingle, "EXPIRE": keySingle,
+	"TTL": keySingle, "PERSIST": keySingle,
+	"LPUSH": keySingle, "RPUSH": keySingle, "LPOP": keySingle, "RPOP": keySingle,
+	"LLEN": keySingle, "LRANGE": keySingle,
+	"HSET": keySingle, "HGET": keySingle, "HDEL": keySingle, "HLEN": keySingle,
+	"HEXISTS": keySingle, "HGETALL": keySingle,
+	"DEL": keyAll, "MGET": keyAll,
+	"MSET": keyPairs,
+}
+
+// slotForKeyBytes is SlotForKey without the string conversion, for the
+// per-command claim check.
+func slotForKeyBytes(b []byte) int {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return int(h % NumSlots)
+}
+
+// Claim implements kvstore.ClusterHook.
+func (n *Node) Claim(cmd string, args [][]byte) bool {
+	switch cmd {
+	case "CLUSTER", "WAIT", "RSET", "RDEL":
+		return true
+	}
+	r := n.ring.Load()
+	if r == nil || len(r.Table.Nodes) <= 1 {
+		return false
+	}
+	return n.firstRemote(r, cmd, args) >= 0
+}
+
+// firstRemote returns the index of the first argument holding a key
+// this node does not own, or -1 when the command is unkeyed or entirely
+// local.
+func (n *Node) firstRemote(r *Ring, cmd string, args [][]byte) int {
+	scheme, keyed := keyedCmds[cmd]
+	if !keyed {
+		return -1
+	}
+	switch scheme {
+	case keySingle:
+		if len(args) >= 2 && r.Owner(slotForKeyBytes(args[1])) != n.cfg.Addr {
+			return 1
+		}
+	case keyAll:
+		for i := 1; i < len(args); i++ {
+			if r.Owner(slotForKeyBytes(args[i])) != n.cfg.Addr {
+				return i
+			}
+		}
+	case keyPairs:
+		for i := 1; i+1 < len(args); i += 2 {
+			if r.Owner(slotForKeyBytes(args[i])) != n.cfg.Addr {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Handle implements kvstore.ClusterHook.
+func (n *Node) Handle(cmd string, args [][]byte, rw kvstore.ReplyWriter) {
+	switch cmd {
+	case "RSET":
+		// Replica apply: bypasses routing (the owner sent it here) and
+		// does not re-enter replication (store writes skip OnApply).
+		if len(args) != 3 {
+			rw.WriteError("ERR wrong number of arguments for 'rset'")
+			return
+		}
+		if err := n.cfg.Store.Set(string(args[1]), args[2]); err != nil {
+			rw.WriteError("ERR soft memory exhausted: " + err.Error())
+			return
+		}
+		n.met.replApplied.Add(1)
+		rw.WriteSimple("OK")
+	case "RDEL":
+		if len(args) != 2 {
+			rw.WriteError("ERR wrong number of arguments for 'rdel'")
+			return
+		}
+		removed, err := n.cfg.Store.Del(string(args[1]))
+		if err != nil {
+			rw.WriteError("ERR " + err.Error())
+			return
+		}
+		n.met.replApplied.Add(1)
+		if removed {
+			rw.WriteInteger(1)
+		} else {
+			rw.WriteInteger(0)
+		}
+	case "WAIT":
+		// WAIT <numreplicas> <timeout-ms>: block until every replication
+		// sender has acked the writes enqueued before the call, replying
+		// with the count of acked replicas. This is the eventual-ack
+		// consistency mode: SET then WAIT means the write survives this
+		// node's death once WAIT returns a nonzero count. The reply is
+		// deliberately conservative — replication is tracked per sender,
+		// not per key, so if ANY sender is still undrained the caller's
+		// write might be sitting in it and the reply is 0.
+		timeout := time.Second
+		if len(args) >= 3 {
+			if ms, err := strconv.Atoi(string(args[2])); err == nil && ms >= 0 {
+				timeout = time.Duration(ms) * time.Millisecond
+			}
+		}
+		acked, total := n.repl.wait(timeout)
+		if acked < total {
+			acked = 0
+		}
+		rw.WriteInteger(int64(acked))
+	case "CLUSTER":
+		n.handleClusterCmd(args, rw)
+	default:
+		// A keyed command claimed for redirect: name the owner of the
+		// first non-local key.
+		r := n.ring.Load()
+		i := n.firstRemote(r, cmd, args)
+		if i < 0 {
+			// The table changed between Claim and Handle and the key is
+			// local now; make the client retry against the fresh map.
+			i = 1
+		}
+		if i >= len(args) {
+			rw.WriteError("ERR wrong number of arguments")
+			return
+		}
+		slot := slotForKeyBytes(args[i])
+		n.met.moved.Add(1)
+		rw.WriteError(movedReply(slot, r.Owner(slot)))
+	}
+}
+
+// handleClusterCmd serves the CLUSTER admin command.
+func (n *Node) handleClusterCmd(args [][]byte, rw kvstore.ReplyWriter) {
+	sub := "INFO"
+	if len(args) >= 2 {
+		sub = upper(args[1])
+	}
+	r := n.ring.Load()
+	switch sub {
+	case "INFO":
+		rw.WriteBulkString(fmt.Sprintf(
+			"cluster_enabled:1\r\ncluster_state:ok\r\ncluster_known_nodes:%d\r\ncluster_ring_version:%d\r\ncluster_slots_total:%d\r\ncluster_slots_owned:%d\r\n",
+			len(r.Table.Nodes), r.Table.Version, NumSlots, r.SlotsOwned(n.cfg.Addr)))
+	case "NODES":
+		out := ""
+		for _, node := range r.Table.Nodes {
+			role := "peer"
+			if node.Addr == n.cfg.Addr {
+				role = "self"
+			}
+			out += fmt.Sprintf("%s %s %s slots=%d\r\n", node.Addr, node.Peer, role, r.SlotsOwned(node.Addr))
+		}
+		rw.WriteBulkString(out)
+	case "SLOT":
+		// CLUSTER SLOT <key>: where would this key go (debugging aid).
+		if len(args) != 3 {
+			rw.WriteError("ERR wrong number of arguments for 'cluster slot'")
+			return
+		}
+		slot := slotForKeyBytes(args[2])
+		rw.WriteBulkString(fmt.Sprintf("%d %s %s", slot, r.Owner(slot), r.Replica(slot)))
+	default:
+		rw.WriteError("ERR unknown CLUSTER subcommand '" + sub + "'")
+	}
+}
+
+// upper uppercases a short ASCII argument.
+func upper(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+// OnApply implements kvstore.ClusterHook: every locally applied write
+// on an owned slot is handed to the slot successor's sender. Values are
+// copied (the server's buffers are reused); replica applies never land
+// here because the hook writes them straight to the store.
+func (n *Node) OnApply(op kvstore.Op, key string, val []byte) {
+	r := n.ring.Load()
+	if r == nil || len(r.Table.Nodes) <= 1 {
+		return
+	}
+	slot := SlotForKey(key)
+	if r.Owner(slot) != n.cfg.Addr {
+		return // not ours (stale routing); the owner will replicate it
+	}
+	rep := r.Replica(slot)
+	if rep == "" || rep == n.cfg.Addr {
+		return
+	}
+	e := replEntry{key: key, del: op == kvstore.OpDel}
+	if !e.del {
+		e.val = append([]byte(nil), val...)
+	}
+	n.met.replSent.Add(1)
+	n.repl.enqueue(rep, e)
+}

@@ -10,7 +10,7 @@
 // currently hold, and either complete, get evicted (baseline), or get
 // squeezed (soft). Both schedulers see the identical trace, so the
 // comparison isolates the memory policy.
-package cluster
+package clustersim
 
 import (
 	"container/heap"

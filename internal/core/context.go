@@ -396,6 +396,14 @@ func (tx *Tx) Pin(ref alloc.Ref) (*Pin, error) {
 // is valid only inside the current locked section.
 func (tx *Tx) Bytes(ref alloc.Ref) ([]byte, error) { return tx.ctx.heap.Bytes(ref) }
 
+// Append appends the allocation's contents to dst and returns the
+// extended slice. Unlike Bytes it handles every allocation size —
+// multi-page spans, which Bytes refuses, are assembled into dst — so
+// it is the right primitive for read paths that copy the value out.
+func (tx *Tx) Append(dst []byte, ref alloc.Ref) ([]byte, error) {
+	return tx.ctx.heap.AppendTo(dst, ref)
+}
+
 // Read copies from the allocation at offset off into buf.
 func (tx *Tx) Read(ref alloc.Ref, buf []byte, off int) error {
 	return tx.ctx.heap.ReadAt(ref, buf, off)

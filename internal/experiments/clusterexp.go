@@ -5,7 +5,7 @@ import (
 	"io"
 	"time"
 
-	"softmem/internal/cluster"
+	"softmem/internal/clustersim"
 	"softmem/internal/trace"
 )
 
@@ -50,12 +50,12 @@ func (c *ClusterConfig) setDefaults() {
 // ClusterRow pairs a scheduler run with its adoption setting.
 type ClusterRow struct {
 	Adoption float64
-	Result   cluster.Result
+	Result   clustersim.Result
 }
 
 // ClusterResult is the E6 sweep.
 type ClusterResult struct {
-	Baseline cluster.Result
+	Baseline clustersim.Result
 	Rows     []ClusterRow
 }
 
@@ -64,7 +64,7 @@ func (r ClusterResult) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "E6 — cluster scheduler: kill-based vs. soft memory (identical trace)\n\n")
 	fmt.Fprintf(w, "%-10s %-9s %10s %10s %12s %10s %10s %8s\n",
 		"scheduler", "adoption", "completed", "evictions", "wastedCPU", "slowdown", "p95queue", "util")
-	p := func(name string, adoption string, res cluster.Result) {
+	p := func(name string, adoption string, res clustersim.Result) {
 		fmt.Fprintf(w, "%-10s %-9s %10d %10d %12s %10.3f %10s %7.1f%%\n",
 			name, adoption, res.Completed, res.Evictions, res.WastedCPU.Round(time.Second),
 			res.MeanSlowdown, res.P95QueueDelay.Round(time.Second), res.MeanUtilPct)
@@ -98,12 +98,12 @@ func Cluster(cfg ClusterConfig) ClusterResult {
 		})
 	}
 	res := ClusterResult{}
-	res.Baseline = cluster.New(cluster.Config{
-		Kind: cluster.Baseline, Machines: cfg.Machines, PagesPerMachine: cfg.PagesPerMachine,
+	res.Baseline = clustersim.New(clustersim.Config{
+		Kind: clustersim.Baseline, Machines: cfg.Machines, PagesPerMachine: cfg.PagesPerMachine,
 	}, mkTrace(0.9)).Run()
 	for _, adoption := range cfg.Adoptions {
-		r := cluster.New(cluster.Config{
-			Kind: cluster.Soft, Machines: cfg.Machines, PagesPerMachine: cfg.PagesPerMachine,
+		r := clustersim.New(clustersim.Config{
+			Kind: clustersim.Soft, Machines: cfg.Machines, PagesPerMachine: cfg.PagesPerMachine,
 		}, mkTrace(adoption)).Run()
 		res.Rows = append(res.Rows, ClusterRow{Adoption: adoption, Result: r})
 	}

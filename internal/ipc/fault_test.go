@@ -134,12 +134,11 @@ func TestResilientResyncsAfterDoubleRestart(t *testing.T) {
 func TestBackoffJitterIsSeededAndSpread(t *testing.T) {
 	schedule := func(seed int64) []time.Duration {
 		o := resolveOptions([]DialOption{WithBackoff(100*time.Millisecond, 5*time.Second), WithJitterSeed(seed)})
-		r := &Resilient{opt: o}
-		r.rng = newJitterRNG(o)
+		j := NewJitter(o.jitterSeed)
 		delay := o.backoff
 		var out []time.Duration
 		for i := 0; i < 8; i++ {
-			out = append(out, r.jitteredSleep(delay))
+			out = append(out, j.Sleep(delay))
 			if delay *= 2; delay > o.maxBackoff {
 				delay = o.maxBackoff
 			}

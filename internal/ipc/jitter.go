@@ -1,0 +1,39 @@
+package ipc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter is a seeded equal-jitter backoff source shared by every
+// reconnecting link in the system: the Resilient daemon client and the
+// cluster layer's inter-node links (gossip, replication). Seed 0 draws
+// from the clock — the production choice, since distinct seeds are what
+// keep a machine's severed connections from retrying in lockstep after
+// a daemon restart or partition heal. Fixed seeds give deterministic
+// schedules for tests.
+//
+// A Jitter is not safe for concurrent use; give each reconnect loop its
+// own.
+type Jitter struct {
+	rng *rand.Rand
+}
+
+// NewJitter returns a jitter source. Seed 0 seeds from the clock.
+func NewJitter(seed int64) *Jitter {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sleep maps one exponential-backoff step to the actual delay: uniform
+// in [delay/2, delay] (equal jitter). Without it, peers that lost their
+// connections at the same instant keep phase-locked doubling schedules
+// and every retry round arrives as one thundering herd.
+func (j *Jitter) Sleep(delay time.Duration) time.Duration {
+	if half := delay / 2; half > 0 {
+		return half + time.Duration(j.rng.Int63n(int64(half)+1))
+	}
+	return delay
+}

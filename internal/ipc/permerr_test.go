@@ -1,0 +1,31 @@
+package ipc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+)
+
+// TestPermanentDialError pins the retry/give-up classification: name-
+// not-found and malformed addresses are permanent; refused connections
+// and temporary DNS failures keep the backoff loop alive.
+func TestPermanentDialError(t *testing.T) {
+	cases := []struct {
+		err  error
+		perm bool
+	}{
+		{&net.DNSError{Err: "no such host", IsNotFound: true}, true},
+		{fmt.Errorf("dial: %w", &net.DNSError{Err: "no such host", IsNotFound: true}), true},
+		{&net.DNSError{Err: "server misbehaving", IsTemporary: true}, false},
+		{&net.AddrError{Err: "missing port in address", Addr: "nope"}, true},
+		{net.UnknownNetworkError("quic"), true},
+		{errors.New("connection refused"), false},
+		{&net.OpError{Op: "dial", Err: errors.New("connection refused")}, false},
+	}
+	for _, c := range cases {
+		if got := permanentDialError(c.err); got != c.perm {
+			t.Errorf("permanentDialError(%v) = %v, want %v", c.err, got, c.perm)
+		}
+	}
+}

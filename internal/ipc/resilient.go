@@ -3,7 +3,7 @@ package ipc
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"net"
 	"sync"
 	"time"
 
@@ -54,13 +54,17 @@ type Resilient struct {
 	network, addr, name string
 	opt                 dialOptions
 	proc                Process
-	// rng jitters reconnect backoff; only the (single, sequential) watch
-	// goroutine touches it after construction.
-	rng *rand.Rand
+	// jitter spreads reconnect backoff; only the (single, sequential)
+	// watch goroutine touches it after construction.
+	jitter *Jitter
 
 	mu     sync.Mutex
 	cli    *Client
 	closed bool
+	// permErr, once set, records a permanent dial failure (unresolvable
+	// host, malformed address): the watcher has given up and every call
+	// surfaces this error instead of ErrReconnecting.
+	permErr error
 	// met is attached to every client this Resilient dials, so RPC
 	// round-trip histograms survive reconnects.
 	met *ipcMetrics
@@ -77,7 +81,7 @@ func DialResilient(network, addr, name string, proc Process, opts ...DialOption)
 		return nil, errors.New("ipc: DialResilient needs a Process")
 	}
 	r := &Resilient{network: network, addr: addr, name: name, opt: resolveOptions(opts), proc: proc}
-	r.rng = newJitterRNG(r.opt)
+	r.jitter = NewJitter(r.opt.jitterSeed)
 	cli, err := r.dial()
 	if err != nil {
 		return nil, err
@@ -144,6 +148,16 @@ func (r *Resilient) watch(cli *Client) {
 		r.mu.Unlock()
 
 		next, err := r.dial()
+		if err != nil && permanentDialError(err) {
+			// Retrying cannot help (host does not resolve, address is
+			// malformed): park the error where calls will see it instead
+			// of reporting ErrReconnecting forever.
+			r.mu.Lock()
+			r.permErr = err
+			r.mu.Unlock()
+			r.opt.logf("ipc: giving up on daemon at %s: %v", r.addr, err)
+			return
+		}
 		if err == nil {
 			r.resync(next)
 			r.mu.Lock()
@@ -159,33 +173,28 @@ func (r *Resilient) watch(cli *Client) {
 			go r.watch(next)
 			return
 		}
-		time.Sleep(r.jitteredSleep(delay))
+		time.Sleep(r.jitter.Sleep(delay))
 		if delay *= 2; delay > r.opt.maxBackoff {
 			delay = r.opt.maxBackoff
 		}
 	}
 }
 
-// newJitterRNG builds the reconnect jitter source: seeded from the
-// option when fixed (deterministic tests), from the clock otherwise.
-func newJitterRNG(o dialOptions) *rand.Rand {
-	seed := o.jitterSeed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
+// permanentDialError reports whether a dial failure cannot be cured by
+// retrying: the name will never resolve or the address/network is
+// malformed. Transient conditions (refused, timeout, temporary DNS
+// failure) return false and keep the backoff loop going.
+func permanentDialError(err error) bool {
+	var dnsErr *net.DNSError
+	if errors.As(err, &dnsErr) {
+		return dnsErr.IsNotFound
 	}
-	return rand.New(rand.NewSource(seed))
-}
-
-// jitteredSleep maps one exponential-backoff step to the actual sleep:
-// uniform in [delay/2, delay] (equal jitter). Every process on the
-// machine loses its connection at the same instant when the daemon
-// restarts; without jitter their doubling schedules stay phase-locked
-// and each retry round hits the fresh daemon as one thundering herd.
-func (r *Resilient) jitteredSleep(delay time.Duration) time.Duration {
-	if half := delay / 2; half > 0 {
-		return half + time.Duration(r.rng.Int63n(int64(half)+1))
+	var addrErr *net.AddrError
+	if errors.As(err, &addrErr) {
+		return true
 	}
-	return delay
+	var netErr net.UnknownNetworkError
+	return errors.As(err, &netErr)
 }
 
 // resync re-reserves the process's held soft memory with the daemon. A
@@ -221,6 +230,9 @@ func (r *Resilient) current() (*Client, error) {
 		return nil, ErrClosed
 	}
 	if r.cli == nil {
+		if r.permErr != nil {
+			return nil, r.permErr
+		}
 		return nil, ErrReconnecting
 	}
 	return r.cli, nil

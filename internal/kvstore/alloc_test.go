@@ -52,7 +52,7 @@ func TestDispatchZeroAllocsGET(t *testing.T) {
 		if err != nil {
 			panic(err)
 		}
-		srv.execute(rw, args)
+		srv.execute(rw, canonicalCommand(args[0]), args)
 		if err := rw.flush(); err != nil {
 			panic(err)
 		}
@@ -137,7 +137,7 @@ func BenchmarkDispatchGET(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		srv.execute(rw, args)
+		srv.execute(rw, canonicalCommand(args[0]), args)
 		if err := rw.flush(); err != nil {
 			b.Fatal(err)
 		}

@@ -61,6 +61,15 @@ func (c *Client) do(args ...string) ([]byte, bool, error) {
 	return v, ok, err
 }
 
+// Do sends one arbitrary command and returns a caller-owned copy of
+// the reply value; ok is false for nil replies. Server error replies
+// (including cluster redirects — see IsMoved) come back as ReplyError.
+// The cluster layer uses it for commands the typed helpers do not
+// cover (RSET, WAIT, CLUSTER).
+func (c *Client) Do(args ...string) ([]byte, bool, error) {
+	return c.do(args...)
+}
+
 // Ping checks liveness.
 func (c *Client) Ping() error {
 	v, _, err := c.do("PING")

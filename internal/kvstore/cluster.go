@@ -1,0 +1,104 @@
+package kvstore
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ReplyWriter is the reply surface a ClusterHook writes through. It is
+// implemented by the server's per-connection RESP writer; replies go
+// into the same coalesced buffer as ordinary command replies, so hook
+// output obeys the connection's flush policy.
+type ReplyWriter interface {
+	WriteSimple(s string)
+	// WriteError writes a raw error reply ("-<msg>\r\n") without the
+	// "-ERR " prefix the ordinary error path adds — cluster redirects
+	// like "MOVED <slot> <addr>" need their own leading token.
+	WriteError(msg string)
+	WriteInteger(n int64)
+	WriteBulk(b []byte)
+	WriteBulkString(s string)
+	WriteNil()
+	WriteArrayHeader(n int)
+}
+
+// ClusterHook lets a cluster layer sit between the RESP reader and the
+// store: redirecting commands whose keys this node does not own
+// (-MOVED), serving cluster-administration commands, and observing
+// locally applied writes for replication. A Server without a hook
+// behaves exactly as before — the hook pointer is loaded once per
+// command and nil skips everything.
+type ClusterHook interface {
+	// Claim reports whether the hook will serve this command itself
+	// (cmd is the canonical uppercase name, "" when unknown). Claimed
+	// commands bypass the store entirely; Claim must not write replies.
+	Claim(cmd string, args [][]byte) bool
+	// Handle serves a claimed command, writing exactly one reply. The
+	// argument slices are parser-owned and valid only for the call.
+	Handle(cmd string, args [][]byte, rw ReplyWriter)
+	// OnApply observes one locally applied write (OpSet with its value,
+	// or OpDel) after it succeeded, in per-connection apply order. The
+	// key and value are only valid for the call; the hook copies what
+	// it keeps.
+	OnApply(op Op, key string, val []byte)
+}
+
+// SetCluster installs (or, with nil, removes) the server's cluster
+// hook. Safe to call while serving; connections pick the change up on
+// their next command.
+func (s *Server) SetCluster(h ClusterHook) {
+	if h == nil {
+		s.cluster.Store(nil)
+		return
+	}
+	s.cluster.Store(&clusterHookBox{h: h})
+}
+
+// clusterHookBox wraps the hook interface for atomic.Pointer.
+type clusterHookBox struct{ h ClusterHook }
+
+// hook returns the installed cluster hook, nil when clustering is off.
+func (s *Server) hook() ClusterHook {
+	if b := s.cluster.Load(); b != nil {
+		return b.h
+	}
+	return nil
+}
+
+// onApplyBatch forwards a settled batch's successful writes to the
+// hook, in batch order.
+func onApplyBatch(h ClusterHook, cmds []Command) {
+	for i := range cmds {
+		c := &cmds[i]
+		if c.Err != nil {
+			continue
+		}
+		switch c.Op {
+		case OpSet, OpDel:
+			h.OnApply(c.Op, c.Key, c.Arg)
+		}
+	}
+}
+
+// IsMoved reports whether err is a cluster redirect ("MOVED <slot>
+// <addr>") and, if so, returns the slot and the address of the node
+// that owns it.
+func IsMoved(err error) (slot int, addr string, ok bool) {
+	re, isReply := err.(ReplyError)
+	if !isReply {
+		return 0, "", false
+	}
+	rest, found := strings.CutPrefix(string(re), "MOVED ")
+	if !found {
+		return 0, "", false
+	}
+	slotStr, addr, found := strings.Cut(rest, " ")
+	if !found || addr == "" {
+		return 0, "", false
+	}
+	n, convErr := strconv.Atoi(slotStr)
+	if convErr != nil || n < 0 {
+		return 0, "", false
+	}
+	return n, addr, true
+}

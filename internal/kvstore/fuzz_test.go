@@ -75,7 +75,7 @@ func FuzzServerCommand(f *testing.F) {
 		}
 		var out bytes.Buffer
 		rw := newRespWriter(bufio.NewWriter(&out))
-		srv.execute(rw, args)
+		srv.execute(rw, canonicalCommand(args[0]), args)
 		rw.flush()
 		if out.Len() == 0 {
 			t.Fatal("command produced no reply")

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
 	"strings"
@@ -843,4 +844,28 @@ func TestServerListCommands(t *testing.T) {
 	r.ReadString('\n')
 	send("LPOP nosuch", "$-1")
 	send("LRANGE mylist notanum 2", "-ERR")
+}
+
+// Values larger than one soft page are stored in multi-page spans;
+// the GET path must assemble them instead of failing with the
+// allocator's "use ReadAt/WriteAt" error (regression: SET accepted
+// such values but every read of them errored).
+func TestStoreMultiPageValue(t *testing.T) {
+	st, _ := newStore(t, 0)
+	want := make([]byte, 3*pages.Size+5)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	if err := st.Set("big", want); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := st.Get("big")
+	if err != nil || !ok || !bytes.Equal(v, want) {
+		t.Fatalf("Get big = ok=%v err=%v len=%d want %d", ok, err, len(v), len(want))
+	}
+	var scratch []byte
+	v, ok, err = st.GetAppend(scratch, "big")
+	if err != nil || !ok || !bytes.Equal(v, want) {
+		t.Fatalf("GetAppend big = ok=%v err=%v len=%d", ok, err, len(v))
+	}
 }

@@ -320,6 +320,26 @@ func (rw *respWriter) arrayHeader(n int) error {
 	return err
 }
 
+// ReplyWriter implementation: the exported surface a ClusterHook
+// writes through. WriteError is deliberately raw (no "-ERR " prefix)
+// so redirects keep their own leading token ("MOVED ...").
+
+func (rw *respWriter) WriteSimple(s string) { rw.simple(s) }
+
+func (rw *respWriter) WriteError(msg string) {
+	rw.w.WriteByte('-')
+	rw.w.WriteString(msg)
+	rw.w.WriteString("\r\n")
+}
+
+func (rw *respWriter) WriteInteger(n int64)     { rw.integer(n) }
+func (rw *respWriter) WriteBulk(b []byte)       { rw.bulk(b) }
+func (rw *respWriter) WriteBulkString(s string) { rw.bulkString(s) }
+func (rw *respWriter) WriteNil()                { rw.nilReply() }
+func (rw *respWriter) WriteArrayHeader(n int)   { rw.arrayHeader(n) }
+
+var _ ReplyWriter = (*respWriter)(nil)
+
 // Reply reading (client side).
 
 // replyReader parses server replies into a reusable bulk scratch.

@@ -32,6 +32,10 @@ type Server struct {
 	// pipelined input was already buffered — each is a write syscall the
 	// coalescing policy saved.
 	flushCoalesced atomic.Int64
+	// cluster, when set, intercepts commands for the cluster layer
+	// (MOVED redirects, replica applies) and observes local writes for
+	// replication. Nil in single-node deployments.
+	cluster atomic.Pointer[clusterHookBox]
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -145,14 +149,21 @@ func (s *Server) serveConn(nc net.Conn) {
 			continue
 		}
 		quit := false
-		if len(ce.specs) == 0 && cr.buffered() == 0 {
+		cmd := canonicalCommand(args[0])
+		if h := s.hook(); h != nil && h.Claim(cmd, args) {
+			// Cluster-claimed command (redirect, replica apply, admin):
+			// settle queued work first so per-connection reply order is
+			// preserved, then let the hook write its reply.
+			ce.settle(rw)
+			h.Handle(cmd, args, rw)
+		} else if len(ce.specs) == 0 && cr.buffered() == 0 {
 			// Serial client (no pipelined input, nothing queued): skip
 			// the batch machinery and execute inline — the unpipelined
 			// round trip stays identical to the pre-engine hot path.
-			quit = s.execute(rw, args)
-		} else if !ce.enqueue(canonicalCommand(args[0]), args) {
+			quit = s.execute(rw, cmd, args)
+		} else if !ce.enqueue(cmd, args) {
 			ce.settle(rw)
-			quit = s.execute(rw, args)
+			quit = s.execute(rw, cmd, args)
 		}
 		if quit || cr.buffered() == 0 {
 			ce.settle(rw)
@@ -368,6 +379,9 @@ func (ce *connExec) settle(rw *respWriter) {
 		t0 = time.Now()
 	}
 	_ = ce.batch.Exec()
+	if h := ce.s.hook(); h != nil {
+		onApplyBatch(h, ce.batch.cmds)
+	}
 	if m != nil {
 		// The settle's wall time is shared evenly across its commands —
 		// the per-command service time a pipelining client experiences.
@@ -526,8 +540,7 @@ func canonicalCommand(name []byte) string {
 // cmdReader and are only valid for the duration of the call: values are
 // copied into soft memory by the store, and keys are copied by their
 // string conversion at each store call site.
-func (s *Server) execute(rw *respWriter, args [][]byte) (quit bool) {
-	cmd := canonicalCommand(args[0])
+func (s *Server) execute(rw *respWriter, cmd string, args [][]byte) (quit bool) {
 	m := s.met.Load()
 	if m == nil {
 		return s.dispatch(rw, cmd, args)
@@ -554,6 +567,9 @@ func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool)
 			rw.error("soft memory exhausted: " + err.Error())
 			return false
 		}
+		if h := s.hook(); h != nil {
+			h.OnApply(OpSet, string(args[1]), args[2])
+		}
 		rw.simple("OK")
 	case "GET":
 		if len(args) != 2 {
@@ -575,10 +591,14 @@ func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool)
 			rw.error("wrong number of arguments for 'mset'")
 			return false
 		}
+		h := s.hook()
 		for i := 1; i < len(args); i += 2 {
 			if err := s.store.Set(string(args[i]), args[i+1]); err != nil {
 				rw.error("soft memory exhausted: " + err.Error())
 				return false
+			}
+			if h != nil {
+				h.OnApply(OpSet, string(args[i]), args[i+1])
 			}
 		}
 		rw.simple("OK")
@@ -833,6 +853,7 @@ func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool)
 			return false
 		}
 		n := int64(0)
+		h := s.hook()
 		for _, k := range args[1:] {
 			removed, err := s.store.Del(string(k))
 			if err != nil {
@@ -841,6 +862,9 @@ func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool)
 			}
 			if removed {
 				n++
+			}
+			if h != nil {
+				h.OnApply(OpDel, string(k), nil)
 			}
 		}
 		rw.integer(n)

@@ -76,6 +76,8 @@ var knownCommands = map[string]bool{
 	"LRANGE": true, "HSET": true, "HGET": true, "HDEL": true, "HLEN": true,
 	"HEXISTS": true, "HGETALL": true, "DEL": true, "EXISTS": true, "KEYS": true,
 	"DBSIZE": true, "FLUSHALL": true, "INFO": true,
+	// Cluster-mode commands, served by the installed ClusterHook.
+	"CLUSTER": true, "RSET": true, "RDEL": true, "WAIT": true,
 }
 
 func (c *cmdMetrics) observe(cmd string, d time.Duration) {

@@ -131,12 +131,11 @@ func (t *SoftHashTable[K]) Get(key K) (value []byte, ok bool, err error) {
 		if !present {
 			return nil
 		}
-		b, err := tx.Bytes(e.ref)
+		v, err := tx.Append(nil, e.ref)
 		if err != nil {
 			return err
 		}
-		value = make([]byte, len(b))
-		copy(value, b)
+		value = v
 		ok = true
 		if t.policy == EvictLRU {
 			t.touch(e)
@@ -157,11 +156,11 @@ func (t *SoftHashTable[K]) GetAppend(dst []byte, key K) (value []byte, ok bool, 
 		if !present {
 			return nil
 		}
-		b, err := tx.Bytes(e.ref)
+		v, err := tx.Append(value, e.ref)
 		if err != nil {
 			return err
 		}
-		value = append(value, b...)
+		value = v
 		ok = true
 		if t.policy == EvictLRU {
 			t.touch(e)
@@ -243,12 +242,10 @@ func (t *SoftHashTable[K]) Len() int {
 func (t *SoftHashTable[K]) Range(fn func(key K, value []byte) bool) error {
 	return t.ctx.Do(func(tx *core.Tx) error {
 		for e := t.head; e != nil; e = e.next {
-			b, err := tx.Bytes(e.ref)
+			v, err := tx.Append(nil, e.ref)
 			if err != nil {
 				return err
 			}
-			v := make([]byte, len(b))
-			copy(v, b)
 			if !fn(e.key, v) {
 				return nil
 			}
@@ -314,11 +311,11 @@ func (t *SoftHashTable[K]) GetAppendOwned(o *core.Owned, dst []byte, key K) (val
 	if !present {
 		return value, false, nil
 	}
-	b, err := tx.Bytes(e.ref)
+	v, err := tx.Append(value, e.ref)
 	if err != nil {
 		return value, false, err
 	}
-	value = append(value, b...)
+	value = v
 	if t.policy == EvictLRU {
 		t.touch(e)
 	}
@@ -408,9 +405,7 @@ func (t *SoftHashTable[K]) reclaim(tx *core.Tx, quota int) int {
 			continue
 		}
 		if t.onReclaim != nil {
-			if b, err := tx.Bytes(e.ref); err == nil {
-				v := make([]byte, len(b))
-				copy(v, b)
+			if v, err := tx.Append(nil, e.ref); err == nil {
 				t.onReclaim(e.key, v)
 			}
 		}

@@ -115,7 +115,7 @@ func (l *SoftLinkedList[T]) pop(front bool) (v T, ok bool, err error) {
 		if n == nil {
 			return nil
 		}
-		b, err := tx.Bytes(n.ref)
+		b, err := readAlloc(tx, n.ref)
 		if err != nil {
 			return err
 		}
@@ -165,7 +165,7 @@ func (l *SoftLinkedList[T]) Front() (v T, ok bool, err error) {
 		if l.head == nil {
 			return nil
 		}
-		b, err := tx.Bytes(l.head.ref)
+		b, err := readAlloc(tx, l.head.ref)
 		if err != nil {
 			return err
 		}
@@ -192,7 +192,7 @@ func (l *SoftLinkedList[T]) Len() int {
 func (l *SoftLinkedList[T]) Each(fn func(T) bool) error {
 	return l.ctx.Do(func(tx *core.Tx) error {
 		for n := l.head; n != nil; n = n.next {
-			b, err := tx.Bytes(n.ref)
+			b, err := readAlloc(tx, n.ref)
 			if err != nil {
 				return err
 			}
@@ -244,7 +244,7 @@ func (l *SoftLinkedList[T]) reclaim(tx *core.Tx, quota int) int {
 			continue
 		}
 		if l.onReclaim != nil {
-			if b, err := tx.Bytes(n.ref); err == nil {
+			if b, err := readAlloc(tx, n.ref); err == nil {
 				if v, err := l.codec.Decode(b); err == nil {
 					l.onReclaim(v)
 				}

@@ -57,7 +57,7 @@ func (q *SoftQueue[T]) Pop() (v T, ok bool, err error) {
 			return nil
 		}
 		ref := q.items[q.start]
-		b, err := tx.Bytes(ref)
+		b, err := readAlloc(tx, ref)
 		if err != nil {
 			return err
 		}
@@ -81,7 +81,7 @@ func (q *SoftQueue[T]) Peek() (v T, ok bool, err error) {
 		if q.start >= len(q.items) {
 			return nil
 		}
-		b, err := tx.Bytes(q.items[q.start])
+		b, err := readAlloc(tx, q.items[q.start])
 		if err != nil {
 			return err
 		}
@@ -144,7 +144,7 @@ func (q *SoftQueue[T]) reclaim(tx *core.Tx, quota int) int {
 			continue
 		}
 		if q.onReclaim != nil {
-			if b, err := tx.Bytes(ref); err == nil {
+			if b, err := readAlloc(tx, ref); err == nil {
 				if v, err := q.codec.Decode(b); err == nil {
 					q.onReclaim(v)
 				}

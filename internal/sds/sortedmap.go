@@ -114,12 +114,11 @@ func (m *SoftSortedMap[K]) Get(key K) (value []byte, ok bool, err error) {
 		if n == nil || n.key != key {
 			return nil
 		}
-		b, err := tx.Bytes(n.ref)
+		v, err := tx.Append(nil, n.ref)
 		if err != nil {
 			return err
 		}
-		value = make([]byte, len(b))
-		copy(value, b)
+		value = v
 		ok = true
 		return nil
 	})
@@ -161,12 +160,12 @@ func (m *SoftSortedMap[K]) Min() (key K, value []byte, ok bool, err error) {
 		if n == nil {
 			return nil
 		}
-		b, err := tx.Bytes(n.ref)
+		v, err := tx.Append(nil, n.ref)
 		if err != nil {
 			return err
 		}
 		key = n.key
-		value = append([]byte(nil), b...)
+		value = v
 		ok = true
 		return nil
 	})
@@ -185,12 +184,12 @@ func (m *SoftSortedMap[K]) Max() (key K, value []byte, ok bool, err error) {
 		if n == m.head {
 			return nil
 		}
-		b, err := tx.Bytes(n.ref)
+		v, err := tx.Append(nil, n.ref)
 		if err != nil {
 			return err
 		}
 		key = n.key
-		value = append([]byte(nil), b...)
+		value = v
 		ok = true
 		return nil
 	})
@@ -205,11 +204,10 @@ func (m *SoftSortedMap[K]) Range(from, to K, fn func(K, []byte) bool) error {
 		var prev [smMaxLevel]*smNode[K]
 		m.findPredecessors(from, &prev)
 		for n := prev[0].next[0]; n != nil && n.key < to; n = n.next[0] {
-			b, err := tx.Bytes(n.ref)
+			v, err := tx.Append(nil, n.ref)
 			if err != nil {
 				return err
 			}
-			v := append([]byte(nil), b...)
 			if !fn(n.key, v) {
 				return nil
 			}
@@ -259,8 +257,7 @@ func (m *SoftSortedMap[K]) reclaim(tx *core.Tx, quota int) int {
 		size, err := tx.SlotSize(n.ref)
 		if err == nil {
 			if m.onReclaim != nil {
-				if b, err := tx.Bytes(n.ref); err == nil {
-					v := append([]byte(nil), b...)
+				if v, err := tx.Append(nil, n.ref); err == nil {
 					m.onReclaim(n.key, v)
 				}
 			}

@@ -1,0 +1,127 @@
+package smd
+
+import "sort"
+
+// Federation hooks: a clustered deployment runs one daemon per machine
+// and lets pressured machines borrow soft budget from slack ones. The
+// gossip layer (internal/clusterkv) exchanges PressureSummary snapshots
+// and, when a transfer is agreed, calls Cede on the donor and Receive on
+// the borrower — moving partition size, not data, across the wire. A
+// cede uses the same slack-harvest coherence path as local arbitration
+// (BudgetShrinker notifications), and never demands reclamation: budget
+// migration must stay "minimal disturbance" or a cold node could stall
+// its own tenants to help a hot one.
+
+// PressureSummary is a machine's soft-memory pressure self-report,
+// gossiped between federated daemons so peers can pick donors.
+type PressureSummary struct {
+	// TotalPages is the machine's current partition size (federation-
+	// adjusted).
+	TotalPages int
+	// FreePages is TotalPages minus Σ granted budgets.
+	FreePages int
+	// SlackPages is Σ max(0, budget − used) across processes: budget
+	// that could be harvested with zero disturbance.
+	SlackPages int
+	// Denied counts budget denials since startup — the clearest signal
+	// the machine is under unrelievable pressure.
+	Denied int64
+	// ReclaimEvents counts requests that needed any reclamation.
+	ReclaimEvents int64
+}
+
+// Pressure snapshots the daemon's current pressure for gossip.
+func (d *Daemon) Pressure() PressureSummary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	granted := d.grantedLocked()
+	slack := 0
+	for _, ps := range d.procs {
+		if s := ps.budget - ps.usage.UsedPages; s > 0 {
+			slack += s
+		}
+	}
+	return PressureSummary{
+		TotalPages:    d.totalPages,
+		FreePages:     d.totalPages - granted,
+		SlackPages:    slack,
+		Denied:        d.stats.Denied,
+		ReclaimEvents: d.stats.ReclaimEvents,
+	}
+}
+
+// Cede gives up to n pages of this machine's partition to peer,
+// returning the pages actually ceded. Free pages go first; any
+// remainder is harvested as slack from local processes in descending
+// slack order, with BudgetShrinker notifications keeping victims'
+// cached ledgers coherent (the PR 5 path). Cede never demands
+// reclamation and never shrinks the partition below Σ granted budgets,
+// so every local grant stays backed.
+func (d *Daemon) Cede(n int, peer string) int {
+	if n <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	free := d.totalPages - d.grantedLocked()
+	ceded := free
+	if ceded > n {
+		ceded = n
+	}
+	if ceded < 0 {
+		ceded = 0
+	}
+	if need := n - ceded; need > 0 {
+		// Harvest slack largest-first so the fewest processes are touched.
+		cands := make([]*procState, 0, len(d.procs))
+		for _, ps := range d.procs {
+			if ps.budget-ps.usage.UsedPages > 0 {
+				cands = append(cands, ps)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			si := cands[i].budget - cands[i].usage.UsedPages
+			sj := cands[j].budget - cands[j].usage.UsedPages
+			if si != sj {
+				return si > sj
+			}
+			return cands[i].id < cands[j].id
+		})
+		for _, c := range cands {
+			if need <= 0 {
+				break
+			}
+			take := c.budget - c.usage.UsedPages
+			if take > need {
+				take = need
+			}
+			c.budget -= take
+			need -= take
+			ceded += take
+			d.stats.SlackPages += int64(take)
+			if bs, ok := c.target.(BudgetShrinker); ok {
+				bs.ShrinkBudget(take)
+			}
+			d.emitLocked(Event{Kind: EventSlack, Proc: c.id, Name: c.name, Pages: take})
+		}
+	}
+	if ceded <= 0 {
+		return 0
+	}
+	d.totalPages -= ceded
+	d.stats.CededPages += int64(ceded)
+	d.emitLocked(Event{Kind: EventCede, Name: peer, Pages: ceded})
+	return ceded
+}
+
+// Receive grows this machine's partition by n pages ceded by peer.
+func (d *Daemon) Receive(n int, peer string) {
+	if n <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.totalPages += n
+	d.stats.ReceivedPages += int64(n)
+	d.emitLocked(Event{Kind: EventReceive, Name: peer, Pages: n})
+}

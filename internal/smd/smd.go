@@ -158,6 +158,10 @@ const (
 	EventSlack
 	// EventDemand: a reclamation demand was issued to a process.
 	EventDemand
+	// EventCede: soft budget was ceded to a federated peer machine.
+	EventCede
+	// EventReceive: soft budget was received from a federated peer.
+	EventReceive
 )
 
 // String returns the kind's name.
@@ -171,6 +175,10 @@ func (k EventKind) String() string {
 		return "slack"
 	case EventDemand:
 		return "demand"
+	case EventCede:
+		return "cede"
+	case EventReceive:
+		return "receive"
 	default:
 		return "unknown"
 	}
@@ -239,6 +247,13 @@ type Stats struct {
 	// SpilledBytes is Σ self-reported spill-tier footprints: reclaimed
 	// soft data the machine's processes are holding on local disk.
 	SpilledBytes int64
+	// CededPages / ReceivedPages count soft budget migrated to and from
+	// federated peer machines (see Cede / Receive).
+	CededPages    int64
+	ReceivedPages int64
+	// TotalPages is the current partition size (cfg.TotalPages adjusted
+	// by federation).
+	TotalPages int
 }
 
 // ProcInfo describes one registered process, for observability.
@@ -266,6 +281,10 @@ type Daemon struct {
 	procs  map[ProcID]*procState
 	nextID ProcID
 	stats  Stats
+	// totalPages is the partition size the daemon arbitrates. It starts
+	// at cfg.TotalPages and moves when federated peers cede or receive
+	// budget across machines (Cede / Receive).
+	totalPages int
 
 	// events is the audit ring (capacity cfg.EventLog, nil when
 	// disabled); eventSeq numbers every recorded event, so Events()
@@ -294,7 +313,7 @@ func NewDaemon(cfg Config) *Daemon {
 		panic("smd: Config.TotalPages must be positive")
 	}
 	cfg.setDefaults()
-	d := &Daemon{cfg: cfg, procs: make(map[ProcID]*procState)}
+	d := &Daemon{cfg: cfg, procs: make(map[ProcID]*procState), totalPages: cfg.TotalPages}
 	if cfg.EventLog > 0 {
 		d.events = make([]Event, cfg.EventLog)
 	}
@@ -304,8 +323,14 @@ func NewDaemon(cfg Config) *Daemon {
 	return d
 }
 
-// TotalPages returns the soft memory partition size.
-func (d *Daemon) TotalPages() int { return d.cfg.TotalPages }
+// TotalPages returns the soft memory partition size. The value is
+// cfg.TotalPages plus any net budget received from (or minus any ceded
+// to) federated peers.
+func (d *Daemon) TotalPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.totalPages
+}
 
 // Register adds a process. The returned Proc is the process's
 // core.DaemonClient; target receives reclamation demands (it may be nil
@@ -396,7 +421,7 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 	ps.usage = u
 	d.stats.Requests++
 
-	free := d.cfg.TotalPages - d.grantedLocked()
+	free := d.totalPages - d.grantedLocked()
 	if free >= n {
 		ps.budget += n
 		d.stats.Granted++
@@ -625,7 +650,8 @@ func (d *Daemon) Stats() Stats {
 	defer d.mu.Unlock()
 	st := d.stats
 	st.BudgetPages = d.grantedLocked()
-	st.FreePages = d.cfg.TotalPages - st.BudgetPages
+	st.FreePages = d.totalPages - st.BudgetPages
+	st.TotalPages = d.totalPages
 	st.Procs = len(d.procs)
 	for _, ps := range d.procs {
 		st.SpilledBytes += ps.usage.SpilledBytes

@@ -134,6 +134,9 @@ func (d *Daemon) RegisterMetrics(r *metrics.Registry) {
 	r.GaugeFunc("softmem_smd_free_pages", "unallocated soft pages", func() float64 { return float64(d.Stats().FreePages) })
 	r.GaugeFunc("softmem_smd_procs", "registered processes", func() float64 { return float64(d.Stats().Procs) })
 	r.GaugeFunc("softmem_smd_spilled_bytes", "sum of self-reported spill-tier footprints", func() float64 { return float64(d.Stats().SpilledBytes) })
+	r.GaugeFunc("softmem_smd_total_pages", "current partition size, federation-adjusted", func() float64 { return float64(d.Stats().TotalPages) })
+	r.CounterFunc("softmem_smd_ceded_pages_total", "soft budget ceded to federated peers", stat(func(s Stats) int64 { return s.CededPages }))
+	r.CounterFunc("softmem_smd_received_pages_total", "soft budget received from federated peers", stat(func(s Stats) int64 { return s.ReceivedPages }))
 
 	perProc := func(name, help string, value func(ProcInfo) float64) {
 		r.CollectFunc(name, help, metrics.KindGauge, func() []metrics.Sample {
