@@ -114,6 +114,8 @@ func main() {
 		inproc   = flag.Bool("inproc", false, "benchmark an in-process loopback server instead of -addr")
 		sweep    = flag.String("sweep-cores", "", "comma-separated GOMAXPROCS values for an in-process core-scaling sweep (e.g. 1,2,4)")
 		trials   = flag.Int("trials", 3, "runs per pipeline depth; the best is reported (dampens scheduler noise)")
+		guardRef = flag.String("guard-baseline", "", "committed report JSON: exit nonzero if any matching-depth run regresses more than -guard-pct below its ops_per_sec")
+		guardPct = flag.Float64("guard-pct", 5, "allowed throughput regression in percent for -guard-baseline")
 	)
 	flag.Parse()
 
@@ -247,6 +249,52 @@ func main() {
 			log.Fatalf("kvbench: write %s: %v", *jsonPath, err)
 		}
 	}
+
+	if *guardRef != "" {
+		if err := guardCheck(*guardRef, *guardPct, report.Runs); err != nil {
+			log.Fatalf("kvbench: overhead guard: %v", err)
+		}
+		fmt.Printf("overhead guard: within %.1f%% of %s\n", *guardPct, *guardRef)
+	}
+}
+
+// guardCheck is the overhead-guard gate: every measured run whose
+// pipeline depth also appears in the committed baseline report must
+// reach at least (100-pct)% of the baseline's ops_per_sec. It fails
+// closed when no depth matches — a guard that silently compares nothing
+// would pass forever.
+func guardCheck(path string, pct float64, runs []runJSON) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ref reportJSON
+	if err := json.Unmarshal(buf, &ref); err != nil {
+		return fmt.Errorf("decode %s: %w", path, err)
+	}
+	refByDepth := make(map[int]float64, len(ref.Runs))
+	for _, r := range ref.Runs {
+		refByDepth[r.Pipeline] = r.OpsPerSec
+	}
+	matched := 0
+	for _, r := range runs {
+		base, ok := refByDepth[r.Pipeline]
+		if !ok || base <= 0 {
+			continue
+		}
+		matched++
+		floor := base * (1 - pct/100)
+		if r.OpsPerSec < floor {
+			return fmt.Errorf("pipeline=%d: %.0f ops/s is %.1f%% below baseline %.0f (floor %.0f)",
+				r.Pipeline, r.OpsPerSec, 100*(1-r.OpsPerSec/base), base, floor)
+		}
+		fmt.Printf("overhead guard: pipeline=%d %.0f ops/s vs baseline %.0f (%+.1f%%)\n",
+			r.Pipeline, r.OpsPerSec, base, 100*(r.OpsPerSec/base-1))
+	}
+	if matched == 0 {
+		return fmt.Errorf("%s has no run matching any measured pipeline depth", path)
+	}
+	return nil
 }
 
 // sweepDrivers is the fixed concurrency of the core sweep: the offered

@@ -6,7 +6,10 @@
 //   - each name must be registered at exactly one call site (a family is
 //     shared by labeling one registration, not by re-declaring the name);
 //   - the code and the documentation catalogue must list the same set of
-//     names, in both directions.
+//     names, in both directions;
+//   - every `phase` label value constructed in code (a composite literal
+//     with Name: "phase") must be documented in the catalogue as
+//     phase="<value>", and vice versa.
 //
 // It scans non-test .go files that import softmem/internal/metrics and
 // treats a string literal starting with "softmem_" in the first argument
@@ -39,6 +42,7 @@ const (
 var (
 	validName = regexp.MustCompile(`^softmem_[a-z0-9_]+$`)
 	docName   = regexp.MustCompile(`softmem_[a-z0-9_]+`)
+	docPhase  = regexp.MustCompile(`phase="([a-z0-9_]+)"`)
 )
 
 func main() {
@@ -46,7 +50,7 @@ func main() {
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
-	sites, err := collect(root)
+	sites, phases, err := collect(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
 		os.Exit(2)
@@ -73,7 +77,7 @@ func main() {
 		}
 	}
 
-	documented, err := docNames(filepath.Join(root, docPath))
+	documented, docPhases, err := docNames(filepath.Join(root, docPath))
 	if err != nil {
 		problems = append(problems, fmt.Sprintf("cannot read metric catalogue: %v", err))
 	} else {
@@ -94,6 +98,29 @@ func main() {
 					docPath, name))
 			}
 		}
+
+		phaseSorted := make([]string, 0, len(phases))
+		for v := range phases {
+			phaseSorted = append(phaseSorted, v)
+		}
+		sort.Strings(phaseSorted)
+		for _, v := range phaseSorted {
+			if !docPhases[v] {
+				problems = append(problems, fmt.Sprintf("%s: phase label value %q is not documented in %s (want a phase=%q row)",
+					phases[v][0], v, docPath, v))
+			}
+		}
+		docPhaseSorted := make([]string, 0, len(docPhases))
+		for v := range docPhases {
+			docPhaseSorted = append(docPhaseSorted, v)
+		}
+		sort.Strings(docPhaseSorted)
+		for _, v := range docPhaseSorted {
+			if _, ok := phases[v]; !ok {
+				problems = append(problems, fmt.Sprintf("%s documents phase=%q, which no code constructs",
+					docPath, v))
+			}
+		}
 	}
 
 	if len(problems) > 0 {
@@ -106,9 +133,11 @@ func main() {
 }
 
 // collect maps each softmem_* metric name to the positions of its
-// registration call sites.
-func collect(root string) (map[string][]token.Position, error) {
+// registration call sites, and each phase label value to the positions
+// of the composite literals constructing it.
+func collect(root string) (map[string][]token.Position, map[string][]token.Position, error) {
 	sites := make(map[string][]token.Position)
+	phases := make(map[string][]token.Position)
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -132,24 +161,63 @@ func collect(root string) (map[string][]token.Position, error) {
 			return nil
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
-				return true
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				if len(node.Args) == 0 {
+					return true
+				}
+				lit, ok := node.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil || !strings.HasPrefix(name, "softmem_") {
+					return true
+				}
+				sites[name] = append(sites[name], fset.Position(lit.Pos()))
+			case *ast.CompositeLit:
+				if v, pos, ok := phaseLabelValue(node, fset); ok {
+					phases[v] = append(phases[v], pos)
+				}
 			}
-			lit, ok := call.Args[0].(*ast.BasicLit)
-			if !ok || lit.Kind != token.STRING {
-				return true
-			}
-			name, err := strconv.Unquote(lit.Value)
-			if err != nil || !strings.HasPrefix(name, "softmem_") {
-				return true
-			}
-			sites[name] = append(sites[name], fset.Position(lit.Pos()))
 			return true
 		})
 		return nil
 	})
-	return sites, err
+	return sites, phases, err
+}
+
+// phaseLabelValue recognizes a metrics.Label-shaped composite literal
+// `{Name: "phase", Value: "<literal>"}` and returns the value. Labels
+// built any other way (computed values) are invisible to this check by
+// design: phase taxonomies are meant to be closed, literal sets.
+func phaseLabelValue(lit *ast.CompositeLit, fset *token.FileSet) (string, token.Position, bool) {
+	isPhase, value, pos := false, "", token.Position{}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		s, ok := kv.Value.(*ast.BasicLit)
+		if !ok || s.Kind != token.STRING {
+			continue
+		}
+		unq, err := strconv.Unquote(s.Value)
+		if err != nil {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			isPhase = unq == "phase"
+		case "Value":
+			value, pos = unq, fset.Position(s.Pos())
+		}
+	}
+	return value, pos, isPhase && value != ""
 }
 
 func importsMetrics(file *ast.File) bool {
@@ -161,15 +229,20 @@ func importsMetrics(file *ast.File) bool {
 	return false
 }
 
-// docNames extracts the softmem_* names mentioned by the catalogue.
-func docNames(path string) (map[string]bool, error) {
+// docNames extracts the softmem_* names and phase="..." label values
+// mentioned by the catalogue.
+func docNames(path string) (map[string]bool, map[string]bool, error) {
 	body, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make(map[string]bool)
 	for _, m := range docName.FindAllString(string(body), -1) {
 		out[m] = true
 	}
-	return out, nil
+	phases := make(map[string]bool)
+	for _, m := range docPhase.FindAllStringSubmatch(string(body), -1) {
+		phases[m[1]] = true
+	}
+	return out, phases, nil
 }

@@ -91,6 +91,8 @@ func main() {
 				raw[path] = h
 			}
 		}
+		hist := reg.StartHistory(time.Second, 120)
+		defer hist.Close()
 		stSrv, stAddr, err := statusz.ServeHandlers(*httpAddr, map[string]func() any{
 			"statusz": func() any {
 				return map[string]any{
@@ -104,6 +106,7 @@ func main() {
 			"traces": func() any {
 				return map[string]any{"traces": daemon.Traces()}
 			},
+			"metrics/history": func() any { return hist.Dump() },
 		}, raw)
 		if err != nil {
 			log.Fatalf("smd: %v", err)

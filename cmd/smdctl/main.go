@@ -9,10 +9,17 @@
 //	smdctl -http 127.0.0.1:7071 -json        # raw status JSON
 //	smdctl -http 127.0.0.1:7071 events       # audit event log
 //	smdctl -http 127.0.0.1:7071 -json events # raw event JSON
-//	smdctl -http 127.0.0.1:7071 top          # live ledger + rates from /metrics
+//	smdctl -http 127.0.0.1:7071 top          # live ledger + rates from /metrics/history
 //	smdctl -http 127.0.0.1:7071 trace        # recent reclaim cycles
 //	smdctl -http 127.0.0.1:7071 trace 7      # one cycle, hop by hop
 //	smdctl -http 127.0.0.1:8081 cluster      # a cluster node's ring + federation view
+//	smdctl -http 127.0.0.1:8081 slowlog      # a kv node's slow-request log, phase by phase
+//	smdctl -http 127.0.0.1:8081 top -cluster # cluster-wide per-node rates + slowlog offenders
+//
+// top reads /metrics/history — the server's own rolling snapshot ring —
+// so rates come from one fetch per refresh instead of two /metrics
+// polls, and survive collector restarts (negative counter deltas clamp
+// to zero).
 package main
 
 import (
@@ -78,12 +85,21 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Second, "request timeout")
 		interval = flag.Duration("interval", 2*time.Second, "top refresh interval")
 		iters    = flag.Int("iterations", 0, "top iterations before exiting (0 = until interrupted)")
+		cluster  = flag.Bool("cluster", false, "top: aggregate every node of the cluster the target belongs to")
 	)
 	flag.Parse()
 
 	cmd := "status"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
+	}
+	// `top --cluster` after the subcommand also works: the flag package
+	// stops parsing at the first non-flag argument.
+	if cmd == "top" && flag.NArg() > 1 {
+		switch strings.TrimLeft(flag.Arg(1), "-") {
+		case "cluster":
+			*cluster = true
+		}
 	}
 	switch cmd {
 	case "status":
@@ -116,7 +132,18 @@ func main() {
 			printTraceList(body)
 		}
 	case "top":
+		if *cluster {
+			runTopCluster(*httpAddr, *timeout, *interval, *iters)
+			return
+		}
 		runTop(*httpAddr, *timeout, *interval, *iters)
+	case "slowlog":
+		body := fetch(*httpAddr, "/slowlog", *timeout)
+		if *raw {
+			os.Stdout.Write(body)
+			return
+		}
+		printSlowlog(body)
 	case "cluster":
 		body := fetch(*httpAddr, "/cluster", *timeout)
 		if *raw {
@@ -125,23 +152,36 @@ func main() {
 		}
 		printCluster(body)
 	default:
-		log.Fatalf("smdctl: unknown command %q (want status, events, trace, top, or cluster)", cmd)
+		log.Fatalf("smdctl: unknown command %q (want status, events, trace, top, slowlog, or cluster)", cmd)
 	}
 }
 
 // fetch retrieves one JSON endpoint from the daemon.
 func fetch(addr, path string, timeout time.Duration) []byte {
-	cli := &http.Client{Timeout: timeout}
-	resp, err := cli.Get("http://" + addr + path)
+	body, err := tryFetch(addr, path, timeout)
 	if err != nil {
 		log.Fatalf("smdctl: %v", err)
 	}
+	return body
+}
+
+// tryFetch is fetch without the fatal exit, for fan-out paths where one
+// unreachable node should not kill the whole view.
+func tryFetch(addr, path string, timeout time.Duration) ([]byte, error) {
+	cli := &http.Client{Timeout: timeout}
+	resp, err := cli.Get("http://" + addr + path)
+	if err != nil {
+		return nil, err
+	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s%s: %s", addr, path, resp.Status)
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		log.Fatalf("smdctl: read: %v", err)
+		return nil, fmt.Errorf("read %s%s: %w", addr, path, err)
 	}
-	return body
+	return body, nil
 }
 
 func printStatus(body []byte) {
@@ -277,6 +317,7 @@ func printTrace(body []byte, id uint64) {
 type clusterStatus struct {
 	Self        string `json:"Self"`
 	PeerAddr    string `json:"PeerAddr"`
+	StatusAddr  string `json:"StatusAddr"`
 	RingVersion uint64 `json:"RingVersion"`
 	Nodes       []struct {
 		Addr string `json:"Addr"`
@@ -284,10 +325,11 @@ type clusterStatus struct {
 	} `json:"Nodes"`
 	SlotsOwned int `json:"SlotsOwned"`
 	Peers      []struct {
-		Addr     string       `json:"Addr"`
-		Peer     string       `json:"Peer"`
-		Misses   int          `json:"Misses"`
-		Pressure peerPressure `json:"Pressure"`
+		Addr       string       `json:"Addr"`
+		Peer       string       `json:"Peer"`
+		StatusAddr string       `json:"StatusAddr"`
+		Misses     int          `json:"Misses"`
+		Pressure   peerPressure `json:"Pressure"`
 	} `json:"Peers"`
 
 	GossipRounds   int64 `json:"GossipRounds"`
@@ -466,20 +508,81 @@ func (v *promView) get(name string, labels ...string) float64 {
 	return v.byKey[sampleKey(name, m)]
 }
 
-// runTop polls /metrics and redraws a live view: ledger gauges, counter
-// rates since the previous poll, latency quantiles, and the per-process
-// table. iters > 0 bounds the refresh count (mainly for scripting).
+// historyDump mirrors a server's /metrics/history payload
+// (metrics.HistoryDump): periodic snapshots of every series, keyed like
+// the Prometheus exposition.
+type historyDump struct {
+	IntervalNs int64 `json:"interval_ns"`
+	Snapshots  []struct {
+		UnixNs int64              `json:"unix_ns"`
+		Values map[string]float64 `json:"values"`
+	} `json:"snapshots"`
+}
+
+// samplesFromValues converts one history snapshot's series map back into
+// parsed samples, splitting `name{k="v",...}` keys into name + labels.
+func samplesFromValues(values map[string]float64) []promSample {
+	out := make([]promSample, 0, len(values))
+	for k, v := range values {
+		s := promSample{name: k, value: v}
+		if i := strings.IndexByte(k, '{'); i >= 0 && strings.HasSuffix(k, "}") {
+			s.name = k[:i]
+			s.labels = parsePromLabels(k[i+1 : len(k)-1])
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// counterRate converts a counter delta into a per-second rate. A
+// negative delta means the serving process restarted (counters reset to
+// zero) between the two snapshots; it clamps to zero instead of
+// rendering a nonsense negative rate.
+func counterRate(cur, prev float64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	d := cur - prev
+	if d < 0 {
+		d = 0
+	}
+	return d / elapsed.Seconds()
+}
+
+// topViews turns a history dump into the render inputs: the latest
+// snapshot's samples and view, the previous snapshot's view (nil when
+// the history holds only one sample yet), and the wall-clock distance
+// between them. One fetch per refresh — the server's own snapshot ring
+// supplies the rate window, so top never has to poll twice.
+func topViews(hist historyDump) (samples []promSample, view, prev *promView, elapsed time.Duration) {
+	n := len(hist.Snapshots)
+	if n == 0 {
+		return nil, newPromView(nil), nil, 0
+	}
+	last := hist.Snapshots[n-1]
+	samples = samplesFromValues(last.Values)
+	view = newPromView(samples)
+	if n >= 2 {
+		before := hist.Snapshots[n-2]
+		prev = newPromView(samplesFromValues(before.Values))
+		elapsed = time.Duration(last.UnixNs - before.UnixNs)
+	}
+	return samples, view, prev, elapsed
+}
+
+// runTop redraws a live view from /metrics/history: ledger gauges,
+// counter rates over the last snapshot interval, latency quantiles, and
+// the per-process table. iters > 0 bounds the refresh count (mainly for
+// scripting).
 func runTop(addr string, timeout, interval time.Duration, iters int) {
-	var prev *promView
-	var prevAt time.Time
 	for i := 0; ; i++ {
-		body := fetch(addr, "/metrics", timeout)
-		now := time.Now()
-		samples := parseProm(body)
-		view := newPromView(samples)
+		var hist historyDump
+		if err := json.Unmarshal(fetch(addr, "/metrics/history", timeout), &hist); err != nil {
+			log.Fatalf("smdctl: decode history: %v", err)
+		}
+		samples, view, prev, elapsed := topViews(hist)
 		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
-		renderTop(addr, now, samples, view, prev, now.Sub(prevAt))
-		prev, prevAt = view, now
+		renderTop(addr, time.Now(), samples, view, prev, elapsed)
 		if iters > 0 && i+1 >= iters {
 			return
 		}
@@ -500,7 +603,7 @@ func renderTop(addr string, now time.Time, samples []promSample, view, prev *pro
 		if prev == nil || elapsed <= 0 {
 			return fmt.Sprintf("%8.0f", cur)
 		}
-		return fmt.Sprintf("%8.1f/s", (cur-prev.get(name))/elapsed.Seconds())
+		return fmt.Sprintf("%8.1f/s", counterRate(cur, prev.get(name), elapsed))
 	}
 	fmt.Printf("requests %s   granted %s   denied %s   cycles %s\n",
 		rate("softmem_smd_requests_total"), rate("softmem_smd_granted_total"),
@@ -551,5 +654,181 @@ func renderTop(addr string, now time.Time, samples []promSample, view, prev *pro
 			view.get("softmem_smd_proc_used_pages", "proc", p, "name", r.name),
 			view.get("softmem_smd_proc_weight", "proc", p, "name", r.name),
 			view.get("softmem_smd_proc_spilled_bytes", "proc", p, "name", r.name))
+	}
+}
+
+// slowEntry mirrors one kv slow-request log record
+// (kvstore.SlowEntry).
+type slowEntry struct {
+	Seq            uint64 `json:"seq"`
+	UnixNs         int64  `json:"unix_ns"`
+	Cmd            string `json:"cmd"`
+	Key            string `json:"key"`
+	TotalNs        int64  `json:"total_ns"`
+	QueueNs        int64  `json:"queue_ns"`
+	LockWaitNs     int64  `json:"lock_wait_ns"`
+	YieldStallNs   int64  `json:"yield_stall_ns"`
+	SpillPromoteNs int64  `json:"spill_promote_ns"`
+	ExecNs         int64  `json:"exec_ns"`
+}
+
+// dominantPhase names the slow request's largest recorded phase — the
+// first place to look when triaging it.
+func dominantPhase(e slowEntry) string {
+	best, name := e.ExecNs, "exec"
+	for _, p := range []struct {
+		ns   int64
+		name string
+	}{
+		{e.QueueNs, "queue"},
+		{e.LockWaitNs, "lock_wait"},
+		{e.YieldStallNs, "yield_stall"},
+		{e.SpillPromoteNs, "spill_promote"},
+	} {
+		if p.ns > best {
+			best, name = p.ns, p.name
+		}
+	}
+	return name
+}
+
+// printSlowlog renders a kv node's slow-request log, newest first, with
+// the per-phase latency breakdown each entry carries.
+func printSlowlog(body []byte) {
+	var entries []slowEntry
+	if err := json.Unmarshal(body, &entries); err != nil {
+		log.Fatalf("smdctl: decode slowlog: %v", err)
+	}
+	if len(entries) == 0 {
+		fmt.Println("slow-request log empty (nothing crossed the threshold)")
+		return
+	}
+	fmt.Printf("%-8s %-12s %-8s %-24s %9s %9s %9s %9s %9s %9s  %s\n",
+		"seq", "when", "cmd", "key", "total", "queue", "lockwait", "stall", "promote", "exec", "dominant")
+	for _, e := range entries {
+		key := e.Key
+		if len(key) > 24 {
+			key = key[:21] + "..."
+		}
+		fmt.Printf("%-8d %-12s %-8s %-24s %9s %9s %9s %9s %9s %9s  %s\n",
+			e.Seq, time.Unix(0, e.UnixNs).Format("15:04:05.000"), e.Cmd, key,
+			fmtDur(e.TotalNs), fmtDur(e.QueueNs), fmtDur(e.LockWaitNs),
+			fmtDur(e.YieldStallNs), fmtDur(e.SpillPromoteNs), fmtDur(e.ExecNs),
+			dominantPhase(e))
+	}
+}
+
+// clusterNodeRow is one node's aggregated view in the cluster-wide top.
+type clusterNodeRow struct {
+	addr       string
+	statusAddr string
+	err        error
+
+	opsPerSec     float64 // gets+sets+dels rate
+	reclaimPerSec float64
+	movedPerSec   float64
+	fedCeded      float64
+	fedReceived   float64
+	freePages     float64
+	totalPages    float64
+	worst         *slowEntry
+}
+
+// collectClusterRows discovers the ring via one node's /cluster view and
+// gathers every member's history + slowlog through the status addresses
+// gossip spread. Nodes that advertise no status listener, or fail to
+// answer, render as rows with an error instead of aborting the view.
+func collectClusterRows(seedAddr string, timeout time.Duration) ([]clusterNodeRow, error) {
+	body, err := tryFetch(seedAddr, "/cluster", timeout)
+	if err != nil {
+		return nil, err
+	}
+	var st clusterStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("decode cluster: %w", err)
+	}
+	rows := []clusterNodeRow{{addr: st.Self, statusAddr: st.StatusAddr}}
+	if rows[0].statusAddr == "" {
+		// The seed answered on this status listener even if it never
+		// advertised one.
+		rows[0].statusAddr = seedAddr
+	}
+	for _, p := range st.Peers {
+		rows = append(rows, clusterNodeRow{addr: p.Addr, statusAddr: p.StatusAddr})
+	}
+	for i := range rows {
+		r := &rows[i]
+		if r.statusAddr == "" {
+			r.err = fmt.Errorf("no status address gossiped")
+			continue
+		}
+		hb, err := tryFetch(r.statusAddr, "/metrics/history", timeout)
+		if err != nil {
+			r.err = err
+			continue
+		}
+		var hist historyDump
+		if err := json.Unmarshal(hb, &hist); err != nil {
+			r.err = err
+			continue
+		}
+		_, view, prev, elapsed := topViews(hist)
+		rate := func(name string) float64 {
+			if prev == nil {
+				return 0
+			}
+			return counterRate(view.get(name), prev.get(name), elapsed)
+		}
+		r.opsPerSec = rate("softmem_kv_gets_total") + rate("softmem_kv_sets_total") + rate("softmem_kv_dels_total")
+		r.reclaimPerSec = rate("softmem_kv_reclaimed_total")
+		r.movedPerSec = rate("softmem_cluster_moved_total")
+		r.fedCeded = view.get("softmem_cluster_fed_ceded_pages_total")
+		r.fedReceived = view.get("softmem_cluster_fed_received_pages_total")
+		r.freePages = view.get("softmem_smd_free_pages")
+		r.totalPages = view.get("softmem_smd_total_pages")
+		if sb, err := tryFetch(r.statusAddr, "/slowlog", timeout); err == nil {
+			var entries []slowEntry
+			if json.Unmarshal(sb, &entries) == nil {
+				for j := range entries {
+					if r.worst == nil || entries[j].TotalNs > r.worst.TotalNs {
+						r.worst = &entries[j]
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runTopCluster redraws a cluster-wide live view: one row per ring
+// member with ops rates, reclaim pressure, federation flows, and the
+// node's worst slow request.
+func runTopCluster(addr string, timeout, interval time.Duration, iters int) {
+	for i := 0; ; i++ {
+		rows, err := collectClusterRows(addr, timeout)
+		if err != nil {
+			log.Fatalf("smdctl: cluster top: %v", err)
+		}
+		fmt.Print("\x1b[2J\x1b[H")
+		fmt.Printf("cluster via %s — %d nodes — %s\n\n", addr, len(rows), time.Now().Format("15:04:05"))
+		fmt.Printf("%-22s %10s %10s %10s %8s %8s %9s %9s  %s\n",
+			"node", "ops/s", "reclaim/s", "moved/s", "ceded", "recvd", "free", "total", "worst slow request")
+		for _, r := range rows {
+			if r.err != nil {
+				fmt.Printf("%-22s  unreachable: %v\n", r.addr, r.err)
+				continue
+			}
+			worst := "-"
+			if r.worst != nil {
+				worst = fmt.Sprintf("%s %s (%s, %s)", r.worst.Cmd, r.worst.Key, fmtDur(r.worst.TotalNs), dominantPhase(*r.worst))
+			}
+			fmt.Printf("%-22s %10.1f %10.1f %10.1f %8.0f %8.0f %9.0f %9.0f  %s\n",
+				r.addr, r.opsPerSec, r.reclaimPerSec, r.movedPerSec,
+				r.fedCeded, r.fedReceived, r.freePages, r.totalPages, worst)
+		}
+		if iters > 0 && i+1 >= iters {
+			return
+		}
+		time.Sleep(interval)
 	}
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCounterRateClampsResets is the regression test for the `smdctl
+// top` rate bug: a counter that went backwards between snapshots (the
+// serving process restarted and its counters reset to zero) must render
+// as a zero rate, never a negative one.
+func TestCounterRateClampsResets(t *testing.T) {
+	if got := counterRate(5, 1500, time.Second); got != 0 {
+		t.Errorf("rate after counter reset = %v, want 0", got)
+	}
+	if got := counterRate(10, 4, 2*time.Second); got != 3 {
+		t.Errorf("rate = %v, want 3", got)
+	}
+	if got := counterRate(10, 4, 0); got != 0 {
+		t.Errorf("rate with zero elapsed = %v, want 0", got)
+	}
+	if got := counterRate(10, 4, -time.Second); got != 0 {
+		t.Errorf("rate with negative elapsed = %v, want 0", got)
+	}
+}
+
+func TestSamplesFromValues(t *testing.T) {
+	samples := samplesFromValues(map[string]float64{
+		"softmem_kv_gets_total":                           42,
+		`softmem_kv_cmd_ns{cmd="GET",quantile="0.99"}`:    1234,
+		`softmem_smd_proc_pages{name="kv",proc="p:1234"}`: 7,
+	})
+	v := newPromView(samples)
+	if got := v.get("softmem_kv_gets_total"); got != 42 {
+		t.Errorf("plain sample = %v, want 42", got)
+	}
+	if got := v.get("softmem_kv_cmd_ns", "cmd", "GET", "quantile", "0.99"); got != 1234 {
+		t.Errorf("labeled sample = %v, want 1234", got)
+	}
+	if got := v.get("softmem_smd_proc_pages", "proc", "p:1234", "name", "kv"); got != 7 {
+		t.Errorf("multi-label sample = %v, want 7", got)
+	}
+}
+
+func TestTopViewsRatesFromHistory(t *testing.T) {
+	var hist historyDump
+	hist.IntervalNs = time.Second.Nanoseconds()
+	base := time.Unix(1000, 0).UnixNano()
+	for i, gets := range []float64{100, 400, 1400} {
+		hist.Snapshots = append(hist.Snapshots, struct {
+			UnixNs int64              `json:"unix_ns"`
+			Values map[string]float64 `json:"values"`
+		}{
+			UnixNs: base + int64(i)*time.Second.Nanoseconds(),
+			Values: map[string]float64{"softmem_kv_gets_total": gets},
+		})
+	}
+	_, view, prev, elapsed := topViews(hist)
+	if prev == nil {
+		t.Fatal("prev view nil with 3 snapshots")
+	}
+	if elapsed != time.Second {
+		t.Fatalf("elapsed = %v, want 1s", elapsed)
+	}
+	// Rates come from the last two snapshots: (1400-400)/1s.
+	cur, before := view.get("softmem_kv_gets_total"), prev.get("softmem_kv_gets_total")
+	if got := counterRate(cur, before, elapsed); got != 1000 {
+		t.Errorf("gets/s = %v, want 1000", got)
+	}
+}
+
+func TestTopViewsDegradesGracefully(t *testing.T) {
+	_, view, prev, elapsed := topViews(historyDump{})
+	if view == nil {
+		t.Fatal("view must be non-nil on an empty history")
+	}
+	if prev != nil || elapsed != 0 {
+		t.Errorf("empty history: prev=%v elapsed=%v, want nil/0", prev, elapsed)
+	}
+	one := historyDump{}
+	one.Snapshots = append(one.Snapshots, struct {
+		UnixNs int64              `json:"unix_ns"`
+		Values map[string]float64 `json:"values"`
+	}{UnixNs: 1, Values: map[string]float64{"softmem_smd_free_pages": 9}})
+	_, view, prev, _ = topViews(one)
+	if prev != nil {
+		t.Error("single snapshot should give no prev view")
+	}
+	if got := view.get("softmem_smd_free_pages"); got != 9 {
+		t.Errorf("free pages = %v, want 9", got)
+	}
+}
+
+func TestDominantPhase(t *testing.T) {
+	cases := []struct {
+		e    slowEntry
+		want string
+	}{
+		{slowEntry{ExecNs: 10}, "exec"},
+		{slowEntry{ExecNs: 10, YieldStallNs: 900}, "yield_stall"},
+		{slowEntry{QueueNs: 50, LockWaitNs: 60, ExecNs: 10}, "lock_wait"},
+		{slowEntry{SpillPromoteNs: 500, QueueNs: 499}, "spill_promote"},
+		{slowEntry{}, "exec"},
+	}
+	for _, c := range cases {
+		if got := dominantPhase(c.e); got != c.want {
+			t.Errorf("dominantPhase(%+v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}

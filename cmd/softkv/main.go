@@ -64,7 +64,11 @@ func main() {
 		spillDir   = flag.String("spill-dir", "", "spill tier directory: demote reclaimed entries to compressed disk records (empty = drop, the default semantics)")
 		spillMiB   = flag.Int("spill-budget", 256, "spill tier disk budget in MiB (oldest segments evicted beyond it)")
 		spillSeg   = flag.Int("spill-segment-kib", 0, "spill segment rotation threshold in KiB (0 = default 4 MiB; small values confine torn tails in chaos runs)")
-		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -http listener, with cmd/shard profiler labels on owner execution")
+		slowlogMs  = flag.Int("slowlog-ms", 10, "slow-request log threshold in ms (0 = default 10ms)")
+		slowlogLen = flag.Int("slowlog-size", 128, "slow-request log ring capacity")
+		historyMs  = flag.Int("history-ms", 1000, "metrics history sampling period in ms (with -http)")
+		historyLen = flag.Int("history-size", 120, "metrics history ring capacity")
 		faults     = flag.String("faults", "", "fault-injection spec (chaos testing; also read from $"+faultinject.EnvVar+")")
 		backoffMs  = flag.Int("smd-backoff-ms", 100, "initial daemon reconnect backoff in ms (doubles with jitter up to -smd-backoff-max-ms)")
 		backoffMax = flag.Int("smd-backoff-max-ms", 5000, "maximum daemon reconnect backoff in ms")
@@ -136,12 +140,16 @@ func main() {
 			*spillDir, *spillMiB, spillStore.Stats().LiveRecords)
 	}
 
+	if *pprofOn {
+		kvstore.EnableProfilerLabels()
+	}
 	store := kvstore.New(sma,
 		kvstore.WithPolicy(policy),
 		kvstore.WithShards(*shards),
 		kvstore.WithCleanupWork(*cleanup),
 		kvstore.WithOnReclaim(func(string) {}),
 		kvstore.WithSpill(spillStore),
+		kvstore.WithSlowLog(time.Duration(*slowlogMs)*time.Millisecond, *slowlogLen),
 	)
 	if reg != nil {
 		store.RegisterMetrics(reg)
@@ -240,7 +248,11 @@ func main() {
 					"contexts": sma.Contexts(),
 				}
 			},
+			"slowlog": func() any { return store.SlowLog() },
 		}
+		hist := reg.StartHistory(time.Duration(*historyMs)*time.Millisecond, *historyLen)
+		defer hist.Close()
+		endpoints["metrics/history"] = func() any { return hist.Dump() }
 		if node != nil {
 			endpoints["cluster"] = func() any { return node.Status() }
 		}
@@ -271,6 +283,11 @@ func main() {
 			log.Fatalf("softkv: %v", err)
 		}
 		defer stSrv.Close()
+		if node != nil {
+			// Advertise the bound status listener in gossip so cluster
+			// tooling can fan out from any node.
+			node.SetStatusAddr(stAddr.String())
+		}
 		log.Printf("softkv: status at http://%s/statusz, metrics at /metrics", stAddr)
 	}
 

@@ -97,10 +97,14 @@ func (n *Node) Handle(cmd string, args [][]byte, rw kvstore.ReplyWriter) {
 	switch cmd {
 	case "RSET":
 		// Replica apply: bypasses routing (the owner sent it here) and
-		// does not re-enter replication (store writes skip OnApply).
-		if len(args) != 3 {
+		// does not re-enter replication (store writes skip OnApply). The
+		// optional trailing argument is the owner's apply timestamp.
+		if len(args) != 3 && len(args) != 4 {
 			rw.WriteError("ERR wrong number of arguments for 'rset'")
 			return
+		}
+		if len(args) == 4 {
+			n.observeReplOrigin(args[3])
 		}
 		if err := n.cfg.Store.Set(string(args[1]), args[2]); err != nil {
 			rw.WriteError("ERR soft memory exhausted: " + err.Error())
@@ -109,9 +113,12 @@ func (n *Node) Handle(cmd string, args [][]byte, rw kvstore.ReplyWriter) {
 		n.met.replApplied.Add(1)
 		rw.WriteSimple("OK")
 	case "RDEL":
-		if len(args) != 2 {
+		if len(args) != 2 && len(args) != 3 {
 			rw.WriteError("ERR wrong number of arguments for 'rdel'")
 			return
+		}
+		if len(args) == 3 {
+			n.observeReplOrigin(args[2])
 		}
 		removed, err := n.cfg.Store.Del(string(args[1]))
 		if err != nil {
@@ -201,6 +208,22 @@ func (n *Node) handleClusterCmd(args [][]byte, rw kvstore.ReplyWriter) {
 	}
 }
 
+// observeReplOrigin feeds a replicated write's origin timestamp into the
+// store's repl_hop phase histogram. Cross-node clocks can disagree, so a
+// negative delta clamps to zero; a malformed argument is ignored rather
+// than failing the apply.
+func (n *Node) observeReplOrigin(arg []byte) {
+	origin, err := strconv.ParseInt(string(arg), 10, 64)
+	if err != nil || origin <= 0 {
+		return
+	}
+	d := time.Now().UnixNano() - origin
+	if d < 0 {
+		d = 0
+	}
+	n.cfg.Store.ObserveReplHop(time.Duration(d))
+}
+
 // upper uppercases a short ASCII argument.
 func upper(b []byte) string {
 	out := make([]byte, len(b))
@@ -230,7 +253,7 @@ func (n *Node) OnApply(op kvstore.Op, key string, val []byte) {
 	if rep == "" || rep == n.cfg.Addr {
 		return
 	}
-	e := replEntry{key: key, del: op == kvstore.OpDel}
+	e := replEntry{key: key, del: op == kvstore.OpDel, originNs: time.Now().UnixNano()}
 	if !e.del {
 		e.val = append([]byte(nil), val...)
 	}

@@ -29,6 +29,11 @@ type Config struct {
 	// PeerAddr is the inter-node listen address (default 127.0.0.1:0;
 	// the bound address is advertised to peers).
 	PeerAddr string
+	// StatusAddr is this node's statusz listener as peers should reach
+	// it. Gossiped so cluster tooling (`smdctl top --cluster`) can
+	// discover every node's status endpoint from any one of them.
+	// Empty = not advertised.
+	StatusAddr string
 	// Store and Server are the node's existing single-node stack
 	// (required). Start installs the node as the server's ClusterHook.
 	Store  *kvstore.Store
@@ -71,12 +76,18 @@ type Node struct {
 	// change; the hook's hot paths load it lock-free.
 	ring atomic.Pointer[Ring]
 
-	mu       sync.Mutex
-	conns    map[string]*ipc.Conn // outbound, by peer address
-	accepted map[*ipc.Conn]struct{}
-	misses   map[string]int                 // consecutive failed heartbeats, by RESP addr
-	pressure map[string]smd.PressureSummary // last gossiped peer pressure, by RESP addr
-	closed   bool
+	mu          sync.Mutex
+	conns       map[string]*ipc.Conn // outbound, by peer address
+	accepted    map[*ipc.Conn]struct{}
+	misses      map[string]int                 // consecutive failed heartbeats, by RESP addr
+	pressure    map[string]smd.PressureSummary // last gossiped peer pressure, by RESP addr
+	statusAddrs map[string]string              // last gossiped statusz listener, by RESP addr
+	closed      bool
+
+	// selfStatus is the statusz listener this node advertises in gossip
+	// (starts as Config.StatusAddr). An atomic because the status server
+	// usually binds after Start, when gossip is already running.
+	selfStatus atomic.Pointer[string]
 
 	ln   net.Listener
 	repl *replicator
@@ -122,15 +133,17 @@ func Start(cfg Config) (*Node, error) {
 	cfg.PeerAddr = ln.Addr().String()
 
 	n := &Node{
-		cfg:      cfg,
-		logf:     cfg.Logf,
-		conns:    make(map[string]*ipc.Conn),
-		accepted: make(map[*ipc.Conn]struct{}),
-		misses:   make(map[string]int),
-		pressure: make(map[string]smd.PressureSummary),
-		ln:       ln,
-		stop:     make(chan struct{}),
+		cfg:         cfg,
+		logf:        cfg.Logf,
+		conns:       make(map[string]*ipc.Conn),
+		accepted:    make(map[*ipc.Conn]struct{}),
+		misses:      make(map[string]int),
+		pressure:    make(map[string]smd.PressureSummary),
+		statusAddrs: make(map[string]string),
+		ln:          ln,
+		stop:        make(chan struct{}),
 	}
+	n.selfStatus.Store(&cfg.StatusAddr)
 	n.repl = newReplicator(n)
 	n.ring.Store(BuildRing(ipc.ClusterTable{Version: 1, Nodes: []ipc.ClusterNode{n.self()}}, cfg.Vnodes))
 
@@ -161,6 +174,14 @@ func (n *Node) self() ipc.ClusterNode {
 
 // PeerAddr returns the bound inter-node address.
 func (n *Node) PeerAddr() string { return n.cfg.PeerAddr }
+
+// SetStatusAddr updates the statusz listener this node advertises in
+// gossip — typically called right after the status server binds, since
+// that usually happens after Start.
+func (n *Node) SetStatusAddr(addr string) { n.selfStatus.Store(&addr) }
+
+// statusSelf is the currently advertised statusz listener ("" = none).
+func (n *Node) statusSelf() string { return *n.selfStatus.Load() }
 
 // Ring returns the current routing state.
 func (n *Node) Ring() *Ring { return n.ring.Load() }
@@ -231,14 +252,17 @@ func (n *Node) handlePeer(kind string, body json.RawMessage) (any, error) {
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nil, err
 		}
+		n.met.observeHop(req.OriginNs)
 		n.adopt(req.Table)
-		n.recordPeer(req.From, req.Pressure)
-		return ipc.GossipResp{Table: n.ring.Load().Table, Pressure: n.localPressure()}, nil
+		n.recordPeer(req.From, req.Pressure, req.StatusAddr)
+		return ipc.GossipResp{Table: n.ring.Load().Table, Pressure: n.localPressure(),
+			StatusAddr: n.statusSelf()}, nil
 	case ipc.KindCedeBudget:
 		var req ipc.CedeReq
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nil, err
 		}
+		n.met.observeHop(req.OriginNs)
 		return ipc.CedeResp{Granted: n.cedeTo(req)}, nil
 	default:
 		return nil, fmt.Errorf("clusterkv: unknown peer message %q", kind)
@@ -266,6 +290,7 @@ func (n *Node) adopt(t ipc.ClusterTable) {
 		if !containsAddr(merged, addr) {
 			delete(n.misses, addr)
 			delete(n.pressure, addr)
+			delete(n.statusAddrs, addr)
 		}
 	}
 	n.mu.Unlock()
@@ -274,14 +299,18 @@ func (n *Node) adopt(t ipc.ClusterTable) {
 }
 
 // recordPeer stores a peer's latest pressure self-report and clears its
-// miss counter (we heard from it).
-func (n *Node) recordPeer(addr string, p smd.PressureSummary) {
+// miss counter (we heard from it). A non-empty statusAddr also refreshes
+// the peer's advertised statusz listener.
+func (n *Node) recordPeer(addr string, p smd.PressureSummary, statusAddr string) {
 	if addr == "" || addr == n.cfg.Addr {
 		return
 	}
 	n.mu.Lock()
 	n.misses[addr] = 0
 	n.pressure[addr] = p
+	if statusAddr != "" {
+		n.statusAddrs[addr] = statusAddr
+	}
 	n.mu.Unlock()
 }
 
@@ -320,7 +349,8 @@ func (n *Node) gossipRound() {
 		}
 		var resp ipc.GossipResp
 		err := n.callPeer(p.Peer, ipc.KindGossip,
-			ipc.GossipReq{From: n.cfg.Addr, Table: r.Table, Pressure: n.localPressure()}, &resp)
+			ipc.GossipReq{From: n.cfg.Addr, Table: r.Table, Pressure: n.localPressure(),
+				StatusAddr: n.statusSelf(), OriginNs: time.Now().UnixNano()}, &resp)
 		if err != nil {
 			n.met.gossipFailures.Add(1)
 			if n.missed(p.Addr) {
@@ -329,7 +359,7 @@ func (n *Node) gossipRound() {
 			}
 			continue
 		}
-		n.recordPeer(p.Addr, resp.Pressure)
+		n.recordPeer(p.Addr, resp.Pressure, resp.StatusAddr)
 		n.adopt(resp.Table)
 	}
 }
@@ -380,7 +410,8 @@ func (n *Node) federate() {
 	}
 	var resp ipc.CedeResp
 	if err := n.callPeer(peer, ipc.KindCedeBudget,
-		ipc.CedeReq{From: n.cfg.Addr, Pages: n.cfg.FedChunk}, &resp); err != nil {
+		ipc.CedeReq{From: n.cfg.Addr, Pages: n.cfg.FedChunk,
+			OriginNs: time.Now().UnixNano()}, &resp); err != nil {
 		return
 	}
 	if resp.Granted > 0 {

@@ -1,6 +1,7 @@
 package clusterkv
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
@@ -17,11 +18,15 @@ import (
 // closed on a drop because the dropped write never acks.
 const replQueueCap = 4096
 
-// replEntry is one queued replica apply.
+// replEntry is one queued replica apply. originNs is the owner-side
+// apply timestamp, shipped with the entry so the replica can attribute
+// replication-hop latency (queue wait + wire + redial backoff) to the
+// originating write.
 type replEntry struct {
-	del bool
-	key string
-	val []byte // owned copy
+	del      bool
+	key      string
+	val      []byte // owned copy
+	originNs int64
 }
 
 // replicator fans locally applied writes out to per-peer senders, one
@@ -229,11 +234,16 @@ func (s *replSender) run() {
 			}
 			cli = c
 		}
+		// The trailing origin timestamp is the write's span context:
+		// replicas observe now-origin as repl_hop latency. Old replicas
+		// that predate the extra argument reject it with a ReplyError,
+		// but mixed-version rings are not a supported deployment.
+		origin := strconv.FormatInt(e.originNs, 10)
 		var err error
 		if e.del {
-			_, _, err = cli.Do("RDEL", e.key)
+			_, _, err = cli.Do("RDEL", e.key, origin)
 		} else {
-			_, _, err = cli.Do("RSET", e.key, string(e.val))
+			_, _, err = cli.Do("RSET", e.key, string(e.val), origin)
 		}
 		if err != nil {
 			if _, isReply := err.(kvstore.ReplyError); isReply {

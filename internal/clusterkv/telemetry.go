@@ -2,6 +2,7 @@ package clusterkv
 
 import (
 	"sync/atomic"
+	"time"
 
 	"softmem/internal/ipc"
 	"softmem/internal/metrics"
@@ -21,6 +22,27 @@ type nodeMetrics struct {
 	replApplied    atomic.Int64
 	fedCeded       atomic.Int64
 	fedReceived    atomic.Int64
+
+	// hop observes inter-node frame latency from the OriginNs span
+	// context peers stamp on gossip and cede requests. Nil until
+	// RegisterMetrics; frames from older peers (OriginNs zero) are
+	// skipped either way.
+	hop atomic.Pointer[metrics.Histogram]
+}
+
+// observeHop records one inter-node hop from a peer's origin timestamp.
+// Cross-machine wall clocks can disagree, so negative deltas clamp to
+// zero rather than poisoning the histogram.
+func (m *nodeMetrics) observeHop(originNs int64) {
+	h := m.hop.Load()
+	if h == nil || originNs <= 0 {
+		return
+	}
+	d := time.Now().UnixNano() - originNs
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(float64(d))
 }
 
 // RegisterMetrics exposes the node's cluster instruments.
@@ -40,14 +62,19 @@ func (n *Node) RegisterMetrics(r *metrics.Registry) {
 	r.GaugeFunc("softmem_cluster_peers", "nodes in the routing table, self included", func() float64 {
 		return float64(len(n.ring.Load().Table.Nodes))
 	})
+	n.met.hop.Store(r.Histogram("softmem_cluster_hop_ns",
+		"inter-node frame latency in ns, from the origin timestamp peers stamp on gossip and cede requests"))
 }
 
-// PeerStatus is one peer's view in Status.
+// PeerStatus is one peer's view in Status. StatusAddr is the peer's
+// gossiped statusz listener ("" when the peer runs without one), the
+// hook `smdctl top --cluster` uses to fan out.
 type PeerStatus struct {
-	Addr     string
-	Peer     string
-	Misses   int
-	Pressure smd.PressureSummary
+	Addr       string
+	Peer       string
+	StatusAddr string `json:",omitempty"`
+	Misses     int
+	Pressure   smd.PressureSummary
 }
 
 // Status is the node's cluster snapshot, served on /cluster and
@@ -55,6 +82,7 @@ type PeerStatus struct {
 type Status struct {
 	Self        string
 	PeerAddr    string
+	StatusAddr  string `json:",omitempty"`
 	RingVersion uint64
 	Nodes       []ipc.ClusterNode
 	SlotsOwned  int
@@ -79,6 +107,7 @@ func (n *Node) Status() Status {
 	st := Status{
 		Self:        n.cfg.Addr,
 		PeerAddr:    n.cfg.PeerAddr,
+		StatusAddr:  n.statusSelf(),
 		RingVersion: r.Table.Version,
 		Nodes:       append([]ipc.ClusterNode(nil), r.Table.Nodes...),
 		SlotsOwned:  r.SlotsOwned(n.cfg.Addr),
@@ -101,10 +130,11 @@ func (n *Node) Status() Status {
 			continue
 		}
 		st.Peers = append(st.Peers, PeerStatus{
-			Addr:     node.Addr,
-			Peer:     node.Peer,
-			Misses:   n.misses[node.Addr],
-			Pressure: n.pressure[node.Addr],
+			Addr:       node.Addr,
+			Peer:       node.Peer,
+			StatusAddr: n.statusAddrs[node.Addr],
+			Misses:     n.misses[node.Addr],
+			Pressure:   n.pressure[node.Addr],
 		})
 	}
 	n.mu.Unlock()

@@ -31,6 +31,16 @@ type Owned struct {
 	// that batch execution amortizes locking.
 	acquires atomic.Int64
 	tx       Tx
+
+	// waitNs accumulates time spent blocked inside Acquire; stallNs
+	// accumulates contended-Yield windows (the lock handed over to a
+	// reclamation demand or legacy locker and re-taken). Plain fields,
+	// not atomics: an Owned belongs to exactly one goroutine, and
+	// latency-attribution readers take per-command deltas on that same
+	// goroutine. Both are accounted only on paths that already block, so
+	// the uncontended fast paths stay free of clock reads.
+	waitNs  int64
+	stallNs int64
 }
 
 // Own returns an ownership handle on the context's heap lock. The
@@ -50,11 +60,34 @@ func (o *Owned) Held() bool { return o.held }
 // Acquisitions returns how many times the owner has taken the lock.
 func (o *Owned) Acquisitions() int64 { return o.acquires.Load() }
 
+// WaitNanos returns cumulative time this handle spent blocked acquiring
+// the heap lock. Like the handle itself it is single-goroutine state;
+// attribution code reads deltas around each command.
+func (o *Owned) WaitNanos() int64 { return o.waitNs }
+
+// StallNanos returns cumulative time this handle spent inside contended
+// Yields — the reclaim-stall windows where the owner handed the lock to
+// a waiter and re-took it.
+func (o *Owned) StallNanos() int64 { return o.stallNs }
+
 // Acquire takes the heap lock. It fails with ErrClosed once the context
 // is closed (the lock is not held on failure).
-func (o *Owned) Acquire() error {
+func (o *Owned) Acquire() error { return o.acquire(true) }
+
+// acquire takes the lock; timed selects whether blocked time lands in
+// waitNs. Yield's contended hand-back passes false and accounts its
+// whole window as stallNs instead, keeping the two phases disjoint.
+func (o *Owned) acquire(timed bool) error {
 	c := o.ctx
-	c.mu.Lock()
+	if !c.mu.TryLock() {
+		if timed {
+			t0 := time.Now()
+			c.mu.Lock()
+			o.waitNs += time.Since(t0).Nanoseconds()
+		} else {
+			c.mu.Lock()
+		}
+	}
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
@@ -115,9 +148,12 @@ func (o *Owned) Yield() error {
 	if o.ctx.lockers.Load() == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	o.Release()
 	runtime.Gosched()
-	return o.Acquire()
+	err := o.acquire(false)
+	o.stallNs += time.Since(t0).Nanoseconds()
+	return err
 }
 
 // Tx returns the handle's transaction for heap access under the held

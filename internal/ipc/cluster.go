@@ -50,22 +50,31 @@ type JoinResp struct {
 }
 
 // GossipReq is one heartbeat: the sender's table and pressure summary.
+// StatusAddr and OriginNs are optional (older peers omit them): the
+// former advertises the sender's statusz listener so tooling can fan out
+// across the cluster, the latter is span context — the sender's send
+// timestamp, letting the receiver attribute inter-node hop latency.
 type GossipReq struct {
-	From     string              `json:"from"` // sender's RESP address (node identity)
-	Table    ClusterTable        `json:"table"`
-	Pressure smd.PressureSummary `json:"pressure"`
+	From       string              `json:"from"` // sender's RESP address (node identity)
+	Table      ClusterTable        `json:"table"`
+	Pressure   smd.PressureSummary `json:"pressure"`
+	StatusAddr string              `json:"status_addr,omitempty"`
+	OriginNs   int64               `json:"origin_ns,omitempty"`
 }
 
 // GossipResp mirrors the receiver's table and pressure back.
 type GossipResp struct {
-	Table    ClusterTable        `json:"table"`
-	Pressure smd.PressureSummary `json:"pressure"`
+	Table      ClusterTable        `json:"table"`
+	Pressure   smd.PressureSummary `json:"pressure"`
+	StatusAddr string              `json:"status_addr,omitempty"`
 }
 
 // CedeReq asks the receiver's daemon to cede pages to the sender.
+// OriginNs carries span context like GossipReq's.
 type CedeReq struct {
-	From  string `json:"from"`
-	Pages int    `json:"pages"`
+	From     string `json:"from"`
+	Pages    int    `json:"pages"`
+	OriginNs int64  `json:"origin_ns,omitempty"`
 }
 
 // CedeResp reports the pages actually ceded (0 = nothing to spare).

@@ -72,6 +72,12 @@ type Command struct {
 	Err error
 
 	shard int32 // routed shard index (pre-set for opSweep)
+
+	// phaseNs is the command's latency-attribution span: nanoseconds per
+	// phase (see span.go), filled by the engine only while attribution
+	// is enabled. It lives in the slot — reused with the batch, zeroed
+	// by Add — so spans cost no per-request allocation.
+	phaseNs [numCmdPhases]int64
 }
 
 // Batch accumulates commands, splits them per shard, submits each
@@ -97,6 +103,10 @@ type Batch struct {
 type shardBatch struct {
 	b    *Batch
 	idxs []int32
+	// submitNs is the monotonic stamp of the ring submission (nowNanos),
+	// consumed by the timed execution path as the group's queue wait; 0
+	// on the caller-runs path, where there is no queueing.
+	submitNs int64
 }
 
 // NewBatch returns an empty reusable batch bound to the store.
@@ -197,12 +207,17 @@ func (b *Batch) Exec() error {
 		g := &b.groups[si]
 		sh := b.s.shards[si]
 		if o := b.owners[si]; o.TryAcquire() {
+			g.submitNs = 0
 			start := time.Now()
 			b.s.runShardBatch(o, sh, g)
 			o.Release()
 			sh.busyNs.Add(time.Since(start).Nanoseconds())
 			continue
 		}
+		// Stamp the hand-off unconditionally: one monotonic clock read on
+		// a path that already pays a channel send, and the timed executor
+		// never sees a stale stamp from a previous Exec.
+		g.submitNs = nowNanos()
 		if err := b.s.submit(int(si), g); err != nil {
 			for _, ci := range g.idxs {
 				b.cmds[ci].Err = err

@@ -28,6 +28,7 @@ type shard struct {
 	ttl   *ttlTable
 	ring  chan *shardBatch
 	owned *core.Owned
+	label string // decimal shard index, preformatted for pprof labels
 
 	// Owner-side telemetry (read by EngineStats/metrics).
 	cmds    atomic.Int64 // commands executed by the owner
@@ -160,18 +161,24 @@ func (s *Store) ownerLoop(sh *shard) {
 // runShardBatch executes one shard batch's commands in order and
 // completes it against the owning Batch. The heap lock is taken at most
 // once for the whole slice (Yield re-takes it only when contended or
-// dropped by a slow path).
+// dropped by a slow path). With attribution enabled the timed twin
+// stamps each command's phase span; the disabled path is unchanged —
+// one atomic pointer load, no clock reads beyond what existed before.
 func (s *Store) runShardBatch(o *core.Owned, sh *shard, g *shardBatch) {
 	b := g.b
-	ran := 0
-	for _, ci := range g.idxs {
-		c := &b.cmds[ci]
-		if err := o.Yield(); err != nil {
-			c.Err = err
-			continue
+	var ran int
+	if a := s.attrib.Load(); a != nil {
+		ran = s.runTimed(a, o, sh, g)
+	} else {
+		for _, ci := range g.idxs {
+			c := &b.cmds[ci]
+			if err := o.Yield(); err != nil {
+				c.Err = err
+				continue
+			}
+			s.execLabeled(o, sh, c)
+			ran++
 		}
-		s.execOwned(o, sh, c)
-		ran++
 	}
 	g.idxs = g.idxs[:0]
 	sh.cmds.Add(int64(ran))
@@ -179,6 +186,45 @@ func (s *Store) runShardBatch(o *core.Owned, sh *shard, g *shardBatch) {
 	if b.pending.Add(-1) == 0 {
 		b.done <- struct{}{}
 	}
+}
+
+// runTimed is runShardBatch's attribution-enabled body: the group's ring
+// wait is charged to every command as queue time, and around each
+// command the Owned handle's wait/stall deltas split the wall time into
+// lock wait, reclaim-yield stall, spill promotion (stamped inside
+// ownedLookup), and the execution residual.
+func (s *Store) runTimed(a *attribState, o *core.Owned, sh *shard, g *shardBatch) int {
+	b := g.b
+	queueNs := int64(0)
+	if g.submitNs != 0 {
+		if queueNs = nowNanos() - g.submitNs; queueNs < 0 {
+			queueNs = 0
+		}
+		g.submitNs = 0
+	}
+	ran := 0
+	for _, ci := range g.idxs {
+		c := &b.cmds[ci]
+		c.phaseNs[phaseQueue] = queueNs
+		w0, y0 := o.WaitNanos(), o.StallNanos()
+		t0 := time.Now()
+		if err := o.Yield(); err != nil {
+			c.Err = err
+			continue
+		}
+		s.execLabeled(o, sh, c)
+		wall := time.Since(t0).Nanoseconds()
+		c.phaseNs[phaseLockWait] = o.WaitNanos() - w0
+		c.phaseNs[phaseYieldStall] = o.StallNanos() - y0
+		exec := wall - c.phaseNs[phaseLockWait] - c.phaseNs[phaseYieldStall] - c.phaseNs[phaseSpillPromote]
+		if exec < 0 {
+			exec = 0
+		}
+		c.phaseNs[phaseExec] = exec
+		a.observeCmd(c)
+		ran++
+	}
+	return ran
 }
 
 // ownedExpireIfDue handles lazy TTL expiry from the owner. The check is
@@ -196,15 +242,29 @@ func (s *Store) ownedExpireIfDue(o *core.Owned, sh *shard, key string) error {
 
 // ownedLookup reads key under the owned lock, falling back to the spill
 // promotion path (lock dropped — it re-enters via ht.Put) on a miss.
-func (s *Store) ownedLookup(o *core.Owned, sh *shard, dst []byte, key string) ([]byte, bool, error) {
+// With attribution enabled the promotion window is stamped into the
+// command's span, minus its own lock re-acquisition (which the caller
+// already accounts as lock wait).
+func (s *Store) ownedLookup(o *core.Owned, sh *shard, c *Command, dst []byte, key string) ([]byte, bool, error) {
 	v, ok, err := sh.ht.GetAppendOwned(o, dst, key)
 	if err != nil || ok || s.spill == nil {
 		return v, ok, err
+	}
+	timed := s.attrib.Load() != nil
+	var t0 time.Time
+	var w0 int64
+	if timed {
+		t0, w0 = time.Now(), o.WaitNanos()
 	}
 	o.Release()
 	v, ok, err = s.lookupAppend(dst, sh.ht, key)
 	if aerr := o.Acquire(); aerr != nil && err == nil {
 		err = aerr
+	}
+	if timed {
+		if d := time.Since(t0).Nanoseconds() - (o.WaitNanos() - w0); d > 0 {
+			c.phaseNs[phaseSpillPromote] = d
+		}
 	}
 	return v, ok, err
 }
@@ -222,7 +282,7 @@ func (s *Store) execOwned(o *core.Owned, sh *shard, c *Command) {
 			return
 		}
 		s.gets.Add(1)
-		c.Val, c.Ok, c.Err = s.ownedLookup(o, sh, c.Val[:0], c.Key)
+		c.Val, c.Ok, c.Err = s.ownedLookup(o, sh, c, c.Val[:0], c.Key)
 		if c.Ok {
 			s.hits.Add(1)
 		} else {
@@ -256,7 +316,7 @@ func (s *Store) execOwned(o *core.Owned, sh *shard, c *Command) {
 			return
 		}
 		s.gets.Add(1)
-		cur, ok, err := s.ownedLookup(o, sh, c.Val[:0], c.Key)
+		cur, ok, err := s.ownedLookup(o, sh, c, c.Val[:0], c.Key)
 		c.Val = cur[:0]
 		if err != nil {
 			c.Err = err
@@ -284,7 +344,7 @@ func (s *Store) execOwned(o *core.Owned, sh *shard, c *Command) {
 			return
 		}
 		s.gets.Add(1)
-		cur, ok, err := s.ownedLookup(o, sh, c.Val[:0], c.Key)
+		cur, ok, err := s.ownedLookup(o, sh, c, c.Val[:0], c.Key)
 		if err != nil {
 			c.Val = cur[:0]
 			c.Err = err
@@ -308,7 +368,7 @@ func (s *Store) execOwned(o *core.Owned, sh *shard, c *Command) {
 			c.Err = err
 			return
 		}
-		v, ok, err := s.ownedLookup(o, sh, c.Val[:0], c.Key)
+		v, ok, err := s.ownedLookup(o, sh, c, c.Val[:0], c.Key)
 		c.Val = v[:0]
 		if err != nil || !ok {
 			c.N = 0

@@ -48,3 +48,14 @@ func WithSpill(sp *spill.Store) Option { return func(c *Config) { c.Spill = sp }
 // batches (default 256); a full ring sheds submissions with
 // ErrOverloaded instead of blocking connection readers.
 func WithOwnerQueue(n int) Option { return func(c *Config) { c.OwnerQueue = n } }
+
+// WithSlowLog tunes the slow-request log kept once attribution is
+// enabled via RegisterMetrics: commands slower than threshold land in a
+// ring of size entries with their full phase breakdown (defaults 10ms,
+// 128).
+func WithSlowLog(threshold time.Duration, size int) Option {
+	return func(c *Config) {
+		c.SlowLogThreshold = threshold
+		c.SlowLogSize = size
+	}
+}

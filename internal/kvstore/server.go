@@ -374,20 +374,26 @@ func (ce *connExec) settle(rw *respWriter) {
 		return
 	}
 	m := ce.s.met.Load()
+	a := ce.s.store.attrib.Load()
 	var t0 time.Time
-	if m != nil {
+	if m != nil || a != nil {
 		t0 = time.Now()
 	}
 	_ = ce.batch.Exec()
 	if h := ce.s.hook(); h != nil {
 		onApplyBatch(h, ce.batch.cmds)
 	}
-	if m != nil {
+	if m != nil || a != nil {
 		// The settle's wall time is shared evenly across its commands —
 		// the per-command service time a pipelining client experiences.
 		per := time.Since(t0) / time.Duration(len(ce.specs))
 		for i := range ce.specs {
-			m.observe(ce.specs[i].cmd, per)
+			if m != nil {
+				m.observe(ce.specs[i].cmd, per)
+			}
+			if a != nil {
+				ce.recordSlow(a, &ce.specs[i], int64(per))
+			}
 		}
 	}
 	for i := range ce.specs {
@@ -396,6 +402,51 @@ func (ce *connExec) settle(rw *respWriter) {
 	ce.specs = ce.specs[:0]
 	ce.batch.Reset()
 	ce.arena = ce.arena[:0]
+}
+
+// recordSlow feeds one settled RESP command into the slow-request log
+// when it crossed the threshold. The breakdown is the slowest of the
+// command's batch slots (an MGET's worst constituent — request latency
+// tracks the slowest shard, the others overlap it). fallbackNs, the
+// per-spec share of the settle's wall time, covers slots that executed
+// outside the engine and carry no span (single-command batches run
+// inline via Store.Do): those report exec-only.
+func (ce *connExec) recordSlow(a *attribState, sp *replySpec, fallbackNs int64) {
+	if sp.kind == rkErr {
+		return
+	}
+	cmds := ce.batch.cmds
+	var best *Command
+	var bestTotal int64
+	for i := sp.start; i < sp.start+sp.n; i++ {
+		c := &cmds[i]
+		t := int64(0)
+		for p := 0; p < numCmdPhases; p++ {
+			t += c.phaseNs[p]
+		}
+		if t > bestTotal {
+			bestTotal, best = t, c
+		}
+	}
+	if best == nil {
+		if fallbackNs >= a.slow.thresholdNs {
+			a.slow.record(SlowEntry{Cmd: sp.cmd, TotalNs: fallbackNs, ExecNs: fallbackNs})
+		}
+		return
+	}
+	if bestTotal < a.slow.thresholdNs {
+		return
+	}
+	a.slow.record(SlowEntry{
+		Cmd:            sp.cmd,
+		Key:            best.Key,
+		TotalNs:        bestTotal,
+		QueueNs:        best.phaseNs[phaseQueue],
+		LockWaitNs:     best.phaseNs[phaseLockWait],
+		YieldStallNs:   best.phaseNs[phaseYieldStall],
+		SpillPromoteNs: best.phaseNs[phaseSpillPromote],
+		ExecNs:         best.phaseNs[phaseExec],
+	})
 }
 
 // cmdError maps a command failure to its RESP reply: ErrOverloaded
@@ -542,12 +593,19 @@ func canonicalCommand(name []byte) string {
 // string conversion at each store call site.
 func (s *Server) execute(rw *respWriter, cmd string, args [][]byte) (quit bool) {
 	m := s.met.Load()
-	if m == nil {
+	a := s.store.attrib.Load()
+	if m == nil && a == nil {
 		return s.dispatch(rw, cmd, args)
 	}
 	t0 := time.Now()
 	quit = s.dispatch(rw, cmd, args)
-	m.observe(cmd, time.Since(t0))
+	d := time.Since(t0)
+	if m != nil {
+		m.observe(cmd, d)
+	}
+	if a != nil {
+		a.observeInline(cmd, args, d)
+	}
 	return quit
 }
 

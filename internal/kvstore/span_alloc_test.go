@@ -1,0 +1,55 @@
+//go:build !race
+
+package kvstore
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledAttributionZeroAllocs pins the tentpole property of the
+// latency-attribution layer: with no registry armed, the routed dispatch
+// path — which now threads span stamps through ring submit, owner
+// acquire, and execution — allocates nothing. Attribution must be free
+// when nobody is watching. Excluded under -race because race
+// instrumentation itself allocates.
+func TestDisabledAttributionZeroAllocs(t *testing.T) {
+	probe, cleanup := DispatchProbe()
+	defer cleanup()
+	probe() // warm: first batch takes the shard locks and sizes scratch
+	if n := testing.AllocsPerRun(200, probe); n != 0 {
+		t.Fatalf("attribution-disabled dispatch allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestEnabledAttributionNoPerCommandAllocs documents the armed steady
+// state: a
+// fast (sub-threshold) routed batch observes histograms but still must
+// not allocate per command — the one allocation budget belongs to slow
+// requests entering the slowlog.
+func TestEnabledAttributionNoPerCommandAllocs(t *testing.T) {
+	st, _ := newAttribStore(t, 10*time.Second, 8) // nothing crosses the threshold
+	k1, k2 := "probe:a", "probe:b"
+	if err := st.Set(k1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Set(k2, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	b := st.NewBatch()
+	probe := func() {
+		b.Get(k1)
+		b.Get(k2)
+		if err := b.Exec(); err != nil {
+			panic(err)
+		}
+		b.Reset()
+	}
+	probe()
+	// The armed path's per-op cost is histogram observations (lock-free,
+	// alloc-free); allow a small slack for the registry's internals but
+	// fail on anything per-command.
+	if n := testing.AllocsPerRun(200, probe) / 2; n > 1 {
+		t.Fatalf("attribution-enabled routed GET allocates %.1f allocs/op, want <= 1", n)
+	}
+}

@@ -79,6 +79,12 @@ type Config struct {
 	// batches). 0 means the default; a full ring sheds submissions with
 	// ErrOverloaded instead of blocking connection readers.
 	OwnerQueue int
+	// SlowLogThreshold is the latency past which a command lands in the
+	// slow-request log once attribution is enabled (RegisterMetrics).
+	// 0 means the 10ms default.
+	SlowLogThreshold time.Duration
+	// SlowLogSize bounds the slow-request log ring (default 128).
+	SlowLogSize int
 }
 
 // Stats is the store's unified observability snapshot: operation
@@ -146,6 +152,12 @@ type Store struct {
 	cleanupSink atomic.Int64
 	overloaded  atomic.Int64
 
+	// attrib is the latency-attribution layer, nil until RegisterMetrics
+	// enables it; the hot paths load the pointer once per batch.
+	attrib          atomic.Pointer[attribState]
+	slowThresholdNs int64
+	slowSize        int
+
 	// Execution engine lifecycle: submitMu (submitter-side only)
 	// excludes submissions against Close; stopOwners stops the owner
 	// goroutines, which drain their rings before exiting.
@@ -195,6 +207,14 @@ func NewFromConfig(cfg Config) *Store {
 		now = time.Now
 	}
 	s := &Store{now: now, ringSize: ringSize}
+	s.slowThresholdNs = (10 * time.Millisecond).Nanoseconds()
+	if cfg.SlowLogThreshold > 0 {
+		s.slowThresholdNs = cfg.SlowLogThreshold.Nanoseconds()
+	}
+	s.slowSize = 128
+	if cfg.SlowLogSize > 0 {
+		s.slowSize = cfg.SlowLogSize
+	}
 	s.shardMask = uint64(nshards - 1)
 	if cfg.Spill != nil {
 		s.spill = cfg.Spill.Sink(name)
@@ -205,8 +225,15 @@ func NewFromConfig(cfg Config) *Store {
 		if s.spill != nil && faultinject.Fire("kv.demote") == faultinject.None {
 			// Demote instead of drop: the entry's value moves to disk
 			// (last chance to persist, §3.1) and the TTL deadline stays
-			// so a later promotion still respects expiry.
-			s.spill.OnReclaim(key, value)
+			// so a later promotion still respects expiry. Attribution
+			// times the synchronous disk write as the spill_demote phase.
+			if a := s.attrib.Load(); a != nil {
+				t0 := time.Now()
+				s.spill.OnReclaim(key, value)
+				a.phases[phaseSpillDemote].ObserveDuration(time.Since(t0))
+			} else {
+				s.spill.OnReclaim(key, value)
+			}
 			// Tag the demotion onto the active reclaim trace, if any.
 			cfg.SMA.NoteDemand("spill_demote", 1, int64(len(value)))
 		} else {
@@ -245,6 +272,7 @@ func NewFromConfig(cfg Config) *Store {
 			ttl:   newTTLTable(cfg.Clock),
 			ring:  make(chan *shardBatch, ringSize),
 			owned: ht.Context().Own(),
+			label: strconv.Itoa(i),
 		}
 	}
 	hashTable := sds.NewSoftHashTable[hashField](cfg.SMA, name+"-hashes", sds.HashTableConfig[hashField]{

@@ -55,6 +55,11 @@ func (s *Store) RegisterMetrics(r *metrics.Registry) {
 			}
 			return float64(depth)
 		})
+
+	// Enabling the registry also arms latency attribution: per-phase
+	// histograms and the slow-request log. Until this store, the engine's
+	// span paths are a single nil pointer load.
+	s.attrib.Store(newAttribState(r, s.slowThresholdNs, s.slowSize))
 }
 
 // cmdMetrics lazily materializes one latency histogram per RESP command

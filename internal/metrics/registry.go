@@ -345,10 +345,12 @@ type famSnapshot struct {
 	insts   []*instrument
 }
 
-// WritePrometheus writes every registered family in the Prometheus text
-// exposition format (version 0.0.4), families sorted by name.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// snapshot captures every family's exposition state under the mutex,
+// sorted by name — the shared walk behind WritePrometheus and the
+// history sampler.
+func (r *Registry) snapshot() []famSnapshot {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.fams))
 	for name := range r.fams {
 		names = append(names, name)
@@ -364,7 +366,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fams[i] = s
 	}
-	r.mu.Unlock()
+	return fams
+}
+
+// WritePrometheus writes every registered family in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	fams := r.snapshot()
 
 	var b strings.Builder
 	for _, f := range fams {

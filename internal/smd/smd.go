@@ -302,6 +302,12 @@ type Daemon struct {
 	traceLen   int
 	reclaimSeq uint64
 
+	// eventsDropped / tracesDropped count ring overwrites: entries an
+	// operator can no longer inspect because the ring wrapped before
+	// they were read. Atomics so CounterFunc readers skip d.mu.
+	eventsDropped atomic.Int64
+	tracesDropped atomic.Int64
+
 	// met holds the arbitration latency histograms once RegisterMetrics
 	// has run; nil keeps the arbitration path free of timing calls.
 	met atomic.Pointer[smdMetrics]
@@ -582,6 +588,9 @@ func (d *Daemon) emitLocked(ev Event) {
 		d.eventSeq++
 		ev.Seq = d.eventSeq
 		ev.KindName = ev.Kind.String()
+		if d.eventLen == len(d.events) {
+			d.eventsDropped.Add(1)
+		}
 		d.events[d.eventPos] = ev
 		d.eventPos = (d.eventPos + 1) % len(d.events)
 		if d.eventLen < len(d.events) {

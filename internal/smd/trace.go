@@ -67,6 +67,9 @@ func (d *Daemon) recordTraceLocked(tr Trace) {
 	if d.traces == nil {
 		return
 	}
+	if d.traceLen == len(d.traces) {
+		d.tracesDropped.Add(1)
+	}
 	d.traces[d.tracePos] = tr
 	d.tracePos = (d.tracePos + 1) % len(d.traces)
 	if d.traceLen < len(d.traces) {
@@ -137,6 +140,8 @@ func (d *Daemon) RegisterMetrics(r *metrics.Registry) {
 	r.GaugeFunc("softmem_smd_total_pages", "current partition size, federation-adjusted", func() float64 { return float64(d.Stats().TotalPages) })
 	r.CounterFunc("softmem_smd_ceded_pages_total", "soft budget ceded to federated peers", stat(func(s Stats) int64 { return s.CededPages }))
 	r.CounterFunc("softmem_smd_received_pages_total", "soft budget received from federated peers", stat(func(s Stats) int64 { return s.ReceivedPages }))
+	r.CounterFunc("softmem_smd_events_dropped_total", "audit events overwritten before being read because the event ring wrapped", d.eventsDropped.Load)
+	r.CounterFunc("softmem_trace_dropped_total", "reclaim-cycle traces overwritten before being read because the trace ring wrapped", d.tracesDropped.Load)
 
 	perProc := func(name, help string, value func(ProcInfo) float64) {
 		r.CollectFunc(name, help, metrics.KindGauge, func() []metrics.Sample {
