@@ -508,6 +508,14 @@ func (v *promView) get(name string, labels ...string) float64 {
 	return v.byKey[sampleKey(name, m)]
 }
 
+// has reports whether the scrape carries an unlabeled series by this
+// name — used to gate sections that only apply to some process kinds
+// (e.g. the SMA epoch line, absent from the daemon's own registry).
+func (v *promView) has(name string) bool {
+	_, ok := v.byKey[name]
+	return ok
+}
+
 // historyDump mirrors a server's /metrics/history payload
 // (metrics.HistoryDump): periodic snapshots of every series, keyed like
 // the Prometheus exposition.
@@ -611,6 +619,18 @@ func renderTop(addr string, now time.Time, samples []promSample, view, prev *pro
 	fmt.Printf("pages: slack %s   demanded %s   reclaimed %s\n\n",
 		rate("softmem_smd_slack_pages_total"), rate("softmem_smd_demanded_pages_total"),
 		rate("softmem_smd_reclaimed_pages_total"))
+
+	// Epoch line: only processes hosting an SMA (kv nodes pointed at by
+	// their status address) export these; the daemon's registry doesn't.
+	// The lag gauge and the deferred-pages rate share the history's rate
+	// window with the counters above.
+	if view.has("softmem_sma_epoch_global") {
+		fmt.Printf("epoch: global %.0f   lag %.0f   limbo %.0f allocs   deferred pages %s\n\n",
+			view.get("softmem_sma_epoch_global"),
+			view.get("softmem_sma_epoch_lag"),
+			view.get("softmem_sma_epoch_limbo_allocs"),
+			rate("softmem_sma_epoch_deferred_pages_total"))
+	}
 
 	q := func(name, quantile string) string {
 		v := view.get(name, "quantile", quantile)
@@ -724,14 +744,16 @@ type clusterNodeRow struct {
 	statusAddr string
 	err        error
 
-	opsPerSec     float64 // gets+sets+dels rate
-	reclaimPerSec float64
-	movedPerSec   float64
-	fedCeded      float64
-	fedReceived   float64
-	freePages     float64
-	totalPages    float64
-	worst         *slowEntry
+	opsPerSec      float64 // gets+sets+dels rate
+	reclaimPerSec  float64
+	movedPerSec    float64
+	fedCeded       float64
+	fedReceived    float64
+	freePages      float64
+	totalPages     float64
+	epochLag       float64 // slowest lock-free reader's trail behind the global epoch
+	deferredPerSec float64 // pages entering epoch limbo per second
+	worst          *slowEntry
 }
 
 // collectClusterRows discovers the ring via one node's /cluster view and
@@ -786,6 +808,8 @@ func collectClusterRows(seedAddr string, timeout time.Duration) ([]clusterNodeRo
 		r.fedReceived = view.get("softmem_cluster_fed_received_pages_total")
 		r.freePages = view.get("softmem_smd_free_pages")
 		r.totalPages = view.get("softmem_smd_total_pages")
+		r.epochLag = view.get("softmem_sma_epoch_lag")
+		r.deferredPerSec = rate("softmem_sma_epoch_deferred_pages_total")
 		if sb, err := tryFetch(r.statusAddr, "/slowlog", timeout); err == nil {
 			var entries []slowEntry
 			if json.Unmarshal(sb, &entries) == nil {
@@ -811,8 +835,8 @@ func runTopCluster(addr string, timeout, interval time.Duration, iters int) {
 		}
 		fmt.Print("\x1b[2J\x1b[H")
 		fmt.Printf("cluster via %s — %d nodes — %s\n\n", addr, len(rows), time.Now().Format("15:04:05"))
-		fmt.Printf("%-22s %10s %10s %10s %8s %8s %9s %9s  %s\n",
-			"node", "ops/s", "reclaim/s", "moved/s", "ceded", "recvd", "free", "total", "worst slow request")
+		fmt.Printf("%-22s %10s %10s %10s %8s %8s %9s %9s %6s %9s  %s\n",
+			"node", "ops/s", "reclaim/s", "moved/s", "ceded", "recvd", "free", "total", "elag", "defer/s", "worst slow request")
 		for _, r := range rows {
 			if r.err != nil {
 				fmt.Printf("%-22s  unreachable: %v\n", r.addr, r.err)
@@ -822,9 +846,10 @@ func runTopCluster(addr string, timeout, interval time.Duration, iters int) {
 			if r.worst != nil {
 				worst = fmt.Sprintf("%s %s (%s, %s)", r.worst.Cmd, r.worst.Key, fmtDur(r.worst.TotalNs), dominantPhase(*r.worst))
 			}
-			fmt.Printf("%-22s %10.1f %10.1f %10.1f %8.0f %8.0f %9.0f %9.0f  %s\n",
+			fmt.Printf("%-22s %10.1f %10.1f %10.1f %8.0f %8.0f %9.0f %9.0f %6.0f %9.1f  %s\n",
 				r.addr, r.opsPerSec, r.reclaimPerSec, r.movedPerSec,
-				r.fedCeded, r.fedReceived, r.freePages, r.totalPages, worst)
+				r.fedCeded, r.fedReceived, r.freePages, r.totalPages,
+				r.epochLag, r.deferredPerSec, worst)
 		}
 		if iters > 0 && i+1 >= iters {
 			return

@@ -108,3 +108,40 @@ func TestDominantPhase(t *testing.T) {
 		}
 	}
 }
+
+// TestTopEpochGauges pins how top surfaces the SMA epoch telemetry: the
+// has() gate keys the epoch line off softmem_sma_epoch_global (absent
+// from the daemon's own registry), and the deferred-pages rate uses the
+// same history window as every other counter rate.
+func TestTopEpochGauges(t *testing.T) {
+	var hist historyDump
+	hist.IntervalNs = time.Second.Nanoseconds()
+	base := time.Unix(2000, 0).UnixNano()
+	for i, deferred := range []float64{100, 160} {
+		hist.Snapshots = append(hist.Snapshots, struct {
+			UnixNs int64              `json:"unix_ns"`
+			Values map[string]float64 `json:"values"`
+		}{
+			UnixNs: base + int64(i)*time.Second.Nanoseconds(),
+			Values: map[string]float64{
+				"softmem_sma_epoch_global":               41 + float64(i),
+				"softmem_sma_epoch_lag":                  2,
+				"softmem_sma_epoch_deferred_pages_total": deferred,
+			},
+		})
+	}
+	_, view, prev, elapsed := topViews(hist)
+	if !view.has("softmem_sma_epoch_global") {
+		t.Fatal("has() must see the epoch gauge in an SMA-hosting scrape")
+	}
+	if view.has("softmem_smd_budget_pages") {
+		t.Fatal("has() invented a series the scrape does not carry")
+	}
+	if got := view.get("softmem_sma_epoch_lag"); got != 2 {
+		t.Errorf("epoch lag = %v, want 2", got)
+	}
+	cur, before := view.get("softmem_sma_epoch_deferred_pages_total"), prev.get("softmem_sma_epoch_deferred_pages_total")
+	if got := counterRate(cur, before, elapsed); got != 60 {
+		t.Errorf("deferred pages rate = %v/s, want 60", got)
+	}
+}

@@ -120,6 +120,20 @@ type spanMeta struct {
 	userSize int
 }
 
+// limboEntry is one retirement whose physical recycling is deferred
+// until the epoch grace period covers its stamp: the allocation is
+// already logically dead (its ref no longer validates, accounting says
+// freed) but its slot stays occupied — or its span pages stay held — so
+// a lock-free reader that observed the value before it was unpublished
+// can finish copying from memory nobody rewrites.
+type limboEntry struct {
+	stamp uint64
+	pgs   []*pages.Page // span retirement: pages to release at drain
+	page  pages.ID      // slot retirement: the slot's page
+	slot  uint16
+	span  bool
+}
+
 // Stats is a snapshot of a heap's accounting.
 type Stats struct {
 	LiveAllocs   int   // live allocations
@@ -130,6 +144,9 @@ type Stats struct {
 	TotalAllocs  int64 // cumulative allocation count
 	TotalFrees   int64 // cumulative free count
 	FailedAllocs int64 // allocations denied by the page source
+	LimboAllocs  int   // retirements awaiting their grace period
+	LimboPages   int   // span pages held in limbo (counted in PagesHeld)
+	DeferredOps  int64 // cumulative retirements routed through limbo
 }
 
 // Heap is a size-class allocator over pages from a PageSource.
@@ -140,6 +157,7 @@ type Heap struct {
 	partial [][]*pageMeta       // per class: pages with at least one free slot
 	free    []*pages.Page       // fully-free pages not yet returned to the source
 	baseGen map[pages.ID]uint32 // generation floor for pages on the free list
+	limbo   []limboEntry        // FIFO, stamps non-decreasing
 	gen     uint32
 	stats   Stats
 }
@@ -325,6 +343,92 @@ func (h *Heap) retireEmptyPage(m *pageMeta) {
 	h.free = append(h.free, m.page)
 }
 
+// Retire is the epoch-deferred Free: the allocation dies logically now
+// (the ref stops validating, live accounting drops, the free counts)
+// but its memory is not recycled until DrainLimbo observes a grace
+// frontier past stamp. Slot retirements keep the slot out of the free
+// list so no new allocation can rewrite it; span retirements keep the
+// span's pages leased. Stamps must be non-decreasing across calls
+// (callers stamp with a monotonic epoch under the heap's owner lock);
+// a lower stamp is clamped up to preserve FIFO drainability. It returns
+// the number of whole pages whose recycling was deferred (span pages;
+// slot retirements defer at sub-page granularity and report 0).
+func (h *Heap) Retire(ref Ref, stamp uint64) (int, error) {
+	if n := len(h.limbo); n > 0 && h.limbo[n-1].stamp > stamp {
+		stamp = h.limbo[n-1].stamp
+	}
+	if sm, ok := h.spans[ref.page]; ok && sm.gen == ref.gen {
+		delete(h.spans, ref.page)
+		h.stats.LiveAllocs--
+		h.stats.TotalFrees++
+		h.stats.LiveBytes -= int64(sm.userSize)
+		h.stats.SlotBytes -= int64(len(sm.pgs) * pages.Size)
+		// PagesHeld stays: the span's pages are still leased until drain.
+		h.limbo = append(h.limbo, limboEntry{stamp: stamp, pgs: sm.pgs, span: true})
+		h.stats.LimboAllocs++
+		h.stats.LimboPages += len(sm.pgs)
+		h.stats.DeferredOps++
+		return len(sm.pgs), nil
+	}
+	m, ok := h.metas[ref.page]
+	if !ok || int(ref.slot) >= len(m.gens) || m.gens[ref.slot] != ref.gen || ref.gen%2 == 0 {
+		return 0, fmt.Errorf("%w: %v", ErrInvalidRef, ref)
+	}
+	m.gens[ref.slot]++ // now even: dead — the ref is invalid immediately
+	h.stats.LiveAllocs--
+	h.stats.TotalFrees++
+	h.stats.LiveBytes -= int64(m.userSizes[ref.slot])
+	h.stats.SlotBytes -= int64(classes[m.class])
+	// The slot is NOT returned to freeSlots and used is NOT decremented:
+	// the page cannot go empty (or hand this slot to a new allocation)
+	// while a reader may still be copying from it.
+	h.limbo = append(h.limbo, limboEntry{stamp: stamp, page: ref.page, slot: ref.slot})
+	h.stats.LimboAllocs++
+	h.stats.DeferredOps++
+	return 0, nil
+}
+
+// DrainLimbo completes the physical free of every limbo entry whose
+// stamp is strictly below safe (the epoch domain's grace frontier) and
+// reports how many entries drained. Drained slots rejoin their page's
+// free list — possibly retiring the page onto the heap's free-page
+// list — and drained span pages return to the source.
+func (h *Heap) DrainLimbo(safe uint64) int {
+	drained := 0
+	for len(h.limbo) > 0 && h.limbo[0].stamp < safe {
+		e := h.limbo[0]
+		h.limbo[0] = limboEntry{}
+		h.limbo = h.limbo[1:]
+		h.stats.LimboAllocs--
+		drained++
+		if e.span {
+			h.stats.LimboPages -= len(e.pgs)
+			h.stats.PagesHeld -= len(e.pgs)
+			h.src.ReleasePages(e.pgs)
+			continue
+		}
+		m, ok := h.metas[e.page]
+		if !ok {
+			continue // page left the heap via Reset; nothing to complete
+		}
+		m.freeSlots = append(m.freeSlots, e.slot)
+		m.used--
+		if len(m.freeSlots) == 1 {
+			h.addPartial(m) // page was full, now partial
+		}
+		if m.used == 0 {
+			h.retireEmptyPage(m)
+		}
+	}
+	if len(h.limbo) == 0 && cap(h.limbo) > 64 {
+		h.limbo = nil // drop the drifting backing array
+	}
+	return drained
+}
+
+// LimboPending returns how many retirements await their grace period.
+func (h *Heap) LimboPending() int { return h.stats.LimboAllocs }
+
 // Bytes returns the live allocation's backing bytes (length = requested
 // size). The slice is valid until the allocation is freed or reclaimed.
 func (h *Heap) Bytes(ref Ref) ([]byte, error) {
@@ -342,6 +446,34 @@ func (h *Heap) Bytes(ref Ref) ([]byte, error) {
 	}
 	off := int(ref.slot) * classes[m.class]
 	return m.page.Bytes()[off : off+int(m.userSizes[ref.slot])], nil
+}
+
+// Segments returns the live allocation's backing bytes as a list of
+// page-backed segments (length = requested size across all segments,
+// one per page for multi-page spans). It exists for the lock-free read
+// path: the segments are captured once at publication time into an
+// immutable box, and epoch-deferred recycling guarantees nobody
+// rewrites them while a registered reader copies. The segments are
+// valid until the allocation's retirement drains.
+func (h *Heap) Segments(ref Ref) ([][]byte, error) {
+	if sm, ok := h.spans[ref.page]; ok && sm.gen == ref.gen {
+		segs := make([][]byte, 0, len(sm.pgs))
+		rem := sm.userSize
+		for _, pg := range sm.pgs {
+			n := rem
+			if n > pages.Size {
+				n = pages.Size
+			}
+			segs = append(segs, pg.Bytes()[:n])
+			rem -= n
+		}
+		return segs, nil
+	}
+	b, err := h.Bytes(ref)
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{b}, nil
 }
 
 // AppendTo appends the live allocation's contents to dst and returns
@@ -504,6 +636,17 @@ func (h *Heap) Reset() {
 		all = append(all, sm.pgs...)
 		delete(h.spans, id)
 	}
+	// Limbo span pages are still leased; slot entries belong to pages
+	// already collected via metas. A Reset tears down the whole SDS, so
+	// its readers are gone and the grace period is moot.
+	for _, e := range h.limbo {
+		if e.span {
+			all = append(all, e.pgs...)
+		}
+	}
+	h.limbo = nil
+	h.stats.LimboAllocs = 0
+	h.stats.LimboPages = 0
 	all = append(all, h.free...)
 	if len(all) > 0 {
 		h.src.ReleasePages(all)

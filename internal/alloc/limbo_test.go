@@ -1,0 +1,189 @@
+package alloc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"softmem/internal/pages"
+)
+
+func TestRetireDefersSlotRecycling(t *testing.T) {
+	h, _ := newHeap(0)
+	ref, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := h.Bytes(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(seg, []byte("live-bytes"))
+
+	if _, err := h.Retire(ref, 5); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.LiveAllocs != 0 || st.LiveBytes != 0 {
+		t.Fatalf("retire not logically free: %+v", st)
+	}
+	if st.LimboAllocs != 1 || st.TotalFrees != 1 || st.DeferredOps != 1 {
+		t.Fatalf("limbo accounting wrong: %+v", st)
+	}
+	if h.Live(ref) {
+		t.Fatal("retired ref still validates")
+	}
+	if _, err := h.Retire(ref, 6); !errors.Is(err, ErrInvalidRef) {
+		t.Fatalf("double retire err = %v, want ErrInvalidRef", err)
+	}
+
+	// The slot must not be handed to a new allocation while in limbo:
+	// class 128 has 32 slots/page, and the page still counts as used, so
+	// the next alloc of the same class lands on a different slot.
+	ref2, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := h.Bytes(ref2)
+	copy(b2, []byte("OVERWRITE!"))
+	if string(seg[:10]) != "live-bytes" {
+		t.Fatal("retired slot's bytes were rewritten before drain")
+	}
+
+	// Grace not reached: stamp 5 needs safe > 5.
+	if n := h.DrainLimbo(5); n != 0 {
+		t.Fatalf("DrainLimbo(5) drained %d, want 0", n)
+	}
+	if n := h.DrainLimbo(6); n != 1 {
+		t.Fatalf("DrainLimbo(6) drained %d, want 1", n)
+	}
+	if st := h.Stats(); st.LimboAllocs != 0 {
+		t.Fatalf("limbo not empty after drain: %+v", st)
+	}
+}
+
+func TestRetireDrainRetiresEmptyPage(t *testing.T) {
+	h, pool := newHeap(0)
+	ref, err := h.Alloc(4096) // full-page class: one slot per page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Retire(ref, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.FreePages(); got != 0 {
+		t.Fatalf("page freed before grace: FreePages = %d", got)
+	}
+	if h.DrainLimbo(2) != 1 {
+		t.Fatal("drain failed")
+	}
+	if got := h.FreePages(); got != 1 {
+		t.Fatalf("drained slot did not retire its page: FreePages = %d", got)
+	}
+	if h.ReleaseFreePages(-1) != 1 {
+		t.Fatal("free page not releasable")
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool InUse = %d, want 0", pool.InUse())
+	}
+}
+
+func TestRetireSpanHoldsPagesUntilDrain(t *testing.T) {
+	h, pool := newHeap(0)
+	data := bytes.Repeat([]byte("span"), 3*pages.Size/4) // 3 pages
+	ref, err := h.Alloc(len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteAt(ref, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := h.Segments(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined []byte
+	for _, s := range segs {
+		joined = append(joined, s...)
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("Segments do not reassemble the span")
+	}
+
+	held := h.PagesHeld()
+	if _, err := h.Retire(ref, 9); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.PagesHeld != held || st.LimboPages != 3 {
+		t.Fatalf("span pages not held in limbo: %+v", st)
+	}
+	if pool.InUse() != 3 {
+		t.Fatalf("pool InUse = %d before drain, want 3", pool.InUse())
+	}
+	if h.DrainLimbo(10) != 1 {
+		t.Fatal("span drain failed")
+	}
+	st = h.Stats()
+	if st.PagesHeld != 0 || st.LimboPages != 0 {
+		t.Fatalf("span pages leaked after drain: %+v", st)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool InUse = %d after drain, want 0", pool.InUse())
+	}
+}
+
+func TestRetireStampClampKeepsFIFO(t *testing.T) {
+	h, _ := newHeap(0)
+	r1, _ := h.Alloc(64)
+	r2, _ := h.Alloc(64)
+	if _, err := h.Retire(r1, 10); err != nil {
+		t.Fatal(err)
+	}
+	// An out-of-order (lower) stamp is clamped to the queue tail so the
+	// FIFO drain test stays valid.
+	if _, err := h.Retire(r2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.DrainLimbo(10); n != 0 {
+		t.Fatalf("drained %d below both stamps, want 0", n)
+	}
+	if n := h.DrainLimbo(11); n != 2 {
+		t.Fatalf("drained %d, want 2", n)
+	}
+}
+
+func TestResetReleasesLimbo(t *testing.T) {
+	h, pool := newHeap(0)
+	small, _ := h.Alloc(100)
+	data := bytes.Repeat([]byte("x"), 2*pages.Size)
+	span, err := h.Alloc(len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Retire(small, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Retire(span, 2); err != nil {
+		t.Fatal(err)
+	}
+	h.Reset()
+	st := h.Stats()
+	if st.LimboAllocs != 0 || st.LimboPages != 0 || st.PagesHeld != 0 {
+		t.Fatalf("Reset left limbo state: %+v", st)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool InUse = %d after Reset, want 0", pool.InUse())
+	}
+}
+
+func TestSegmentsInvalidRef(t *testing.T) {
+	h, _ := newHeap(0)
+	ref, _ := h.Alloc(50)
+	if err := h.Free(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Segments(ref); !errors.Is(err, ErrInvalidRef) {
+		t.Fatalf("Segments(freed) err = %v, want ErrInvalidRef", err)
+	}
+}

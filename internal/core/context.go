@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,11 @@ type Context struct {
 	// drainReleased counts them for the demand's accounting.
 	demandDrain   bool
 	drainReleased int
+	// epochRetire routes every free through epoch-deferred retirement
+	// (alloc.Heap.Retire) instead of immediate recycling. SDSs with
+	// lock-free read paths enable it so bytes published to optimistic
+	// readers are never rewritten inside a grace period. Guarded by mu.
+	epochRetire bool
 	// doTx is Do's reusable transaction (guarded by mu); see Do.
 	doTx Tx
 }
@@ -174,19 +180,78 @@ func (c *Context) free(ref alloc.Ref) error {
 		c.mu.Unlock()
 		return ErrPinned
 	}
-	err := c.heap.Free(ref)
+	err := c.freeLocked(ref)
 	c.trimHeapLocked()
 	c.mu.Unlock()
 	c.sma.flushTrim()
 	return err
 }
 
+// freeLocked releases one allocation under c.mu, routing through
+// epoch-deferred retirement when the context runs a lock-free read
+// path. The stamp is read AFTER the caller unpublished the value (nil
+// box store) — that ordering is what makes the grace period sound; see
+// internal/epoch.
+func (c *Context) freeLocked(ref alloc.Ref) error {
+	if !c.epochRetire {
+		return c.heap.Free(ref)
+	}
+	deferredPgs, err := c.heap.Retire(ref, c.sma.epochs.Current())
+	if deferredPgs > 0 {
+		c.sma.epochs.NoteDeferred(deferredPgs)
+	}
+	return err
+}
+
+// EnableEpochRetire switches the context's frees to epoch-deferred
+// retirement. SDSs call it once, before publishing any value to
+// lock-free readers; it is never switched back off (a disabled switch
+// with limbo pending would strand retirements).
+func (c *Context) EnableEpochRetire() {
+	c.lock()
+	c.epochRetire = true
+	c.mu.Unlock()
+}
+
 // trimHeapLocked transfers free pages beyond the retention threshold from
 // the heap to the process free pool ("periodically transfers free pages
 // back to the global free pool", §4). Caller holds c.mu.
+//
+// It is also the epoch ratchet: every lock hand-back — Context.Do
+// exits and Owned.Release, the owners' yield points — advances the
+// global epoch and drains whatever limbo retirements the grace period
+// now covers, so deferred recycling needs no background thread.
 func (c *Context) trimHeapLocked() {
+	if c.epochRetire && c.heap.LimboPending() > 0 {
+		d := c.sma.epochs
+		d.Advance()
+		c.heap.DrainLimbo(d.SafeBefore())
+	}
 	if over := c.heap.FreePages() - c.sma.cfg.HeapFreeMax; over > 0 {
 		c.heap.ReleaseFreePages(over)
+	}
+}
+
+// drainEpochLocked pushes limbo retirements out under a demand: advance
+// the epoch, drain what the grace period covers, and briefly reschedule
+// to let registered readers exit (they never need c.mu, so they make
+// progress while the reclaimer holds it). The shared deadline bounds
+// the demand's stall on a straggling reader; whatever stays in limbo
+// surfaces on a later trim or demand. Caller holds c.mu.
+func (c *Context) drainEpochLocked(deadline time.Time) {
+	if !c.epochRetire {
+		return
+	}
+	d := c.sma.epochs
+	for c.heap.LimboPending() > 0 {
+		d.Advance()
+		if c.heap.DrainLimbo(d.SafeBefore()) > 0 {
+			continue
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -363,7 +428,7 @@ func (tx *Tx) Free(ref alloc.Ref) error {
 	if tx.ctx.pinnedLocked(ref) {
 		return ErrPinned
 	}
-	err := tx.ctx.heap.Free(ref)
+	err := tx.ctx.freeLocked(ref)
 	if err == nil {
 		tx.frees++
 	}
@@ -412,6 +477,15 @@ func (tx *Tx) Read(ref alloc.Ref, buf []byte, off int) error {
 // Write copies data into the allocation at offset off.
 func (tx *Tx) Write(ref alloc.Ref, data []byte, off int) error {
 	return tx.ctx.heap.WriteAt(ref, data, off)
+}
+
+// Segments returns the allocation's backing bytes as page-backed
+// segments (one per page for multi-page spans). Lock-free SDSs capture
+// them once at publication time into an immutable box; epoch-deferred
+// retirement keeps them unrewritten until every registered reader that
+// could observe the box has exited.
+func (tx *Tx) Segments(ref alloc.Ref) ([][]byte, error) {
+	return tx.ctx.heap.Segments(ref)
 }
 
 // Size returns the allocation's size in bytes.

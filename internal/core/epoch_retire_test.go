@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"softmem/internal/alloc"
+	"softmem/internal/pages"
+)
+
+// TestEpochRetireDefersAndDrains checks the full deferred-free
+// lifecycle through the Context layer: with epoch retirement enabled
+// and a reader registered, a Tx.Free leaves the allocation in limbo;
+// once the reader exits, the next lock hand-back (Do exit) advances the
+// epoch and completes the free.
+func TestEpochRetireDefersAndDrains(t *testing.T) {
+	pool := pages.NewPool(0)
+	s := New(Config{Machine: pool})
+	ctx := s.Register("epoch-test", 0, nil)
+	defer s.Close()
+	ctx.EnableEpochRetire()
+
+	ref, err := ctx.AllocData([]byte("deferred-value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dom := s.Epochs()
+	slot, ok := dom.Enter(1)
+	if !ok {
+		t.Fatal("Enter failed")
+	}
+	if err := ctx.Do(func(tx *Tx) error { return tx.Free(ref) }); err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.HeapStats()
+	if st.LiveAllocs != 0 {
+		t.Fatalf("retired alloc still live: %+v", st)
+	}
+	if st.LimboAllocs != 1 {
+		t.Fatalf("free with registered reader should sit in limbo: %+v", st)
+	}
+
+	dom.Exit(slot)
+	// Any Do exit ratchets the epoch and drains the now-covered limbo.
+	if err := ctx.Do(func(tx *Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := ctx.HeapStats(); st.LimboAllocs != 0 {
+		t.Fatalf("limbo survived drain: %+v", st)
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochRetireDemandDrain checks that a reclamation demand drains
+// limbo retirements itself (without waiting for application traffic) so
+// the pages an epoch-aware SDS gives up actually reach the machine and
+// count toward the demand — the invariant that stops the reclaim loop
+// from over-evicting past its quota.
+func TestEpochRetireDemandDrain(t *testing.T) {
+	pool := pages.NewPool(0)
+	s := New(Config{Machine: pool, HeapFreeMax: 0})
+	defer s.Close()
+
+	var ctx *Context
+	refs := make([]alloc.Ref, 0, 32)
+	rec := reclaimerFunc(func(tx *Tx, quota int) int {
+		freed := 0
+		for len(refs) > 0 && freed < quota {
+			ref := refs[len(refs)-1]
+			refs = refs[:len(refs)-1]
+			n, _ := tx.SlotSize(ref)
+			if err := tx.Free(ref); err != nil {
+				t.Errorf("reclaim free: %v", err)
+				return freed
+			}
+			freed += n
+		}
+		return freed
+	})
+	ctx = s.Register("epoch-demand", 0, rec)
+	ctx.EnableEpochRetire()
+
+	for i := 0; i < 32; i++ {
+		ref, err := ctx.AllocData(make([]byte, 4096))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+
+	released := s.HandleDemand(8)
+	if released != 8 {
+		t.Fatalf("HandleDemand(8) released %d; epoch limbo must drain inside the demand", released)
+	}
+	// The reclaimer must not have been driven past its quota: 8 pages
+	// demanded, 4 KiB values, one page per value plus at most one round
+	// of slack.
+	if got := 32 - len(refs); got > 9 {
+		t.Fatalf("reclaimer over-evicted: freed %d values for an 8-page demand", got)
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reclaimerFunc adapts a function to the Reclaimer interface for tests.
+type reclaimerFunc func(tx *Tx, bytes int) int
+
+func (f reclaimerFunc) Reclaim(tx *Tx, bytes int) int { return f(tx, bytes) }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"softmem/internal/alloc"
+	"softmem/internal/epoch"
 	"softmem/internal/faultinject"
 	"softmem/internal/pages"
 )
@@ -150,6 +151,11 @@ type SMA struct {
 	cfg     Config
 	machine *pages.Pool
 
+	// epochs is the process-wide grace-period domain behind the lock-free
+	// SDS read paths: readers register in it before touching soft bytes,
+	// and epoch-retired allocations drain through it (see internal/epoch).
+	epochs *epoch.Domain
+
 	// daemon is the attached DaemonClient (nil box pointer = standalone).
 	daemon atomic.Pointer[daemonBox]
 
@@ -225,12 +231,17 @@ func New(cfg Config) *SMA {
 		panic("core: Config.Machine is required")
 	}
 	cfg.setDefaults()
-	s := &SMA{cfg: cfg, machine: cfg.Machine}
+	s := &SMA{cfg: cfg, machine: cfg.Machine, epochs: epoch.NewDomain()}
 	if cfg.Daemon != nil {
 		s.daemon.Store(&daemonBox{cfg.Daemon})
 	}
 	return s
 }
+
+// Epochs returns the SMA's grace-period domain. Lock-free SDS read
+// paths Enter/Exit it around every optimistic read; everything else
+// (retire stamping, drains) is handled inside core.
+func (s *SMA) Epochs() *epoch.Domain { return s.epochs }
 
 // daemonClient returns the attached daemon, or nil when standalone.
 func (s *SMA) daemonClient() DaemonClient {
@@ -869,8 +880,16 @@ func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (drained int, fre
 		s.c.allocsReclaimed.Add(frees)
 	}()
 	// Bounded rounds guard against a misbehaving Reclaimer that reports
-	// progress without ever emptying pages.
+	// progress without ever emptying pages. Epoch-retired frees sit in
+	// limbo until the grace period passes, so each round first advances
+	// the epoch and drains what it can — WITHOUT this, a lock-free SDS's
+	// reclaimed bytes would never show up in drainReleased and the loop
+	// would keep evicting far past its quota. The shared deadline bounds
+	// how long the demand waits on a straggling reader; pages a timed-out
+	// drain leaves in limbo surface on a later trim or demand.
+	epochDeadline := time.Now().Add(2 * time.Millisecond)
 	for round := 0; round < 64; round++ {
+		ctx.drainEpochLocked(epochDeadline)
 		// Surrender already-free heap pages before disturbing live data.
 		if rem := quotaPages - ctx.drainReleased; rem > 0 {
 			ctx.heap.ReleaseFreePages(rem)
@@ -890,6 +909,7 @@ func (s *SMA) reclaimFromContext(ctx *Context, quotaPages int) (drained int, fre
 		tx.frees = 0
 		if freed <= 0 {
 			// SDS cannot free more; take whatever pages emptied out.
+			ctx.drainEpochLocked(epochDeadline)
 			if rem := quotaPages - ctx.drainReleased; rem > 0 {
 				ctx.heap.ReleaseFreePages(rem)
 			}

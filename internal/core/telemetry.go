@@ -121,5 +121,23 @@ func (s *SMA) RegisterMetrics(r *metrics.Registry) {
 		s.regMu.Unlock()
 		return float64(n)
 	})
+	r.GaugeFunc("softmem_sma_epoch_global", "global epoch of the lock-free read domain", func() float64 {
+		return float64(s.epochs.Current())
+	})
+	r.GaugeFunc("softmem_sma_epoch_lag", "epochs the slowest registered lock-free reader trails the global epoch (0 when idle; persistently high means a stuck reader pins limbo)", func() float64 {
+		return float64(s.epochs.Lag())
+	})
+	r.GaugeFunc("softmem_sma_epoch_limbo_allocs", "retirements awaiting their epoch grace period, summed across contexts", func() float64 {
+		n := 0
+		for _, c := range s.snapshotContexts() {
+			c.lock()
+			if !c.closed {
+				n += c.heap.LimboPending()
+			}
+			c.mu.Unlock()
+		}
+		return float64(n)
+	})
+	r.CounterFunc("softmem_sma_epoch_deferred_pages_total", "whole pages whose recycling was deferred through epoch limbo", s.epochs.DeferredPages)
 	s.met.Store(m)
 }

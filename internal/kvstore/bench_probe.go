@@ -85,6 +85,38 @@ func DispatchProbe() (probe, cleanup func()) {
 		}
 }
 
+// LockFreeGetProbe returns a closure that serves one single-key GET
+// through the full dispatch path (Batch.Exec single-command fast path →
+// Store.Do → Store.GetAppend) on a lock-free store, plus a stats func
+// and a cleanup func. Shaped for testing.AllocsPerRun: the reusable
+// Batch and epoch-protected optimistic read make a hit cost at most the
+// one value-copy allocation. stats exposes the store's lock-free
+// counters so callers can pin that every probe GET was served with zero
+// locks (hits == calls, fallbacks == 0).
+func LockFreeGetProbe() (probe func(), stats func() (hits, misses, fallbacks, condemned int64), cleanup func()) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(sma, WithName("lockfree-probe"))
+	key := "probe:lockfree:key"
+	if err := st.Set(key, []byte("probe-value-0123456789")); err != nil {
+		panic(err)
+	}
+	b := st.NewBatch()
+	return func() {
+			b.Get(key)
+			if err := b.Exec(); err != nil {
+				panic(err)
+			}
+			if c := b.Cmd(0); c.Err != nil || !c.Ok {
+				panic("lock-free probe: lost key")
+			}
+			b.Reset()
+		}, func() (int64, int64, int64, int64) {
+			return st.lockFreeTotals()
+		}, func() {
+			st.Close()
+		}
+}
+
 // MutexContentionProbe runs fn under runtime mutex profiling and
 // returns how many mutex contention events fn added. The shard-owner
 // hot path holds the shard heap lock across whole batches and never

@@ -1,0 +1,278 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+// TestLockFreeGetProbeZeroLocks is the evidence test for the lock-free
+// GET path: every probe GET must be a lock-free hit (hits == calls,
+// fallbacks == 0), the run must add zero mutex contention events, and
+// the steady-state dispatch must stay within one allocation per GET.
+func TestLockFreeGetProbeZeroLocks(t *testing.T) {
+	probe, stats, cleanup := LockFreeGetProbe()
+	defer cleanup()
+
+	// Warm the reusable state (first call grows the batch and scratch).
+	probe()
+	h0, _, f0, c0 := stats()
+
+	const calls = 500
+	events := MutexContentionProbe(func() {
+		for i := 0; i < calls; i++ {
+			probe()
+		}
+	})
+	if events != 0 {
+		t.Fatalf("lock-free GET path produced %d mutex contention events, want 0", events)
+	}
+	h1, _, f1, c1 := stats()
+	if got := h1 - h0; got != calls {
+		t.Fatalf("lock-free hits = %d of %d GETs; the optimistic path is not serving the probe", got, calls)
+	}
+	if f1 != f0 || c1 != c0 {
+		t.Fatalf("probe GETs fell back to the locked path: fallbacks +%d condemned +%d", f1-f0, c1-c0)
+	}
+
+	if n := testing.AllocsPerRun(200, probe); n > 1 {
+		t.Fatalf("lock-free GET allocates %.1f allocs/op, want <= 1", n)
+	}
+}
+
+// TestLockFreeGetValues pins correctness of the optimistic store paths
+// against the locked implementation: hits, misses, replacement,
+// deletion, Exists, and stats accounting.
+func TestLockFreeGetValues(t *testing.T) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(sma, WithName("lf-values"), WithShards(4))
+	defer st.Close()
+
+	for i := 0; i < 200; i++ {
+		if err := st.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		v, ok, err := st.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(k%d) = %q, %v, %v", i, v, ok, err)
+		}
+	}
+	if _, ok, _ := st.Get("absent"); ok {
+		t.Fatal("absent key hit")
+	}
+	if !st.Exists("k3") || st.Exists("nope") {
+		t.Fatal("Exists wrong through the lock-free path")
+	}
+	if err := st.Set("k3", []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := st.Get("k3"); !ok || string(v) != "replaced" {
+		t.Fatalf("replaced value = %q, %v", v, ok)
+	}
+	if _, err := st.Del("k3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.Get("k3"); ok {
+		t.Fatal("deleted key still visible")
+	}
+
+	stats := st.Stats()
+	if stats.LockFreeHits == 0 || stats.LockFreeMisses == 0 {
+		t.Fatalf("lock-free counters flat: %+v", stats)
+	}
+	if stats.Gets != stats.Hits+stats.Misses {
+		t.Fatalf("get accounting broken: gets=%d hits=%d misses=%d", stats.Gets, stats.Hits, stats.Misses)
+	}
+}
+
+// TestLockFreeDisabledOption pins the A/B switch: WithLockFreeReads(false)
+// keeps every shard on the locked path.
+func TestLockFreeDisabledOption(t *testing.T) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(sma, WithName("lf-off"), WithLockFreeReads(false))
+	defer st.Close()
+	if err := st.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := st.Get("k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if h, m, f, c := st.lockFreeTotals(); h != 0 || m != 0 || f != 0 || c != 0 {
+		t.Fatalf("disabled store used the optimistic path: %d %d %d %d", h, m, f, c)
+	}
+}
+
+// TestLockFreeTTLExpiry pins that the optimistic fast path cannot serve
+// a value past its TTL deadline: once due, the read detours through the
+// locked expiry path.
+func TestLockFreeTTLExpiry(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(sma, WithName("lf-ttl"), WithClock(clock))
+	defer st.Close()
+
+	if err := st.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st.Expire("k", time.Second)
+	if _, ok, _ := st.Get("k"); !ok {
+		t.Fatal("key missing before deadline")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok, _ := st.Get("k"); ok {
+		t.Fatal("lock-free path served an expired key")
+	}
+	if st.Expired() != 1 {
+		t.Fatalf("expired count = %d", st.Expired())
+	}
+}
+
+// TestEpochReclaimRace is the store-level chaos invariant for the
+// tentpole: concurrent lock-free GETs and KEYS scans race writers and a
+// constant stream of reclamation demands on a small machine. Revocation
+// condemns entries and epoch-retires their pages; no read may ever
+// observe a torn value, and the heap must stay consistent.
+func TestEpochReclaimRace(t *testing.T) {
+	sma := core.New(core.Config{Machine: pages.NewPool(48), HeapFreeMax: 0})
+	st := New(sma, WithName("epoch-race"), WithShards(2))
+	defer st.Close()
+
+	val := func(i int) []byte {
+		return bytes.Repeat([]byte(fmt.Sprintf("e%03d|", i%1000)), 100) // 500 bytes, self-describing
+	}
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		_ = st.Set(fmt.Sprintf("k%d", i), val(i))
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var lockFreeHits atomic.Int64
+
+	// Lock-free readers.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var dst []byte
+			for i := 0; !stop.Load(); i++ {
+				k := (i*13 + seed*7) % keys
+				v, ok, err := st.GetAppend(dst[:0], fmt.Sprintf("k%d", k))
+				if err != nil {
+					continue
+				}
+				if ok && !bytes.Equal(v, val(k)) {
+					t.Errorf("torn read for k%d: %d bytes", k, len(v))
+					return
+				}
+				dst = v
+			}
+		}(r)
+	}
+	// Scanner: KEYS through ScanLockFree while the index churns.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if _, err := st.Keys("k*"); err != nil {
+				t.Errorf("keys: %v", err)
+				return
+			}
+		}
+	}()
+	// Writer refilling what reclamation revokes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			k := i % keys
+			_ = st.Set(fmt.Sprintf("k%d", k), val(k))
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < 500 || (lockFreeHits.Load() == 0 && time.Now().Before(deadline)); i++ {
+		sma.HandleDemand(2)
+		h, _, _, _ := st.lockFreeTotals()
+		lockFreeHits.Store(h)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if lockFreeHits.Load() == 0 {
+		t.Fatal("race exercised zero lock-free hits")
+	}
+	if err := sma.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkLockFreeGet times the epoch-protected optimistic GET through
+// the full single-command dispatch path. ReportAllocs pins the ≤1
+// alloc/op budget the overhead guard enforces.
+func BenchmarkLockFreeGet(b *testing.B) {
+	probe, _, cleanup := LockFreeGetProbe()
+	b.Cleanup(cleanup)
+	probe() // warm the reusable batch and scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probe()
+	}
+}
+
+// BenchmarkMixedReadReclaim times lock-free GETs while a reclamation
+// demand stream and a refilling writer run against the same store — the
+// contended read/reclaim interaction the epoch design exists for.
+func BenchmarkMixedReadReclaim(b *testing.B) {
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(sma, WithName("mixed-bench"))
+	b.Cleanup(st.Close)
+
+	const keyN = 512
+	names := make([]string, keyN)
+	val := bytes.Repeat([]byte("v"), 256)
+	for i := range names {
+		names[i] = fmt.Sprintf("mixed:%05d", i)
+		if err := st.Set(names[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // demand stream: condemn + epoch-retire entries
+		defer wg.Done()
+		for !stop.Load() {
+			sma.HandleDemand(2)
+		}
+	}()
+	go func() { // writer refilling what the demands take
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			_ = st.Set(names[i%keyN], val)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	batch := st.NewBatch()
+	for i := 0; i < b.N; i++ {
+		batch.Get(names[i%keyN])
+		if err := batch.Exec(); err != nil {
+			b.Fatal(err)
+		}
+		batch.Reset()
+	}
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}

@@ -85,6 +85,14 @@ type Config struct {
 	SlowLogThreshold time.Duration
 	// SlowLogSize bounds the slow-request log ring (default 128).
 	SlowLogSize int
+	// DisableLockFreeReads turns off the epoch-protected optimistic GET
+	// path on the string shards. By default (false) single-key GETs are
+	// served with zero locks: the shard table publishes values to an
+	// atomic reader index and revocation rides the epoch grace period
+	// (see internal/sds and internal/epoch). The flag exists for A/B
+	// overhead measurements; under EvictLRU the optimistic path never
+	// engages regardless (a lock-free read cannot update recency).
+	DisableLockFreeReads bool
 }
 
 // Stats is the store's unified observability snapshot: operation
@@ -103,6 +111,15 @@ type Stats struct {
 	// Promotions counts GET misses served by faulting a demoted value
 	// back in from the spill tier (0 without one).
 	Promotions int64 `json:",omitempty"`
+	// LockFreeHits/LockFreeMisses count reads served by the
+	// epoch-protected optimistic path with zero locks; LockFreeFallbacks
+	// and CondemnedRetries count optimistic attempts that had to take
+	// the locked path (reader-slot exhaustion vs a value revoked
+	// mid-read). All zero when lock-free reads are disabled.
+	LockFreeHits      int64 `json:",omitempty"`
+	LockFreeMisses    int64 `json:",omitempty"`
+	LockFreeFallbacks int64 `json:",omitempty"`
+	CondemnedRetries  int64 `json:",omitempty"`
 	// SpilledEntries / SpilledBytes describe the store's namespace in the
 	// spill tier (0 without one). SpilledBytes counts whole-store disk
 	// usage, shared with any other namespaces on the same spill store.
@@ -262,10 +279,11 @@ func NewFromConfig(cfg Config) *Store {
 			shardName = fmt.Sprintf("%s/%d", name, i)
 		}
 		ht := sds.NewSoftHashTable[string](cfg.SMA, shardName, sds.HashTableConfig[string]{
-			Policy:    cfg.Policy,
-			Priority:  cfg.Priority,
-			KeyBytes:  func(k string) int { return len(k) + keyOverheadBytes },
-			OnReclaim: onReclaim,
+			Policy:        cfg.Policy,
+			Priority:      cfg.Priority,
+			KeyBytes:      func(k string) int { return len(k) + keyOverheadBytes },
+			OnReclaim:     onReclaim,
+			LockFreeReads: !cfg.DisableLockFreeReads,
 		})
 		s.shards[i] = &shard{
 			ht:    ht,
@@ -456,25 +474,42 @@ func (s *Store) Set(key string, value []byte) error {
 // including entries revoked under memory pressure, unless a spill tier
 // holds the demoted value, in which case it is promoted back in.
 func (s *Store) Get(key string) (value []byte, ok bool, err error) {
-	s.expireIfDue(key)
-	s.gets.Add(1)
-	value, ok, err = s.lookup(s.table(key), key)
-	if ok {
-		s.hits.Add(1)
-	} else {
-		s.misses.Add(1)
-	}
-	return value, ok, err
+	return s.GetAppend(nil, key)
 }
 
 // GetAppend is Get appending the value to dst and returning the
 // extended slice. The RESP hot path calls it with a per-connection
 // scratch so a cache hit allocates nothing; the result aliases dst's
 // backing array and is only valid until dst's next reuse.
+//
+// On a lock-free shard (the default) the read is served optimistically
+// first: zero mutexes, zero Owned acquisitions, epoch-protected byte
+// copy. The locked path only runs when the optimistic read cannot
+// complete (condemned entry, reader-slot exhaustion), when the key has
+// a pending TTL expiry to collect, or when a miss must consult the
+// spill tier for a promotion.
 func (s *Store) GetAppend(dst []byte, key string) (value []byte, ok bool, err error) {
+	sh := s.shard(key)
+	if sh.ht.LockFree() && !sh.ttl.due(key) {
+		v, res := sh.ht.GetAppendLockFree(dst, key)
+		switch res {
+		case sds.LookupHit:
+			s.gets.Add(1)
+			s.hits.Add(1)
+			return v, true, nil
+		case sds.LookupMiss:
+			if s.spill == nil {
+				s.gets.Add(1)
+				s.misses.Add(1)
+				return v, false, nil
+			}
+			// A definite miss with a spill tier attached still needs the
+			// locked promotion path below.
+		}
+	}
 	s.expireIfDue(key)
 	s.gets.Add(1)
-	value, ok, err = s.lookupAppend(dst, s.table(key), key)
+	value, ok, err = s.lookupAppend(dst, sh.ht, key)
 	if ok {
 		s.hits.Add(1)
 	} else {
@@ -503,8 +538,16 @@ func (s *Store) Del(key string) (bool, error) {
 
 // Exists reports whether key is present (hot tier or spilled).
 func (s *Store) Exists(key string) bool {
+	sh := s.shard(key)
+	if sh.ht.LockFree() && !sh.ttl.due(key) {
+		if present, ok := sh.ht.ContainsLockFree(key); ok && present {
+			return true
+		}
+		// Not present (or lock-free unavailable): the locked path settles
+		// condemned races and the spill tier.
+	}
 	s.expireIfDue(key)
-	if s.table(key).Contains(key) {
+	if sh.ht.Contains(key) {
 		return true
 	}
 	return s.spill != nil && s.spill.Contains(key)
@@ -580,13 +623,20 @@ func (s *Store) Keys(pattern string) ([]string, error) {
 		return nil, fmt.Errorf("kvstore: bad pattern %q: %w", pattern, err)
 	}
 	var out []string
+	collect := func(k string, _ []byte) bool {
+		if ok, _ := path.Match(pattern, k); ok {
+			out = append(out, k)
+		}
+		return true
+	}
 	for _, sh := range s.shards {
-		if err := sh.ht.Range(func(k string, _ []byte) bool {
-			if ok, _ := path.Match(pattern, k); ok {
-				out = append(out, k)
-			}
-			return true
-		}); err != nil {
+		// The lock-free scan keeps a full-table walk off the shard's heap
+		// lock (a KEYS under load no longer stalls that shard's writes);
+		// it falls back to the locked Range only when unavailable.
+		if sh.ht.ScanLockFree(collect) {
+			continue
+		}
+		if err := sh.ht.Range(collect); err != nil {
 			return nil, err
 		}
 	}
@@ -659,6 +709,7 @@ func (s *Store) Stats() Stats {
 			Heap:      sh.ht.Context().HeapStats(),
 		}
 	}
+	st.LockFreeHits, st.LockFreeMisses, st.LockFreeFallbacks, st.CondemnedRetries = s.lockFreeTotals()
 	if s.spill != nil {
 		st.SpilledEntries = s.spill.Len()
 		st.SpilledBytes = s.spill.Store().BytesOnDisk()
@@ -666,6 +717,19 @@ func (s *Store) Stats() Stats {
 		st.Spill = &snap
 	}
 	return st
+}
+
+// lockFreeTotals sums the optimistic-read counters over the string
+// shards.
+func (s *Store) lockFreeTotals() (hits, misses, fallbacks, condemned int64) {
+	for _, sh := range s.shards {
+		h, m, f, c := sh.ht.LockFreeStats()
+		hits += h
+		misses += m
+		fallbacks += f
+		condemned += c
+	}
+	return hits, misses, fallbacks, condemned
 }
 
 // HeapStats aggregates heap accounting over every SDS context the store

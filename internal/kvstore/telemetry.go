@@ -30,6 +30,21 @@ func (s *Store) RegisterMetrics(r *metrics.Registry) {
 	r.GaugeFunc("softmem_kv_soft_pages", "soft pages held across the store's SDS contexts",
 		func() float64 { return float64(s.HeapStats().PagesHeld) })
 
+	// Lock-free read path: hits/misses served with zero locks, and the
+	// two ways an optimistic attempt falls back to the locked path.
+	r.CounterFunc("softmem_kv_lockfree_hits_total",
+		"reads served by the epoch-protected optimistic path with zero locks",
+		func() int64 { h, _, _, _ := s.lockFreeTotals(); return h })
+	r.CounterFunc("softmem_kv_lockfree_misses_total",
+		"definite misses served by the optimistic path with zero locks",
+		func() int64 { _, m, _, _ := s.lockFreeTotals(); return m })
+	r.CounterFunc("softmem_kv_lockfree_fallbacks_total",
+		"optimistic reads that fell back to the locked path (reader-slot exhaustion or lock-free unavailable)",
+		func() int64 { _, _, f, _ := s.lockFreeTotals(); return f })
+	r.CounterFunc("softmem_kv_condemned_retries_total",
+		"optimistic reads that found their entry condemned mid-flight (value revoked or replaced) and retried via the locked path",
+		func() int64 { _, _, _, c := s.lockFreeTotals(); return c })
+
 	// Shard-owner engine instrumentation: queue depth and owner
 	// utilization, summed across shards from the per-shard atomics.
 	counter("softmem_kv_overloaded_total",

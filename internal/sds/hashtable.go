@@ -1,8 +1,12 @@
 package sds
 
 import (
+	"hash/maphash"
+	"sync/atomic"
+
 	"softmem/internal/alloc"
 	"softmem/internal/core"
+	"softmem/internal/epoch"
 )
 
 // EvictPolicy selects which entries a SoftHashTable gives up first under
@@ -54,12 +58,29 @@ type SoftHashTable[K comparable] struct {
 	entries    map[K]*htEntry[K]
 	head, tail *htEntry[K] // eviction order: head evicted first
 	reclaimed  int64
+
+	// Lock-free read state (see lockfree.go). lockFree is set once at
+	// construction; when false none of the other fields are touched and
+	// writers pay nothing. idx is the reader-visible probe array; tomb
+	// the shared deletion sentinel; dom the process epoch domain; seed
+	// the per-table hash seed; lf the unlocked-read counters.
+	lockFree bool
+	idx      atomic.Pointer[htIndex[K]]
+	tomb     *htEntry[K]
+	dom      *epoch.Domain
+	seed     maphash.Seed
+	lf       lfStats
 }
 
 type htEntry[K comparable] struct {
 	key        K
 	ref        alloc.Ref
 	prev, next *htEntry[K]
+	// box is the atomically-published immutable value view for lock-free
+	// readers; nil while unpublished (non-lock-free tables) or condemned
+	// (deleted/replaced/revoked). Writers store it under the heap lock,
+	// and always store nil BEFORE epoch-retiring the ref.
+	box atomic.Pointer[valBox]
 }
 
 // HashTableConfig configures a SoftHashTable beyond basic Options.
@@ -77,6 +98,12 @@ type HashTableConfig[K comparable] struct {
 	KeyBytes func(K) int
 	// Priority is the SDS reclamation priority (lower reclaimed first).
 	Priority int
+	// LockFreeReads publishes values to an epoch-protected lock-free
+	// read path (GetAppendLockFree, ScanLockFree): reads take zero locks
+	// and revocation defers page recycling until the epoch grace period
+	// covers the retire. Incompatible with EvictLRU — a lock-free read
+	// cannot update recency — so the flag is ignored under that policy.
+	LockFreeReads bool
 }
 
 // NewSoftHashTable creates a hash table with its own isolated heap in
@@ -90,7 +117,44 @@ func NewSoftHashTable[K comparable](sma *core.SMA, name string, cfg HashTableCon
 		entries:   make(map[K]*htEntry[K]),
 	}
 	t.ctx = sma.Register(name, cfg.Priority, reclaimerFunc(t.reclaim))
+	if cfg.LockFreeReads && cfg.Policy != EvictLRU {
+		t.lockFree = true
+		t.tomb = &htEntry[K]{}
+		t.dom = sma.Epochs()
+		t.seed = maphash.MakeSeed()
+		// Every free on this context must defer recycling past the grace
+		// period, since any value may have been published to a reader.
+		t.ctx.EnableEpochRetire()
+	}
 	return t
+}
+
+// LockFree reports whether the table serves the lock-free read path.
+func (t *SoftHashTable[K]) LockFree() bool { return t.lockFree }
+
+// publishBox builds and publishes the value box for e under the heap
+// lock (no-op on non-lock-free tables). It must run after the value
+// bytes are fully written and before any reader can need them.
+func (t *SoftHashTable[K]) publishBox(tx *core.Tx, e *htEntry[K], size int) error {
+	if !t.lockFree {
+		return nil
+	}
+	segs, err := tx.Segments(e.ref)
+	if err != nil {
+		return err
+	}
+	e.box.Store(&valBox{segs: segs, size: size})
+	return nil
+}
+
+// condemn unpublishes e's value ahead of a free. The nil store must
+// precede the tx.Free (which reads the epoch stamp) — that ordering is
+// what guarantees any reader still copying the old box is covered by
+// the grace period. No-op on non-lock-free tables.
+func (t *SoftHashTable[K]) condemn(e *htEntry[K]) {
+	if t.lockFree {
+		e.box.Store(nil)
+	}
 }
 
 // Put stores value under key, replacing any previous value.
@@ -105,12 +169,24 @@ func (t *SoftHashTable[K]) Put(key K, value []byte) error {
 		if e, ok := t.entries[key]; ok {
 			replacedRef = e.ref
 			e.ref = ref
+			// Publishing the new box unpublishes the old one in the same
+			// atomic store; the old ref is epoch-retired after it, so
+			// readers mid-copy on the old value stay covered.
+			if err := t.publishBox(tx, e, len(value)); err != nil {
+				return err
+			}
 			t.touch(e)
 			return tx.Free(replacedRef)
 		}
 		e := &htEntry[K]{key: key, ref: ref}
+		if err := t.publishBox(tx, e, len(value)); err != nil {
+			return err
+		}
 		t.entries[key] = e
 		t.linkTail(e)
+		if t.lockFree {
+			t.idxInsert(e)
+		}
 		isNew = true
 		return nil
 	})
@@ -214,6 +290,10 @@ func (t *SoftHashTable[K]) Delete(key K) (bool, error) {
 		}
 		t.unlink(e)
 		delete(t.entries, key)
+		if t.lockFree {
+			t.condemn(e)
+			t.idxDelete(key)
+		}
 		removed = true
 		return tx.Free(e.ref)
 	})
@@ -268,7 +348,19 @@ func (t *SoftHashTable[K]) Reclaimed() int64 {
 func (t *SoftHashTable[K]) Context() *core.Context { return t.ctx }
 
 // Close frees the table's heap; the table must not be used afterwards.
-func (t *SoftHashTable[K]) Close() { t.ctx.Close() }
+// On a lock-free table the reader index is unpublished first and the
+// epoch domain drained (bounded), so no optimistic reader is copying
+// from pages the teardown releases.
+func (t *SoftHashTable[K]) Close() {
+	if t.lockFree {
+		_ = t.ctx.Do(func(*core.Tx) error {
+			t.idx.Store(nil)
+			return nil
+		})
+		drainReaders(t.dom)
+	}
+	t.ctx.Close()
+}
 
 // Owned variants: the shard-owner execution engine in internal/kvstore
 // holds the table's heap lock across whole command batches through a
@@ -290,12 +382,21 @@ func (t *SoftHashTable[K]) PutOwned(o *core.Owned, key K, value []byte) error {
 	if e, ok := t.entries[key]; ok {
 		replaced := e.ref
 		e.ref = ref
+		if err := t.publishBox(tx, e, len(value)); err != nil {
+			return err
+		}
 		t.touch(e)
 		return tx.Free(replaced)
 	}
 	e := &htEntry[K]{key: key, ref: ref}
+	if err := t.publishBox(tx, e, len(value)); err != nil {
+		return err
+	}
 	t.entries[key] = e
 	t.linkTail(e)
+	if t.lockFree {
+		t.idxInsert(e)
+	}
 	if t.keyBytes != nil {
 		t.sma.AddTraditionalBytes(int64(t.keyBytes(key)))
 	}
@@ -331,6 +432,10 @@ func (t *SoftHashTable[K]) DeleteOwned(o *core.Owned, key K) (bool, error) {
 	}
 	t.unlink(e)
 	delete(t.entries, key)
+	if t.lockFree {
+		t.condemn(e)
+		t.idxDelete(key)
+	}
 	err := tx.Free(e.ref)
 	if err != nil {
 		return false, err
@@ -401,6 +506,10 @@ func (t *SoftHashTable[K]) reclaim(tx *core.Tx, quota int) int {
 		if err != nil {
 			t.unlink(e)
 			delete(t.entries, e.key)
+			if t.lockFree {
+				t.condemn(e)
+				t.idxDelete(e.key)
+			}
 			e = next
 			continue
 		}
@@ -408,6 +517,14 @@ func (t *SoftHashTable[K]) reclaim(tx *core.Tx, quota int) int {
 			if v, err := tx.Append(nil, e.ref); err == nil {
 				t.onReclaim(e.key, v)
 			}
+		}
+		// Revocation rides the epochs: condemn (unpublish) first, then
+		// epoch-retire. The pages only reach the SMA once the demand's
+		// drain observes the grace period past the retire stamp, so a
+		// reader mid-copy never sees its bytes recycled.
+		if t.lockFree {
+			t.condemn(e)
+			t.idxDelete(e.key)
 		}
 		if err := tx.Free(e.ref); err == nil {
 			freed += size

@@ -1,0 +1,316 @@
+package sds
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync/atomic"
+)
+
+// Lock-free read support for SoftHashTable (and the sorted map's
+// analogous path). The design has three pieces:
+//
+//  1. valBox: an immutable, atomically-published view of one value's
+//     page-backed byte segments. Values in this repo are write-once —
+//     Put always allocates fresh and writes before publication — so a
+//     reader that loaded a non-nil box copies bytes nobody rewrites;
+//     there is no seqlock-style post-copy validation because no torn
+//     read is possible. Unpublishing (delete, replace, reclaim) stores
+//     nil, and the ref is epoch-retired AFTER the nil store, which is
+//     the ordering the grace period's safety argument requires (see
+//     internal/epoch).
+//
+//  2. htIndex: an open-addressing probe array of atomic entry pointers
+//     published via an atomic pointer. Writers mutate it only under the
+//     table's heap lock (plain atomic stores suffice — readers only
+//     load); resizes build a fresh array and publish it, leaving the
+//     old array frozen and still valid for readers that loaded it
+//     earlier. A completed insert is always present in the published
+//     index, so a lock-free miss is linearizable: any insert it failed
+//     to observe was concurrent, and the read legally orders first.
+//
+//  3. The epoch domain (core.SMA.Epochs): a reader registers before
+//     loading a box and exits after the copy; retirement stamps and the
+//     strict grace check keep its bytes unrecycled meanwhile.
+//
+// The fallback ladder: a reader that cannot complete optimistically —
+// nil published index (lock-free off, or table closing), reader-slot
+// exhaustion, or a condemned (nil-box) entry — reports LookupRetry and
+// the caller takes the locked path. Readers always exit their epoch
+// slot BEFORE falling back, so a reclaimer holding the heap lock never
+// waits on a reader that is itself waiting for that lock.
+
+// valBox is the immutable published view of one value.
+type valBox struct {
+	segs [][]byte // page-backed, captured at publication via Tx.Segments
+	size int      // total bytes across segs
+}
+
+// appendBox appends the box's bytes to dst with at most one grow.
+func appendBox(dst []byte, b *valBox) []byte {
+	if n := len(dst) + b.size; cap(dst) < n {
+		grown := make([]byte, len(dst), n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, seg := range b.segs {
+		dst = append(dst, seg...)
+	}
+	return dst
+}
+
+// LookupResult classifies a lock-free read attempt.
+type LookupResult uint8
+
+// Lock-free lookup outcomes.
+const (
+	// LookupHit: the value was copied out with zero locks taken.
+	LookupHit LookupResult = iota
+	// LookupMiss: the key is definitely absent from the linearized view
+	// the reader observed; no fallback is needed.
+	LookupMiss
+	// LookupRetry: the optimistic read could not complete (condemned
+	// entry, reader-slot exhaustion, or lock-free reads unavailable);
+	// the caller must fall back to the locked path.
+	LookupRetry
+)
+
+// htIndex is one generation of the reader-visible probe array. len of
+// buckets is a power of two. used (live entries plus tombstones) is
+// writer-only state guarded by the table's heap lock.
+type htIndex[K comparable] struct {
+	buckets []atomic.Pointer[htEntry[K]]
+	used    int
+}
+
+const htIndexMinSize = 64
+
+// lfStats are the table's lock-free read counters (atomics: bumped on
+// unlocked paths).
+type lfStats struct {
+	hits      atomic.Int64 // reads served with zero locks
+	misses    atomic.Int64 // definite misses with zero locks
+	fallbacks atomic.Int64 // retries due to slot exhaustion or no index
+	condemned atomic.Int64 // retries due to a condemned (nil-box) entry
+}
+
+// LockFreeStats reports the table's lock-free read counters: hits and
+// definite misses served with zero locks, fallbacks to the locked path,
+// and condemned-read retries (the reader found the entry but its value
+// was revoked mid-flight).
+func (t *SoftHashTable[K]) LockFreeStats() (hits, misses, fallbacks, condemned int64) {
+	return t.lf.hits.Load(), t.lf.misses.Load(), t.lf.fallbacks.Load(), t.lf.condemned.Load()
+}
+
+// hashKey hashes a key with the table's per-instance seed.
+func (t *SoftHashTable[K]) hashKey(key K) uint64 {
+	return maphash.Comparable(t.seed, key)
+}
+
+// GetAppendLockFree is the optimistic read path: no mutex, no Owned
+// acquisition, no heap-lock traffic. It appends the value under key to
+// dst and reports the outcome; on LookupRetry the caller must use a
+// locked variant (GetAppend or GetAppendOwned). The value bytes are
+// copied while the reader is registered in the epoch domain, so
+// concurrent revocation cannot recycle them mid-copy.
+func (t *SoftHashTable[K]) GetAppendLockFree(dst []byte, key K) ([]byte, LookupResult) {
+	if !t.lockFree {
+		return dst, LookupRetry
+	}
+	h := t.hashKey(key)
+	slot, ok := t.dom.Enter(h)
+	if !ok {
+		t.lf.fallbacks.Add(1)
+		return dst, LookupRetry
+	}
+	idx := t.idx.Load()
+	if idx == nil {
+		t.dom.Exit(slot)
+		t.lf.fallbacks.Add(1)
+		return dst, LookupRetry
+	}
+	mask := uint64(len(idx.buckets) - 1)
+	for i, probes := h&mask, 0; probes <= int(mask); i, probes = (i+1)&mask, probes+1 {
+		e := idx.buckets[i].Load()
+		if e == nil {
+			break // end of probe chain: definite miss
+		}
+		if e == t.tomb || e.key != key {
+			continue
+		}
+		box := e.box.Load()
+		if box == nil {
+			// Condemned: the entry was deleted, replaced, or revoked
+			// between the index probe and the box load. The locked path
+			// resolves what the key's current state really is.
+			t.dom.Exit(slot)
+			t.lf.condemned.Add(1)
+			return dst, LookupRetry
+		}
+		dst = appendBox(dst, box)
+		t.dom.Exit(slot)
+		t.lf.hits.Add(1)
+		return dst, LookupHit
+	}
+	t.dom.Exit(slot)
+	t.lf.misses.Add(1)
+	return dst, LookupMiss
+}
+
+// ContainsLockFree probes for key without locks. The bool result is
+// only meaningful when ok (the second return) is true; ok false means
+// lock-free reads are unavailable and the caller must use Contains.
+func (t *SoftHashTable[K]) ContainsLockFree(key K) (present, ok bool) {
+	if !t.lockFree {
+		return false, false
+	}
+	idx := t.idx.Load()
+	if idx == nil {
+		return false, false
+	}
+	h := t.hashKey(key)
+	mask := uint64(len(idx.buckets) - 1)
+	for i, probes := h&mask, 0; probes <= int(mask); i, probes = (i+1)&mask, probes+1 {
+		e := idx.buckets[i].Load()
+		if e == nil {
+			break
+		}
+		if e == t.tomb || e.key != key {
+			continue
+		}
+		return e.box.Load() != nil, true
+	}
+	return false, true
+}
+
+// ScanLockFree iterates the published index without taking the heap
+// lock, calling fn with each key and a copy of its value (valid only
+// during the call; it aliases a reused scratch). Iteration order is
+// arbitrary — callers needing the eviction order must use Range. The
+// scan is a weakly-consistent snapshot: entries inserted or revoked
+// concurrently may or may not appear, exactly like iterating a
+// concurrent map. It returns false when the scan could not run
+// lock-free (caller falls back to Range) and true otherwise, including
+// early stops.
+func (t *SoftHashTable[K]) ScanLockFree(fn func(key K, value []byte) bool) bool {
+	if !t.lockFree {
+		return false
+	}
+	idx := t.idx.Load()
+	if idx == nil {
+		return false
+	}
+	var scratch []byte
+	for i := range idx.buckets {
+		e := idx.buckets[i].Load()
+		if e == nil || e == t.tomb {
+			continue
+		}
+		// Per-entry epoch registration keeps each copy safe while letting
+		// the grace frontier advance between entries: a long scan never
+		// pins the whole table's limbo.
+		slot, ok := t.dom.Enter(uint64(i))
+		if !ok {
+			t.lf.fallbacks.Add(1)
+			return false
+		}
+		box := e.box.Load()
+		if box == nil {
+			t.dom.Exit(slot)
+			continue // revoked mid-scan: treat as not observed
+		}
+		scratch = appendBox(scratch[:0], box)
+		t.dom.Exit(slot)
+		if !fn(e.key, scratch) {
+			return true
+		}
+	}
+	return true
+}
+
+// idxInsert publishes a fully-initialized entry (non-nil box) into the
+// reader index, growing it when load crosses 3/4. Caller holds the heap
+// lock; the entry must already be in the writer map.
+func (t *SoftHashTable[K]) idxInsert(e *htEntry[K]) {
+	idx := t.idx.Load()
+	if idx == nil || (idx.used+1)*4 > len(idx.buckets)*3 {
+		// The rebuild reinserts from the writer map, which already holds
+		// e — adding it again here would duplicate it in the index.
+		t.idxRebuild()
+		return
+	}
+	mask := uint64(len(idx.buckets) - 1)
+	for i := t.hashKey(e.key) & mask; ; i = (i + 1) & mask {
+		cur := idx.buckets[i].Load()
+		if cur == nil {
+			idx.used++
+			idx.buckets[i].Store(e)
+			return
+		}
+		if cur == t.tomb {
+			// Tombstone reuse: used already counts it.
+			idx.buckets[i].Store(e)
+			return
+		}
+	}
+}
+
+// idxDelete replaces key's bucket with the tombstone so reader probe
+// chains stay intact. Caller holds the heap lock and must have stored
+// nil into the entry's box already (or do so before retiring the ref).
+func (t *SoftHashTable[K]) idxDelete(key K) {
+	idx := t.idx.Load()
+	if idx == nil {
+		return
+	}
+	mask := uint64(len(idx.buckets) - 1)
+	for i, probes := t.hashKey(key)&mask, 0; probes <= int(mask); i, probes = (i+1)&mask, probes+1 {
+		cur := idx.buckets[i].Load()
+		if cur == nil {
+			return // absent (insert predates lock-free enablement)
+		}
+		if cur != t.tomb && cur.key == key {
+			idx.buckets[i].Store(t.tomb)
+			return
+		}
+	}
+}
+
+// idxRebuild publishes a fresh index sized for the live entry count,
+// dropping accumulated tombstones. The old array is left untouched for
+// readers that already loaded it. Caller holds the heap lock.
+func (t *SoftHashTable[K]) idxRebuild() *htIndex[K] {
+	size := htIndexMinSize
+	for size*3 < (len(t.entries)+1)*4 {
+		size *= 2
+	}
+	fresh := &htIndex[K]{buckets: make([]atomic.Pointer[htEntry[K]], size), used: len(t.entries)}
+	mask := uint64(size - 1)
+	for _, e := range t.entries {
+		for i := t.hashKey(e.key) & mask; ; i = (i + 1) & mask {
+			if fresh.buckets[i].Load() == nil {
+				fresh.buckets[i].Store(e)
+				break
+			}
+		}
+	}
+	t.idx.Store(fresh)
+	return fresh
+}
+
+// drainReaders waits (bounded) for every registered reader to exit the
+// epoch domain: used by Close so teardown cannot release pages a
+// straggling reader is still copying from. Each iteration advances the
+// epoch so exits become visible to the grace check; the bound keeps a
+// stuck reader from wedging shutdown (pages released after the bound
+// are still memory-safe — released page buffers are never rewritten,
+// only dropped for the GC).
+func drainReaders(d interface {
+	Advance() uint64
+	SafeBefore() uint64
+}) {
+	stamp := d.Advance()
+	for i := 0; i < 10000 && d.SafeBefore() <= stamp; i++ {
+		d.Advance()
+		runtime.Gosched()
+	}
+}

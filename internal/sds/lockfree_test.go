@@ -1,0 +1,412 @@
+package sds
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/pages"
+)
+
+// lfValue builds a self-describing value: every byte position is
+// derived from the key, so a torn read (bytes from two different
+// values or a recycled page) is detectable.
+func lfValue(k int, size int) []byte {
+	v := make([]byte, size)
+	pat := []byte(fmt.Sprintf("val-%06d-", k))
+	for i := range v {
+		v[i] = pat[i%len(pat)]
+	}
+	return v
+}
+
+func checkLfValue(t *testing.T, k int, v []byte, size int) {
+	t.Helper()
+	want := lfValue(k, size)
+	if !bytes.Equal(v, want) {
+		t.Fatalf("torn or wrong value for key %d: got %d bytes, first 32 %q", k, len(v), v[:min(32, len(v))])
+	}
+}
+
+func TestHashTableLockFreeBasics(t *testing.T) {
+	s := newSMA()
+	defer s.Close()
+	ht := NewSoftHashTable[int](s, "lf-basics", HashTableConfig[int]{
+		Policy:        EvictOldest,
+		LockFreeReads: true,
+	})
+	defer ht.Close()
+
+	if !ht.LockFree() {
+		t.Fatal("LockFreeReads did not enable the lock-free path")
+	}
+	for k := 0; k < 200; k++ {
+		if err := ht.Put(k, lfValue(k, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 200; k++ {
+		v, res := ht.GetAppendLockFree(nil, k)
+		if res != LookupHit {
+			t.Fatalf("key %d: lock-free result %d, want hit", k, res)
+		}
+		checkLfValue(t, k, v, 100)
+	}
+	if _, res := ht.GetAppendLockFree(nil, 9999); res != LookupMiss {
+		t.Fatalf("absent key: result %v, want definite miss", res)
+	}
+	// Appending to a prefilled dst must preserve it.
+	v, res := ht.GetAppendLockFree([]byte("pre:"), 7)
+	if res != LookupHit || !bytes.HasPrefix(v, []byte("pre:")) {
+		t.Fatalf("dst prefix lost: %q (res %v)", v[:min(10, len(v))], res)
+	}
+	checkLfValue(t, 7, v[4:], 100)
+
+	// Replacement publishes the new value.
+	if err := ht.Put(7, lfValue(7, 64)); err != nil {
+		t.Fatal(err)
+	}
+	v, res = ht.GetAppendLockFree(nil, 7)
+	if res != LookupHit {
+		t.Fatalf("replaced key: result %v", res)
+	}
+	checkLfValue(t, 7, v, 64)
+
+	// Deletion turns the key into a definite miss (tombstoned bucket).
+	if _, err := ht.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := ht.GetAppendLockFree(nil, 7); res != LookupMiss {
+		t.Fatalf("deleted key: result %v, want miss", res)
+	}
+
+	if present, ok := ht.ContainsLockFree(8); !ok || !present {
+		t.Fatalf("ContainsLockFree(8) = %v, %v", present, ok)
+	}
+	if present, ok := ht.ContainsLockFree(7); !ok || present {
+		t.Fatalf("ContainsLockFree(deleted) = %v, %v", present, ok)
+	}
+
+	hits, misses, _, _ := ht.LockFreeStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats not counting: hits=%d misses=%d", hits, misses)
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashTableLockFreeMultiPageValue(t *testing.T) {
+	s := newSMA()
+	defer s.Close()
+	ht := NewSoftHashTable[int](s, "lf-multipage", HashTableConfig[int]{
+		Policy:        EvictOldest,
+		LockFreeReads: true,
+	})
+	defer ht.Close()
+
+	// Values much larger than a page exercise the multi-segment span
+	// path through valBox.
+	const big = 3*4096 + 123
+	for k := 0; k < 8; k++ {
+		if err := ht.Put(k, lfValue(k, big)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 8; k++ {
+		v, res := ht.GetAppendLockFree(nil, k)
+		if res != LookupHit {
+			t.Fatalf("key %d: result %v", k, res)
+		}
+		checkLfValue(t, k, v, big)
+	}
+}
+
+func TestHashTableScanLockFree(t *testing.T) {
+	s := newSMA()
+	defer s.Close()
+	ht := NewSoftHashTable[int](s, "lf-scan", HashTableConfig[int]{
+		Policy:        EvictOldest,
+		LockFreeReads: true,
+	})
+	defer ht.Close()
+
+	for k := 0; k < 100; k++ {
+		if err := ht.Put(k, lfValue(k, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[int]int)
+	calls := 0
+	ok := ht.ScanLockFree(func(k int, v []byte) bool {
+		checkLfValue(t, k, v, 40)
+		seen[k]++
+		calls++
+		return true
+	})
+	if !ok {
+		t.Fatal("ScanLockFree fell back unexpectedly")
+	}
+	if len(seen) != 100 || calls != 100 {
+		t.Fatalf("scan saw %d distinct / %d total of 100 entries (duplicates in the index?)", len(seen), calls)
+	}
+}
+
+// TestHashTableLockFreeReclaimRace drives lock-free GETs while
+// writers churn and reclamation demands revoke entries: the chaos
+// invariant is that every hit returns an untorn, self-consistent value
+// even as the pages underneath are condemned and (after the grace
+// period) recycled.
+func TestHashTableLockFreeReclaimRace(t *testing.T) {
+	s := core.New(core.Config{Machine: pages.NewPool(0), HeapFreeMax: 0})
+	defer s.Close()
+	ht := NewSoftHashTable[int](s, "lf-race", HashTableConfig[int]{
+		Policy:        EvictOldest,
+		LockFreeReads: true,
+	})
+	defer ht.Close()
+
+	const keys = 128
+	const valSize = 400
+	for k := 0; k < keys; k++ {
+		if err := ht.Put(k, lfValue(k, valSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var dst []byte
+			for i := 0; !stop.Load(); i++ {
+				k := (i*7 + seed*31) % keys
+				v, res := ht.GetAppendLockFree(dst[:0], k)
+				if res == LookupHit {
+					checkLfValue(t, k, v, valSize)
+					hits.Add(1)
+				}
+				dst = v
+			}
+		}(r)
+	}
+	// Writer: keep re-putting (replacement condemns the old box).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			k := i % keys
+			if err := ht.Put(k, lfValue(k, valSize)); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	}()
+	// Reclaimer: demand pages so the eviction path condemns and
+	// epoch-retires live entries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s.HandleDemand(4)
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < 400 || (hits.Load() == 0 && time.Now().Before(deadline)); i++ {
+		s.HandleDemand(1)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if hits.Load() == 0 {
+		t.Fatal("race test exercised zero lock-free hits")
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedMapLockFreeBasics(t *testing.T) {
+	s := newSMA()
+	defer s.Close()
+	m := NewSoftSortedMap[int](s, "sm-lf", SortedMapConfig[int]{Seed: 42, LockFreeReads: true})
+	defer m.Close()
+
+	if !m.LockFree() {
+		t.Fatal("LockFreeReads did not enable the lock-free path")
+	}
+	for k := 0; k < 200; k++ {
+		if err := m.Put(k, lfValue(k, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 200; k++ {
+		v, ok, err := m.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d) = %v, %v", k, ok, err)
+		}
+		checkLfValue(t, k, v, 80)
+	}
+	if _, ok, err := m.Get(9999); err != nil || ok {
+		t.Fatalf("absent key: ok=%v err=%v", ok, err)
+	}
+	hits, misses, _, _ := m.LockFreeStats()
+	if hits < 200 || misses == 0 {
+		t.Fatalf("lock-free path not used: hits=%d misses=%d", hits, misses)
+	}
+
+	// Replacement and deletion stay correct through the optimistic path.
+	if err := m.Put(5, lfValue(5, 33)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := m.Get(5)
+	if !ok {
+		t.Fatal("replaced key missing")
+	}
+	checkLfValue(t, 5, v, 33)
+	if removed, err := m.Delete(5); err != nil || !removed {
+		t.Fatalf("Delete = %v, %v", removed, err)
+	}
+	if _, ok, _ := m.Get(5); ok {
+		t.Fatal("deleted key still visible")
+	}
+
+	// Lock-free Range covers [from, to) in order.
+	var got []int
+	if err := m.Range(10, 20, func(k int, v []byte) bool {
+		checkLfValue(t, k, v, 80)
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("Range keys = %v", got)
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortedMapLockFreeReclaimDuringRange runs lock-free range scans
+// while reclamation demands revoke the low end of the key space — the
+// reclaim-during-Range invariant: every value the scan observes is
+// untorn and matches its key, with zero reader-side locks.
+func TestSortedMapLockFreeReclaimDuringRange(t *testing.T) {
+	s := core.New(core.Config{Machine: pages.NewPool(0), HeapFreeMax: 0})
+	defer s.Close()
+	m := NewSoftSortedMap[int](s, "sm-lf-range", SortedMapConfig[int]{
+		Seed:          7,
+		LockFreeReads: true,
+	})
+	defer m.Close()
+
+	const keys = 256
+	const valSize = 600
+	for k := 0; k < keys; k++ {
+		if err := m.Put(k, lfValue(k, valSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var observed atomic.Int64
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				err := m.Range(0, keys, func(k int, v []byte) bool {
+					checkLfValue(t, k, v, valSize)
+					observed.Add(1)
+					return true
+				})
+				if err != nil {
+					t.Errorf("range: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Writer keeps refilling the low end the reclaimer is chewing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			k := i % 32
+			if err := m.Put(k, lfValue(k, valSize)); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Keep the revocation pressure on until the scanners have provably
+	// overlapped with it (bounded so a wedged scanner can't hang the
+	// test).
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < 300 || (observed.Load() == 0 && time.Now().Before(deadline)); i++ {
+		s.HandleDemand(2)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if observed.Load() == 0 {
+		t.Fatal("scan observed zero entries")
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockFreeDisabledPathsUnchanged pins that tables without the flag
+// never take the optimistic path and never pay for boxes.
+func TestLockFreeDisabledPathsUnchanged(t *testing.T) {
+	s := newSMA()
+	defer s.Close()
+	ht := NewSoftHashTable[string](s, "no-lf", HashTableConfig[string]{
+		Policy: EvictOldest,
+	})
+	defer ht.Close()
+	if err := ht.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := ht.GetAppendLockFree(nil, "k"); res != LookupRetry {
+		t.Fatalf("non-lock-free table served optimistic read: %v", res)
+	}
+	if _, ok := ht.ContainsLockFree("k"); ok {
+		t.Fatal("ContainsLockFree ok on non-lock-free table")
+	}
+	if ht.ScanLockFree(func(string, []byte) bool { return true }) {
+		t.Fatal("ScanLockFree ran on non-lock-free table")
+	}
+	v, ok, err := ht.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("locked Get = %q, %v, %v", v, ok, err)
+	}
+}
+
+// TestHashTableLockFreeLRUIgnored pins that LockFreeReads is refused
+// under EvictLRU (a lock-free read cannot update recency).
+func TestHashTableLockFreeLRUIgnored(t *testing.T) {
+	s := newSMA()
+	defer s.Close()
+	ht := NewSoftHashTable[int](s, "lru-lf", HashTableConfig[int]{
+		Policy:        EvictLRU,
+		LockFreeReads: true,
+	})
+	defer ht.Close()
+	if ht.LockFree() {
+		t.Fatal("LockFreeReads must be ignored under EvictLRU")
+	}
+}
