@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race race-hot metrics-lint lint lint-install fmt-check chaos chaos-cluster cluster-smoke soak-spill bench bench-all experiments cover fmt clean
+.PHONY: all check build vet test race race-hot metrics-lint lint lint-install fmt-check chaos chaos-cluster chaos-qos cluster-smoke soak-spill bench bench-all experiments cover fmt clean
 
 # Pinned linter versions. CI installs exactly these (the lint job runs
 # `make lint-install`); bump them deliberately, in one place.
@@ -77,6 +77,13 @@ chaos:
 # lost. Three consecutive seeded runs, as above.
 chaos-cluster:
 	$(GO) test -tags chaos -run TestChaosClusterNodeKill -count=3 -v -timeout 10m .
+
+# QoS chaos: the E14 antagonist-tenant harness under seeded load — the
+# best-effort hot-key-storm tenant must absorb reclamation, the
+# starvation floor must hold, and the frontend's stall ratio must stay
+# bounded. Three consecutive seeded runs, as above.
+chaos-qos:
+	$(GO) test -tags chaos -run TestChaosQoS -count=3 -v -timeout 10m .
 
 # The 3-process cluster smoke (also run nightly): form a ring, write
 # and MGET across slots, shut down cleanly.

@@ -1,0 +1,51 @@
+//go:build chaos
+
+package softmem
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"softmem/internal/experiments"
+)
+
+// TestChaosQoS is the antagonist-tenant chaos case (run it with
+// `make chaos-qos`, which repeats it for determinism): the E14
+// experiment harness races a class-2 tight-SLO frontend against a
+// class-0 hot-key-storm antagonist under a budget flood, once with
+// legacy victim ordering and once with tenant specs, and asserts the
+// QoS invariants:
+//
+//  1. reclaim cycles actually happened (the flood generated pressure),
+//  2. the antagonist absorbed the reclamation — it released more pages
+//     than the frontend once tenants were registered,
+//  3. the starvation floor held — neither tenant was drained to zero,
+//  4. the frontend's stall ratio stayed bounded: the high-SLO tenant
+//     is not allowed to spend a large fraction of wall time stalled on
+//     reclamation while a best-effort victim is available.
+func TestChaosQoS(t *testing.T) {
+	seed := int64(1)
+	if s := os.Getenv("SOFTMEM_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SOFTMEM_CHAOS_SEED: %v", err)
+		}
+		seed = v
+	}
+	t.Logf("seed=%d", seed)
+
+	res := experiments.RunQoS(experiments.QoSConfig{Seed: seed})
+	var sb strings.Builder
+	res.Fprint(&sb)
+	t.Logf("\n%s", sb.String())
+	for _, f := range res.Failures {
+		t.Errorf("invariant violated: %s", f)
+	}
+	for _, row := range res.Rows {
+		if row.Mode == "qos" && row.Tenant == "frontend" && row.StallRatio > 0.5 {
+			t.Errorf("frontend stall ratio %.2f under QoS ordering, want < 0.5", row.StallRatio)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"softmem/internal/core"
 	"softmem/internal/kvstore"
 	"softmem/internal/pages"
+	"softmem/internal/smd"
 )
 
 // runJSON is one workload execution in the -json report.
@@ -129,6 +130,7 @@ func main() {
 		trials   = flag.Int("trials", 3, "runs per pipeline depth; the best is reported (dampens scheduler noise)")
 		guardRef = flag.String("guard-baseline", "", "committed report JSON: exit nonzero if any matching-depth run regresses more than -guard-pct below its ops_per_sec")
 		guardPct = flag.Float64("guard-pct", 5, "allowed throughput regression in percent for -guard-baseline")
+		qosOn    = flag.Bool("qos", false, "with -inproc: attach an embedded daemon, tenant spec, and stall reporter (QoS-enabled hot path; default measures the QoS-disabled path)")
 	)
 	flag.Parse()
 
@@ -142,6 +144,17 @@ func main() {
 		sma := core.New(core.Config{Machine: pages.NewPool(0)})
 		store := kvstore.New(sma)
 		defer store.Close()
+		if *qosOn {
+			// QoS-enabled variant: the full tenant plumbing is live — an
+			// embedded daemon with a tenant spec and the store's stall
+			// reporter — but the partition is big enough that no reclaim
+			// fires, isolating the instrumentation's own cost.
+			daemon := smd.NewDaemon(smd.Config{TotalPages: 1 << 24})
+			proc := daemon.Register("kvbench", sma)
+			daemon.SetTenant(proc, smd.TenantSpec{Tenant: "kvbench", Class: 1, SLOMs: 100})
+			sma.AttachDaemon(proc)
+			sma.SetStallReporter(store.StallNanos)
+		}
 		srv := kvstore.NewServer(store, func(string, ...any) {})
 		bound, err := srv.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

@@ -106,13 +106,16 @@ func main() {
 			"traces": func() any {
 				return map[string]any{"traces": daemon.Traces()}
 			},
+			"qos": func() any {
+				return map[string]any{"qos": daemon.QoSSnapshot()}
+			},
 			"metrics/history": func() any { return hist.Dump() },
 		}, raw)
 		if err != nil {
 			log.Fatalf("smd: %v", err)
 		}
 		defer stSrv.Close()
-		log.Printf("smd: status at http://%s/statusz, audit log at /events, reclaim traces at /traces, metrics at /metrics", stAddr)
+		log.Printf("smd: status at http://%s/statusz, audit log at /events, reclaim traces at /traces, tenant QoS at /qos, metrics at /metrics", stAddr)
 	}
 	srv := ipc.NewServer(daemon, log.Printf)
 	addr, err := srv.Listen(*network, *listen)

@@ -15,6 +15,7 @@
 //	smdctl -http 127.0.0.1:8081 cluster      # a cluster node's ring + federation view
 //	smdctl -http 127.0.0.1:8081 slowlog      # a kv node's slow-request log, phase by phase
 //	smdctl -http 127.0.0.1:8081 top -cluster # cluster-wide per-node rates + slowlog offenders
+//	smdctl -http 127.0.0.1:7071 qos          # tenant QoS table: stall ratios, pressure, victim order
 //
 // top reads /metrics/history — the server's own rolling snapshot ring —
 // so rates come from one fetch per refresh instead of two /metrics
@@ -151,8 +152,19 @@ func main() {
 			return
 		}
 		printCluster(body)
+	case "qos":
+		body := fetch(*httpAddr, "/qos", *timeout)
+		if *raw {
+			os.Stdout.Write(body)
+			return
+		}
+		out, err := renderQoS(body)
+		if err != nil {
+			log.Fatalf("smdctl: decode qos: %v", err)
+		}
+		fmt.Print(out)
 	default:
-		log.Fatalf("smdctl: unknown command %q (want status, events, trace, top, slowlog, or cluster)", cmd)
+		log.Fatalf("smdctl: unknown command %q (want status, events, trace, top, slowlog, cluster, or qos)", cmd)
 	}
 }
 
@@ -202,6 +214,52 @@ func printStatus(body []byte) {
 		fmt.Printf("%-6d %-20s %10d %10d %14d %10d %10.1f\n",
 			p.ID, p.Name, p.BudgetPages, p.Usage.UsedPages, p.Usage.TraditionalBytes, p.Usage.SpilledBytes, p.Weight)
 	}
+}
+
+// qosView mirrors the daemon's /qos payload (smd.QoSInfo).
+type qosView struct {
+	QoS []struct {
+		ID            int     `json:"id"`
+		Name          string  `json:"name"`
+		Tenant        string  `json:"tenant"`
+		Class         int     `json:"class"`
+		SLOMs         int     `json:"slo_ms"`
+		StallRatio    float64 `json:"stall_ratio"`
+		Pressure      float64 `json:"pressure"`
+		BudgetPages   int     `json:"budget_pages"`
+		UsedPages     int     `json:"used_pages"`
+		DemandedPages int64   `json:"demanded_pages"`
+		ReleasedPages int64   `json:"released_pages"`
+		SlackPages    int64   `json:"slack_pages"`
+	} `json:"qos"`
+}
+
+// renderQoS renders the tenant QoS table: processes in victim order
+// (ascending pressure — the first row is who the next reclaim cycle
+// targets first), with each tenant's class, SLO, smoothed stall ratio,
+// and lifetime reclamation-source totals.
+func renderQoS(body []byte) (string, error) {
+	var qv qosView
+	if err := json.Unmarshal(body, &qv); err != nil {
+		return "", err
+	}
+	if len(qv.QoS) == 0 {
+		return "no processes registered\n", nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d procs in victim order (top is reclaimed first)\n", len(qv.QoS))
+	fmt.Fprintf(&b, "%-6s %-16s %-16s %5s %7s %11s %10s %10s %10s %10s %10s %10s\n",
+		"proc", "name", "tenant", "class", "slo_ms", "stall", "pressure", "budget", "used", "demanded", "released", "slack")
+	for _, q := range qv.QoS {
+		tenant := q.Tenant
+		if tenant == "" {
+			tenant = "-"
+		}
+		fmt.Fprintf(&b, "%-6d %-16s %-16s %5d %7d %10.2f%% %10.3f %10d %10d %10d %10d %10d\n",
+			q.ID, q.Name, tenant, q.Class, q.SLOMs, q.StallRatio*100, q.Pressure,
+			q.BudgetPages, q.UsedPages, q.DemandedPages, q.ReleasedPages, q.SlackPages)
+	}
+	return b.String(), nil
 }
 
 func printEvents(body []byte) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -143,5 +144,29 @@ func TestTopEpochGauges(t *testing.T) {
 	cur, before := view.get("softmem_sma_epoch_deferred_pages_total"), prev.get("softmem_sma_epoch_deferred_pages_total")
 	if got := counterRate(cur, before, elapsed); got != 60 {
 		t.Errorf("deferred pages rate = %v/s, want 60", got)
+	}
+}
+
+func TestRenderQoSVictimOrderTable(t *testing.T) {
+	body := []byte(`{"qos":[
+		{"id":2,"name":"antagonist","tenant":"batch","class":0,"slo_ms":1000,"stall_ratio":0,"pressure":0,"budget_pages":30,"used_pages":30,"demanded_pages":20,"released_pages":20,"slack_pages":0},
+		{"id":1,"name":"frontend","tenant":"frontend","class":2,"slo_ms":10,"stall_ratio":0.05,"pressure":1.5,"budget_pages":60,"used_pages":60,"demanded_pages":0,"released_pages":0,"slack_pages":0}
+	]}`)
+	out, err := renderQoS(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"victim order", "antagonist", "frontend", "batch", "1.500", "5.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("renderQoS output missing %q:\n%s", want, out)
+		}
+	}
+	// The payload arrives in victim order; the table must preserve it
+	// (antagonist, the next reclaim target, first).
+	if strings.Index(out, "antagonist") > strings.Index(out, "frontend") {
+		t.Fatalf("victim order not preserved:\n%s", out)
+	}
+	if got, err := renderQoS([]byte(`{"qos":[]}`)); err != nil || !strings.Contains(got, "no processes") {
+		t.Fatalf("empty payload render = %q, %v", got, err)
 	}
 }

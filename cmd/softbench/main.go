@@ -11,6 +11,7 @@
 //	softbench -experiment ablate-heap     # E7: heap organization ablation
 //	softbench -experiment ablate-policy   # E8: weight policy ablation
 //	softbench -experiment mlcache         # E9: ML cache use case
+//	softbench -experiment qos             # E14: stall-aware multi-tenant QoS
 //	softbench -experiment all
 package main
 
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("experiment", "all", "fig2 | stress | restart | cluster | ablate-heap | ablate-policy | mlcache | swap | latency | all")
+		exp    = flag.String("experiment", "all", "fig2 | stress | restart | cluster | ablate-heap | ablate-policy | mlcache | swap | latency | qos | all")
 		allocs = flag.Int("allocs", 100000, "stress allocation count (paper: 977000)")
 		extra  = flag.Int("extra", 50000, "stress case (3) pressure allocations (paper: 500000)")
 		csv    = flag.String("csv", "", "also write the fig2 timeline as CSV to this file")
@@ -98,6 +99,9 @@ func main() {
 	}))
 	run("latency", mark(func() {
 		experiments.ReclaimLatency(experiments.LatencyConfig{}).Fprint(os.Stdout)
+	}))
+	run("qos", mark(func() {
+		experiments.RunQoS(experiments.QoSConfig{Seed: 1}).Fprint(os.Stdout)
 	}))
 
 	if !matched {

@@ -79,6 +79,10 @@ func main() {
 		clusterAdvertise = flag.String("cluster-advertise", "", "RESP address advertised in the ring (default: the bound -listen address)")
 		clusterHeartbeat = flag.Int("cluster-heartbeat-ms", 250, "cluster gossip period in ms")
 		clusterMiB       = flag.Int("cluster-mib", 0, "embed a per-node soft memory daemon with this partition in MiB, federating budget across the cluster (conflicts with -smd)")
+
+		tenant      = flag.String("tenant", "", "QoS tenant name registered with the daemon (empty = legacy weight-ordered reclamation)")
+		tenantClass = flag.Int("tenant-class", 1, "QoS priority class: 0 best-effort, 1 standard, 2 latency-critical")
+		sloMs       = flag.Int("slo-ms", 0, "latency SLO in milliseconds for QoS pressure scoring (0 = daemon reference SLO)")
 	)
 	flag.Parse()
 
@@ -154,6 +158,10 @@ func main() {
 	if reg != nil {
 		store.RegisterMetrics(reg)
 	}
+	// Ship the store's reclamation-stall total (contended yields + spill
+	// promotions) with every daemon self-report: the signal behind
+	// stall-aware QoS victim selection.
+	sma.SetStallReporter(store.StallNanos)
 
 	var daemon *smd.Daemon
 	switch {
@@ -162,7 +170,11 @@ func main() {
 		// budget is arbitrated locally and the cluster node federates the
 		// partition with its peers (borrowing and ceding pages).
 		daemon = smd.NewDaemon(smd.Config{TotalPages: *clusterMiB << 20 / pages.Size})
-		sma.AttachDaemon(daemon.Register(*name, sma))
+		proc := daemon.Register(*name, sma)
+		if *tenant != "" {
+			daemon.SetTenant(proc, smd.TenantSpec{Tenant: *tenant, Class: *tenantClass, SLOMs: *sloMs})
+		}
+		sma.AttachDaemon(proc)
 		if reg != nil {
 			daemon.RegisterMetrics(reg)
 		}
@@ -173,7 +185,8 @@ func main() {
 		cli, err := ipc.DialResilient(*smdNetwork, *smdAddr, *name, sma,
 			ipc.WithDialTimeout(5*time.Second),
 			ipc.WithBackoff(time.Duration(*backoffMs)*time.Millisecond, time.Duration(*backoffMax)*time.Millisecond),
-			ipc.WithJitterSeed(*jitterSeed))
+			ipc.WithJitterSeed(*jitterSeed),
+			ipc.WithTenant(*tenant, *tenantClass, *sloMs))
 		if err != nil {
 			log.Fatalf("softkv: daemon: %v", err)
 		}
@@ -262,6 +275,9 @@ func main() {
 					"stats": daemon.Stats(),
 					"procs": daemon.Snapshot(),
 				}
+			}
+			endpoints["qos"] = func() any {
+				return map[string]any{"qos": daemon.QoSSnapshot()}
 			}
 		}
 		if spillStore != nil {

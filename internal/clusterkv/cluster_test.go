@@ -22,6 +22,7 @@ type testNode struct {
 	node  *Node
 	store *kvstore.Store
 	sma   *core.SMA
+	srv   *kvstore.Server
 }
 
 // startNode brings up a full node. d joins the node's machine into the
@@ -61,7 +62,7 @@ func startNode(t *testing.T, d *smd.Daemon, seeds []string, tweak func(*Config))
 		t.Fatalf("Start(%s): %v", cfg.Addr, err)
 	}
 	t.Cleanup(n.Close)
-	return &testNode{addr: cfg.Addr, node: n, store: st, sma: sma}
+	return &testNode{addr: cfg.Addr, node: n, store: st, sma: sma, srv: srv}
 }
 
 // startCluster forms an n-node cluster seeded through the first node
@@ -266,6 +267,74 @@ func TestReplicationAndWait(t *testing.T) {
 		_, ok, _ := byAddr[rep].store.Get(key)
 		return !ok
 	})
+}
+
+// TestWaitAccurateUnderUnrelatedBacklog is the regression test for the
+// per-sender WAIT gap: the reply used to be computed as "is EVERY
+// replication sender fully drained", collapsing to 0 whenever any
+// sender held a backlog — even backlog from other connections bound for
+// other replicas. With per-session tracking, WAIT compares each
+// recorded sender's monotonic acked high-water mark against the
+// session's own last write, so only the caller's genuinely unacked
+// writes can hold the reply down. Pre-fix, the first WAIT below
+// replies 0.
+func TestWaitAccurateUnderUnrelatedBacklog(t *testing.T) {
+	nodes := startCluster(t, 3)
+	a := nodes[0]
+	r := a.node.Ring()
+
+	// keyTo finds a key this node owns whose replica is rep.
+	keyTo := func(rep string) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("wait-%d-%s", i, rep)
+			if r.Owner(SlotForKey(k)) == a.addr && r.Replica(SlotForKey(k)) == rep {
+				return k
+			}
+		}
+	}
+	keyLive := keyTo(nodes[1].addr)
+	keyDead := keyTo(nodes[2].addr)
+
+	// Sever node 2's RESP listener: gossip rides the separate peer port,
+	// so the ring keeps it as a member while node 0's replication sender
+	// for it backlogs behind redial backoff.
+	nodes[2].srv.Close()
+
+	backlogConn, err := kvstore.DialClient("tcp", a.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backlogConn.Close()
+	mainConn, err := kvstore.DialClient("tcp", a.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mainConn.Close()
+
+	// Unrelated backlog: another connection's write bound for the dead
+	// replica sits unacked in its sender forever.
+	if _, _, err := backlogConn.Do("SET", keyDead, "stuck"); err != nil {
+		t.Fatalf("SET %s: %v", keyDead, err)
+	}
+	// The session under test writes only to the live replica.
+	if _, _, err := mainConn.Do("SET", keyLive, "replicated"); err != nil {
+		t.Fatalf("SET %s: %v", keyLive, err)
+	}
+	v, _, err := mainConn.Do("WAIT", "1", "5000")
+	if err != nil {
+		t.Fatalf("WAIT: %v", err)
+	}
+	if string(v) != "1" {
+		t.Fatalf("WAIT = %q under unrelated backlog, want 1 (live replica acked this session's write)", v)
+	}
+	// The backlogged session really is unreplicated: its own WAIT stays 0.
+	v, _, err = backlogConn.Do("WAIT", "1", "100")
+	if err != nil {
+		t.Fatalf("backlog WAIT: %v", err)
+	}
+	if string(v) != "0" {
+		t.Fatalf("backlogged session WAIT = %q, want 0", v)
+	}
 }
 
 // TestRingHealsOnNodeDeath removes a member and verifies the survivors

@@ -13,7 +13,7 @@ import (
 // command whose key this node does not own (answered with -MOVED), and
 // it observes locally applied writes to feed the replication fan-out.
 
-var _ kvstore.ClusterHook = (*Node)(nil)
+var _ kvstore.SessionClusterHook = (*Node)(nil)
 
 // Key-argument schemes for routed commands.
 const (
@@ -132,21 +132,13 @@ func (n *Node) Handle(cmd string, args [][]byte, rw kvstore.ReplyWriter) {
 			rw.WriteInteger(0)
 		}
 	case "WAIT":
-		// WAIT <numreplicas> <timeout-ms>: block until every replication
-		// sender has acked the writes enqueued before the call, replying
-		// with the count of acked replicas. This is the eventual-ack
-		// consistency mode: SET then WAIT means the write survives this
-		// node's death once WAIT returns a nonzero count. The reply is
-		// deliberately conservative — replication is tracked per sender,
-		// not per key, so if ANY sender is still undrained the caller's
-		// write might be sitting in it and the reply is 0.
-		timeout := time.Second
-		if len(args) >= 3 {
-			if ms, err := strconv.Atoi(string(args[2])); err == nil && ms >= 0 {
-				timeout = time.Duration(ms) * time.Millisecond
-			}
-		}
-		acked, total := n.repl.wait(timeout)
+		// WAIT without a session (a direct Handle call): fall back to the
+		// drain-everything check. The reply is conservative — with no
+		// session there is no record of which sender holds the caller's
+		// writes, so if ANY sender is still undrained the reply is 0.
+		// Connections served by the kvstore server go through
+		// HandleSession instead, which answers per-session.
+		acked, total := n.repl.wait(waitTimeout(args))
 		if acked < total {
 			acked = 0
 		}
@@ -236,11 +228,69 @@ func upper(b []byte) string {
 	return string(out)
 }
 
-// OnApply implements kvstore.ClusterHook: every locally applied write
-// on an owned slot is handed to the slot successor's sender. Values are
-// copied (the server's buffers are reused); replica applies never land
-// here because the hook writes them straight to the store.
+// waitTimeout parses WAIT's <timeout-ms> argument (default 1s).
+func waitTimeout(args [][]byte) time.Duration {
+	timeout := time.Second
+	if len(args) >= 3 {
+		if ms, err := strconv.Atoi(string(args[2])); err == nil && ms >= 0 {
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+	}
+	return timeout
+}
+
+// NewSession implements kvstore.SessionClusterHook.
+func (n *Node) NewSession() kvstore.ClusterSession { return &replSession{} }
+
+// HandleSession implements kvstore.SessionClusterHook: WAIT answers
+// against the session's own replicated writes; every other claimed
+// command is session-independent and falls through to Handle.
+func (n *Node) HandleSession(sess kvstore.ClusterSession, cmd string, args [][]byte, rw kvstore.ReplyWriter) {
+	if cmd == "WAIT" {
+		n.handleWait(sess, args, rw)
+		return
+	}
+	n.Handle(cmd, args, rw)
+}
+
+// handleWait serves WAIT <numreplicas> <timeout-ms>: block until every
+// replica holding one of the session's writes has acked the last of
+// them, replying with the count of replicas that hold ALL of the
+// session's writes. This is the eventual-ack consistency mode: SET then
+// WAIT means the write survives this node's death once WAIT returns a
+// nonzero count. Acks compare per-sender monotonic high-water marks
+// against the session's recorded enqueue sequences, so unrelated
+// backlog — other connections' writes, other senders entirely — cannot
+// zero the reply; only a genuinely unacked (or shed) session write can.
+func (n *Node) handleWait(sess kvstore.ClusterSession, args [][]byte, rw kvstore.ReplyWriter) {
+	rs, _ := sess.(*replSession)
+	if rs == nil || len(rs.last) == 0 {
+		// No replicated writes on this connection: every replica
+		// trivially holds all of them. Report the live replication
+		// targets, like Redis reports its connected replica count.
+		rw.WriteInteger(int64(n.repl.senderCount()))
+		return
+	}
+	rw.WriteInteger(int64(n.repl.waitSession(rs.last, waitTimeout(args))))
+}
+
+// OnApply implements kvstore.ClusterHook (session-less callers).
 func (n *Node) OnApply(op kvstore.Op, key string, val []byte) {
+	n.onApply(nil, op, key, val)
+}
+
+// OnApplySession implements kvstore.SessionClusterHook.
+func (n *Node) OnApplySession(sess kvstore.ClusterSession, op kvstore.Op, key string, val []byte) {
+	rs, _ := sess.(*replSession)
+	n.onApply(rs, op, key, val)
+}
+
+// onApply hands every locally applied write on an owned slot to the
+// slot successor's sender, recording the enqueue on the session (when
+// there is one) so WAIT can answer per-connection. Values are copied
+// (the server's buffers are reused); replica applies never land here
+// because the hook writes them straight to the store.
+func (n *Node) onApply(sess *replSession, op kvstore.Op, key string, val []byte) {
 	r := n.ring.Load()
 	if r == nil || len(r.Table.Nodes) <= 1 {
 		return
@@ -258,5 +308,11 @@ func (n *Node) OnApply(op kvstore.Op, key string, val []byte) {
 		e.val = append([]byte(nil), val...)
 	}
 	n.met.replSent.Add(1)
-	n.repl.enqueue(rep, e)
+	sender, seq, ok := n.repl.enqueue(rep, e)
+	if sess != nil && sender != nil {
+		if !ok {
+			seq = droppedSeq
+		}
+		sess.record(sender, seq)
+	}
 }

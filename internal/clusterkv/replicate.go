@@ -45,11 +45,14 @@ func newReplicator(n *Node) *replicator {
 }
 
 // enqueue hands one write to addr's sender, creating it on first use.
-func (r *replicator) enqueue(addr string, e replEntry) {
+// It returns the sender, the accepted write's sequence number, and
+// whether the write was queued at all (false: replicator closed or the
+// sender's queue was full — the write is gone).
+func (r *replicator) enqueue(addr string, e replEntry) (*replSender, uint64, bool) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		return
+		return nil, 0, false
 	}
 	s := r.senders[addr]
 	if s == nil {
@@ -62,7 +65,37 @@ func (r *replicator) enqueue(addr string, e replEntry) {
 		}()
 	}
 	r.mu.Unlock()
-	s.enqueue(e)
+	seq, ok := s.enqueue(e)
+	return s, seq, ok
+}
+
+// senderCount reports the number of live replication targets.
+func (r *replicator) senderCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.senders)
+}
+
+// waitSession blocks until every sender recorded in last has acked the
+// session's write, or the deadline passes, returning how many replicas
+// hold ALL of the session's writes. A droppedSeq entry never acks (the
+// write was shed and will never reach the replica), so WAIT stays
+// fail-closed exactly where a write was actually lost — but a backlog of
+// unrelated writes on other senders no longer zeroes the reply.
+func (r *replicator) waitSession(last map[*replSender]uint64, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		acked := 0
+		for s, seq := range last {
+			if seq != droppedSeq && s.ackedAtLeast(seq) {
+				acked++
+			}
+		}
+		if acked == len(last) || !time.Now().Before(deadline) {
+			return acked
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // retarget drops senders for peers no longer in the table, discarding
@@ -126,19 +159,30 @@ func newReplSender(n *Node, addr string) *replSender {
 	return s
 }
 
-func (s *replSender) enqueue(e replEntry) {
+// enqueue queues one entry, returning its sequence number. ok is false
+// when the write was not accepted (sender closed or queue full).
+func (s *replSender) enqueue(e replEntry) (uint64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return
+		return 0, false
 	}
 	if len(s.queue) >= replQueueCap {
 		s.n.met.replDropped.Add(1)
-		return
+		return 0, false
 	}
 	s.queue = append(s.queue, e)
 	s.enqSeq++
 	s.cond.Signal()
+	return s.enqSeq, true
+}
+
+// ackedAtLeast reports whether the replica has confirmed every write up
+// to and including seq.
+func (s *replSender) ackedAtLeast(seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ackSeq >= seq
 }
 
 // waitDrained blocks until everything enqueued before the call has been

@@ -1,0 +1,37 @@
+package clusterkv
+
+// Per-connection replication sessions: the state behind the accurate
+// WAIT reply. Each RESP connection gets one replSession; every write the
+// connection replicates records (sender, sequence) of its enqueue, and
+// WAIT then asks each recorded sender whether its acked high-water mark
+// has reached the session's last sequence. Unrelated backlog in OTHER
+// senders — or other connections' writes queued behind — no longer drags
+// the reply to 0.
+//
+// A session is confined to its connection's goroutine (the kvstore
+// server guarantees per-connection serialization), so record needs no
+// locking; the sender's own mutex covers the ack comparison.
+
+// droppedSeq marks a sender whose queue was full (or closed) when the
+// session's write arrived: the write was never shipped and never will
+// be, so WAIT fails closed for that replica. The mark is sticky — later
+// writes acking cannot resurrect a replica that is missing one of the
+// session's earlier writes.
+const droppedSeq = ^uint64(0)
+
+// replSession is one connection's replication high-water marks.
+type replSession struct {
+	last map[*replSender]uint64 // sender -> seq of this session's last accepted write
+}
+
+// record notes the session's latest write on snd. seq == droppedSeq
+// poisons the sender for this session (see above).
+func (s *replSession) record(snd *replSender, seq uint64) {
+	if s.last == nil {
+		s.last = make(map[*replSender]uint64, 2)
+	}
+	if s.last[snd] == droppedSeq {
+		return
+	}
+	s.last[snd] = seq
+}

@@ -41,8 +41,16 @@ type Context struct {
 	// handle on this context (owner goroutines and caller-runs batches
 	// alike) — the denominator of the lock-amortization evidence.
 	ownedAcquires atomic.Int64
-	heap          *alloc.Heap
-	closed        bool
+	// stallNs totals time Owned holders spent inside contended Yields —
+	// the reclaim-stall windows where an owner handed the lock to a
+	// waiter (a reclamation demand above all) and re-took it. Unlike the
+	// per-handle Owned.stallNs it is an atomic, so cross-goroutine
+	// aggregators (Store.StallNanos → the SMA's QoS self-report) can read
+	// it without touching the heap lock. Only accounted on paths that
+	// already blocked, so the uncontended fast path stays clock-free.
+	stallNs atomic.Int64
+	heap    *alloc.Heap
+	closed  bool
 	// pins counts active Pins per allocation; pinned allocations cannot
 	// be freed or reclaimed.
 	pins map[alloc.Ref]int

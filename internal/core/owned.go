@@ -51,6 +51,11 @@ func (c *Context) Own() *Owned { return &Owned{ctx: c} }
 // this context's heap lock, across all handles.
 func (c *Context) OwnedAcquisitions() int64 { return c.ownedAcquires.Load() }
 
+// StallNanos returns cumulative time Owned holders of this context spent
+// inside contended Yields, across all handles — the context-wide
+// reclaim-stall signal feeding the process's QoS self-report.
+func (c *Context) StallNanos() int64 { return c.stallNs.Load() }
+
 // Context returns the owned context.
 func (o *Owned) Context() *Context { return o.ctx }
 
@@ -152,7 +157,9 @@ func (o *Owned) Yield() error {
 	o.Release()
 	runtime.Gosched()
 	err := o.acquire(false)
-	o.stallNs += time.Since(t0).Nanoseconds()
+	d := time.Since(t0).Nanoseconds()
+	o.stallNs += d
+	o.ctx.stallNs.Add(d)
 	return err
 }
 

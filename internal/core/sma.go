@@ -52,6 +52,13 @@ type Usage struct {
 	// reclaimed soft data demoted to local disk and still live there.
 	// Zero when the process runs without a spill tier.
 	SpilledBytes int64 `json:",omitempty"`
+	// StallNs is the process's cumulative reclamation-stall time in
+	// nanoseconds: serving-path time lost inside reclaim-yield windows
+	// and spill promotions (the yield_stall / spill_promote span signal,
+	// aggregated). The daemon differentiates successive reports into a
+	// stall rate that feeds stall-aware QoS victim selection. Zero when
+	// the process does not wire a stall reporter.
+	StallNs int64 `json:",omitempty"`
 }
 
 // DaemonClient is the SMA's view of the Soft Memory Daemon. The in-process
@@ -177,6 +184,10 @@ type SMA struct {
 	// for the daemon self-report (an atomic pointer so usage() — called
 	// from budget paths with no heap locks held — reads it lock-free).
 	spillReport atomic.Pointer[func() int64]
+	// stallReport, when set, supplies the process's cumulative
+	// reclamation-stall nanoseconds for the daemon self-report (same
+	// lock-free atomic-pointer contract as spillReport).
+	stallReport atomic.Pointer[func() int64]
 
 	// budgetMu single-flights daemon round-trips: when many goroutines
 	// hit the budget ceiling at once, one performs the request and the
@@ -364,11 +375,30 @@ func (s *SMA) SetSpillReporter(fn func() int64) {
 	s.spillReport.Store(&fn)
 }
 
+// SetStallReporter wires a cumulative reclamation-stall source
+// (typically kvstore.Store.StallNanos, summing contended-yield windows
+// and spill-promotion time) into the daemon self-report, making SMD
+// stall-aware: the daemon can see how much each process is actually
+// hurting from reclamation and pick victims accordingly. Same contract
+// as SetSpillReporter: called from budget round-trips with no heap
+// locks held, must be concurrency-safe, must not call back into the
+// SMA. A nil reporter detaches it.
+func (s *SMA) SetStallReporter(fn func() int64) {
+	if fn == nil {
+		s.stallReport.Store(nil)
+		return
+	}
+	s.stallReport.Store(&fn)
+}
+
 // usage snapshots the self-report sent with daemon interactions.
 func (s *SMA) usage() Usage {
 	u := Usage{UsedPages: int(s.used.Load()), TraditionalBytes: s.traditional.Load()}
 	if fn := s.spillReport.Load(); fn != nil {
 		u.SpilledBytes = (*fn)()
+	}
+	if fn := s.stallReport.Load(); fn != nil {
+		u.StallNs = (*fn)()
 	}
 	return u
 }

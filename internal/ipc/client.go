@@ -137,7 +137,8 @@ func Dial(network, addr, name string, target DemandTarget, opts ...DialOption) (
 	go func() { _ = c.conn.Serve() }()
 
 	var resp RegisterResp
-	if err := c.conn.Call(KindRegister, RegisterReq{Name: name}, &resp); err != nil {
+	reg := RegisterReq{Name: name, Tenant: o.tenant, Class: o.class, SLOMs: o.sloMs}
+	if err := c.conn.Call(KindRegister, reg, &resp); err != nil {
 		_ = c.conn.Close()
 		return nil, fmt.Errorf("ipc: register: %w", err)
 	}

@@ -12,9 +12,15 @@ const (
 )
 
 // RegisterReq announces a process to the daemon; it must be the first
-// request on a connection.
+// request on a connection. The optional tenant fields attach a QoS spec
+// (smd.TenantSpec) at registration, so stall-aware victim selection
+// knows the process's priority class and latency SLO from its first
+// budget request. Daemons predating the fields ignore them.
 type RegisterReq struct {
-	Name string `json:"name"`
+	Name   string `json:"name"`
+	Tenant string `json:"tenant,omitempty"`
+	Class  int    `json:"class,omitempty"`
+	SLOMs  int    `json:"slo_ms,omitempty"`
 }
 
 // RegisterResp acknowledges registration.

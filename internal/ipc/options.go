@@ -17,6 +17,9 @@ type dialOptions struct {
 	maxBackoff time.Duration
 	jitterSeed int64
 	logf       func(string, ...any)
+	tenant     string
+	class      int
+	sloMs      int
 }
 
 func resolveOptions(opts []DialOption) dialOptions {
@@ -58,6 +61,20 @@ func WithBackoff(initial, max time.Duration) DialOption {
 // are what keep their retries from arriving in lockstep.
 func WithJitterSeed(seed int64) DialOption {
 	return func(o *dialOptions) { o.jitterSeed = seed }
+}
+
+// WithTenant attaches a QoS tenant spec to the registration: tenant
+// name, priority class (0 best-effort .. 2 latency-critical), and
+// latency SLO in milliseconds (0 = the daemon's reference SLO). The
+// daemon's stall-aware victim selection uses the spec to decide who
+// pays for reclamation; an empty tenant name (the default) leaves the
+// process on legacy weight-ordered treatment.
+func WithTenant(tenant string, class, sloMs int) DialOption {
+	return func(o *dialOptions) {
+		o.tenant = tenant
+		o.class = class
+		o.sloMs = sloMs
+	}
 }
 
 // WithLogf routes connection lifecycle messages (default log.Printf).

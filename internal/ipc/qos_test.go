@@ -1,0 +1,118 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+
+	"softmem/internal/core"
+	"softmem/internal/smd"
+)
+
+// fakeProcess is a minimal Process for resilient-client tests.
+type fakeProcess struct{}
+
+func (fakeProcess) HandleDemand(int) int { return 0 }
+func (fakeProcess) Usage() core.Usage    { return core.Usage{} }
+func (fakeProcess) BudgetPages() int     { return 0 }
+func (fakeProcess) ResetBudget(int)      {}
+
+// TestTenantSpecFlowsOverWire: WithTenant on Dial lands in the daemon's
+// QoS table via the registration frame, and the StallNs self-report
+// piggybacked on budget traffic reaches the daemon's stall tracking.
+func TestTenantSpecFlowsOverWire(t *testing.T) {
+	daemon, addr := startServer(t, smd.Config{TotalPages: 100})
+	cli, err := Dial("tcp", addr, "kv", nil, WithTenant("frontend", 2, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	qs := daemon.QoSSnapshot()
+	if len(qs) != 1 {
+		t.Fatalf("QoSSnapshot len = %d", len(qs))
+	}
+	q := qs[0]
+	if q.Tenant != "frontend" || q.Class != 2 || q.SLOMs != 25 {
+		t.Fatalf("tenant spec did not survive the wire: %+v", q)
+	}
+
+	// StallNs rides the existing Usage frames: a report with a stall
+	// counter must update the daemon's view without any new message kind.
+	if err := cli.ReportUsage(core.Usage{UsedPages: 5, StallNs: int64(time.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range daemon.Snapshot() {
+		if p.Name == "kv" {
+			found = true
+			if p.Usage.StallNs != int64(time.Millisecond) {
+				t.Fatalf("daemon StallNs = %d, want %d", p.Usage.StallNs, int64(time.Millisecond))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("proc not in snapshot")
+	}
+}
+
+// TestDialWithoutTenantStaysLegacy: no WithTenant means no QoS spec, so
+// the daemon keeps legacy ordering for this process.
+func TestDialWithoutTenantStaysLegacy(t *testing.T) {
+	daemon, addr := startServer(t, smd.Config{TotalPages: 100})
+	cli, err := Dial("tcp", addr, "plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for _, q := range daemon.QoSSnapshot() {
+		if q.Tenant != "" {
+			t.Fatalf("unexpected tenant spec: %+v", q)
+		}
+	}
+}
+
+// TestResilientRestoresTenantOnReconnect: a daemon restart wipes the
+// QoS table; the resilient client's re-registration must restore the
+// tenant spec, not just the name.
+func TestResilientRestoresTenantOnReconnect(t *testing.T) {
+	daemon := smd.NewDaemon(smd.Config{TotalPages: 100})
+	srv := NewServer(daemon, func(string, ...any) {})
+	addr, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+
+	r, err := DialResilient("tcp", addr.String(), "kv", fakeProcess{},
+		WithTenant("frontend", 2, 25),
+		WithBackoff(5*time.Millisecond, 20*time.Millisecond),
+		WithLogf(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Restart the daemon on the same port with a fresh (empty) QoS table.
+	srv.Close()
+	daemon2 := smd.NewDaemon(smd.Config{TotalPages: 100})
+	srv2 := NewServer(daemon2, func(string, ...any) {})
+	if _, err := srv2.Listen("tcp", addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv2.Serve() }()
+	defer srv2.Close()
+
+	// Drive traffic until the client reconnects and re-registers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _ = r.RequestBudget(1, core.Usage{})
+		qs := daemon2.QoSSnapshot()
+		if len(qs) == 1 && qs[0].Tenant == "frontend" && qs[0].Class == 2 && qs[0].SLOMs == 25 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant spec not restored after reconnect: %+v", qs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

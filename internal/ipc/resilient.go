@@ -101,7 +101,12 @@ func DialResilientConfig(cfg ResilientConfig, proc Process) (*Resilient, error) 
 
 // dial performs one connection attempt with the client's options.
 func (r *Resilient) dial() (*Client, error) {
-	cli, err := Dial(r.network, r.addr, r.name, r.proc, WithDialTimeout(r.opt.timeout))
+	// The tenant spec is re-sent on every reconnect registration: a
+	// restarted daemon has lost its QoS table, so each redial restores
+	// this process's class and SLO along with its name.
+	cli, err := Dial(r.network, r.addr, r.name, r.proc,
+		WithDialTimeout(r.opt.timeout),
+		WithTenant(r.opt.tenant, r.opt.class, r.opt.sloMs))
 	if err != nil {
 		return nil, err
 	}

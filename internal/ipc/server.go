@@ -158,6 +158,9 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 			name = req.Name
 			proc = s.daemon.Register(req.Name, target)
+			if req.Tenant != "" {
+				s.daemon.SetTenant(proc, smd.TenantSpec{Tenant: req.Tenant, Class: req.Class, SLOMs: req.SLOMs})
+			}
 			return RegisterResp{ProcID: int(proc.ID())}, nil
 		case KindRequestBudget:
 			if proc == nil {

@@ -8,6 +8,7 @@ import (
 
 	"softmem/internal/core"
 	"softmem/internal/pages"
+	"softmem/internal/sds"
 )
 
 // Alloc probes: closures exercising the steady-state RESP parse and
@@ -94,8 +95,20 @@ func DispatchProbe() (probe, cleanup func()) {
 // counters so callers can pin that every probe GET was served with zero
 // locks (hits == calls, fallbacks == 0).
 func LockFreeGetProbe() (probe func(), stats func() (hits, misses, fallbacks, condemned int64), cleanup func()) {
+	return lockFreeGetProbe(sds.EvictOldest)
+}
+
+// LockFreeGetProbeLRU is LockFreeGetProbe on an EvictLRU store: the
+// probe pins that LRU tables serve the same zero-lock optimistic GETs
+// (recency survives as lazily-sampled per-entry clock stamps instead of
+// list moves).
+func LockFreeGetProbeLRU() (probe func(), stats func() (hits, misses, fallbacks, condemned int64), cleanup func()) {
+	return lockFreeGetProbe(sds.EvictLRU)
+}
+
+func lockFreeGetProbe(policy sds.EvictPolicy) (probe func(), stats func() (hits, misses, fallbacks, condemned int64), cleanup func()) {
 	sma := core.New(core.Config{Machine: pages.NewPool(0)})
-	st := New(sma, WithName("lockfree-probe"))
+	st := New(sma, WithName("lockfree-probe"), WithPolicy(policy))
 	key := "probe:lockfree:key"
 	if err := st.Set(key, []byte("probe-value-0123456789")); err != nil {
 		panic(err)

@@ -43,6 +43,31 @@ type ClusterHook interface {
 	OnApply(op Op, key string, val []byte)
 }
 
+// ClusterSession is an opaque per-connection state handle minted by a
+// SessionClusterHook. The server keeps one per connection and passes it
+// back on every session-aware hook call; only the hook looks inside.
+// Sessions are confined to their connection's goroutine, so hooks need
+// no locking for state reached only through the session.
+type ClusterSession any
+
+// SessionClusterHook extends ClusterHook with per-connection sessions,
+// for commands whose reply depends on what THIS connection did — WAIT
+// must report how many replicas hold the session's own writes, not
+// whether every replication queue on the node happens to be drained.
+// When the installed hook implements it, the server routes claimed
+// commands through HandleSession and applied writes through
+// OnApplySession, both with the connection's session; plain ClusterHook
+// users are untouched.
+type SessionClusterHook interface {
+	ClusterHook
+	// NewSession mints one connection's session state.
+	NewSession() ClusterSession
+	// HandleSession is Handle with the connection's session.
+	HandleSession(sess ClusterSession, cmd string, args [][]byte, rw ReplyWriter)
+	// OnApplySession is OnApply with the connection's session.
+	OnApplySession(sess ClusterSession, op Op, key string, val []byte)
+}
+
 // SetCluster installs (or, with nil, removes) the server's cluster
 // hook. Safe to call while serving; connections pick the change up on
 // their next command.
@@ -67,7 +92,7 @@ func (s *Server) hook() ClusterHook {
 
 // onApplyBatch forwards a settled batch's successful writes to the
 // hook, in batch order.
-func onApplyBatch(h ClusterHook, cmds []Command) {
+func onApplyBatch(h ClusterHook, sess ClusterSession, cmds []Command) {
 	for i := range cmds {
 		c := &cmds[i]
 		if c.Err != nil {
@@ -75,9 +100,19 @@ func onApplyBatch(h ClusterHook, cmds []Command) {
 		}
 		switch c.Op {
 		case OpSet, OpDel:
-			h.OnApply(c.Op, c.Key, c.Arg)
+			applyHook(h, sess, c.Op, c.Key, c.Arg)
 		}
 	}
+}
+
+// applyHook forwards one locally applied write to the hook, preferring
+// the session-aware variant when the hook provides it.
+func applyHook(h ClusterHook, sess ClusterSession, op Op, key string, val []byte) {
+	if sh, ok := h.(SessionClusterHook); ok {
+		sh.OnApplySession(sess, op, key, val)
+		return
+	}
+	h.OnApply(op, key, val)
 }
 
 // IsMoved reports whether err is a cluster redirect ("MOVED <slot>

@@ -42,6 +42,15 @@ type LoadGenConfig struct {
 	// RefillOnMiss re-SETs a key after a GET miss, modelling a cache in
 	// front of a database. Default true (set NoRefill to disable).
 	NoRefill bool
+	// HotKeys and HotFraction model a hot-key storm on top of the Zipf
+	// base workload: with probability HotFraction each operation targets
+	// a uniformly chosen key in [0, HotKeys) instead of its Zipf sample.
+	// HotKeys 0 (the default) disables the storm. A small HotKeys with a
+	// large HotFraction concentrates traffic on a handful of keys — the
+	// antagonist pattern the QoS experiments use to hammer one tenant
+	// while another serves its normal distribution.
+	HotKeys     uint64
+	HotFraction float64
 	// Seed drives the key streams.
 	Seed int64
 }
@@ -85,6 +94,12 @@ func (c *LoadGenConfig) validate() error {
 	}
 	if c.Skew <= 1 {
 		return fmt.Errorf("kvstore: Zipf skew %v must be > 1", c.Skew)
+	}
+	if c.HotFraction < 0 || c.HotFraction > 1 {
+		return fmt.Errorf("kvstore: HotFraction %v out of range [0, 1]", c.HotFraction)
+	}
+	if c.HotFraction > 0 && c.HotKeys == 0 {
+		return fmt.Errorf("kvstore: HotFraction %v needs HotKeys > 0", c.HotFraction)
 	}
 	return nil
 }
@@ -171,11 +186,19 @@ func keyNames(keys uint64) []string {
 func genOps(cfg LoadGenConfig, id, n int, names []string) []genOp {
 	keys := trace.NewZipfKeys(cfg.Seed+int64(id), cfg.Keys, cfg.Skew)
 	opPick := trace.NewUniformKeys(cfg.Seed+1000+int64(id), 1000)
+	var hotPick, hotKeys *trace.UniformKeys
+	if cfg.HotKeys > 0 && cfg.HotFraction > 0 {
+		hotPick = trace.NewUniformKeys(cfg.Seed+2000+int64(id), 1000)
+		hotKeys = trace.NewUniformKeys(cfg.Seed+3000+int64(id), cfg.HotKeys)
+	}
 	ops := make([]genOp, n)
 	for i := range ops {
 		k := keys.Next()
+		if hotPick != nil && float64(hotPick.Next()) < cfg.HotFraction*1000 {
+			k = hotKeys.Next()
+		}
 		var name string
-		if names != nil {
+		if names != nil && k < uint64(len(names)) {
 			name = names[k]
 		} else {
 			name = trace.Key(k)

@@ -46,6 +46,89 @@ func TestLockFreeGetProbeZeroLocks(t *testing.T) {
 	}
 }
 
+// TestLockFreeGetProbeLRUZeroLocks is the same evidence test on an
+// EvictLRU store — the PR 10 bugfix: LRU tables were wholesale excluded
+// from the optimistic path because a lock-free read could not update
+// recency. With lazily-sampled per-entry clock stamps they serve the
+// identical zero-lock GETs.
+func TestLockFreeGetProbeLRUZeroLocks(t *testing.T) {
+	probe, stats, cleanup := LockFreeGetProbeLRU()
+	defer cleanup()
+
+	probe() // warm the reusable state
+	h0, _, f0, c0 := stats()
+
+	const calls = 500
+	events := MutexContentionProbe(func() {
+		for i := 0; i < calls; i++ {
+			probe()
+		}
+	})
+	if events != 0 {
+		t.Fatalf("LRU lock-free GET path produced %d mutex contention events, want 0", events)
+	}
+	h1, _, f1, c1 := stats()
+	if got := h1 - h0; got != calls {
+		t.Fatalf("lock-free hits = %d of %d GETs; the optimistic path is not serving LRU", got, calls)
+	}
+	if f1 != f0 || c1 != c0 {
+		t.Fatalf("LRU probe GETs fell back to the locked path: fallbacks +%d condemned +%d", f1-f0, c1-c0)
+	}
+	if n := testing.AllocsPerRun(200, probe); n > 1 {
+		t.Fatalf("LRU lock-free GET allocates %.1f allocs/op, want <= 1", n)
+	}
+}
+
+// TestLockFreeStaleTTLMissStaysLockFree is the regression test for the
+// expiry detour: a GET on a key with a due TTL deadline used to take the
+// locked expireIfDue path even when the key was already gone from both
+// tiers. With ContainsLockFree confirming absence first, the miss stays
+// lock-free, counts in LockFreeMisses, and the stale deadline is
+// dropped. Pre-fix, the lock-free miss counter stays flat here.
+func TestLockFreeStaleTTLMissStaysLockFree(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	sma := core.New(core.Config{Machine: pages.NewPool(0)})
+	st := New(sma, WithName("lf-stale-ttl"), WithClock(clock))
+	defer st.Close()
+
+	if err := st.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Expire("k", time.Second) {
+		t.Fatal("Expire refused")
+	}
+	// FlushAll deletes the entry but leaves the deadline behind — the
+	// one path that strands a TTL on an absent key.
+	if err := st.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Second)
+
+	_, m0, _, _ := st.lockFreeTotals()
+	if _, ok, err := st.Get("k"); err != nil || ok {
+		t.Fatalf("Get(stale) = %v, %v, want clean miss", ok, err)
+	}
+	_, m1, _, _ := st.lockFreeTotals()
+	if m1 != m0+1 {
+		t.Fatalf("LockFreeMisses %d -> %d; confirmed-absent miss took the locked path", m0, m1)
+	}
+	if st.Expired() != 0 {
+		t.Fatalf("phantom expiry counted: %d", st.Expired())
+	}
+	// The stale deadline must be gone: the next GET goes straight down
+	// the not-due optimistic path (another lock-free miss).
+	if sh := st.shard("k"); sh.ttl.due("k") {
+		t.Fatal("stale deadline survived the lock-free miss")
+	}
+	if _, ok, _ := st.Get("k"); ok {
+		t.Fatal("absent key hit")
+	}
+	if _, m2, _, _ := st.lockFreeTotals(); m2 != m1+1 {
+		t.Fatalf("follow-up miss not lock-free: %d -> %d", m1, m2)
+	}
+}
+
 // TestLockFreeGetValues pins correctness of the optimistic store paths
 // against the locked implementation: hits, misses, replacement,
 // deletion, Exists, and stats accounting.

@@ -153,17 +153,23 @@ func (s *Server) serveConn(nc net.Conn) {
 		if h := s.hook(); h != nil && h.Claim(cmd, args) {
 			// Cluster-claimed command (redirect, replica apply, admin):
 			// settle queued work first so per-connection reply order is
-			// preserved, then let the hook write its reply.
+			// preserved, then let the hook write its reply. Session-aware
+			// hooks get the connection's session (WAIT answers relative
+			// to this connection's own writes).
 			ce.settle(rw)
-			h.Handle(cmd, args, rw)
+			if sh, ok := h.(SessionClusterHook); ok {
+				sh.HandleSession(ce.session(h), cmd, args, rw)
+			} else {
+				h.Handle(cmd, args, rw)
+			}
 		} else if len(ce.specs) == 0 && cr.buffered() == 0 {
 			// Serial client (no pipelined input, nothing queued): skip
 			// the batch machinery and execute inline — the unpipelined
 			// round trip stays identical to the pre-engine hot path.
-			quit = s.execute(rw, cmd, args)
+			quit = s.executeConn(ce, rw, cmd, args)
 		} else if !ce.enqueue(cmd, args) {
 			ce.settle(rw)
-			quit = s.execute(rw, cmd, args)
+			quit = s.executeConn(ce, rw, cmd, args)
 		}
 		if quit || cr.buffered() == 0 {
 			ce.settle(rw)
@@ -227,6 +233,26 @@ type connExec struct {
 	batch *Batch
 	specs []replySpec
 	arena []byte
+	// Session state for a SessionClusterHook, minted lazily and re-minted
+	// if SetCluster swaps the hook mid-connection (sessHook is the raw
+	// hook the session belongs to).
+	sessHook ClusterHook
+	sess     ClusterSession
+}
+
+// session returns the connection's session for h, minting it on first
+// use (nil for hooks without session support, and on the nil receiver —
+// direct execute calls carry no connection).
+func (ce *connExec) session(h ClusterHook) ClusterSession {
+	sh, ok := h.(SessionClusterHook)
+	if !ok || ce == nil {
+		return nil
+	}
+	if ce.sess == nil || ce.sessHook != h {
+		ce.sess = sh.NewSession()
+		ce.sessHook = h
+	}
+	return ce.sess
 }
 
 // copyVal copies a parser-owned value into the arena, returning a slice
@@ -381,7 +407,7 @@ func (ce *connExec) settle(rw *respWriter) {
 	}
 	_ = ce.batch.Exec()
 	if h := ce.s.hook(); h != nil {
-		onApplyBatch(h, ce.batch.cmds)
+		onApplyBatch(h, ce.session(h), ce.batch.cmds)
 	}
 	if m != nil || a != nil {
 		// The settle's wall time is shared evenly across its commands —
@@ -592,13 +618,19 @@ func canonicalCommand(name []byte) string {
 // copied into soft memory by the store, and keys are copied by their
 // string conversion at each store call site.
 func (s *Server) execute(rw *respWriter, cmd string, args [][]byte) (quit bool) {
+	return s.executeConn(nil, rw, cmd, args)
+}
+
+// executeConn is execute carrying the connection state (nil outside
+// serveConn), so inline writes can feed a session-aware cluster hook.
+func (s *Server) executeConn(ce *connExec, rw *respWriter, cmd string, args [][]byte) (quit bool) {
 	m := s.met.Load()
 	a := s.store.attrib.Load()
 	if m == nil && a == nil {
-		return s.dispatch(rw, cmd, args)
+		return s.dispatch(ce, rw, cmd, args)
 	}
 	t0 := time.Now()
-	quit = s.dispatch(rw, cmd, args)
+	quit = s.dispatch(ce, rw, cmd, args)
 	d := time.Since(t0)
 	if m != nil {
 		m.observe(cmd, d)
@@ -609,7 +641,7 @@ func (s *Server) execute(rw *respWriter, cmd string, args [][]byte) (quit bool) 
 	return quit
 }
 
-func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool) {
+func (s *Server) dispatch(ce *connExec, rw *respWriter, cmd string, args [][]byte) (quit bool) {
 	switch cmd {
 	case "PING":
 		rw.simple("PONG")
@@ -626,7 +658,7 @@ func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool)
 			return false
 		}
 		if h := s.hook(); h != nil {
-			h.OnApply(OpSet, string(args[1]), args[2])
+			applyHook(h, ce.session(h), OpSet, string(args[1]), args[2])
 		}
 		rw.simple("OK")
 	case "GET":
@@ -650,13 +682,14 @@ func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool)
 			return false
 		}
 		h := s.hook()
+		sess := ce.session(h)
 		for i := 1; i < len(args); i += 2 {
 			if err := s.store.Set(string(args[i]), args[i+1]); err != nil {
 				rw.error("soft memory exhausted: " + err.Error())
 				return false
 			}
 			if h != nil {
-				h.OnApply(OpSet, string(args[i]), args[i+1])
+				applyHook(h, sess, OpSet, string(args[i]), args[i+1])
 			}
 		}
 		rw.simple("OK")
@@ -912,6 +945,7 @@ func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool)
 		}
 		n := int64(0)
 		h := s.hook()
+		sess := ce.session(h)
 		for _, k := range args[1:] {
 			removed, err := s.store.Del(string(k))
 			if err != nil {
@@ -922,7 +956,7 @@ func (s *Server) dispatch(rw *respWriter, cmd string, args [][]byte) (quit bool)
 				n++
 			}
 			if h != nil {
-				h.OnApply(OpDel, string(k), nil)
+				applyHook(h, sess, OpDel, string(k), nil)
 			}
 		}
 		rw.integer(n)

@@ -89,9 +89,10 @@ type Config struct {
 	// path on the string shards. By default (false) single-key GETs are
 	// served with zero locks: the shard table publishes values to an
 	// atomic reader index and revocation rides the epoch grace period
-	// (see internal/sds and internal/epoch). The flag exists for A/B
-	// overhead measurements; under EvictLRU the optimistic path never
-	// engages regardless (a lock-free read cannot update recency).
+	// (see internal/sds and internal/epoch). Under EvictLRU, recency is
+	// kept by lazily-sampled per-entry clock stamps so the optimistic
+	// path engages there too (eviction order becomes approximate). The
+	// flag exists for A/B overhead measurements.
 	DisableLockFreeReads bool
 }
 
@@ -166,6 +167,7 @@ type Store struct {
 	dels        atomic.Int64
 	reclaimed   atomic.Int64
 	promotions  atomic.Int64
+	promoteNs   atomic.Int64 // serving time spent inside spill promotions
 	cleanupSink atomic.Int64
 	overloaded  atomic.Int64
 
@@ -430,10 +432,12 @@ func (s *Store) lookupAppend(dst []byte, ht *sds.SoftHashTable[string], key stri
 	if err != nil || ok || s.spill == nil {
 		return v, ok, err
 	}
+	t0 := s.now()
 	p := s.promoBegin(key)
 	sv, ok := s.spill.Promote(key)
 	if !ok {
 		s.promoEnd(key, p)
+		s.promoteNs.Add(s.now().Sub(t0).Nanoseconds())
 		return dst, false, nil
 	}
 	s.promotions.Add(1)
@@ -443,6 +447,7 @@ func (s *Store) lookupAppend(dst []byte, ht *sds.SoftHashTable[string], key stri
 	} else if perr != nil {
 		_ = s.spill.Demote(key, sv)
 	}
+	s.promoteNs.Add(s.now().Sub(t0).Nanoseconds())
 	if dst == nil {
 		return sv, true, nil
 	}
@@ -490,21 +495,34 @@ func (s *Store) Get(key string) (value []byte, ok bool, err error) {
 // spill tier for a promotion.
 func (s *Store) GetAppend(dst []byte, key string) (value []byte, ok bool, err error) {
 	sh := s.shard(key)
-	if sh.ht.LockFree() && !sh.ttl.due(key) {
-		v, res := sh.ht.GetAppendLockFree(dst, key)
-		switch res {
-		case sds.LookupHit:
-			s.gets.Add(1)
-			s.hits.Add(1)
-			return v, true, nil
-		case sds.LookupMiss:
-			if s.spill == nil {
+	if sh.ht.LockFree() {
+		if !sh.ttl.due(key) {
+			v, res := sh.ht.GetAppendLockFree(dst, key)
+			switch res {
+			case sds.LookupHit:
 				s.gets.Add(1)
-				s.misses.Add(1)
-				return v, false, nil
+				s.hits.Add(1)
+				return v, true, nil
+			case sds.LookupMiss:
+				if s.spill == nil {
+					s.gets.Add(1)
+					s.misses.Add(1)
+					return v, false, nil
+				}
+				// A definite miss with a spill tier attached still needs the
+				// locked promotion path below.
 			}
-			// A definite miss with a spill tier attached still needs the
-			// locked promotion path below.
+		} else if res := sh.ht.ContainsLockFree(key); res == sds.LookupMiss &&
+			(s.spill == nil || !s.spill.Contains(key)) {
+			// The deadline is due but the key is confirmed absent from both
+			// tiers (already revoked, deleted, or collected): there is
+			// nothing to expire, so the miss stays lock-free — drop the
+			// stale deadline without touching the shard's heap lock, exactly
+			// as expireIfDue would (no expiry is counted for absent keys).
+			sh.ttl.clear(key)
+			s.gets.Add(1)
+			s.misses.Add(1)
+			return dst, false, nil
 		}
 	}
 	s.expireIfDue(key)
@@ -540,11 +558,11 @@ func (s *Store) Del(key string) (bool, error) {
 func (s *Store) Exists(key string) bool {
 	sh := s.shard(key)
 	if sh.ht.LockFree() && !sh.ttl.due(key) {
-		if present, ok := sh.ht.ContainsLockFree(key); ok && present {
+		if sh.ht.ContainsLockFree(key) == sds.LookupHit {
 			return true
 		}
-		// Not present (or lock-free unavailable): the locked path settles
-		// condemned races and the spill tier.
+		// Miss or retry: the locked path settles condemned races and the
+		// spill tier.
 	}
 	s.expireIfDue(key)
 	if sh.ht.Contains(key) {
@@ -752,6 +770,23 @@ func (s *Store) HeapStats() alloc.Stats {
 	add(s.hashes.ht.Context().HeapStats())
 	add(s.lists.ht.Context().HeapStats())
 	return sum
+}
+
+// StallNanos returns the store's cumulative reclamation-stall time:
+// owner time spent inside contended heap-lock Yields (reclaim demands
+// taking their turn) across every SDS context the store owns, plus
+// serving time lost to spill promotions. This is the process-level
+// yield_stall + spill_promote signal; wire it into the SMA with
+// sma.SetStallReporter(store.StallNanos) so the daemon's stall-aware
+// QoS policy sees how much reclamation is actually costing this store.
+func (s *Store) StallNanos() int64 {
+	total := s.promoteNs.Load()
+	for _, sh := range s.shards {
+		total += sh.ht.Context().StallNanos()
+	}
+	total += s.hashes.ht.Context().StallNanos()
+	total += s.lists.ht.Context().StallNanos()
+	return total
 }
 
 // Context exposes the store's first string-shard SDS context (for stats

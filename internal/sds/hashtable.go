@@ -70,6 +70,10 @@ type SoftHashTable[K comparable] struct {
 	dom      *epoch.Domain
 	seed     maphash.Seed
 	lf       lfStats
+	// clock is the table's access clock for lazy recency sampling:
+	// advanced (and stored into the entry's stamp) by sampled lock-free
+	// hits and by locked touches. Only consulted by EvictLRU reclaim.
+	clock atomic.Uint64
 }
 
 type htEntry[K comparable] struct {
@@ -81,6 +85,16 @@ type htEntry[K comparable] struct {
 	// (deleted/replaced/revoked). Writers store it under the heap lock,
 	// and always store nil BEFORE epoch-retiring the ref.
 	box atomic.Pointer[valBox]
+	// stamp is the entry's lazily-sampled access-clock value: lock-free
+	// readers (which cannot move LRU list links) store the table clock
+	// here on a sampled subset of hits, and locked touches keep it in
+	// step. Under EvictLRU, reclaim compares it against seen for a
+	// second-chance rotation instead of trusting list order alone.
+	stamp atomic.Uint64
+	// seen is the stamp value reclaim last observed for this entry
+	// (writer-only, guarded by the heap lock): stamp != seen means the
+	// entry was read since the previous reclaim visit.
+	seen uint64
 }
 
 // HashTableConfig configures a SoftHashTable beyond basic Options.
@@ -101,8 +115,11 @@ type HashTableConfig[K comparable] struct {
 	// LockFreeReads publishes values to an epoch-protected lock-free
 	// read path (GetAppendLockFree, ScanLockFree): reads take zero locks
 	// and revocation defers page recycling until the epoch grace period
-	// covers the retire. Incompatible with EvictLRU — a lock-free read
-	// cannot update recency — so the flag is ignored under that policy.
+	// covers the retire. Under EvictLRU, recency survives as lazily
+	// sampled per-entry clock stamps (a lock-free read cannot move list
+	// links) and reclaim runs a second-chance rotation over them, so
+	// LRU tables get the optimistic path too, with approximate rather
+	// than exact recency order.
 	LockFreeReads bool
 }
 
@@ -117,7 +134,7 @@ func NewSoftHashTable[K comparable](sma *core.SMA, name string, cfg HashTableCon
 		entries:   make(map[K]*htEntry[K]),
 	}
 	t.ctx = sma.Register(name, cfg.Priority, reclaimerFunc(t.reclaim))
-	if cfg.LockFreeReads && cfg.Policy != EvictLRU {
+	if cfg.LockFreeReads {
 		t.lockFree = true
 		t.tomb = &htEntry[K]{}
 		t.dom = sma.Epochs()
@@ -480,8 +497,13 @@ func (t *SoftHashTable[K]) unlink(e *htEntry[K]) {
 	e.prev, e.next = nil, nil
 }
 
-// touch moves e to the tail (most recent).
+// touch moves e to the tail (most recent). On lock-free tables it also
+// advances the entry's recency stamp so list order and the sampled
+// clock agree on what is hot.
 func (t *SoftHashTable[K]) touch(e *htEntry[K]) {
+	if t.lockFree {
+		e.stamp.Store(t.clock.Add(1))
+	}
 	if t.tail == e {
 		return
 	}
@@ -493,49 +515,79 @@ func (t *SoftHashTable[K]) touch(e *htEntry[K]) {
 // bytes are freed, invoking the callback and cleaning the traditional
 // index for each. Pinned entries are skipped and survive. Runs under
 // the Context lock.
+//
+// Under EvictLRU with lock-free reads, list order alone understates
+// recency: optimistic readers cannot move list links, they only store
+// sampled access-clock stamps. Reclaim therefore runs a second-chance
+// (CLOCK) rotation: an entry whose stamp advanced since its previous
+// reclaim visit is rotated to the tail — once — instead of evicted, so
+// lock-free-hot entries demote coldest-first. The rotation budget is one
+// full table's worth; a second, rotation-free pass guarantees the quota
+// is still met when everything looks hot.
 func (t *SoftHashTable[K]) reclaim(tx *core.Tx, quota int) int {
 	freed := 0
 	var keyBytesFreed int64
-	for e := t.head; e != nil && freed < quota; {
-		next := e.next
-		if tx.Pinned(e.ref) {
-			e = next
-			continue
-		}
-		size, err := tx.SlotSize(e.ref)
-		if err != nil {
-			t.unlink(e)
-			delete(t.entries, e.key)
+	rotBudget := 0
+	passes := 1
+	if t.policy == EvictLRU && t.lockFree {
+		rotBudget = len(t.entries)
+		passes = 2
+	}
+	for pass := 0; pass < passes && freed < quota; pass++ {
+		for e := t.head; e != nil && freed < quota; {
+			next := e.next
+			if tx.Pinned(e.ref) {
+				e = next
+				continue
+			}
+			if pass == 0 && rotBudget > 0 {
+				if s := e.stamp.Load(); s != e.seen {
+					// Second chance: read since the last visit. Relink
+					// directly (not touch) so the move does not itself
+					// advance the stamp and re-arm the entry.
+					e.seen = s
+					t.unlink(e)
+					t.linkTail(e)
+					rotBudget--
+					e = next
+					continue
+				}
+			}
+			size, err := tx.SlotSize(e.ref)
+			if err != nil {
+				t.unlink(e)
+				delete(t.entries, e.key)
+				if t.lockFree {
+					t.condemn(e)
+					t.idxDelete(e.key)
+				}
+				e = next
+				continue
+			}
+			if t.onReclaim != nil {
+				if v, err := tx.Append(nil, e.ref); err == nil {
+					t.onReclaim(e.key, v)
+				}
+			}
+			// Revocation rides the epochs: condemn (unpublish) first, then
+			// epoch-retire. The pages only reach the SMA once the demand's
+			// drain observes the grace period past the retire stamp, so a
+			// reader mid-copy never sees its bytes recycled.
 			if t.lockFree {
 				t.condemn(e)
 				t.idxDelete(e.key)
 			}
-			e = next
-			continue
-		}
-		if t.onReclaim != nil {
-			if v, err := tx.Append(nil, e.ref); err == nil {
-				t.onReclaim(e.key, v)
+			if err := tx.Free(e.ref); err == nil {
+				freed += size
 			}
+			t.unlink(e)
+			delete(t.entries, e.key)
+			if t.keyBytes != nil {
+				keyBytesFreed += int64(t.keyBytes(e.key))
+			}
+			t.reclaimed++
+			e = next
 		}
-		// Revocation rides the epochs: condemn (unpublish) first, then
-		// epoch-retire. The pages only reach the SMA once the demand's
-		// drain observes the grace period past the retire stamp, so a
-		// reader mid-copy never sees its bytes recycled.
-		if t.lockFree {
-			t.condemn(e)
-			t.idxDelete(e.key)
-		}
-		if err := tx.Free(e.ref); err == nil {
-			freed += size
-		}
-		t.unlink(e)
-		delete(t.entries, e.key)
-		if t.keyBytes != nil {
-			keyBytesFreed += int64(t.keyBytes(e.key))
-		}
-		t.reclaimed++
-		e = next
 	}
 	if keyBytesFreed > 0 {
 		t.sma.AddTraditionalBytes(-keyBytesFreed)

@@ -84,6 +84,13 @@ type htIndex[K comparable] struct {
 
 const htIndexMinSize = 64
 
+// recencySampleRate is the lock-free hit sampling period for EvictLRU
+// recency stamps: one hit in this many (power of two) stores the table
+// clock into the entry's stamp. Sampling trades exact recency — already
+// approximate under CLOCK rotation — for zero extra atomics on the
+// other hits.
+const recencySampleRate = 8
+
 // lfStats are the table's lock-free read counters (atomics: bumped on
 // unlocked paths).
 type lfStats struct {
@@ -148,7 +155,18 @@ func (t *SoftHashTable[K]) GetAppendLockFree(dst []byte, key K) ([]byte, LookupR
 		}
 		dst = appendBox(dst, box)
 		t.dom.Exit(slot)
-		t.lf.hits.Add(1)
+		// Lazy recency sampling: one hit in recencySampleRate advances the
+		// table clock into the entry's stamp. A lock-free read cannot move
+		// LRU list links; the stamp is what EvictLRU reclaim's
+		// second-chance rotation reads instead. A never-stamped entry
+		// (stamp 0) is stamped on its first hit so even a single read
+		// deterministically registers recency; after that, sampling keeps
+		// the common case at the one atomic add the hits counter already
+		// paid plus a read-only stamp load. Non-LRU tables skip the branch.
+		if n := t.lf.hits.Add(1); t.policy == EvictLRU &&
+			(n&(recencySampleRate-1) == 0 || e.stamp.Load() == 0) {
+			e.stamp.Store(t.clock.Add(1))
+		}
 		return dst, LookupHit
 	}
 	t.dom.Exit(slot)
@@ -156,30 +174,40 @@ func (t *SoftHashTable[K]) GetAppendLockFree(dst []byte, key K) ([]byte, LookupR
 	return dst, LookupMiss
 }
 
-// ContainsLockFree probes for key without locks. The bool result is
-// only meaningful when ok (the second return) is true; ok false means
-// lock-free reads are unavailable and the caller must use Contains.
-func (t *SoftHashTable[K]) ContainsLockFree(key K) (present, ok bool) {
+// ContainsLockFree probes for key without locks. LookupHit means the
+// key is present with a live published value; LookupMiss means it is
+// definitely absent from the linearized view the probe observed (no
+// fallback needed); LookupRetry means the probe could not decide —
+// lock-free reads unavailable, or the entry was found condemned
+// (deleted, replaced, or revoked mid-flight) and only the locked path
+// can resolve the key's current state.
+func (t *SoftHashTable[K]) ContainsLockFree(key K) LookupResult {
 	if !t.lockFree {
-		return false, false
+		return LookupRetry
 	}
 	idx := t.idx.Load()
 	if idx == nil {
-		return false, false
+		t.lf.fallbacks.Add(1)
+		return LookupRetry
 	}
 	h := t.hashKey(key)
 	mask := uint64(len(idx.buckets) - 1)
 	for i, probes := h&mask, 0; probes <= int(mask); i, probes = (i+1)&mask, probes+1 {
 		e := idx.buckets[i].Load()
 		if e == nil {
-			break
+			break // end of probe chain: definite miss
 		}
 		if e == t.tomb || e.key != key {
 			continue
 		}
-		return e.box.Load() != nil, true
+		if e.box.Load() == nil {
+			t.lf.condemned.Add(1)
+			return LookupRetry
+		}
+		return LookupHit
 	}
-	return false, true
+	t.lf.misses.Add(1)
+	return LookupMiss
 }
 
 // ScanLockFree iterates the published index without taking the heap

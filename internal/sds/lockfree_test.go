@@ -84,11 +84,11 @@ func TestHashTableLockFreeBasics(t *testing.T) {
 		t.Fatalf("deleted key: result %v, want miss", res)
 	}
 
-	if present, ok := ht.ContainsLockFree(8); !ok || !present {
-		t.Fatalf("ContainsLockFree(8) = %v, %v", present, ok)
+	if res := ht.ContainsLockFree(8); res != LookupHit {
+		t.Fatalf("ContainsLockFree(8) = %v, want hit", res)
 	}
-	if present, ok := ht.ContainsLockFree(7); !ok || present {
-		t.Fatalf("ContainsLockFree(deleted) = %v, %v", present, ok)
+	if res := ht.ContainsLockFree(7); res != LookupMiss {
+		t.Fatalf("ContainsLockFree(deleted) = %v, want miss", res)
 	}
 
 	hits, misses, _, _ := ht.LockFreeStats()
@@ -384,8 +384,8 @@ func TestLockFreeDisabledPathsUnchanged(t *testing.T) {
 	if _, res := ht.GetAppendLockFree(nil, "k"); res != LookupRetry {
 		t.Fatalf("non-lock-free table served optimistic read: %v", res)
 	}
-	if _, ok := ht.ContainsLockFree("k"); ok {
-		t.Fatal("ContainsLockFree ok on non-lock-free table")
+	if res := ht.ContainsLockFree("k"); res != LookupRetry {
+		t.Fatalf("ContainsLockFree on non-lock-free table = %v, want retry", res)
 	}
 	if ht.ScanLockFree(func(string, []byte) bool { return true }) {
 		t.Fatal("ScanLockFree ran on non-lock-free table")
@@ -396,9 +396,12 @@ func TestLockFreeDisabledPathsUnchanged(t *testing.T) {
 	}
 }
 
-// TestHashTableLockFreeLRUIgnored pins that LockFreeReads is refused
-// under EvictLRU (a lock-free read cannot update recency).
-func TestHashTableLockFreeLRUIgnored(t *testing.T) {
+// TestHashTableLockFreeLRUEngages pins the PR 10 bugfix: EvictLRU
+// tables were wholesale excluded from lock-free reads because an
+// optimistic read could not update recency. Lazy recency sampling
+// (per-entry atomic clock stamps) lifts that restriction — LRU tables
+// must now serve lock-free GETs.
+func TestHashTableLockFreeLRUEngages(t *testing.T) {
 	s := newSMA()
 	defer s.Close()
 	ht := NewSoftHashTable[int](s, "lru-lf", HashTableConfig[int]{
@@ -406,7 +409,74 @@ func TestHashTableLockFreeLRUIgnored(t *testing.T) {
 		LockFreeReads: true,
 	})
 	defer ht.Close()
-	if ht.LockFree() {
-		t.Fatal("LockFreeReads must be ignored under EvictLRU")
+	if !ht.LockFree() {
+		t.Fatal("LockFreeReads must engage under EvictLRU (lazy recency sampling)")
+	}
+	for k := 0; k < 50; k++ {
+		if err := ht.Put(k, lfValue(k, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 50; k++ {
+		v, res := ht.GetAppendLockFree(nil, k)
+		if res != LookupHit {
+			t.Fatalf("key %d: result %v, want lock-free hit", k, res)
+		}
+		checkLfValue(t, k, v, 64)
+	}
+	hits, _, _, _ := ht.LockFreeStats()
+	if hits < 50 {
+		t.Fatalf("LRU lock-free hits = %d, want >= 50", hits)
+	}
+}
+
+// TestHashTableLockFreeLRUSecondChance pins that recency observed only
+// through the lock-free path protects hot entries from eviction: keys
+// read repeatedly via GetAppendLockFree (so the sampled clock stamp is
+// guaranteed to advance) survive a reclaim that evicts the cold half.
+func TestHashTableLockFreeLRUSecondChance(t *testing.T) {
+	s := newSMA()
+	defer s.Close()
+	ht := NewSoftHashTable[int](s, "lru-lf-sc", HashTableConfig[int]{
+		Policy:        EvictLRU,
+		LockFreeReads: true,
+	})
+	defer ht.Close()
+
+	const keys = 64
+	const hot = 8 // hot set: the oldest-inserted keys, coldest by insertion order
+	for k := 0; k < keys; k++ {
+		if err := ht.Put(k, lfValue(k, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Heat the hot set purely through the lock-free path. The first hit
+	// on a never-stamped entry always stamps, and consecutive re-reads
+	// cover the sampled path too regardless of hit-counter phase.
+	for k := 0; k < hot; k++ {
+		for i := 0; i < 2*recencySampleRate; i++ {
+			if _, res := ht.GetAppendLockFree(nil, k); res != LookupHit {
+				t.Fatalf("warm read key %d: %v", k, res)
+			}
+		}
+	}
+	// Demand a few pages so the table must evict. The hot keys sit at
+	// the head of the LRU list (oldest inserts) and would be the first
+	// victims without the second-chance stamps; the 56 cold keys hold
+	// several pages' worth, so a 3-page demand never needs to reach
+	// the rotated hot set.
+	for i := 0; i < 3 && ht.Reclaimed() == 0; i++ {
+		s.HandleDemand(1)
+	}
+	if ht.Reclaimed() == 0 {
+		t.Fatal("reclaim evicted nothing")
+	}
+	for k := 0; k < hot; k++ {
+		if _, res := ht.GetAppendLockFree(nil, k); res != LookupHit {
+			t.Fatalf("hot key %d evicted despite lock-free recency (res %v)", k, res)
+		}
+	}
+	if err := s.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -143,6 +143,11 @@ type Config struct {
 	// by Traces() (and `smdctl trace`). Default 64; negative disables
 	// tracing (reclaim IDs are still minted and stamped on events).
 	TraceLog int
+	// Clock overrides the daemon's wall clock (nil = time.Now). The
+	// stall-rate EWMA behind QoS victim selection differentiates
+	// cumulative stall reports over inter-report wall time; tests inject
+	// a fake clock here to drive it deterministically.
+	Clock func() time.Time
 }
 
 // EventKind classifies audit events.
@@ -272,6 +277,18 @@ type procState struct {
 	budget int
 	usage  core.Usage
 	gone   bool
+
+	// QoS state (qos.go). tenant is the zero value until SetTenant;
+	// stallEWMA/stallAt track the smoothed stall rate differentiated
+	// from Usage.StallNs self-reports; the page counters accumulate this
+	// process's lifetime as a reclamation source, the evidence trail for
+	// "where did reclamation pressure land".
+	tenant        TenantSpec
+	stallEWMA     float64
+	stallAt       time.Time
+	demandedPages int64
+	releasedPages int64
+	slackPages    int64
 }
 
 // Daemon is the machine-wide soft memory manager.
@@ -378,7 +395,13 @@ func (d *Daemon) weightLocked(ps *procState) float64 {
 }
 
 // candidatesLocked returns processes other than requester (unless self-
-// reclaim is allowed) in descending reclamation weight.
+// reclaim is allowed) in victim order. Legacy order is descending
+// reclamation weight (biggest first). Once any process has registered a
+// tenant spec, QoS order takes over: ascending stall pressure, so the
+// cycle reclaims from whoever is hurting least relative to its SLO and
+// disturbs stalling latency-critical tenants last. Weight breaks
+// pressure ties (bigger first — among equally unpressured processes the
+// legacy bias still applies), then ID for determinism.
 func (d *Daemon) candidatesLocked(requester ProcID) []*procState {
 	out := make([]*procState, 0, len(d.procs))
 	for _, ps := range d.procs {
@@ -387,7 +410,18 @@ func (d *Daemon) candidatesLocked(requester ProcID) []*procState {
 		}
 		out = append(out, ps)
 	}
+	qos := d.qosActiveLocked()
 	sort.Slice(out, func(i, j int) bool {
+		if qos {
+			pi, pj := d.pressureLocked(out[i]), d.pressureLocked(out[j])
+			if pi != pj {
+				return pi < pj
+			}
+			ri, rj := d.qosRankLocked(out[i]), d.qosRankLocked(out[j])
+			if ri != rj {
+				return ri < rj
+			}
+		}
 		wi, wj := d.weightLocked(out[i]), d.weightLocked(out[j])
 		if wi != wj {
 			return wi > wj
@@ -424,7 +458,7 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 		d.mu.Unlock()
 		return 0, ErrUnregistered
 	}
-	ps.usage = u
+	d.adoptUsageLocked(ps, u)
 	d.stats.Requests++
 
 	free := d.totalPages - d.grantedLocked()
@@ -475,6 +509,7 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 		}
 		c.budget -= take
 		need -= take
+		c.slackPages += int64(take)
 		d.stats.SlackPages += int64(take)
 		// Tell the victim its cached budget shrank, or it will keep
 		// allocating against the harvested pages. Lock ordering matches
@@ -495,7 +530,9 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 	}
 
 	// Phase 2 — demand reclamation from up to TargetCap processes in
-	// descending weight, over-demanding by ReclaimFactor to amortize.
+	// victim order (legacy: descending weight; QoS: ascending pressure),
+	// over-demanding by ReclaimFactor to amortize.
+	qosOrder := d.qosActiveLocked()
 	quota := int(math.Ceil(float64(need) * d.cfg.ReclaimFactor))
 	targets := 0
 	for _, c := range cands {
@@ -509,7 +546,20 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 		if want > c.usage.UsedPages {
 			want = c.usage.UsedPages
 		}
+		if qosOrder {
+			// Starvation floor: QoS ordering concentrates demands on the
+			// least-pressured tenant, so cap each demand to leave the
+			// victim 1/qosFloorDiv of its footprint — no class is ever
+			// drained to zero, however unpressured it looks.
+			if floor := c.usage.UsedPages / qosFloorDiv; want > c.usage.UsedPages-floor {
+				want = c.usage.UsedPages - floor
+			}
+			if want <= 0 {
+				continue
+			}
+		}
 		targets++
+		c.demandedPages += int64(want)
 		d.stats.DemandedPages += int64(want)
 		// The daemon lock is held across the demand. Lock ordering is
 		// one-way (daemon → process): processes never call the daemon
@@ -534,10 +584,11 @@ func (d *Daemon) arbitrate(id ProcID, n int, u core.Usage, m *smdMetrics) (int, 
 			released = c.budget
 		}
 		c.budget -= released
+		c.releasedPages += int64(released)
 		if fresh != nil {
 			// The demand response carried a post-reclaim self-report:
 			// adopt it (spill footprint included) instead of estimating.
-			c.usage = *fresh
+			d.adoptUsageLocked(c, *fresh)
 		} else {
 			c.usage.UsedPages -= released
 			if c.usage.UsedPages < 0 {
@@ -633,7 +684,7 @@ func (d *Daemon) releaseBudget(id ProcID, n int, u core.Usage) error {
 	if !ok {
 		return ErrUnregistered
 	}
-	ps.usage = u
+	d.adoptUsageLocked(ps, u)
 	ps.budget -= n
 	if ps.budget < 0 {
 		ps.budget = 0
@@ -649,7 +700,7 @@ func (d *Daemon) reportUsage(id ProcID, u core.Usage) error {
 	if !ok {
 		return ErrUnregistered
 	}
-	ps.usage = u
+	d.adoptUsageLocked(ps, u)
 	return nil
 }
 

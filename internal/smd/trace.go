@@ -164,6 +164,8 @@ func (d *Daemon) RegisterMetrics(r *metrics.Registry) {
 	perProc("softmem_smd_proc_weight", "per-process reclamation weight", func(p ProcInfo) float64 { return p.Weight })
 	perProc("softmem_smd_proc_spilled_bytes", "per-process spill-tier footprint", func(p ProcInfo) float64 { return float64(p.Usage.SpilledBytes) })
 
+	d.registerQoSMetrics(r)
+
 	d.met.Store(m)
 }
 

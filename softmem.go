@@ -84,6 +84,12 @@ type (
 	DaemonStats = smd.Stats
 	// DaemonEvent is one audit record from the daemon's event ring.
 	DaemonEvent = smd.Event
+	// TenantSpec attaches QoS identity (tenant name, priority class,
+	// latency SLO) to a registered process; see Daemon.SetTenant.
+	TenantSpec = smd.TenantSpec
+	// QoSInfo is one process's stall-aware QoS state, from
+	// Daemon.QoSSnapshot.
+	QoSInfo = smd.QoSInfo
 )
 
 // NewDaemon returns a Soft Memory Daemon arbitrating cfg.TotalPages of
